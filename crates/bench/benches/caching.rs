@@ -1,0 +1,70 @@
+//! Criterion micro-benchmark for the Fig. 13a caching design: coordinate
+//! cost lookups with and without the LRU cache, and block consolidation
+//! with exterior-1Q stripping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_circuit::consolidate::consolidate;
+use mirage_circuit::generators::qft;
+use mirage_coverage::cache::CostCache;
+use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+use mirage_weyl::coords::{coords_of, WeylCoord};
+use std::hint::black_box;
+
+fn build_set() -> CoverageSet {
+    CoverageSet::build(
+        BasisGate::iswap_root(2),
+        &CoverageOptions {
+            max_k: 3,
+            samples_per_k: 1500,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 0xCAC4E,
+        },
+    )
+}
+
+fn bench_cost_lookup(c: &mut Criterion) {
+    let set = build_set();
+    let coords: Vec<WeylCoord> = consolidate(&qft(12, false))
+        .instructions
+        .iter()
+        .filter(|i| i.gate.is_two_qubit())
+        .map(|i| coords_of(&i.gate.matrix2()))
+        .collect();
+
+    c.bench_function("cost_lookup/uncached", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for w in &coords {
+                total += set.cost_or_max(black_box(w));
+            }
+            total
+        })
+    });
+
+    c.bench_function("cost_lookup/lru_cached", |b| {
+        let mut cache = CostCache::new(4096);
+        b.iter(|| {
+            let mut total = 0.0;
+            for w in &coords {
+                total += cache.get_or_insert_with(black_box(w), || set.cost_or_max(w));
+            }
+            total
+        })
+    });
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let circ = qft(16, true);
+    c.bench_function("consolidate/qft16", |b| {
+        b.iter(|| consolidate(black_box(&circ)))
+    });
+}
+
+fn bench_coords(c: &mut Criterion) {
+    let u = mirage_gates::cns();
+    c.bench_function("coords_of/cns", |b| b.iter(|| coords_of(black_box(&u))));
+}
+
+criterion_group!(benches, bench_cost_lookup, bench_consolidation, bench_coords);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 10**: independent trials at *fixed* aggression
+//! levels on wstate n27, bigadder n18, qft n18, and bv n30 — showing that
+//! no single aggression setting wins everywhere, motivating the 5/45/45/5
+//! trial mix.
+
+use mirage_bench::{eval_options, print_table};
+use mirage_circuit::generators::{bv, cuccaro_adder, qft, wstate};
+use mirage_core::{transpile, RouterKind};
+use mirage_topology::CouplingMap;
+
+fn main() {
+    println!("Figure 10 — fixed aggression levels, 6x6 square lattice\n");
+    let topo = CouplingMap::grid(6, 6);
+    let circuits = vec![
+        ("wstate_n27", wstate(27)),
+        ("bigadder_n18", cuccaro_adder(8)),
+        ("qft_n18", qft(18, false)),
+        ("bv_n30", bv(30, 18)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, circ) in &circuits {
+        let mut row = vec![name.to_string()];
+        // Baseline (Qiskit/SABRE analogue).
+        let mut opts = eval_options(RouterKind::Sabre, 0x1010);
+        opts.use_vf2 = false;
+        let base = transpile(circ, &topo, &opts).expect("transpiles");
+        row.push(format!("{:.1}", base.metrics.depth_estimate));
+        // Fixed aggression a0..a3.
+        for a in 0..4usize {
+            let mut mix = [0.0; 4];
+            mix[a] = 1.0;
+            let mut opts = eval_options(RouterKind::Mirage, 0x1010 + a as u64);
+            opts.use_vf2 = false;
+            opts.trials.aggression_mix = mix;
+            let out = transpile(circ, &topo, &opts).expect("transpiles");
+            row.push(format!("{:.1}", out.metrics.depth_estimate));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["circuit", "Qiskit-like", "Mirage-a0", "Mirage-a1", "Mirage-a2", "Mirage-a3"],
+        &rows,
+    );
+    println!("\nPaper: no single aggression strategy is universally optimal,");
+    println!("supporting the 5%/45%/45%/5% trial distribution.");
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Figure 12**: MIRAGE vs the SABRE baseline on the two
+//! production topologies — 57-qubit heavy-hex and the 6×6 square lattice —
+//! tracking critical-path depth, total gate cost, and SWAP count.
+//!
+//! Paper: heavy-hex −31.19% depth / −16.97% gates / −56.19% SWAPs;
+//! square lattice −29.58% depth / −10.25% gates / −59.86% SWAPs.
+//!
+//! Usage: `fig12_topologies [heavy-hex|square|both]`
+
+use mirage_bench::{geo_mean, pct_improvement, print_table, run_one};
+use mirage_circuit::generators::paper_suite;
+use mirage_core::RouterKind;
+use mirage_topology::CouplingMap;
+
+fn run_topology(label: &str, topo: &CouplingMap) {
+    println!("== Figure 12 — {label} ({}) ==\n", topo.name());
+    let suite: Vec<_> = paper_suite()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("wstate") && !name.starts_with("bv"))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut agg: [Vec<f64>; 6] = Default::default();
+    for (name, circ) in &suite {
+        let base = run_one(name, circ, topo, RouterKind::Sabre, 0x1212, None);
+        let mir = run_one(name, circ, topo, RouterKind::Mirage, 0x1212, None);
+        agg[0].push(base.depth);
+        agg[1].push(mir.depth);
+        agg[2].push(base.gate_cost);
+        agg[3].push(mir.gate_cost);
+        agg[4].push(base.swaps.max(1) as f64);
+        agg[5].push(mir.swaps.max(1) as f64);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", base.depth),
+            format!("{:.1}", mir.depth),
+            format!("{:.1}", base.gate_cost),
+            format!("{:.1}", mir.gate_cost),
+            base.swaps.to_string(),
+            mir.swaps.to_string(),
+            format!("{:.1}%", 100.0 * mir.mirror_rate),
+        ]);
+        eprintln!("  done: {name}");
+    }
+    print_table(
+        &[
+            "circuit", "depth(Q)", "depth(M)", "cost(Q)", "cost(M)", "swaps(Q)", "swaps(M)",
+            "mirror%",
+        ],
+        &rows,
+    );
+    println!(
+        "\naverage depth reduction : {:.1}%",
+        pct_improvement(geo_mean(&agg[0]), geo_mean(&agg[1]))
+    );
+    println!(
+        "average cost reduction  : {:.1}%",
+        pct_improvement(geo_mean(&agg[2]), geo_mean(&agg[3]))
+    );
+    println!(
+        "average SWAP reduction  : {:.1}%",
+        pct_improvement(geo_mean(&agg[4]), geo_mean(&agg[5]))
+    );
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    if which == "heavy-hex" || which == "both" {
+        run_topology("Heavy-Hex 57Q", &CouplingMap::heavy_hex(5));
+    }
+    if which == "square" || which == "both" {
+        run_topology("Square-Lattice 6x6", &CouplingMap::grid(6, 6));
+    }
+    println!("Paper: heavy-hex -31.19% depth, -16.97% gates, -56.19% swaps;");
+    println!("square  -29.58% depth, -10.25% gates, -59.86% swaps.");
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 3**: coverage of the `k = 2` monodromy polytopes
+//! for CNOT and √iSWAP, standard vs mirror-inclusive.
+//!
+//! Paper: the CNOT regions are planar (0% Haar volume); √iSWAP covers
+//! 79.0% standard and 94.4% with mirrors.
+
+use mirage_bench::print_table;
+use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("Figure 3 — k = 2 coverage, CNOT vs sqrt(iSWAP) ({samples} Haar samples)\n");
+
+    let mut rows = Vec::new();
+    for (label, basis) in [("CNOT", BasisGate::cnot()), ("sqrt(iSWAP)", BasisGate::iswap_root(2))] {
+        for mirrors in [false, true] {
+            let opts = CoverageOptions {
+                max_k: 2,
+                samples_per_k: 4000,
+                inflation: 0.01,
+                mirrors,
+                seed: 0xF13,
+            };
+            let set = CoverageSet::build(basis.clone(), &opts);
+            let cov = set.haar_coverage(2, samples, 0x31F);
+            let ranks: Vec<String> = set.levels[1]
+                .regions
+                .iter()
+                .map(|r| r.rank.to_string())
+                .collect();
+            rows.push(vec![
+                label.to_string(),
+                if mirrors { "mirror" } else { "standard" }.to_string(),
+                format!("{:.1}%", 100.0 * cov),
+                format!("[{}]", ranks.join(",")),
+            ]);
+        }
+    }
+    print_table(&["Basis", "Polytope", "Haar coverage", "Region ranks"], &rows);
+    println!("\nPaper: CNOT planar 0%; sqrt(iSWAP) 79.0% standard, 94.4% with mirrors.");
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Figure 5**: Monte Carlo convergence of the ∜iSWAP Haar
+//! score over 1000 iterations under four strategies — exact, approximate,
+//! exact+mirrors, approximate+mirrors — with the exact asymptotes printed
+//! alongside.
+
+use mirage_bench::coverage_for;
+use mirage_coverage::approx::approx_gate_costs;
+use mirage_coverage::haar::{haar_score, FidelityModel};
+use mirage_math::Mat4;
+use mirage_synth::decompose::{fit_fidelity, DecompOptions};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let model = FidelityModel::paper_default();
+    println!("Figure 5 — Haar-score convergence for 4th-root(iSWAP), {iters} iterations\n");
+
+    let plain = coverage_for(4, false, 7);
+    let mirror = coverage_for(4, true, 7);
+    let basis = plain.basis.unitary;
+    let opts = DecompOptions {
+        restarts: 2,
+        evals_per_restart: 2500,
+        infidelity_target: 1e-7,
+        seed: 0xF15,
+    };
+    let oracle = move |target: &Mat4, k: usize| -> Option<f64> {
+        Some(fit_fidelity(target, &basis, k, &opts))
+    };
+    let never = |_: &Mat4, _: usize| -> Option<f64> { None };
+
+    let exact = approx_gate_costs(&plain, &model, iters, 0x515, &never);
+    let approx = approx_gate_costs(&plain, &model, iters, 0x515, &oracle);
+    let exact_mirror = approx_gate_costs(&mirror, &model, iters, 0x515, &never);
+    let approx_mirror = approx_gate_costs(&mirror, &model, iters, 0x515, &oracle);
+
+    // Asymptotes from large-sample exact scores (the "polytope integration"
+    // dotted lines of the figure).
+    let asym_exact = haar_score(&plain, &model, 40_000, 0x616).score;
+    let asym_mirror = haar_score(&mirror, &model, 40_000, 0x616).score;
+    println!("asymptote (exact)        : {asym_exact:.4}");
+    println!("asymptote (exact+mirror) : {asym_mirror:.4}\n");
+
+    println!("iteration  exact  approx  exact+mir  approx+mir");
+    for &i in &[1usize, 3, 10, 30, 100, 300, iters.saturating_sub(1)] {
+        if i < exact.trace.len() {
+            println!(
+                "{:>9}  {:.4}  {:.4}  {:.4}     {:.4}",
+                i + 1,
+                exact.trace[i],
+                approx.trace[i],
+                exact_mirror.trace[i],
+                approx_mirror.trace[i]
+            );
+        }
+    }
+    println!("\nfinal scores: exact {:.4}, approx {:.4}, exact+mirror {:.4}, approx+mirror {:.4}",
+        exact.score, approx.score, exact_mirror.score, approx_mirror.score);
+    println!("Paper: exact/exact+mirror converge to the dotted asymptotes;");
+    println!("approx alone nearly reaches exact+mirror; combining both pushes ~0.90 -> <0.85.");
+}

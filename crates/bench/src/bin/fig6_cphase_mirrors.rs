@@ -1,0 +1,35 @@
+//! Regenerates **Figure 6**: the CPHASE family and its mirror, the
+//! parametric-SWAP family, against the √iSWAP `k = 2` coverage region.
+//!
+//! Paper: every CPHASE sits inside the k = 2 region; its pSWAP mirror falls
+//! outside (k = 3) except at the iSWAP endpoint — so mirroring a CPHASE
+//! buys data movement only when routing (not decomposition) profits.
+
+use mirage_bench::{coverage_for, print_table};
+use mirage_weyl::coords::WeylCoord;
+use mirage_weyl::mirror::mirror_coord;
+
+fn main() {
+    println!("Figure 6 — CPHASE family vs its pSWAP mirror in sqrt(iSWAP) coverage\n");
+    let set = coverage_for(2, false, 4);
+    let mut rows = Vec::new();
+    for step in 0..=8 {
+        let theta = std::f64::consts::PI * f64::from(step) / 8.0;
+        let w = WeylCoord::cphase(theta);
+        let m = mirror_coord(&w);
+        let k_w = set.min_k(&w).map(|k| k.to_string()).unwrap_or("-".into());
+        let k_m = set.min_k(&m).map(|k| k.to_string()).unwrap_or("-".into());
+        rows.push(vec![
+            format!("{:.3}pi", theta / std::f64::consts::PI),
+            format!("{w}"),
+            k_w,
+            format!("{m}"),
+            k_m,
+        ]);
+    }
+    print_table(
+        &["theta", "CPHASE coords", "k", "pSWAP mirror coords", "k"],
+        &rows,
+    );
+    println!("\nPaper: CPHASE inside k=2; pSWAP needs k=3 except at theta = pi (iSWAP).");
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Figure 9**: the local-minimum example — from one initial
+//! layout, different greedy choices land at depths 7 vs 6 pulses; the
+//! aggression mix lets MIRAGE find the better route.
+
+use mirage_circuit::consolidate::consolidate;
+use mirage_circuit::generators::two_local_full;
+use mirage_circuit::Dag;
+use mirage_core::layout::Layout;
+use mirage_core::router::{node_coords, route, Aggression, RouterConfig};
+use mirage_core::trials::depth_estimate;
+use mirage_coverage::cache::CostCache;
+use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+use mirage_math::Rng;
+
+fn main() {
+    println!("Figure 9 — greedy local minima from a fixed initial layout\n");
+    let cov = CoverageSet::build(
+        BasisGate::iswap_root(2),
+        &CoverageOptions {
+            max_k: 3,
+            samples_per_k: 2500,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 0x919,
+        },
+    );
+    // The 4-qubit sub-circuit of Fig. 8a, reordered so the first gate needs
+    // no SWAPs (paper setup).
+    let circ = consolidate(&two_local_full(4, 1, 0xF19));
+    let topo = mirage_topology::CouplingMap::line(4);
+    let dag = Dag::from_circuit(&circ);
+    let coords = node_coords(&dag);
+
+    println!("route  aggression  seed  depth(pulses)  swaps  mirrors");
+    let mut best = f64::INFINITY;
+    let mut worst: f64 = 0.0;
+    for aggr in [Aggression::A1, Aggression::A2] {
+        for seed in 0..6u64 {
+            let config = RouterConfig {
+                aggression: Some(aggr),
+                ..RouterConfig::default()
+            };
+            let mut cache = CostCache::new(512);
+            let mut rng = Rng::new(0x5EED9 + seed);
+            let r = route(
+                &dag,
+                &coords,
+                &topo,
+                Layout::trivial(4, 4),
+                &cov,
+                &mut cache,
+                &config,
+                &mut rng,
+            );
+            let d = depth_estimate(&r.circuit, &cov, &mut cache) / 0.5;
+            best = best.min(d);
+            worst = worst.max(d);
+            println!(
+                "{:>5}  {:>10?}  {:>4}  {:>13.0}  {:>5}  {:>7}",
+                seed, aggr, seed, d, r.swaps_inserted, r.mirrors_accepted
+            );
+        }
+    }
+    println!("\nbest depth {best:.0} vs worst {worst:.0} pulses from the same layout");
+    println!("Paper: the greedy-optimal first choice dead-ends at 7 pulses;");
+    println!("an initially sub-optimal choice reaches the 6-pulse optimum.");
+}

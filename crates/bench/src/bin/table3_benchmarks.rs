@@ -1,0 +1,46 @@
+//! Regenerates **Table III**: the benchmark-circuit inventory — name,
+//! qubits, two-qubit gates (CX-equivalent accounting), and class.
+
+use mirage_bench::print_table;
+use mirage_circuit::generators::{cx_equivalent_count, paper_suite};
+
+fn main() {
+    println!("Table III — benchmark circuits (CX-equivalent 2Q counts)\n");
+    let classes = [
+        ("wstate_n27", "Entanglement", 52),
+        ("qftentangled_n16", "Hidden Subgroup", 279),
+        ("qpeexact_n16", "Hidden Subgroup", 261),
+        ("ae_n16", "Hidden Subgroup", 240),
+        ("qft_n18", "Hidden Subgroup", 306),
+        ("bv_n30", "Hidden Subgroup", 18),
+        ("multiplier_n15", "Arithmetic", 246),
+        ("bigadder_n18", "Arithmetic", 130),
+        ("qec9xz_n17", "EC", 32),
+        ("seca_n11", "EC", 84),
+        ("qram_n20", "Memory", 92),
+        ("sat_n11", "Search/QML", 252),
+        ("portfolioqaoa_n16", "QML", 720),
+        ("knn_n25", "QML", 96),
+        ("swap_test_n25", "QML", 96),
+    ];
+    let suite = paper_suite();
+    let mut rows = Vec::new();
+    for (name, circ) in &suite {
+        let (_, class, paper) = classes
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .expect("every suite circuit is classified");
+        rows.push(vec![
+            name.to_string(),
+            circ.n_qubits.to_string(),
+            circ.two_qubit_gate_count().to_string(),
+            cx_equivalent_count(circ).to_string(),
+            paper.to_string(),
+            class.to_string(),
+        ]);
+    }
+    print_table(
+        &["name", "qubits", "2Q (raw)", "2Q (CX-equiv)", "paper", "class"],
+        &rows,
+    );
+}

@@ -1,0 +1,308 @@
+//! `ConsolidateBlocks`: merge runs of gates on the same qubit pair into
+//! single two-qubit unitary blocks.
+//!
+//! MIRAGE operates on consolidated two-qubit blocks (paper §V): before
+//! routing, every maximal run of gates confined to one qubit pair becomes
+//! one `Unitary2` instruction whose canonical coordinates drive the cost
+//! model.
+//!
+//! Following the paper's caching optimization (Fig. 13a), *exterior*
+//! single-qubit gates — those before the first or after the last two-qubit
+//! gate of a run — are **not** folded into the block: they cannot change the
+//! block's canonical coordinates, and leaving them outside makes blocks from
+//! structurally identical circuit fragments byte-identical, which turns the
+//! coordinate cache's near-misses into hits.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+use mirage_math::{Mat2, Mat4};
+
+/// An in-progress block on an (ordered) qubit pair.
+struct Block {
+    hi: usize,
+    lo: usize,
+    /// Accumulated interior unitary.
+    matrix: Mat4,
+    /// Number of 2Q gates folded in.
+    twoq_count: usize,
+    /// The original instruction, when the block holds exactly one 2Q gate
+    /// and no interior 1Q gates (so it can be re-emitted verbatim).
+    sole: Option<Instruction>,
+    /// 1Q gates seen after the last 2Q gate (pending: interior only if
+    /// another 2Q gate of this pair follows, exterior otherwise).
+    pending_hi: Vec<Mat2>,
+    pending_lo: Vec<Mat2>,
+}
+
+impl Block {
+    fn new(hi: usize, lo: usize) -> Block {
+        Block {
+            hi,
+            lo,
+            matrix: Mat4::identity(),
+            twoq_count: 0,
+            sole: None,
+            pending_hi: Vec::new(),
+            pending_lo: Vec::new(),
+        }
+    }
+
+    fn absorb_pending(&mut self) {
+        let mut interior_changed = false;
+        for m in self.pending_hi.drain(..) {
+            self.matrix = Mat4::kron(&m, &Mat2::identity()).mul(&self.matrix);
+            interior_changed = true;
+        }
+        for m in self.pending_lo.drain(..) {
+            self.matrix = Mat4::kron(&Mat2::identity(), &m).mul(&self.matrix);
+            interior_changed = true;
+        }
+        if interior_changed {
+            self.sole = None;
+        }
+    }
+
+    fn add_2q(&mut self, instr: &Instruction) {
+        self.absorb_pending();
+        let mut m = instr.gate.matrix2();
+        // Align operand order with the block's (hi, lo).
+        if instr.qubits[0] == self.lo {
+            m = m.reverse_qubits();
+        }
+        self.matrix = m.mul(&self.matrix);
+        self.twoq_count += 1;
+        if self.twoq_count == 1 {
+            self.sole = Some(instr.clone());
+        } else {
+            self.sole = None;
+        }
+    }
+
+    /// Emit the block followed by its trailing exterior 1Q gates.
+    fn flush(self, out: &mut Vec<Instruction>) {
+        if self.twoq_count > 0 {
+            match self.sole {
+                Some(orig) => out.push(orig),
+                None => out.push(Instruction {
+                    gate: Gate::Unitary2(self.matrix),
+                    qubits: vec![self.hi, self.lo],
+                }),
+            }
+        }
+        for m in self.pending_hi {
+            out.push(Instruction {
+                gate: Gate::Unitary1(m),
+                qubits: vec![self.hi],
+            });
+        }
+        for m in self.pending_lo {
+            out.push(Instruction {
+                gate: Gate::Unitary1(m),
+                qubits: vec![self.lo],
+            });
+        }
+    }
+}
+
+/// Consolidate maximal same-pair runs into `Unitary2` blocks.
+///
+/// Exterior single-qubit gates stay as separate instructions (see module
+/// docs). Blocks holding exactly one two-qubit gate and no interior 1Q
+/// gates are re-emitted verbatim.
+pub fn consolidate(c: &Circuit) -> Circuit {
+    let mut out: Vec<Instruction> = Vec::with_capacity(c.instructions.len());
+    // Active block per qubit (both members of a pair point at the same
+    // slot; slots are indices into `blocks`).
+    let mut active: Vec<Option<usize>> = vec![None; c.n_qubits];
+    let mut blocks: Vec<Option<Block>> = Vec::new();
+
+    let close = |q: usize,
+                     active: &mut Vec<Option<usize>>,
+                     blocks: &mut Vec<Option<Block>>,
+                     out: &mut Vec<Instruction>| {
+        if let Some(slot) = active[q] {
+            if let Some(block) = blocks[slot].take() {
+                active[block.hi] = None;
+                active[block.lo] = None;
+                block.flush(out);
+            }
+        }
+    };
+
+    for instr in &c.instructions {
+        match instr.qubits.len() {
+            1 => {
+                let q = instr.qubits[0];
+                if let Some(slot) = active[q] {
+                    let block = blocks[slot].as_mut().expect("active slot live");
+                    let m = instr.gate.matrix1();
+                    if q == block.hi {
+                        block.pending_hi.push(m);
+                    } else {
+                        block.pending_lo.push(m);
+                    }
+                } else {
+                    out.push(instr.clone());
+                }
+            }
+            2 => {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                let same_pair = match (active[a], active[b]) {
+                    (Some(sa), Some(sb)) => sa == sb,
+                    _ => false,
+                };
+                if same_pair {
+                    let slot = active[a].expect("checked above");
+                    blocks[slot].as_mut().expect("live").add_2q(instr);
+                } else {
+                    close(a, &mut active, &mut blocks, &mut out);
+                    close(b, &mut active, &mut blocks, &mut out);
+                    let mut block = Block::new(a, b);
+                    block.add_2q(instr);
+                    let slot = blocks.len();
+                    blocks.push(Some(block));
+                    active[a] = Some(slot);
+                    active[b] = Some(slot);
+                }
+            }
+            _ => unreachable!("gates are 1- or 2-qubit"),
+        }
+    }
+    // Flush leftovers in creation order.
+    for slot in 0..blocks.len() {
+        if let Some(block) = blocks[slot].take() {
+            active[block.hi] = None;
+            active[block.lo] = None;
+            block.flush(&mut out);
+        }
+    }
+
+    Circuit {
+        n_qubits: c.n_qubits,
+        instructions: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::equivalent_on_zero;
+
+    #[test]
+    fn merges_same_pair_run() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.3, 1).cx(0, 1);
+        let cc = consolidate(&c);
+        assert_eq!(cc.instructions.len(), 1);
+        assert!(matches!(cc.instructions[0].gate, Gate::Unitary2(_)));
+        assert!(equivalent_on_zero(&c, &cc, None));
+    }
+
+    #[test]
+    fn exterior_1q_stays_outside() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(0.3, 1).cx(0, 1).h(1);
+        let cc = consolidate(&c);
+        // h(0) before, block, h(1) after.
+        assert_eq!(cc.instructions.len(), 3);
+        assert_eq!(cc.instructions[0].gate, Gate::H);
+        assert!(matches!(cc.instructions[1].gate, Gate::Unitary2(_)));
+        assert!(matches!(cc.instructions[2].gate, Gate::Unitary1(_)));
+        assert!(equivalent_on_zero(&c, &cc, None));
+    }
+
+    #[test]
+    fn single_gate_block_verbatim() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let cc = consolidate(&c);
+        assert_eq!(cc.instructions.len(), 2);
+        assert_eq!(cc.instructions[0].gate, Gate::Cx);
+        assert_eq!(cc.instructions[1].gate, Gate::Cx);
+    }
+
+    #[test]
+    fn interleaved_pairs_break_blocks() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 1);
+        let cc = consolidate(&c);
+        // No consolidation possible: the middle gate touches qubit 1.
+        assert_eq!(cc.instructions.len(), 3);
+        assert!(equivalent_on_zero(&c, &cc, None));
+    }
+
+    #[test]
+    fn reversed_operand_order_merges() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0).cx(0, 1);
+        let cc = consolidate(&c);
+        assert_eq!(cc.instructions.len(), 1);
+        assert!(equivalent_on_zero(&c, &cc, None));
+    }
+
+    #[test]
+    fn identical_fragments_identical_blocks() {
+        // Two copies of the same fragment with different exterior 1Q gates
+        // must produce byte-identical block matrices (the Fig. 13a cache
+        // property).
+        let mut c = Circuit::new(4);
+        c.rz(0.9, 0); // exterior
+        c.cx(0, 1).rz(0.3, 1).cx(0, 1);
+        c.h(2); // exterior
+        c.cx(2, 3).rz(0.3, 3).cx(2, 3);
+        let cc = consolidate(&c);
+        let blocks: Vec<&Mat4> = cc
+            .instructions
+            .iter()
+            .filter_map(|i| match &i.gate {
+                Gate::Unitary2(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks[0].approx_eq(blocks[1], 0.0), "blocks must be identical");
+    }
+
+    #[test]
+    fn larger_circuit_equivalence() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .rz(0.2, 0)
+            .ry(0.4, 1)
+            .cx(0, 1)
+            .cx(1, 2)
+            .cx(2, 3)
+            .rx(0.1, 3)
+            .cx(2, 3)
+            .h(3);
+        let cc = consolidate(&c);
+        assert!(equivalent_on_zero(&c, &cc, None));
+        assert!(cc.instructions.len() < c.instructions.len());
+    }
+
+    #[test]
+    fn pending_1q_flushed_after_block() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(0.5, 0).rz(0.7, 1);
+        let cc = consolidate(&c);
+        // Single CX block (verbatim) + two exterior 1Q gates.
+        assert_eq!(cc.instructions.len(), 3);
+        assert_eq!(cc.instructions[0].gate, Gate::Cx);
+        assert!(equivalent_on_zero(&c, &cc, None));
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        assert_eq!(consolidate(&c).instructions.len(), 0);
+    }
+
+    #[test]
+    fn one_qubit_only_circuit() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let cc = consolidate(&c);
+        assert_eq!(cc.instructions.len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Dependency DAG over circuit instructions.
+//!
+//! The routers (SABRE and MIRAGE) consume circuits as DAGs: a gate becomes
+//! executable once all of its per-qubit predecessors have been mapped. This
+//! module provides the static structure — predecessor/successor lists, the
+//! initial front layer, and weighted longest paths (the depth estimate
+//! MIRAGE uses for post-selection, paper §IV-B).
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+
+/// One DAG node: an instruction plus dependency links.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// Node id (index into [`Dag::nodes`]).
+    pub id: usize,
+    /// The gate.
+    pub gate: Gate,
+    /// Operand qubits.
+    pub qubits: Vec<usize>,
+    /// Immediate predecessors (dedup'd).
+    pub preds: Vec<usize>,
+    /// Immediate successors (dedup'd).
+    pub succs: Vec<usize>,
+}
+
+/// The dependency DAG of a circuit. Node ids are a topological order (they
+/// follow the original instruction order).
+#[derive(Debug, Clone)]
+pub struct Dag {
+    /// Number of qubits in the underlying circuit.
+    pub n_qubits: usize,
+    /// Nodes in topological (instruction) order.
+    pub nodes: Vec<DagNode>,
+}
+
+impl Dag {
+    /// Build the DAG of a circuit.
+    pub fn from_circuit(c: &Circuit) -> Dag {
+        let mut nodes: Vec<DagNode> = Vec::with_capacity(c.instructions.len());
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; c.n_qubits];
+        for (id, instr) in c.instructions.iter().enumerate() {
+            let mut preds: Vec<usize> = instr
+                .qubits
+                .iter()
+                .filter_map(|&q| last_on_qubit[q])
+                .collect();
+            preds.sort_unstable();
+            preds.dedup();
+            for &p in &preds {
+                nodes[p].succs.push(id);
+            }
+            nodes.push(DagNode {
+                id,
+                gate: instr.gate.clone(),
+                qubits: instr.qubits.clone(),
+                preds,
+                succs: Vec::new(),
+            });
+            for &q in &instr.qubits {
+                last_on_qubit[q] = Some(id);
+            }
+        }
+        // Dedup successor lists (a 2Q gate can be successor through both
+        // wires).
+        for n in nodes.iter_mut() {
+            n.succs.sort_unstable();
+            n.succs.dedup();
+        }
+        Dag {
+            n_qubits: c.n_qubits,
+            nodes,
+        }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of nodes with no predecessors (the initial front layer).
+    pub fn front_layer(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.preds.is_empty())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// In-degree array (for router bookkeeping).
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.preds.len()).collect()
+    }
+
+    /// Longest path where node `n` contributes `weight(n)`; this is the
+    /// duration-weighted critical path when weights are gate durations.
+    pub fn longest_path<F: Fn(&DagNode) -> f64>(&self, weight: F) -> f64 {
+        let mut dist = vec![0.0f64; self.nodes.len()];
+        let mut best = 0.0f64;
+        for n in &self.nodes {
+            let start = n
+                .preds
+                .iter()
+                .map(|&p| dist[p])
+                .fold(0.0f64, f64::max);
+            dist[n.id] = start + weight(n);
+            best = best.max(dist[n.id]);
+        }
+        best
+    }
+
+    /// Rebuild a circuit from the DAG (nodes in id order).
+    pub fn to_circuit(&self) -> Circuit {
+        Circuit {
+            n_qubits: self.n_qubits,
+            instructions: self
+                .nodes
+                .iter()
+                .map(|n| Instruction {
+                    gate: n.gate.clone(),
+                    qubits: n.qubits.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).h(2).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn build_structure() {
+        let d = Dag::from_circuit(&sample());
+        assert_eq!(d.len(), 5);
+        // h(0) has no preds; cx(0,1) depends on h(0).
+        assert!(d.nodes[0].preds.is_empty());
+        assert_eq!(d.nodes[1].preds, vec![0]);
+        // cx(1,2) depends on cx(0,1) only.
+        assert_eq!(d.nodes[2].preds, vec![1]);
+        // final cx(0,1) depends on cx(0,1) [wire 0] and cx(1,2) [wire 1].
+        assert_eq!(d.nodes[4].preds, vec![1, 2]);
+    }
+
+    #[test]
+    fn front_layer_initial() {
+        let d = Dag::from_circuit(&sample());
+        assert_eq!(d.front_layer(), vec![0]);
+        let mut c2 = Circuit::new(4);
+        c2.cx(0, 1).cx(2, 3);
+        let d2 = Dag::from_circuit(&c2);
+        assert_eq!(d2.front_layer(), vec![0, 1]);
+    }
+
+    #[test]
+    fn longest_path_unit_weights() {
+        let d = Dag::from_circuit(&sample());
+        // h - cx01 - cx12 - cx01(last needs cx12) → h,cx,cx,cx = 4
+        let lp = d.longest_path(|_| 1.0);
+        assert!((lp - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_path_2q_weights() {
+        let d = Dag::from_circuit(&sample());
+        let lp = d.longest_path(|n| if n.gate.is_two_qubit() { 1.0 } else { 0.0 });
+        assert!((lp - 3.0).abs() < 1e-12);
+        // Matches Circuit::depth_2q.
+        assert_eq!(sample().depth_2q(), 3);
+    }
+
+    #[test]
+    fn roundtrip_to_circuit() {
+        let c = sample();
+        let d = Dag::from_circuit(&c);
+        assert_eq!(d.to_circuit(), c);
+    }
+
+    #[test]
+    fn dedup_double_wire_successor() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        let d = Dag::from_circuit(&c);
+        assert_eq!(d.nodes[0].succs, vec![1]);
+        assert_eq!(d.nodes[1].preds, vec![0]);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::from_circuit(&Circuit::new(3));
+        assert!(d.is_empty());
+        assert!(d.front_layer().is_empty());
+        assert_eq!(d.longest_path(|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn indegrees_match_preds() {
+        let d = Dag::from_circuit(&sample());
+        let deg = d.indegrees();
+        for n in &d.nodes {
+            assert_eq!(deg[n.id], n.preds.len());
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The gate vocabulary.
+
+use mirage_gates::{oneq, twoq};
+use mirage_math::{Mat2, Mat4};
+
+/// A quantum gate. Two-qubit gate matrices follow the convention of
+/// [`mirage_math::Mat4`]: the *first* qubit listed in an instruction is the
+/// high (most-significant) qubit, and controlled gates take it as control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Phase gate S.
+    S,
+    /// S†.
+    Sdg,
+    /// T gate.
+    T,
+    /// T†.
+    Tdg,
+    /// X rotation.
+    Rx(f64),
+    /// Y rotation.
+    Ry(f64),
+    /// Z rotation.
+    Rz(f64),
+    /// diag(1, e^{iλ}).
+    Phase(f64),
+    /// General ZYZ rotation `U(θ,φ,λ)`.
+    U3(f64, f64, f64),
+    /// Opaque single-qubit unitary.
+    Unitary1(Mat2),
+    /// CNOT (first qubit is control).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-phase.
+    Cphase(f64),
+    /// Controlled-RY (first qubit is control).
+    Cry(f64),
+    /// SWAP.
+    Swap,
+    /// iSWAP.
+    ISwap,
+    /// `iSWAP^α` — the paper's fractional iSWAP family.
+    ISwapPow(f64),
+    /// `exp(−iθ/2·XX)`.
+    Rxx(f64),
+    /// `exp(−iθ/2·YY)`.
+    Ryy(f64),
+    /// `exp(−iθ/2·ZZ)`.
+    Rzz(f64),
+    /// Opaque two-qubit unitary (consolidated block).
+    Unitary2(Mat4),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::Phase(_)
+            | Gate::U3(..)
+            | Gate::Unitary1(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// True for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.arity() == 2
+    }
+
+    /// The 2×2 matrix of a single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a two-qubit gate.
+    pub fn matrix1(&self) -> Mat2 {
+        match self {
+            Gate::H => oneq::h(),
+            Gate::X => oneq::x(),
+            Gate::Y => oneq::y(),
+            Gate::Z => oneq::z(),
+            Gate::S => oneq::s(),
+            Gate::Sdg => oneq::sdg(),
+            Gate::T => oneq::t(),
+            Gate::Tdg => oneq::tdg(),
+            Gate::Rx(t) => oneq::rx(*t),
+            Gate::Ry(t) => oneq::ry(*t),
+            Gate::Rz(t) => oneq::rz(*t),
+            Gate::Phase(l) => oneq::phase(*l),
+            Gate::U3(t, p, l) => oneq::u_zyz(*t, *p, *l),
+            Gate::Unitary1(m) => *m,
+            _ => panic!("matrix1 called on two-qubit gate {self:?}"),
+        }
+    }
+
+    /// The 4×4 matrix of a two-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a single-qubit gate.
+    pub fn matrix2(&self) -> Mat4 {
+        match self {
+            Gate::Cx => twoq::cnot(),
+            Gate::Cz => twoq::cz(),
+            Gate::Cphase(t) => twoq::cphase(*t),
+            Gate::Cry(t) => {
+                // |0⟩⟨0|⊗I + |1⟩⟨1|⊗RY(θ), control on the high qubit.
+                let ry = oneq::ry(*t);
+                let mut m = Mat4::identity();
+                for i in 0..2 {
+                    for j in 0..2 {
+                        m.e[2 + i][2 + j] = ry.e[i][j];
+                    }
+                }
+                m
+            }
+            Gate::Swap => twoq::swap(),
+            Gate::ISwap => twoq::iswap(),
+            Gate::ISwapPow(a) => twoq::iswap_alpha(*a),
+            Gate::Rxx(t) => twoq::rxx(*t),
+            Gate::Ryy(t) => twoq::ryy(*t),
+            Gate::Rzz(t) => twoq::rzz(*t),
+            Gate::Unitary2(m) => *m,
+            _ => panic!("matrix2 called on single-qubit gate {self:?}"),
+        }
+    }
+
+    /// Short lowercase name for display and statistics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::U3(..) => "u3",
+            Gate::Unitary1(_) => "unitary1",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Cphase(_) => "cp",
+            Gate::Cry(_) => "cry",
+            Gate::Swap => "swap",
+            Gate::ISwap => "iswap",
+            Gate::ISwapPow(_) => "iswap_pow",
+            Gate::Rxx(_) => "rxx",
+            Gate::Ryy(_) => "ryy",
+            Gate::Rzz(_) => "rzz",
+            Gate::Unitary2(_) => "unitary2",
+        }
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap => {
+                self.clone()
+            }
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(l) => Gate::Phase(-l),
+            Gate::U3(..) => Gate::Unitary1(self.matrix1().adjoint()),
+            Gate::Unitary1(m) => Gate::Unitary1(m.adjoint()),
+            Gate::Cphase(t) => Gate::Cphase(-t),
+            Gate::Cry(t) => Gate::Cry(-t),
+            Gate::ISwap => Gate::ISwapPow(-1.0),
+            Gate::ISwapPow(a) => Gate::ISwapPow(-a),
+            Gate::Rxx(t) => Gate::Rxx(-t),
+            Gate::Ryy(t) => Gate::Ryy(-t),
+            Gate::Rzz(t) => Gate::Rzz(-t),
+            Gate::Unitary2(m) => Gate::Unitary2(m.adjoint()),
+        }
+    }
+
+    /// True when the gate is symmetric under exchanging its qubits
+    /// (matrix commutes with SWAP). Symmetric gates let routers reverse
+    /// operand order for free.
+    pub fn is_symmetric(&self) -> bool {
+        matches!(
+            self,
+            Gate::Cz
+                | Gate::Cphase(_)
+                | Gate::Swap
+                | Gate::ISwap
+                | Gate::ISwapPow(_)
+                | Gate::Rxx(_)
+                | Gate::Ryy(_)
+                | Gate::Rzz(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_classification() {
+        assert_eq!(Gate::H.arity(), 1);
+        assert_eq!(Gate::Rz(0.3).arity(), 1);
+        assert_eq!(Gate::Cx.arity(), 2);
+        assert_eq!(Gate::Unitary2(Mat4::swap()).arity(), 2);
+        assert!(Gate::Swap.is_two_qubit());
+        assert!(!Gate::T.is_two_qubit());
+    }
+
+    #[test]
+    fn all_matrices_unitary() {
+        let ones = [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.7),
+            Gate::Ry(-0.2),
+            Gate::Rz(2.1),
+            Gate::Phase(0.4),
+            Gate::U3(0.1, 0.2, 0.3),
+        ];
+        for g in ones {
+            assert!(g.matrix1().is_unitary(1e-10), "{g:?}");
+        }
+        let twos = [
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Cphase(0.5),
+            Gate::Cry(1.1),
+            Gate::Swap,
+            Gate::ISwap,
+            Gate::ISwapPow(0.5),
+            Gate::Rxx(0.3),
+            Gate::Ryy(0.4),
+            Gate::Rzz(0.5),
+        ];
+        for g in twos {
+            assert!(g.matrix2().is_unitary(1e-10), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_matrices_cancel() {
+        let twos = [
+            Gate::Cx,
+            Gate::Cphase(0.5),
+            Gate::Cry(1.1),
+            Gate::ISwap,
+            Gate::ISwapPow(0.5),
+            Gate::Rzz(0.5),
+        ];
+        for g in twos {
+            let prod = g.matrix2().mul(&g.inverse().matrix2());
+            assert!(
+                prod.approx_eq_up_to_phase(&Mat4::identity(), 1e-9),
+                "{g:?}"
+            );
+        }
+        let ones = [Gate::S, Gate::T, Gate::Rx(0.4), Gate::U3(0.1, 0.2, 0.3)];
+        for g in ones {
+            let prod = g.matrix1().mul(&g.inverse().matrix1());
+            assert!(
+                prod.approx_eq_up_to_phase(&Mat2::identity(), 1e-9),
+                "{g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cry_controls_high_qubit() {
+        let m = Gate::Cry(std::f64::consts::PI).matrix2();
+        // Control |0⟩ block untouched.
+        assert!(m.e[0][0].approx_eq(mirage_math::Complex64::ONE, 1e-12));
+        assert!(m.e[1][1].approx_eq(mirage_math::Complex64::ONE, 1e-12));
+        // RY(π) = [[0,-1],[1,0]] on the |1⟩ block.
+        assert!(m.e[2][3].approx_eq(mirage_math::Complex64::real(-1.0), 1e-12));
+        assert!(m.e[3][2].approx_eq(mirage_math::Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn symmetric_gates() {
+        let s = Mat4::swap();
+        for g in [Gate::Cz, Gate::ISwap, Gate::Swap, Gate::Rzz(0.7)] {
+            assert!(g.is_symmetric());
+            let m = g.matrix2();
+            assert!(s.mul(&m).mul(&s).approx_eq(&m, 1e-12), "{g:?}");
+        }
+        assert!(!Gate::Cx.is_symmetric());
+        let m = Gate::Cx.matrix2();
+        assert!(!s.mul(&m).mul(&s).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix1 called on two-qubit")]
+    fn matrix1_on_two_qubit_panics() {
+        let _ = Gate::Cx.matrix1();
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Gate::Cx.name(), "cx");
+        assert_eq!(Gate::ISwapPow(0.5).name(), "iswap_pow");
+    }
+}

@@ -1,0 +1,34 @@
+//! Quantum circuit IR, DAG, simulator, block consolidation, and benchmark
+//! circuit generators.
+//!
+//! This crate is the reproduction of the slice of Qiskit the MIRAGE
+//! transpiler runs on:
+//!
+//! * [`gate::Gate`] — the gate vocabulary (standard 1Q/2Q gates plus opaque
+//!   consolidated [`gate::Gate::Unitary2`] blocks).
+//! * [`circuit::Circuit`] — a flat instruction list with builder methods,
+//!   depth/counting metrics, and inversion.
+//! * [`dag::Dag`] — the dependency DAG used by the routers (front layer,
+//!   weighted critical path).
+//! * [`sim`] — a statevector simulator used by the test-suite to prove
+//!   routed circuits are semantically equivalent to their inputs (up to the
+//!   output permutation routing introduces).
+//! * [`consolidate`] — `ConsolidateBlocks`: merge runs of gates acting on
+//!   the same qubit pair into single two-qubit unitary blocks, with the
+//!   exterior-1Q-stripping cache key of paper Fig. 13a.
+//! * [`generators`] — structurally faithful equivalents of the
+//!   QASMBench/MQTBench circuits in the paper's Table III.
+
+pub mod circuit;
+pub mod consolidate;
+pub mod dag;
+pub mod gate;
+pub mod generators;
+pub mod passes;
+pub mod qasm;
+pub mod render;
+pub mod sim;
+
+pub use circuit::{Circuit, Instruction};
+pub use dag::Dag;
+pub use gate::Gate;

@@ -1,0 +1,352 @@
+//! Circuit optimization passes — the paper's §V "input cleaning": identity
+//! removal, adjacent-inverse cancellation, rotation merging, and **SWAP
+//! elision** (explicit SWAPs in the input are free wire relabelings and
+//! must not reach the router as work).
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+use mirage_math::{Mat2, Mat4};
+
+/// Remove gates that are (numerically) the identity: `RZ(0)`, `Phase(0)`,
+/// identity `Unitary1`/`Unitary2` blocks, and friends.
+pub fn remove_identities(c: &Circuit) -> Circuit {
+    let out = c
+        .instructions
+        .iter()
+        .filter(|instr| match &instr.gate {
+            g if g.is_two_qubit() => {
+                !g.matrix2().approx_eq_up_to_phase(&Mat4::identity(), 1e-10)
+            }
+            g => !g.matrix1().approx_eq_up_to_phase(&Mat2::identity(), 1e-10),
+        })
+        .cloned()
+        .collect();
+    Circuit {
+        n_qubits: c.n_qubits,
+        instructions: out,
+    }
+}
+
+/// Cancel adjacent gate/inverse pairs on the same wires (`H·H`, `CX·CX`,
+/// `T·T†`, …), repeating until a fixpoint. Gates must be *immediately*
+/// adjacent on all of their wires for cancellation.
+pub fn cancel_adjacent_inverses(c: &Circuit) -> Circuit {
+    let mut instrs: Vec<Option<Instruction>> = c.instructions.iter().cloned().map(Some).collect();
+    loop {
+        let mut changed = false;
+        let mut last_on_wire: Vec<Option<usize>> = vec![None; c.n_qubits];
+        for i in 0..instrs.len() {
+            let Some(instr) = instrs[i].clone() else {
+                continue;
+            };
+            // Previous instruction index if it is the same on every wire.
+            let prevs: Vec<Option<usize>> =
+                instr.qubits.iter().map(|&q| last_on_wire[q]).collect();
+            let same_prev = prevs
+                .first()
+                .copied()
+                .flatten()
+                .filter(|&p| prevs.iter().all(|&x| x == Some(p)));
+            if let Some(p) = same_prev {
+                if let Some(prev) = instrs[p].clone() {
+                    if prev.qubits == instr.qubits && cancels(&prev.gate, &instr.gate) {
+                        instrs[p] = None;
+                        instrs[i] = None;
+                        changed = true;
+                        for &q in &instr.qubits {
+                            last_on_wire[q] = None;
+                        }
+                        continue;
+                    }
+                }
+            }
+            for &q in &instr.qubits {
+                last_on_wire[q] = Some(i);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Circuit {
+        n_qubits: c.n_qubits,
+        instructions: instrs.into_iter().flatten().collect(),
+    }
+}
+
+/// True when `b` undoes `a` on identical operand order.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    if a.arity() != b.arity() {
+        return false;
+    }
+    if a.is_two_qubit() {
+        a.matrix2()
+            .mul(&b.matrix2())
+            .approx_eq_up_to_phase(&Mat4::identity(), 1e-10)
+    } else {
+        a.matrix1()
+            .mul(&b.matrix1())
+            .approx_eq_up_to_phase(&Mat2::identity(), 1e-10)
+    }
+}
+
+/// Merge runs of equal-axis rotations on a wire: `RZ(a)·RZ(b) → RZ(a+b)`
+/// (likewise RX/RY/Phase), dropping merged gates that reach the identity.
+pub fn merge_rotations(c: &Circuit) -> Circuit {
+    let mut out: Vec<Instruction> = Vec::with_capacity(c.instructions.len());
+    let mut last_on_wire: Vec<Option<usize>> = vec![None; c.n_qubits];
+    for instr in &c.instructions {
+        if instr.qubits.len() == 1 {
+            let q = instr.qubits[0];
+            if let Some(p) = last_on_wire[q] {
+                if let Some(merged) = merge_pair(&out[p].gate, &instr.gate) {
+                    out[p].gate = merged;
+                    continue;
+                }
+            }
+            last_on_wire[q] = Some(out.len());
+            out.push(instr.clone());
+        } else {
+            for &q in &instr.qubits {
+                last_on_wire[q] = None;
+            }
+            out.push(instr.clone());
+        }
+    }
+    // Drop rotations that merged to zero.
+    let kept = out
+        .into_iter()
+        .filter(|i| match i.gate {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => {
+                mirage_math::wrap_mod(t, std::f64::consts::TAU).abs() > 1e-12
+                    && (mirage_math::wrap_mod(t, std::f64::consts::TAU)
+                        - std::f64::consts::TAU)
+                        .abs()
+                        > 1e-12
+            }
+            _ => true,
+        })
+        .collect();
+    Circuit {
+        n_qubits: c.n_qubits,
+        instructions: kept,
+    }
+}
+
+fn merge_pair(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(x), Gate::Rx(y)) => Some(Gate::Rx(x + y)),
+        (Gate::Ry(x), Gate::Ry(y)) => Some(Gate::Ry(x + y)),
+        (Gate::Rz(x), Gate::Rz(y)) => Some(Gate::Rz(x + y)),
+        (Gate::Phase(x), Gate::Phase(y)) => Some(Gate::Phase(x + y)),
+        _ => None,
+    }
+}
+
+/// Remove explicit SWAP gates by relabeling downstream wires (the paper's
+/// input cleaning "removing SWAPs"). Returns the cleaned circuit and the
+/// output permutation `perm` with `perm[original_wire] = output_wire`: the
+/// state that the original circuit leaves on wire `w` appears on wire
+/// `perm[w]` of the cleaned circuit... inverted bookkeeping is handled for
+/// the caller by [`elide_swaps`]'s contract tests below.
+pub fn elide_swaps(c: &Circuit) -> (Circuit, Vec<usize>) {
+    // target[w] = the wire a gate addressed to original wire `w` must use
+    // once the SWAPs so far have been elided.
+    let mut target: Vec<usize> = (0..c.n_qubits).collect();
+    let mut out: Vec<Instruction> = Vec::with_capacity(c.instructions.len());
+    for instr in &c.instructions {
+        if matches!(instr.gate, Gate::Swap) {
+            let (a, b) = (instr.qubits[0], instr.qubits[1]);
+            target.swap(a, b);
+            continue;
+        }
+        out.push(Instruction {
+            gate: instr.gate.clone(),
+            qubits: instr.qubits.iter().map(|&q| target[q]).collect(),
+        });
+    }
+    (
+        Circuit {
+            n_qubits: c.n_qubits,
+            instructions: out,
+        },
+        target,
+    )
+}
+
+/// The standard input-cleaning bundle: identity removal → rotation merging
+/// → inverse cancellation (fixpoint). SWAP elision is *not* included
+/// because it changes the output permutation; the pipeline calls it
+/// explicitly.
+pub fn clean(c: &Circuit) -> Circuit {
+    let mut cur = remove_identities(c);
+    loop {
+        let next = cancel_adjacent_inverses(&merge_rotations(&cur));
+        if next.instructions.len() == cur.instructions.len() {
+            return next;
+        }
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{equivalent_on_zero, run};
+
+    #[test]
+    fn removes_identity_rotations() {
+        let mut c = Circuit::new(2);
+        c.rz(0.0, 0).h(0).rx(0.0, 1).cx(0, 1);
+        let out = remove_identities(&c);
+        assert_eq!(out.instructions.len(), 2);
+        assert!(equivalent_on_zero(&c, &out, None));
+    }
+
+    #[test]
+    fn cancels_hh_and_cxcx() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1).cx(0, 1).t(1);
+        let out = cancel_adjacent_inverses(&c);
+        assert_eq!(out.instructions.len(), 1);
+        assert!(equivalent_on_zero(&c, &out, None));
+    }
+
+    #[test]
+    fn cancellation_respects_interference() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(1).cx(0, 1); // H blocks the cancellation
+        let out = cancel_adjacent_inverses(&c);
+        assert_eq!(out.instructions.len(), 3);
+    }
+
+    #[test]
+    fn cancellation_cascades() {
+        // T · (H · H) · T† — inner pair cancels, then the outer pair.
+        let mut c = Circuit::new(1);
+        c.t(0).h(0).h(0).tdg(0);
+        let out = cancel_adjacent_inverses(&c);
+        assert_eq!(out.instructions.len(), 0);
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(0.4, 0).rz(-0.7, 0);
+        let out = merge_rotations(&c);
+        assert_eq!(out.instructions.len(), 0, "sums to zero");
+        let mut c2 = Circuit::new(1);
+        c2.rx(0.3, 0).rx(0.5, 0);
+        let out2 = merge_rotations(&c2);
+        assert_eq!(out2.instructions.len(), 1);
+        assert!(equivalent_on_zero(&c2, &out2, None));
+    }
+
+    #[test]
+    fn rotation_merge_blocked_by_2q() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 0).cx(0, 1).rz(0.4, 0);
+        let out = merge_rotations(&c);
+        assert_eq!(out.instructions.len(), 3);
+    }
+
+    #[test]
+    fn elide_swaps_removes_all_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).swap(0, 1).cx(1, 2).swap(1, 2).x(2);
+        let (out, perm) = elide_swaps(&c);
+        assert_eq!(out.swap_count(), 0);
+        assert_eq!(out.instructions.len(), 3);
+        // Semantics: the elided circuit equals the original with outputs
+        // permuted by `perm`.
+        let s_orig = run(&c);
+        let s_new = run(&out);
+        let expected = s_new.permuted(&invert(&perm));
+        let _ = expected;
+        // original wire w's content sits on wire... verify via fidelity of
+        // permuted states.
+        let s_reordered = s_orig.permuted(&perm_to_positions(&perm));
+        assert!(
+            s_reordered.fidelity(&s_new) > 1.0 - 1e-9,
+            "elision changed semantics"
+        );
+    }
+
+    fn invert(p: &[usize]) -> Vec<usize> {
+        let mut inv = vec![0usize; p.len()];
+        for (i, &v) in p.iter().enumerate() {
+            inv[v] = i;
+        }
+        inv
+    }
+
+    /// `wire_of[orig] = new` — as a qubit-relabel permutation for
+    /// `State::permuted` (which maps bit q -> bit perm[q]).
+    fn perm_to_positions(wire_of: &[usize]) -> Vec<usize> {
+        wire_of.to_vec()
+    }
+
+    #[test]
+    fn elide_trailing_swap_only_permutes() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let (out, perm) = elide_swaps(&c);
+        assert_eq!(out.instructions.len(), 1);
+        assert_eq!(perm, vec![1, 0]);
+        // X lands on wire 0 still (it executed before the swap)… and the
+        // swap's effect is recorded purely in perm.
+        assert_eq!(out.instructions[0].qubits, vec![0]);
+    }
+
+    #[test]
+    fn elide_initial_swap_relabels_gates() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).x(0);
+        let (out, perm) = elide_swaps(&c);
+        assert_eq!(out.instructions.len(), 1);
+        // After eliding the swap, "wire 0" content is what was wire 1:
+        // the X must act on the relabeled wire.
+        assert_eq!(out.instructions[0].qubits, vec![1]);
+        assert_eq!(perm, vec![1, 0]);
+    }
+
+    #[test]
+    fn clean_bundle_fixpoint() {
+        let mut c = Circuit::new(2);
+        c.rz(0.2, 0).rz(-0.2, 0).h(1).h(1).cx(0, 1).cx(0, 1).t(0);
+        let out = clean(&c);
+        assert_eq!(out.instructions.len(), 1);
+        assert_eq!(out.instructions[0].gate, Gate::T);
+    }
+
+    #[test]
+    fn clean_preserves_semantics_random() {
+        let mut rng = mirage_math::Rng::new(0xC1EA);
+        for _ in 0..10 {
+            let mut c = Circuit::new(3);
+            for _ in 0..15 {
+                match rng.below(4) {
+                    0 => {
+                        let q = rng.below(3);
+                        c.h(q);
+                    }
+                    1 => {
+                        let q = rng.below(3);
+                        c.rz(rng.uniform_range(-1.0, 1.0), q);
+                    }
+                    2 => {
+                        let a = rng.below(3);
+                        c.cx(a, (a + 1) % 3);
+                    }
+                    _ => {
+                        let q = rng.below(3);
+                        c.t(q);
+                    }
+                }
+            }
+            let out = clean(&c);
+            assert!(equivalent_on_zero(&c, &out, None));
+            assert!(out.instructions.len() <= c.instructions.len());
+        }
+    }
+}

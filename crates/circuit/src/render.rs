@@ -1,0 +1,171 @@
+//! Plain-text circuit rendering, in the spirit of the paper's Fig. 8
+//! circuit diagrams.
+//!
+//! ```text
+//! q0: ─H─■─────x─
+//! q1: ───X─■───x─
+//! q2: ─────X─■───
+//! q3: ───────X───
+//! ```
+//!
+//! Controlled gates draw `■` on the control and a letter on the target;
+//! symmetric gates draw matching symbols on both wires. The renderer packs
+//! gates into time slots greedily (a gate goes into the earliest slot where
+//! all of its wires are free), matching the depth metric.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Symbols drawn for one gate: `(on_first_wire, on_second_wire)`; 1Q gates
+/// use only the first.
+fn symbols(g: &Gate) -> (String, String) {
+    match g {
+        Gate::H => ("H".into(), String::new()),
+        Gate::X => ("X".into(), String::new()),
+        Gate::Y => ("Y".into(), String::new()),
+        Gate::Z => ("Z".into(), String::new()),
+        Gate::S => ("S".into(), String::new()),
+        Gate::Sdg => ("S'".into(), String::new()),
+        Gate::T => ("T".into(), String::new()),
+        Gate::Tdg => ("T'".into(), String::new()),
+        Gate::Rx(_) => ("Rx".into(), String::new()),
+        Gate::Ry(_) => ("Ry".into(), String::new()),
+        Gate::Rz(_) => ("Rz".into(), String::new()),
+        Gate::Phase(_) => ("P".into(), String::new()),
+        Gate::U3(..) | Gate::Unitary1(_) => ("U".into(), String::new()),
+        Gate::Cx => ("■".into(), "X".into()),
+        Gate::Cz => ("■".into(), "Z".into()),
+        Gate::Cphase(_) => ("■".into(), "P".into()),
+        Gate::Cry(_) => ("■".into(), "Ry".into()),
+        Gate::Swap => ("x".into(), "x".into()),
+        Gate::ISwap => ("i".into(), "i".into()),
+        Gate::ISwapPow(_) => ("√i".into(), "√i".into()),
+        Gate::Rxx(_) => ("XX".into(), "XX".into()),
+        Gate::Ryy(_) => ("YY".into(), "YY".into()),
+        Gate::Rzz(_) => ("ZZ".into(), "ZZ".into()),
+        Gate::Unitary2(_) => ("U2".into(), "U2".into()),
+    }
+}
+
+/// Render the circuit as multi-line ASCII art.
+pub fn render(c: &Circuit) -> String {
+    // Assign gates to time slots.
+    let mut wire_free_at = vec![0usize; c.n_qubits];
+    let mut slots: Vec<Vec<(usize, String)>> = Vec::new(); // slot → (wire, symbol)
+    for instr in &c.instructions {
+        let slot = instr
+            .qubits
+            .iter()
+            .map(|&q| wire_free_at[q])
+            .max()
+            .unwrap_or(0);
+        while slots.len() <= slot {
+            slots.push(Vec::new());
+        }
+        let (s0, s1) = symbols(&instr.gate);
+        slots[slot].push((instr.qubits[0], s0));
+        if instr.qubits.len() == 2 {
+            slots[slot].push((instr.qubits[1], s1));
+        }
+        for &q in &instr.qubits {
+            wire_free_at[q] = slot + 1;
+        }
+    }
+
+    // Column widths per slot.
+    let widths: Vec<usize> = slots
+        .iter()
+        .map(|slot| {
+            slot.iter()
+                .map(|(_, s)| s.chars().count())
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+
+    let label_w = format!("q{}", c.n_qubits.saturating_sub(1)).len();
+    let mut out = String::new();
+    for q in 0..c.n_qubits {
+        let mut line = format!("{:>label_w$}: ", format!("q{q}"));
+        for (slot, cells) in slots.iter().enumerate() {
+            line.push('─');
+            let sym = cells
+                .iter()
+                .find(|(w, _)| *w == q)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_default();
+            let pad = widths[slot].saturating_sub(sym.chars().count());
+            if sym.is_empty() {
+                line.push_str(&"─".repeat(widths[slot]));
+            } else {
+                line.push_str(&sym);
+                line.push_str(&"─".repeat(pad));
+            }
+        }
+        line.push('─');
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bell_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let art = render(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('H'));
+        assert!(lines[0].contains('■'));
+        assert!(lines[1].contains('X'));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_slot() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3);
+        let art = render(&c);
+        // Both gates in slot 0: each line has exactly one non-wire symbol
+        // and all lines are the same length.
+        let lens: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{art}");
+    }
+
+    #[test]
+    fn sequential_gates_take_separate_slots() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        let art = render(&c);
+        let first = art.lines().next().unwrap();
+        assert_eq!(first.matches('■').count(), 2);
+    }
+
+    #[test]
+    fn swap_draws_crosses() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let art = render(&c);
+        assert_eq!(art.matches('x').count(), 2);
+    }
+
+    #[test]
+    fn renders_empty_circuit() {
+        let c = Circuit::new(3);
+        let art = render(&c);
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    fn labels_align_for_wide_registers() {
+        let mut c = Circuit::new(11);
+        c.h(10);
+        let art = render(&c);
+        assert!(art.lines().next().unwrap().starts_with(" q0:"));
+        assert!(art.lines().last().unwrap().starts_with("q10:"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Statevector simulation.
+//!
+//! Used throughout the test-suite to prove that transpiled circuits are
+//! *semantically equivalent* to their inputs: routing may permute output
+//! qubits, so the checker accepts an explicit output permutation.
+//!
+//! Qubit `q` corresponds to bit `q` of the basis-state index (little
+//! endian). For a two-qubit gate on `(hi, lo)` the 4×4 matrix index is
+//! `2·bit(hi) + bit(lo)`, matching [`mirage_math::Mat4`].
+
+use crate::circuit::Circuit;
+use mirage_math::{Complex64, Mat2, Mat4};
+
+/// A dense statevector over `n` qubits.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Number of qubits.
+    pub n: usize,
+    /// `2^n` amplitudes.
+    pub amps: Vec<Complex64>,
+}
+
+impl State {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n > 24` (16M amplitudes) to protect tests from typos.
+    pub fn zero(n: usize) -> State {
+        assert!(n <= 24, "statevector simulator capped at 24 qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << n];
+        amps[0] = Complex64::ONE;
+        State { n, amps }
+    }
+
+    /// Apply a single-qubit gate.
+    pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m.e[0][0] * a0 + m.e[0][1] * a1;
+                self.amps[j] = m.e[1][0] * a0 + m.e[1][1] * a1;
+            }
+        }
+    }
+
+    /// Apply a two-qubit gate; `hi` is the high (first-listed) qubit.
+    pub fn apply_2q(&mut self, m: &Mat4, hi: usize, lo: usize) {
+        let bh = 1usize << hi;
+        let bl = 1usize << lo;
+        for i in 0..self.amps.len() {
+            if i & bh == 0 && i & bl == 0 {
+                let idx = [i, i | bl, i | bh, i | bh | bl];
+                let old = [
+                    self.amps[idx[0]],
+                    self.amps[idx[1]],
+                    self.amps[idx[2]],
+                    self.amps[idx[3]],
+                ];
+                for r in 0..4 {
+                    let mut acc = Complex64::ZERO;
+                    for c in 0..4 {
+                        acc += m.e[r][c] * old[c];
+                    }
+                    self.amps[idx[r]] = acc;
+                }
+            }
+        }
+    }
+
+    /// Run a whole circuit.
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        assert_eq!(self.n, c.n_qubits, "qubit count mismatch");
+        for instr in &c.instructions {
+            match instr.qubits.len() {
+                1 => self.apply_1q(&instr.gate.matrix1(), instr.qubits[0]),
+                2 => self.apply_2q(&instr.gate.matrix2(), instr.qubits[0], instr.qubits[1]),
+                _ => unreachable!("gates are 1- or 2-qubit"),
+            }
+        }
+    }
+
+    /// Permute qubit labels: amplitude of basis state `s` moves to the
+    /// state whose bit `perm[q]` equals bit `q` of `s`.
+    pub fn permuted(&self, perm: &[usize]) -> State {
+        assert_eq!(perm.len(), self.n);
+        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        for (s, &a) in self.amps.iter().enumerate() {
+            let mut t = 0usize;
+            for (q, &p) in perm.iter().enumerate() {
+                if s & (1 << q) != 0 {
+                    t |= 1 << p;
+                }
+            }
+            out[t] = a;
+        }
+        State {
+            n: self.n,
+            amps: out,
+        }
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        let mut acc = Complex64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc.norm_sqr()
+    }
+
+    /// L2 norm (should stay 1 under unitary circuits).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+/// Simulate `c` from `|0…0⟩`.
+pub fn run(c: &Circuit) -> State {
+    let mut s = State::zero(c.n_qubits);
+    s.apply_circuit(c);
+    s
+}
+
+/// True when the two circuits act identically on `|0…0⟩` up to global phase
+/// and the given output permutation of the second circuit
+/// (`perm[logical] = physical`).
+pub fn equivalent_on_zero(a: &Circuit, b: &Circuit, perm: Option<&[usize]>) -> bool {
+    let sa = run(a);
+    let sb = run(b);
+    let sb = match perm {
+        Some(p) => {
+            // b's outputs live on permuted wires; undo the permutation.
+            let mut inv = vec![0usize; p.len()];
+            for (l, &ph) in p.iter().enumerate() {
+                inv[ph] = l;
+            }
+            sb.permuted(&inv)
+        }
+        None => sb,
+    };
+    sa.fidelity(&sb) > 1.0 - 1e-7
+}
+
+/// Build the full `2^n × 2^n` unitary of a small circuit by simulating all
+/// basis states (used in unit tests only).
+///
+/// # Panics
+///
+/// Panics for `n > 6`.
+pub fn unitary_of(c: &Circuit) -> Vec<Vec<Complex64>> {
+    assert!(c.n_qubits <= 6, "unitary_of capped at 6 qubits");
+    let dim = 1usize << c.n_qubits;
+    let mut cols = Vec::with_capacity(dim);
+    for b in 0..dim {
+        let mut s = State::zero(c.n_qubits);
+        s.amps[0] = Complex64::ZERO;
+        s.amps[b] = Complex64::ONE;
+        s.apply_circuit(c);
+        cols.push(s.amps);
+    }
+    // cols[b][r] = U[r][b]; transpose into row-major.
+    let mut u = vec![vec![Complex64::ZERO; dim]; dim];
+    for (b, col) in cols.iter().enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            u[r][b] = v;
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = run(&c);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((s.amps[0].abs() - r).abs() < 1e-12);
+        assert!((s.amps[3].abs() - r).abs() < 1e-12);
+        assert!(s.amps[1].abs() < 1e-12);
+        assert!(s.amps[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_control_is_first_listed() {
+        // X on qubit 1 (control), then CX(1,0) should flip qubit 0.
+        let mut c = Circuit::new(2);
+        c.x(1).cx(1, 0);
+        let s = run(&c);
+        assert!((s.amps[3].abs() - 1.0).abs() < 1e-12); // |11⟩
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let s = run(&c);
+        assert!((s.amps[2].abs() - 1.0).abs() < 1e-12); // |10⟩ = qubit 1 set
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.7, 1).cx(1, 2).ry(0.3, 2);
+        let s = run(&c);
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn equivalence_identity() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        assert!(equivalent_on_zero(&a, &a, None));
+    }
+
+    #[test]
+    fn equivalence_detects_difference() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0);
+        assert!(!equivalent_on_zero(&a, &b, None));
+    }
+
+    #[test]
+    fn equivalence_up_to_permutation() {
+        // |+⟩⊗|1⟩ on swapped wires: equivalent only through the
+        // permutation. (A Bell state would be symmetric — useless here.)
+        let mut a = Circuit::new(2);
+        a.x(0).h(1);
+        let mut b = Circuit::new(2);
+        b.x(1).h(0);
+        assert!(equivalent_on_zero(&a, &b, Some(&[1, 0])));
+        assert!(!equivalent_on_zero(&a, &b, None));
+    }
+
+    #[test]
+    fn swap_gate_equals_wire_permutation() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).cx(1, 2);
+        // Same circuit with an explicit SWAP(0,2) appended: outputs permuted
+        // by exchanging 0 and 2.
+        let mut b = a.clone();
+        b.swap(0, 2);
+        assert!(equivalent_on_zero(&a, &b, Some(&[2, 1, 0])));
+    }
+
+    #[test]
+    fn unitary_of_cnot() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 0); // control = qubit 1 (high bit of index)
+        let u = unitary_of(&c);
+        // |10⟩ (index 2) ↔ |11⟩ (index 3)
+        assert!((u[3][2].abs() - 1.0).abs() < 1e-12);
+        assert!((u[2][3].abs() - 1.0).abs() < 1e-12);
+        assert!((u[0][0].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccx_decomposition_is_toffoli() {
+        let mut c = Circuit::new(3);
+        c.ccx(2, 1, 0); // controls = qubits 2,1; target = 0
+        let u = unitary_of(&c);
+        let dim = 8;
+        for b in 0..dim {
+            let expect = if b & 0b110 == 0b110 { b ^ 1 } else { b };
+            let mag = u[expect][b].abs();
+            assert!((mag - 1.0).abs() < 1e-9, "column {b} -> {expect}: {mag}");
+        }
+    }
+
+    #[test]
+    fn unitary2_block_roundtrip() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1).rz(0.4, 1);
+        // Same circuit as a consolidated block.
+        let u = {
+            // compute via unitary_of and wrap into a Mat4 (qubit1=hi).
+            let m = unitary_of(&a);
+            let mut mm = mirage_math::Mat4::zero();
+            for r in 0..4 {
+                for cidx in 0..4 {
+                    // Mat4 convention: index = 2·hi + lo with hi = qubit
+                    // *first listed*. Choose (1,0): index = 2·bit1 + bit0 =
+                    // the raw basis index.
+                    mm.e[r][cidx] = m[r][cidx];
+                }
+            }
+            mm
+        };
+        let mut b = Circuit::new(2);
+        b.push(Gate::Unitary2(u), &[1, 0]);
+        assert!(equivalent_on_zero(&a, &b, None));
+    }
+}

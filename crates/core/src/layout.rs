@@ -1,0 +1,186 @@
+//! Logical→physical qubit mappings.
+
+use mirage_math::Rng;
+
+/// A bijective placement of `n_logical` circuit qubits onto `n_physical ≥
+/// n_logical` device qubits. Internally both directions are tracked; when
+/// `n_logical < n_physical`, the spare physical qubits carry virtual
+/// logical indices `n_logical..n_physical` so SWAPs through unused qubits
+/// stay well-defined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    log_to_phys: Vec<usize>,
+    phys_to_log: Vec<usize>,
+    n_logical: usize,
+}
+
+impl Layout {
+    /// The identity layout on `n_physical` qubits with `n_logical` real
+    /// circuit qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_logical > n_physical`.
+    pub fn trivial(n_logical: usize, n_physical: usize) -> Layout {
+        assert!(n_logical <= n_physical, "circuit larger than device");
+        Layout {
+            log_to_phys: (0..n_physical).collect(),
+            phys_to_log: (0..n_physical).collect(),
+            n_logical,
+        }
+    }
+
+    /// A uniformly random layout.
+    pub fn random(n_logical: usize, n_physical: usize, rng: &mut Rng) -> Layout {
+        let mut l = Layout::trivial(n_logical, n_physical);
+        rng.shuffle(&mut l.log_to_phys);
+        for (log, &phys) in l.log_to_phys.iter().enumerate() {
+            l.phys_to_log[phys] = log;
+        }
+        l
+    }
+
+    /// Build from an explicit logical→physical assignment for the real
+    /// qubits; spare physical qubits get virtual logical indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is not injective or out of range.
+    pub fn from_assignment(assignment: &[usize], n_physical: usize) -> Layout {
+        let n_logical = assignment.len();
+        assert!(n_logical <= n_physical);
+        let mut l = Layout {
+            log_to_phys: vec![usize::MAX; n_physical],
+            phys_to_log: vec![usize::MAX; n_physical],
+            n_logical,
+        };
+        for (log, &phys) in assignment.iter().enumerate() {
+            assert!(phys < n_physical, "physical index out of range");
+            assert_eq!(l.phys_to_log[phys], usize::MAX, "assignment not injective");
+            l.log_to_phys[log] = phys;
+            l.phys_to_log[phys] = log;
+        }
+        // Fill virtual logicals onto the free physical qubits.
+        let mut next_virtual = n_logical;
+        for phys in 0..n_physical {
+            if l.phys_to_log[phys] == usize::MAX {
+                l.phys_to_log[phys] = next_virtual;
+                l.log_to_phys[next_virtual] = phys;
+                next_virtual += 1;
+            }
+        }
+        l
+    }
+
+    /// Physical location of a logical qubit.
+    pub fn phys(&self, logical: usize) -> usize {
+        self.log_to_phys[logical]
+    }
+
+    /// Logical qubit living at a physical location.
+    pub fn log(&self, physical: usize) -> usize {
+        self.phys_to_log[physical]
+    }
+
+    /// Number of real (circuit) logical qubits.
+    pub fn n_logical(&self) -> usize {
+        self.n_logical
+    }
+
+    /// Number of device qubits.
+    pub fn n_physical(&self) -> usize {
+        self.log_to_phys.len()
+    }
+
+    /// Exchange the logical occupants of two physical qubits (the effect of
+    /// a SWAP gate or an accepted mirror).
+    pub fn swap_physical(&mut self, p1: usize, p2: usize) {
+        let l1 = self.phys_to_log[p1];
+        let l2 = self.phys_to_log[p2];
+        self.phys_to_log.swap(p1, p2);
+        self.log_to_phys[l1] = p2;
+        self.log_to_phys[l2] = p1;
+    }
+
+    /// The logical→physical assignment restricted to real qubits.
+    pub fn assignment(&self) -> Vec<usize> {
+        self.log_to_phys[..self.n_logical].to_vec()
+    }
+
+    /// Full physical-side permutation `old→new` between two layouts of the
+    /// same device: where does the occupant of `p` under `self` sit under
+    /// `other`?
+    pub fn permutation_to(&self, other: &Layout) -> Vec<usize> {
+        (0..self.n_physical())
+            .map(|p| other.phys(self.log(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_roundtrip() {
+        let l = Layout::trivial(3, 5);
+        for q in 0..5 {
+            assert_eq!(l.phys(q), q);
+            assert_eq!(l.log(q), q);
+        }
+        assert_eq!(l.n_logical(), 3);
+    }
+
+    #[test]
+    fn swap_physical_updates_both_maps() {
+        let mut l = Layout::trivial(4, 4);
+        l.swap_physical(1, 3);
+        assert_eq!(l.phys(1), 3);
+        assert_eq!(l.phys(3), 1);
+        assert_eq!(l.log(3), 1);
+        assert_eq!(l.log(1), 3);
+        l.swap_physical(1, 3);
+        assert_eq!(l, Layout::trivial(4, 4));
+    }
+
+    #[test]
+    fn random_is_bijective() {
+        let mut rng = Rng::new(5);
+        for _ in 0..20 {
+            let l = Layout::random(6, 9, &mut rng);
+            let mut seen = vec![false; 9];
+            for log in 0..9 {
+                let p = l.phys(log);
+                assert!(!seen[p]);
+                seen[p] = true;
+                assert_eq!(l.log(p), log);
+            }
+        }
+    }
+
+    #[test]
+    fn from_assignment_fills_virtuals() {
+        let l = Layout::from_assignment(&[4, 0], 5);
+        assert_eq!(l.phys(0), 4);
+        assert_eq!(l.phys(1), 0);
+        // Virtual logicals cover the rest bijectively.
+        let mut phys_seen: Vec<usize> = (0..5).map(|p| l.log(p)).collect();
+        phys_seen.sort_unstable();
+        assert_eq!(phys_seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn from_assignment_rejects_duplicates() {
+        let _ = Layout::from_assignment(&[1, 1], 3);
+    }
+
+    #[test]
+    fn permutation_to_tracks_moves() {
+        let a = Layout::trivial(3, 3);
+        let mut b = a.clone();
+        b.swap_physical(0, 2);
+        let perm = a.permutation_to(&b);
+        assert_eq!(perm, vec![2, 1, 0]);
+    }
+}

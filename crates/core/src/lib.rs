@@ -1,0 +1,41 @@
+//! The MIRAGE transpiler: SABRE-style routing with mirror-gate
+//! decomposition awareness (the paper's primary contribution, §IV).
+//!
+//! * [`layout::Layout`] — the logical→physical qubit mapping.
+//! * [`router`] — the routing engine: a faithful SABRE baseline (front
+//!   layer, lookahead window, decay) extended with MIRAGE's *intermediate
+//!   layer*, which may replace each executed two-qubit gate `U` by its
+//!   mirror `SWAP·U` per the aggression rules of Algorithm 2.
+//! * [`trials`] — SABRE-style forward–backward layout search, independent
+//!   routing trials (optionally in parallel), and post-selection by either
+//!   SWAP count (the baseline metric) or the duration-weighted critical
+//!   path (MIRAGE-Depth, §IV-B).
+//! * [`pipeline`] — the end-to-end `transpile` entry point: consolidation,
+//!   the VF2 no-SWAP check, routing, and metrics.
+//! * [`verify`] — statevector verification that a routed circuit equals its
+//!   input up to the layout permutations (used heavily by the test-suite).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mirage_core::{transpile, RouterKind, TranspileOptions};
+//! use mirage_circuit::generators::two_local_full;
+//! use mirage_topology::CouplingMap;
+//!
+//! let circ = two_local_full(4, 1, 7);
+//! let topo = CouplingMap::line(4);
+//! let out = transpile(&circ, &topo, &TranspileOptions::quick(RouterKind::Mirage, 1))
+//!     .expect("transpiles");
+//! assert!(out.metrics.depth_estimate > 0.0);
+//! ```
+
+pub mod layout;
+pub mod pipeline;
+pub mod router;
+pub mod trials;
+pub mod verify;
+
+pub use layout::Layout;
+pub use pipeline::{transpile, RouterKind, TranspileOptions, TranspiledCircuit};
+pub use router::{Aggression, RouterConfig, RoutedCircuit};
+pub use trials::{Metric, TrialOptions};

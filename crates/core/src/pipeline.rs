@@ -1,0 +1,330 @@
+//! The end-to-end transpile pipeline (paper §V):
+//! consolidate → VF2 no-SWAP check → layout + routing trials → metrics.
+
+use crate::layout::Layout;
+use crate::router::RoutedCircuit;
+use crate::trials::{self, Metric, TrialOptions};
+use mirage_circuit::consolidate::consolidate;
+use mirage_circuit::Circuit;
+use mirage_coverage::cache::CostCache;
+use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+use mirage_topology::vf2::{find_embedding, InteractionGraph};
+use mirage_topology::CouplingMap;
+use std::sync::{Arc, OnceLock};
+
+/// Which router to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// The SABRE baseline: no mirrors, swap-count post-selection.
+    Sabre,
+    /// MIRAGE with swap-count post-selection (the paper's MIRAGE-Swaps).
+    MirageSwaps,
+    /// MIRAGE with depth post-selection (the paper's headline MIRAGE).
+    Mirage,
+}
+
+/// Transpilation options.
+#[derive(Debug, Clone)]
+pub struct TranspileOptions {
+    /// Router selection.
+    pub router: RouterKind,
+    /// Trial-loop configuration.
+    pub trials: TrialOptions,
+    /// Try a VF2 embedding first and skip routing when one exists.
+    pub use_vf2: bool,
+    /// VF2 search-node budget.
+    pub vf2_budget: usize,
+    /// Coverage set override (defaults to a shared √iSWAP set).
+    pub coverage: Option<Arc<CoverageSet>>,
+}
+
+impl TranspileOptions {
+    /// Light settings for tests and examples.
+    pub fn quick(router: RouterKind, seed: u64) -> TranspileOptions {
+        let metric = match router {
+            RouterKind::Mirage => Metric::Depth,
+            _ => Metric::SwapCount,
+        };
+        TranspileOptions {
+            router,
+            trials: TrialOptions::quick(metric, seed),
+            use_vf2: true,
+            vf2_budget: 200_000,
+            coverage: None,
+        }
+    }
+
+    /// The paper's full evaluation settings (20 layouts × 4 passes × 20
+    /// routes, parallel).
+    pub fn paper(router: RouterKind, seed: u64) -> TranspileOptions {
+        let metric = match router {
+            RouterKind::Mirage => Metric::Depth,
+            _ => Metric::SwapCount,
+        };
+        TranspileOptions {
+            router,
+            trials: TrialOptions::paper(metric, seed),
+            use_vf2: true,
+            vf2_budget: 1_000_000,
+            coverage: None,
+        }
+    }
+}
+
+/// Aggregate metrics of a transpiled circuit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Metrics {
+    /// Duration-weighted critical path (normalized units, iSWAP = 1.0).
+    pub depth_estimate: f64,
+    /// Sum of two-qubit decomposition costs.
+    pub total_gate_cost: f64,
+    /// Number of two-qubit gates in the output.
+    pub two_qubit_gates: usize,
+    /// SWAP gates inserted by routing.
+    pub swaps_inserted: usize,
+    /// Mirror gates accepted.
+    pub mirrors_accepted: usize,
+    /// Mirror acceptance rate over intermediate-layer decisions.
+    pub mirror_rate: f64,
+}
+
+/// The transpilation result.
+#[derive(Debug, Clone)]
+pub struct TranspiledCircuit {
+    /// Output circuit on physical qubits.
+    pub circuit: Circuit,
+    /// Placement at circuit start.
+    pub initial_layout: Layout,
+    /// Placement at circuit end.
+    pub final_layout: Layout,
+    /// Aggregate metrics.
+    pub metrics: Metrics,
+    /// True when VF2 found a SWAP-free embedding and routing was skipped.
+    pub used_vf2: bool,
+}
+
+/// Transpilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranspileError {
+    /// The circuit has more qubits than the device.
+    CircuitTooLarge {
+        /// Circuit width.
+        circuit: usize,
+        /// Device width.
+        device: usize,
+    },
+    /// The coupling graph is disconnected.
+    DisconnectedTopology,
+}
+
+impl std::fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranspileError::CircuitTooLarge { circuit, device } => {
+                write!(f, "circuit needs {circuit} qubits, device has {device}")
+            }
+            TranspileError::DisconnectedTopology => write!(f, "coupling map is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+/// The shared default coverage set: √iSWAP, three levels, standard
+/// (mirror-free) regions — the costing basis for every experiment unless
+/// overridden.
+pub fn default_coverage() -> Arc<CoverageSet> {
+    static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let opts = CoverageOptions {
+            max_k: 3,
+            samples_per_k: 1200,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 0xC0FFEE,
+        };
+        Arc::new(CoverageSet::build(BasisGate::iswap_root(2), &opts))
+    })
+    .clone()
+}
+
+/// Transpile `circuit` onto `topo`.
+///
+/// # Errors
+///
+/// See [`TranspileError`].
+pub fn transpile(
+    circuit: &Circuit,
+    topo: &CouplingMap,
+    opts: &TranspileOptions,
+) -> Result<TranspiledCircuit, TranspileError> {
+    if circuit.n_qubits > topo.n_qubits() {
+        return Err(TranspileError::CircuitTooLarge {
+            circuit: circuit.n_qubits,
+            device: topo.n_qubits(),
+        });
+    }
+    if !topo.is_connected() {
+        return Err(TranspileError::DisconnectedTopology);
+    }
+    let coverage = opts
+        .coverage
+        .clone()
+        .unwrap_or_else(default_coverage);
+
+    // Input cleaning (paper §V): drop identities, cancel inverses, merge
+    // rotations, and elide explicit SWAPs into a wire relabeling — a SWAP
+    // written in the source is free data movement, not router work. The
+    // relabeling permutation is folded back into the final layout below.
+    let cleaned = mirage_circuit::passes::clean(circuit);
+    let (elided, wire_perm) = mirage_circuit::passes::elide_swaps(&cleaned);
+    let consolidated = consolidate(&elided);
+
+    // VF2 pre-pass: a SWAP-free embedding makes routing unnecessary.
+    if opts.use_vf2 {
+        let edges: Vec<(usize, usize)> = consolidated.interaction_edges().into_iter().collect();
+        let g = InteractionGraph::new(consolidated.n_qubits, edges);
+        if let Some(embedding) = find_embedding(&g, topo, opts.vf2_budget) {
+            let layout = Layout::from_assignment(&embedding, topo.n_qubits());
+            let mut placed = Circuit::new(topo.n_qubits());
+            for instr in &consolidated.instructions {
+                let qubits: Vec<usize> =
+                    instr.qubits.iter().map(|&q| layout.phys(q)).collect();
+                placed.push(instr.gate.clone(), &qubits);
+            }
+            let mut cache = CostCache::new(4096);
+            let metrics = Metrics {
+                depth_estimate: trials::depth_estimate(&placed, &coverage, &mut cache),
+                total_gate_cost: trials::total_gate_cost(&placed, &coverage, &mut cache),
+                two_qubit_gates: placed.two_qubit_gate_count(),
+                swaps_inserted: 0,
+                mirrors_accepted: 0,
+                mirror_rate: 0.0,
+            };
+            let final_assignment: Vec<usize> = (0..circuit.n_qubits)
+                .map(|w| layout.phys(wire_perm[w]))
+                .collect();
+            return Ok(TranspiledCircuit {
+                circuit: placed,
+                initial_layout: layout,
+                final_layout: Layout::from_assignment(&final_assignment, topo.n_qubits()),
+                metrics,
+                used_vf2: true,
+            });
+        }
+    }
+
+    let mirage = matches!(opts.router, RouterKind::Mirage | RouterKind::MirageSwaps);
+    let mut routed: RoutedCircuit =
+        trials::route_with_trials(&consolidated, topo, &coverage, mirage, &opts.trials);
+
+    // Compose the SWAP-elision relabeling into the final layout: original
+    // output wire `w` lives on elided wire `wire_perm[w]`, which routing
+    // placed at `final_layout.phys(wire_perm[w])`.
+    let adjusted: Vec<usize> = (0..circuit.n_qubits)
+        .map(|w| routed.final_layout.phys(wire_perm[w]))
+        .collect();
+    routed.final_layout = Layout::from_assignment(&adjusted, topo.n_qubits());
+
+    let mut cache = CostCache::new(4096);
+    let metrics = Metrics {
+        depth_estimate: trials::depth_estimate(&routed.circuit, &coverage, &mut cache),
+        total_gate_cost: trials::total_gate_cost(&routed.circuit, &coverage, &mut cache),
+        two_qubit_gates: routed.circuit.two_qubit_gate_count(),
+        swaps_inserted: routed.swaps_inserted,
+        mirrors_accepted: routed.mirrors_accepted,
+        mirror_rate: routed.mirror_rate(),
+    };
+    Ok(TranspiledCircuit {
+        circuit: routed.circuit,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        metrics,
+        used_vf2: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RoutedCircuit;
+    use crate::verify::verify_routed;
+    use mirage_circuit::generators::{ghz, qft, two_local_full};
+
+    #[test]
+    fn vf2_skips_routing_for_linear_circuits() {
+        let c = ghz(5);
+        let topo = CouplingMap::grid(3, 3);
+        let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 1)).unwrap();
+        assert!(out.used_vf2, "GHZ embeds into a grid without SWAPs");
+        assert_eq!(out.metrics.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn full_entanglement_requires_routing() {
+        let c = two_local_full(4, 1, 7);
+        let topo = CouplingMap::line(4);
+        let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 2)).unwrap();
+        assert!(!out.used_vf2);
+        let routed = RoutedCircuit {
+            circuit: out.circuit.clone(),
+            initial_layout: out.initial_layout.clone(),
+            final_layout: out.final_layout.clone(),
+            swaps_inserted: out.metrics.swaps_inserted,
+            mirrors_accepted: out.metrics.mirrors_accepted,
+            mirror_candidates: 1,
+        };
+        assert!(verify_routed(&c, &routed));
+    }
+
+    #[test]
+    fn mirage_beats_or_ties_sabre_on_depth() {
+        let c = qft(6, false);
+        let topo = CouplingMap::line(6);
+        let sabre = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 3)).unwrap();
+        let mirage =
+            transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 3)).unwrap();
+        assert!(
+            mirage.metrics.depth_estimate <= sabre.metrics.depth_estimate * 1.05 + 1e-9,
+            "mirage {:.2} vs sabre {:.2}",
+            mirage.metrics.depth_estimate,
+            sabre.metrics.depth_estimate
+        );
+    }
+
+    #[test]
+    fn too_large_circuit_errors() {
+        let c = ghz(5);
+        let topo = CouplingMap::line(3);
+        let e = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 4)).unwrap_err();
+        assert!(matches!(e, TranspileError::CircuitTooLarge { .. }));
+    }
+
+    #[test]
+    fn disconnected_topology_errors() {
+        let c = ghz(3);
+        let topo = CouplingMap::from_edges(4, &[(0, 1), (2, 3)], "broken");
+        let e = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 5)).unwrap_err();
+        assert_eq!(e, TranspileError::DisconnectedTopology);
+    }
+
+    #[test]
+    fn metrics_populated() {
+        let c = two_local_full(4, 1, 8);
+        let topo = CouplingMap::line(4);
+        let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 6)).unwrap();
+        assert!(out.metrics.depth_estimate > 0.0);
+        assert!(out.metrics.total_gate_cost >= out.metrics.depth_estimate);
+        assert!(out.metrics.two_qubit_gates >= 6);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TranspileError::CircuitTooLarge {
+            circuit: 9,
+            device: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(TranspileError::DisconnectedTopology.to_string().contains("disconnected"));
+    }
+}

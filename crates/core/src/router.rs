@@ -1,0 +1,731 @@
+//! The routing engine: SABRE with MIRAGE's intermediate layer.
+//!
+//! One code path serves both transpilers. With `aggression = None` the
+//! engine is a faithful SABRE: front layer + lookahead window + decay,
+//! inserting SWAPs until every two-qubit gate sits on a coupled pair. With
+//! an aggression level set, every two-qubit gate passing from the execute
+//! layer to the mapped layer goes through the **intermediate layer**
+//! (paper Fig. 7): the engine compares the cost of the gate against its
+//! mirror `SWAP·U` — decomposition cost from the coverage set plus the
+//! lookahead distance heuristic — and accepts the mirror per Algorithm 2.
+
+use crate::layout::Layout;
+use mirage_circuit::{Circuit, Dag, Gate};
+use mirage_coverage::cache::CostCache;
+use mirage_coverage::set::CoverageSet;
+use mirage_math::{Mat4, Rng};
+use mirage_topology::CouplingMap;
+use mirage_weyl::coords::{coords_of, WeylCoord};
+use mirage_weyl::mirror::mirror_coord;
+
+/// Mirror-acceptance aggression levels (paper Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggression {
+    /// Never accept a mirror.
+    A0,
+    /// Accept when the mirror strictly lowers the cost.
+    A1,
+    /// Accept when the mirror lowers or maintains the cost.
+    A2,
+    /// Always accept.
+    A3,
+}
+
+impl Aggression {
+    /// Algorithm 2: should the mirror be accepted?
+    pub fn accept(self, cost_current: f64, cost_trial: f64) -> bool {
+        const EPS: f64 = 1e-9;
+        match self {
+            Aggression::A0 => false,
+            Aggression::A1 => cost_trial < cost_current - EPS,
+            Aggression::A2 => cost_trial <= cost_current + EPS,
+            Aggression::A3 => true,
+        }
+    }
+}
+
+/// Hyper-parameters of the routing engine (defaults follow the paper's
+/// stated SABRE configuration: `|E| = 20`, `W_E = 0.5`, decay 0.001 with a
+/// reset every five steps or gate mapping).
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Lookahead window size `|E|`.
+    pub extended_set_size: usize,
+    /// Lookahead weight `W_E`.
+    pub extended_set_weight: f64,
+    /// Decay increment per SWAP on a qubit.
+    pub decay_rate: f64,
+    /// Reset decay after this many consecutive SWAPs.
+    pub decay_reset: usize,
+    /// Mirror aggression; `None` = plain SABRE (no intermediate layer).
+    pub aggression: Option<Aggression>,
+    /// Lookahead window size for the mirror decision (deeper than the swap
+    /// ranker's window; see `tune_mirror`).
+    pub mirror_lookahead: usize,
+    /// Weight coupling the distance heuristic into the mirror decision
+    /// (decomposition cost is in duration units, distance in hops). The
+    /// shipped default (2.0) comes from the `tune_mirror` ablation: depth
+    /// and SWAP reductions saturate at λ ≈ 2 across the benchmark suite.
+    pub mirror_heuristic_weight: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            extended_set_size: 20,
+            extended_set_weight: 0.5,
+            decay_rate: 0.001,
+            decay_reset: 5,
+            aggression: None,
+            mirror_lookahead: 40,
+            mirror_heuristic_weight: 2.0,
+        }
+    }
+}
+
+/// Output of one routing run.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit on *physical* qubits (`topo.n_qubits()` wide).
+    pub circuit: Circuit,
+    /// Layout at circuit start.
+    pub initial_layout: Layout,
+    /// Layout at circuit end (routing and mirrors permute qubits).
+    pub final_layout: Layout,
+    /// SWAP gates inserted.
+    pub swaps_inserted: usize,
+    /// Mirror gates accepted (MIRAGE only).
+    pub mirrors_accepted: usize,
+    /// Two-qubit gates that went through the intermediate layer.
+    pub mirror_candidates: usize,
+}
+
+impl RoutedCircuit {
+    /// Mirror acceptance rate in `[0, 1]`.
+    pub fn mirror_rate(&self) -> f64 {
+        if self.mirror_candidates == 0 {
+            0.0
+        } else {
+            self.mirrors_accepted as f64 / self.mirror_candidates as f64
+        }
+    }
+}
+
+/// Pre-computed per-node canonical coordinates for the two-qubit nodes of a
+/// DAG (1Q nodes get `None`).
+pub fn node_coords(dag: &Dag) -> Vec<Option<WeylCoord>> {
+    dag.nodes
+        .iter()
+        .map(|n| {
+            if n.gate.is_two_qubit() {
+                Some(coords_of(&n.gate.matrix2()))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Route a circuit DAG onto `topo` starting from `layout`.
+///
+/// `coverage` prices decomposition costs for the mirror decision (and is
+/// consulted through the LRU `cache`). `rng` only breaks score ties, so two
+/// runs with equal seeds are identical.
+#[allow(clippy::too_many_arguments)]
+pub fn route(
+    dag: &Dag,
+    coords: &[Option<WeylCoord>],
+    topo: &CouplingMap,
+    layout: Layout,
+    coverage: &CoverageSet,
+    cache: &mut CostCache,
+    config: &RouterConfig,
+    rng: &mut Rng,
+) -> RoutedCircuit {
+    let n_phys = topo.n_qubits();
+    assert!(dag.n_qubits <= n_phys, "circuit larger than device");
+    let initial_layout = layout.clone();
+    let mut layout = layout;
+    let mut out = Circuit::new(n_phys);
+
+    let mut indeg = dag.indegrees();
+    let mut front: Vec<usize> = dag.front_layer();
+    let mut done = vec![false; dag.len()];
+    let mut decay = vec![1.0f64; n_phys];
+    let mut swaps_since_reset = 0usize;
+    let mut swaps_inserted = 0usize;
+    let mut mirrors_accepted = 0usize;
+    let mut mirror_candidates = 0usize;
+    let mut stall_swaps = 0usize;
+
+    // Upper bound to catch non-termination bugs early (generously above any
+    // legitimate routing length).
+    let swap_budget = 64 + 16 * n_phys * dag.len().max(1);
+
+    while !front.is_empty() {
+        // --- Execute layer: run everything executable. ---
+        let mut executed_any = false;
+        let mut i = 0;
+        while i < front.len() {
+            let id = front[i];
+            let node = &dag.nodes[id];
+            let executable = match node.qubits.len() {
+                1 => true,
+                2 => {
+                    let p1 = layout.phys(node.qubits[0]);
+                    let p2 = layout.phys(node.qubits[1]);
+                    topo.are_adjacent(p1, p2)
+                }
+                _ => unreachable!(),
+            };
+            if !executable {
+                i += 1;
+                continue;
+            }
+            front.swap_remove(i);
+            done[id] = true;
+
+            match node.qubits.len() {
+                1 => {
+                    out.push(node.gate.clone(), &[layout.phys(node.qubits[0])]);
+                }
+                2 => {
+                    let (l1, l2) = (node.qubits[0], node.qubits[1]);
+                    let (p1, p2) = (layout.phys(l1), layout.phys(l2));
+                    let mut accepted = false;
+                    if let Some(aggr) = config.aggression {
+                        mirror_candidates += 1;
+                        let w = coords[id].expect("2Q node has coords");
+                        let wm = mirror_coord(&w);
+                        let dc = cache.get_or_insert_with(&w, || coverage.cost_or_max(&w));
+                        let dcm = cache.get_or_insert_with(&wm, || coverage.cost_or_max(&wm));
+
+                        // Lookahead impact: heuristic over the *remaining*
+                        // front and extended set under both mappings.
+                        let mut probe = front.clone();
+                        release_successors(dag, id, &indeg, &mut probe, &done, node);
+                        // The mirror decision looks deeper than the swap
+                        // ranker: mirrors are rarer, higher-stakes moves.
+                        let ext = extended_set(dag, &probe, &indeg, &done, config.mirror_lookahead);
+                        // The mirror decision uses *summed* distances, not
+                        // the swap-ranking average: the decomposition-cost
+                        // delta is an absolute duration, so the routing term
+                        // must be absolute too (an averaged term would be
+                        // diluted by the front size and mirrors would almost
+                        // never out-bid the ±half-pulse cost delta).
+                        let h_plain = lookahead_sum(&probe, &ext, dag, &layout, topo, config);
+                        let mut mirrored = layout.clone();
+                        mirrored.swap_physical(p1, p2);
+                        let h_mirror = lookahead_sum(&probe, &ext, dag, &mirrored, topo, config);
+
+                        let lambda = config.mirror_heuristic_weight;
+                        let cost_current = dc + lambda * h_plain;
+                        let cost_trial = dcm + lambda * h_mirror;
+                        if aggr.accept(cost_current, cost_trial) {
+                            accepted = true;
+                            mirrors_accepted += 1;
+                            let u = node.gate.matrix2();
+                            out.push(Gate::Unitary2(Mat4::swap().mul(&u)), &[p1, p2]);
+                            layout.swap_physical(p1, p2);
+                        }
+                    }
+                    if !accepted {
+                        out.push(node.gate.clone(), &[p1, p2]);
+                    }
+                }
+                _ => unreachable!(),
+            }
+
+            // Release successors into the front layer.
+            for &s in &dag.nodes[id].succs {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    front.push(s);
+                }
+            }
+            executed_any = true;
+            // "Reset after every five steps or gate mapping."
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+            stall_swaps = 0;
+            i = 0; // restart scan: new nodes may be executable
+        }
+        if front.is_empty() {
+            break;
+        }
+        if executed_any {
+            continue;
+        }
+
+        // --- SWAP insertion: no gate is executable. ---
+        assert!(
+            swaps_inserted < swap_budget,
+            "routing exceeded its swap budget — probable non-termination"
+        );
+
+        let ext = extended_set(dag, &front, &indeg, &done, config.extended_set_size);
+        let candidates = candidate_swaps(dag, &front, &layout, topo);
+        debug_assert!(!candidates.is_empty(), "connected topology yields candidates");
+
+        let mut best: Vec<(usize, usize)> = Vec::new();
+        let mut best_score = f64::INFINITY;
+        for &(p1, p2) in &candidates {
+            let mut trial = layout.clone();
+            trial.swap_physical(p1, p2);
+            let h = heuristic(&front, &ext, dag, &trial, topo, config);
+            let score = h * decay[p1].max(decay[p2]);
+            if score < best_score - 1e-12 {
+                best_score = score;
+                best.clear();
+                best.push((p1, p2));
+            } else if (score - best_score).abs() <= 1e-12 {
+                best.push((p1, p2));
+            }
+        }
+        let &(p1, p2) = rng.choose(&best);
+
+        // Anti-livelock: after long swap droughts, force progress along the
+        // shortest path of the first front gate.
+        stall_swaps += 1;
+        let (p1, p2) = if stall_swaps > 8 * n_phys + 32 {
+            force_step(dag, &front, &layout, topo)
+        } else {
+            (p1, p2)
+        };
+
+        out.push(Gate::Swap, &[p1, p2]);
+        layout.swap_physical(p1, p2);
+        swaps_inserted += 1;
+        decay[p1] += config.decay_rate;
+        decay[p2] += config.decay_rate;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= config.decay_reset {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        initial_layout,
+        final_layout: layout,
+        swaps_inserted,
+        mirrors_accepted,
+        mirror_candidates,
+    }
+}
+
+/// Peephole "mirage SWAP" absorption (paper §I: a SWAP absorbed into an
+/// adjacent computational gate during decomposition). Whenever an explicit
+/// SWAP on `(p,q)` immediately precedes or follows a two-qubit gate on the
+/// same pair (no intervening gate touching `p` or `q`), the pair fuses into
+/// one mirror block `SWAP·U` (resp. `U·SWAP`). In the √iSWAP basis this is
+/// always a win: any fused block costs at most 3 applications while the
+/// separate pair costs at least 1 + 3.
+///
+/// Returns the rewritten circuit and the number of SWAPs absorbed. The
+/// rewrite is local — wire semantics are unchanged, so layouts need no
+/// adjustment.
+pub fn absorb_adjacent_swaps(c: &Circuit) -> (Circuit, usize) {
+    let mut instrs: Vec<Option<mirage_circuit::Instruction>> =
+        c.instructions.iter().cloned().map(Some).collect();
+    let mut fused = 0usize;
+    loop {
+        let mut changed = false;
+        // last_touch[q] = index of the latest live instruction on q.
+        let mut last_touch: Vec<Option<usize>> = vec![None; c.n_qubits];
+        for i in 0..instrs.len() {
+            let Some(instr) = instrs[i].clone() else { continue };
+            if matches!(instr.gate, Gate::Swap) {
+                let (p, q) = (instr.qubits[0], instr.qubits[1]);
+                if let (Some(a), Some(b)) = (last_touch[p], last_touch[q]) {
+                    if a == b {
+                        if let Some(prev) = instrs[a].clone() {
+                            if prev.gate.is_two_qubit() {
+                                let same_pair = (prev.qubits[0] == p && prev.qubits[1] == q)
+                                    || (prev.qubits[0] == q && prev.qubits[1] == p);
+                                if same_pair {
+                                    // Fuse: U then SWAP = SWAP·U as a matrix
+                                    // on prev's operand order (SWAP is
+                                    // order-symmetric).
+                                    let u = prev.gate.matrix2();
+                                    instrs[a] = Some(mirage_circuit::Instruction {
+                                        gate: Gate::Unitary2(Mat4::swap().mul(&u)),
+                                        qubits: prev.qubits.clone(),
+                                    });
+                                    instrs[i] = None;
+                                    fused += 1;
+                                    changed = true;
+                                    // a stays the last touch of p and q.
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for &qb in &instr.qubits {
+                last_touch[qb] = Some(i);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let out = Circuit {
+        n_qubits: c.n_qubits,
+        instructions: instrs.into_iter().flatten().collect(),
+    };
+    (out, fused)
+}
+
+/// Pretend `id` completed: extend `probe` with its newly released 2Q
+/// successors (used to score the post-execution front during the mirror
+/// decision).
+fn release_successors(
+    dag: &Dag,
+    id: usize,
+    indeg: &[usize],
+    probe: &mut Vec<usize>,
+    done: &[bool],
+    node: &mirage_circuit::dag::DagNode,
+) {
+    let _ = node;
+    for &s in &dag.nodes[id].succs {
+        // `id` still counts toward the successor's in-degree at this point,
+        // so "released by id" means exactly one remaining predecessor.
+        if !done[s] && indeg[s] == 1 {
+            probe.push(s);
+        }
+    }
+}
+
+/// The lookahead window: up to `limit` unexecuted two-qubit descendants of
+/// the front layer, breadth-first.
+fn extended_set(
+    dag: &Dag,
+    front: &[usize],
+    indeg: &[usize],
+    done: &[bool],
+    limit: usize,
+) -> Vec<usize> {
+    let _ = indeg;
+    let mut out = Vec::with_capacity(limit);
+    let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
+    let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
+    while let Some(id) = queue.pop_front() {
+        if out.len() >= limit {
+            break;
+        }
+        for &s in &dag.nodes[id].succs {
+            if seen.insert(s) && !done[s] {
+                if dag.nodes[s].qubits.len() == 2 {
+                    out.push(s);
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+                queue.push_back(s);
+            }
+        }
+    }
+    out
+}
+
+/// The SABRE distance heuristic over front and extended sets.
+fn heuristic(
+    front: &[usize],
+    ext: &[usize],
+    dag: &Dag,
+    layout: &Layout,
+    topo: &CouplingMap,
+    config: &RouterConfig,
+) -> f64 {
+    let dist = |id: usize| -> f64 {
+        let n = &dag.nodes[id];
+        if n.qubits.len() != 2 {
+            return 0.0;
+        }
+        let p1 = layout.phys(n.qubits[0]);
+        let p2 = layout.phys(n.qubits[1]);
+        f64::from(topo.distance(p1, p2).saturating_sub(1))
+    };
+    let front_2q: Vec<usize> = front
+        .iter()
+        .copied()
+        .filter(|&id| dag.nodes[id].qubits.len() == 2)
+        .collect();
+    let f_term = if front_2q.is_empty() {
+        0.0
+    } else {
+        front_2q.iter().map(|&id| dist(id)).sum::<f64>() / front_2q.len() as f64
+    };
+    let e_term = if ext.is_empty() {
+        0.0
+    } else {
+        ext.iter().map(|&id| dist(id)).sum::<f64>() / ext.len() as f64
+    };
+    f_term + config.extended_set_weight * e_term
+}
+
+/// Absolute lookahead score for the mirror decision: *summed* residual
+/// distances (hops beyond adjacency) over the front layer plus the weighted
+/// extended set. Unlike [`heuristic`] this is not normalized, so its delta
+/// under a mirror is commensurable with decomposition-cost deltas.
+fn lookahead_sum(
+    front: &[usize],
+    ext: &[usize],
+    dag: &Dag,
+    layout: &Layout,
+    topo: &CouplingMap,
+    config: &RouterConfig,
+) -> f64 {
+    let dist = |id: usize| -> f64 {
+        let n = &dag.nodes[id];
+        if n.qubits.len() != 2 {
+            return 0.0;
+        }
+        let p1 = layout.phys(n.qubits[0]);
+        let p2 = layout.phys(n.qubits[1]);
+        f64::from(topo.distance(p1, p2).saturating_sub(1))
+    };
+    let f_term: f64 = front.iter().map(|&id| dist(id)).sum();
+    let e_term: f64 = ext.iter().map(|&id| dist(id)).sum();
+    f_term + config.extended_set_weight * e_term
+}
+
+/// Candidate SWAPs: coupling edges incident to the physical home of any
+/// front-layer two-qubit operand.
+fn candidate_swaps(
+    dag: &Dag,
+    front: &[usize],
+    layout: &Layout,
+    topo: &CouplingMap,
+) -> Vec<(usize, usize)> {
+    let mut homes: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for &id in front {
+        let n = &dag.nodes[id];
+        if n.qubits.len() == 2 {
+            homes.insert(layout.phys(n.qubits[0]));
+            homes.insert(layout.phys(n.qubits[1]));
+        }
+    }
+    let mut out: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    for &p in &homes {
+        for &q in topo.neighbors(p) {
+            out.insert((p.min(q), p.max(q)));
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Deterministic progress step: the first SWAP along the shortest path
+/// between the operands of the first front-layer 2Q gate.
+fn force_step(
+    dag: &Dag,
+    front: &[usize],
+    layout: &Layout,
+    topo: &CouplingMap,
+) -> (usize, usize) {
+    let id = front
+        .iter()
+        .copied()
+        .find(|&id| dag.nodes[id].qubits.len() == 2)
+        .expect("stalled front contains a 2Q gate");
+    let n = &dag.nodes[id];
+    let src = layout.phys(n.qubits[0]);
+    let dst = layout.phys(n.qubits[1]);
+    // First hop of a BFS shortest path from src toward dst.
+    let next = topo
+        .neighbors(src)
+        .iter()
+        .copied()
+        .min_by_key(|&nb| topo.distance(nb, dst))
+        .expect("connected topology");
+    (src.min(next), src.max(next))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_routed;
+    use mirage_circuit::consolidate::consolidate;
+    use mirage_circuit::generators::{ghz, two_local_full};
+    use mirage_coverage::set::{BasisGate, CoverageOptions};
+
+    fn coverage() -> CoverageSet {
+        let opts = CoverageOptions {
+            max_k: 3,
+            samples_per_k: 500,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 81,
+        };
+        CoverageSet::build(BasisGate::iswap_root(2), &opts)
+    }
+
+    fn route_simple(
+        c: &Circuit,
+        topo: &CouplingMap,
+        aggression: Option<Aggression>,
+        seed: u64,
+    ) -> RoutedCircuit {
+        let cov = coverage();
+        let cc = consolidate(c);
+        let dag = Dag::from_circuit(&cc);
+        let coords = node_coords(&dag);
+        let mut cache = CostCache::new(512);
+        let config = RouterConfig {
+            aggression,
+            ..RouterConfig::default()
+        };
+        let mut rng = Rng::new(seed);
+        route(
+            &dag,
+            &coords,
+            topo,
+            Layout::trivial(c.n_qubits, topo.n_qubits()),
+            &cov,
+            &mut cache,
+            &config,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn already_routable_needs_no_swaps() {
+        let topo = CouplingMap::line(3);
+        let c = ghz(3);
+        let r = route_simple(&c, &topo, None, 1);
+        assert_eq!(r.swaps_inserted, 0);
+        assert!(verify_routed(&c, &r));
+    }
+
+    #[test]
+    fn sabre_inserts_swaps_on_line() {
+        let topo = CouplingMap::line(4);
+        let c = two_local_full(4, 1, 7);
+        let r = route_simple(&c, &topo, None, 2);
+        assert!(r.swaps_inserted > 0, "full entanglement on a line swaps");
+        assert_eq!(r.mirrors_accepted, 0);
+        // Every 2Q gate must land on a coupled pair.
+        for instr in &r.circuit.instructions {
+            if instr.gate.is_two_qubit() {
+                assert!(topo.are_adjacent(instr.qubits[0], instr.qubits[1]));
+            }
+        }
+        assert!(verify_routed(&c, &r));
+    }
+
+    #[test]
+    fn mirage_preserves_semantics() {
+        let topo = CouplingMap::line(4);
+        let c = two_local_full(4, 1, 7);
+        for (seed, aggr) in [
+            (3, Aggression::A1),
+            (4, Aggression::A2),
+            (5, Aggression::A3),
+        ] {
+            let r = route_simple(&c, &topo, Some(aggr), seed);
+            assert!(verify_routed(&c, &r), "aggression {aggr:?} broke semantics");
+        }
+    }
+
+    #[test]
+    fn mirage_a0_equals_sabre() {
+        let topo = CouplingMap::line(4);
+        let c = two_local_full(4, 1, 9);
+        let a0 = route_simple(&c, &topo, Some(Aggression::A0), 6);
+        let sabre = route_simple(&c, &topo, None, 6);
+        assert_eq!(a0.swaps_inserted, sabre.swaps_inserted);
+        assert_eq!(a0.mirrors_accepted, 0);
+        assert_eq!(a0.circuit, sabre.circuit);
+    }
+
+    #[test]
+    fn mirage_accepts_mirrors_on_constrained_topology() {
+        let topo = CouplingMap::line(4);
+        let c = two_local_full(4, 2, 11);
+        let r = route_simple(&c, &topo, Some(Aggression::A2), 7);
+        assert!(
+            r.mirrors_accepted > 0,
+            "expected mirror acceptances, got 0 of {}",
+            r.mirror_candidates
+        );
+        assert!(verify_routed(&c, &r));
+    }
+
+    #[test]
+    fn mirrors_reduce_swaps_or_depth() {
+        let topo = CouplingMap::line(5);
+        let c = two_local_full(5, 2, 13);
+        let sabre = route_simple(&c, &topo, None, 8);
+        let mirage = route_simple(&c, &topo, Some(Aggression::A1), 8);
+        assert!(
+            mirage.swaps_inserted <= sabre.swaps_inserted,
+            "mirage {} vs sabre {}",
+            mirage.swaps_inserted,
+            sabre.swaps_inserted
+        );
+    }
+
+    #[test]
+    fn routing_on_grid() {
+        let topo = CouplingMap::grid(3, 3);
+        let c = two_local_full(6, 1, 17);
+        let r = route_simple(&c, &topo, Some(Aggression::A2), 9);
+        for instr in &r.circuit.instructions {
+            if instr.gate.is_two_qubit() {
+                assert!(topo.are_adjacent(instr.qubits[0], instr.qubits[1]));
+            }
+        }
+        assert!(verify_routed(&c, &r));
+    }
+
+    #[test]
+    fn aggression_accept_semantics() {
+        assert!(!Aggression::A0.accept(1.0, 0.0));
+        assert!(Aggression::A1.accept(1.0, 0.5));
+        assert!(!Aggression::A1.accept(1.0, 1.0));
+        assert!(Aggression::A2.accept(1.0, 1.0));
+        assert!(!Aggression::A2.accept(1.0, 1.5));
+        assert!(Aggression::A3.accept(0.0, 99.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = CouplingMap::line(5);
+        let c = two_local_full(5, 1, 21);
+        let a = route_simple(&c, &topo, Some(Aggression::A2), 10);
+        let b = route_simple(&c, &topo, Some(Aggression::A2), 10);
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.swaps_inserted, b.swaps_inserted);
+    }
+
+    #[test]
+    fn random_initial_layout_verifies() {
+        let topo = CouplingMap::grid(3, 3);
+        let c = ghz(5);
+        let cov = coverage();
+        let cc = consolidate(&c);
+        let dag = Dag::from_circuit(&cc);
+        let coords = node_coords(&dag);
+        let mut cache = CostCache::new(512);
+        let mut rng = Rng::new(33);
+        let layout = Layout::random(c.n_qubits, topo.n_qubits(), &mut rng);
+        let r = route(
+            &dag,
+            &coords,
+            &topo,
+            layout,
+            &cov,
+            &mut cache,
+            &RouterConfig {
+                aggression: Some(Aggression::A2),
+                ..RouterConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(verify_routed(&c, &r));
+    }
+}

@@ -1,0 +1,136 @@
+//! Statevector verification of routed circuits.
+//!
+//! A routed circuit acts on physical wires; logical qubit `l` starts at
+//! `initial_layout.phys(l)` and ends at `final_layout.phys(l)`. The checker
+//! simulates both circuits from `|0…0⟩` and compares through the final
+//! placement. Because all inputs are `|0⟩`, the initial placement needs no
+//! correction.
+
+use crate::router::RoutedCircuit;
+use mirage_circuit::sim::{run, State};
+use mirage_circuit::Circuit;
+use mirage_math::Complex64;
+
+/// True when `routed` implements `original` up to global phase and the
+/// routing-induced output permutation.
+///
+/// # Panics
+///
+/// Panics if the physical register exceeds the simulator cap (24 qubits).
+pub fn verify_routed(original: &Circuit, routed: &RoutedCircuit) -> bool {
+    let n_log = original.n_qubits;
+    let n_phys = routed.circuit.n_qubits;
+    let s_log = run(original);
+    let s_phys = run(&routed.circuit);
+
+    // Expected physical state: logical basis state `s` lands on the
+    // physical basis state with bit final_layout.phys(l) = bit l of s.
+    let mut expected = vec![Complex64::ZERO; 1 << n_phys];
+    for (s, &amp) in s_log.amps.iter().enumerate() {
+        let mut t = 0usize;
+        for l in 0..n_log {
+            if s & (1 << l) != 0 {
+                t |= 1 << routed.final_layout.phys(l);
+            }
+        }
+        expected[t] = amp;
+    }
+    let expected = State {
+        n: n_phys,
+        amps: expected,
+    };
+    s_phys.fidelity(&expected) > 1.0 - 1e-7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    #[test]
+    fn identity_routing_verifies() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let routed = RoutedCircuit {
+            circuit: c.clone(),
+            initial_layout: Layout::trivial(2, 2),
+            final_layout: Layout::trivial(2, 2),
+            swaps_inserted: 0,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        assert!(verify_routed(&c, &routed));
+    }
+
+    #[test]
+    fn wrong_circuit_fails() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut wrong = Circuit::new(2);
+        wrong.h(0);
+        let routed = RoutedCircuit {
+            circuit: wrong,
+            initial_layout: Layout::trivial(2, 2),
+            final_layout: Layout::trivial(2, 2),
+            swaps_inserted: 0,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        assert!(!verify_routed(&c, &routed));
+    }
+
+    #[test]
+    fn trailing_swap_with_updated_layout_verifies() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let mut r = c.clone();
+        r.swap(0, 1);
+        let mut final_layout = Layout::trivial(2, 2);
+        final_layout.swap_physical(0, 1);
+        let routed = RoutedCircuit {
+            circuit: r,
+            initial_layout: Layout::trivial(2, 2),
+            final_layout,
+            swaps_inserted: 1,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        assert!(verify_routed(&c, &routed));
+    }
+
+    #[test]
+    fn trailing_swap_without_layout_update_fails() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let mut r = c.clone();
+        r.swap(0, 1);
+        let routed = RoutedCircuit {
+            circuit: r,
+            initial_layout: Layout::trivial(2, 2),
+            final_layout: Layout::trivial(2, 2),
+            swaps_inserted: 1,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        assert!(!verify_routed(&c, &routed));
+    }
+
+    #[test]
+    fn wider_physical_register() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        // Same circuit placed on qubits (1, 2) of a 4-qubit device.
+        let mut r = Circuit::new(4);
+        r.h(1).cx(1, 2);
+        let layout = Layout::from_assignment(&[1, 2], 4);
+        let routed = RoutedCircuit {
+            circuit: r,
+            initial_layout: layout.clone(),
+            final_layout: layout,
+            swaps_inserted: 0,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        assert!(verify_routed(&c, &routed));
+    }
+}

@@ -1,0 +1,166 @@
+//! The LRU coordinate→cost cache (paper Fig. 13a).
+//!
+//! MIRAGE queries decomposition costs for the same handful of coordinate
+//! classes over and over (every CNOT in a circuit shares one class), so the
+//! paper adds a software lookup table in front of the polytope membership
+//! scan. This is that table: keys are quantized Weyl coordinates, values are
+//! costs; eviction is least-recently-used.
+
+use mirage_weyl::coords::WeylCoord;
+use std::collections::HashMap;
+
+/// A bounded least-recently-used cache from quantized coordinates to cost.
+#[derive(Debug)]
+pub struct CostCache {
+    capacity: usize,
+    map: HashMap<(u16, u16, u16), (f64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CostCache {
+    /// Create a cache holding at most `capacity` coordinate classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> CostCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CostCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a coordinate, or compute-and-insert through `f`.
+    pub fn get_or_insert_with<F: FnOnce() -> f64>(&mut self, w: &WeylCoord, f: F) -> f64 {
+        self.clock += 1;
+        let key = w.quantized();
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.1 = self.clock;
+            self.hits += 1;
+            return entry.0;
+        }
+        self.misses += 1;
+        let v = f();
+        if self.map.len() >= self.capacity {
+            self.evict_oldest();
+        }
+        self.map.insert(key, (v, self.clock));
+        v
+    }
+
+    /// Look up without inserting.
+    pub fn peek(&self, w: &WeylCoord) -> Option<f64> {
+        self.map.get(&w.quantized()).map(|e| e.0)
+    }
+
+    fn evict_oldest(&mut self) {
+        if let Some((&key, _)) = self.map.iter().min_by_key(|(_, (_, t))| *t) {
+            self.map.remove(&key);
+        }
+    }
+
+    /// Number of cached classes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_math::PI_4;
+
+    #[test]
+    fn cache_hit_on_repeat() {
+        let mut cache = CostCache::new(16);
+        let w = WeylCoord::CNOT;
+        let mut calls = 0;
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with(&w, || {
+                calls += 1;
+                1.0
+            });
+            assert_eq!(v, 1.0);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), (4, 1));
+    }
+
+    #[test]
+    fn nearby_coordinates_share_an_entry() {
+        let mut cache = CostCache::new(16);
+        let w1 = WeylCoord::canonicalize(PI_4, 0.0, 0.0);
+        let w2 = WeylCoord::canonicalize(PI_4 + 1e-9, 1e-10, 0.0);
+        cache.get_or_insert_with(&w1, || 2.0);
+        let v = cache.get_or_insert_with(&w2, || 99.0);
+        assert_eq!(v, 2.0, "quantization should merge the keys");
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let mut cache = CostCache::new(4);
+        for i in 0..20 {
+            let w = WeylCoord::canonicalize(0.01 * i as f64, 0.0, 0.0);
+            cache.get_or_insert_with(&w, || i as f64);
+        }
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_not_newest() {
+        let mut cache = CostCache::new(2);
+        let a = WeylCoord::canonicalize(0.1, 0.0, 0.0);
+        let b = WeylCoord::canonicalize(0.2, 0.0, 0.0);
+        let c = WeylCoord::canonicalize(0.3, 0.0, 0.0);
+        cache.get_or_insert_with(&a, || 1.0);
+        cache.get_or_insert_with(&b, || 2.0);
+        cache.get_or_insert_with(&a, || 1.0); // refresh a
+        cache.get_or_insert_with(&c, || 3.0); // evicts b
+        assert!(cache.peek(&a).is_some());
+        assert!(cache.peek(&b).is_none());
+        assert!(cache.peek(&c).is_some());
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut cache = CostCache::new(8);
+        assert_eq!(cache.hit_rate(), 0.0);
+        let w = WeylCoord::ISWAP;
+        cache.get_or_insert_with(&w, || 1.0);
+        cache.get_or_insert_with(&w, || 1.0);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        CostCache::new(0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Haar scores and the decoherence fidelity model (paper §III-C, Eq. 2).
+//!
+//! The *Haar score* of a basis gate is the expected decomposition cost of a
+//! Haar-random two-qubit unitary: `E[k(U) · duration]`, where `k(U)` is the
+//! minimum ansatz depth whose coverage region contains the coordinates of
+//! `U`. A lower Haar score means a computationally stronger basis gate.
+//!
+//! Fidelity uses the decoherence model of Eq. 2:
+//! `F_Q = exp(−GateDuration / QubitLifetime)`, normalized so that an iSWAP
+//! (duration 1.0) has 99% fidelity.
+
+use crate::set::CoverageSet;
+use mirage_gates::haar_2q;
+use mirage_math::Rng;
+use mirage_weyl::coords::coords_of;
+
+/// Decoherence-only fidelity model (paper Eq. 2).
+#[derive(Debug, Clone, Copy)]
+pub struct FidelityModel {
+    /// Qubit lifetime in normalized time units (iSWAP duration = 1.0).
+    pub t1: f64,
+}
+
+impl Default for FidelityModel {
+    fn default() -> Self {
+        FidelityModel::paper_default()
+    }
+}
+
+impl FidelityModel {
+    /// The paper's normalization: iSWAP (duration 1.0) has fidelity 99%,
+    /// so `T1 = −1/ln(0.99) ≈ 99.5`.
+    pub fn paper_default() -> FidelityModel {
+        FidelityModel {
+            t1: -1.0 / 0.99f64.ln(),
+        }
+    }
+
+    /// Fidelity of a single gate of the given duration.
+    pub fn gate_fidelity(&self, duration: f64) -> f64 {
+        (-duration / self.t1).exp()
+    }
+
+    /// Fidelity of a circuit with the given total duration (critical path).
+    pub fn circuit_fidelity(&self, total_duration: f64) -> f64 {
+        (-total_duration / self.t1).exp()
+    }
+}
+
+/// Result of a Haar-score estimation.
+#[derive(Debug, Clone)]
+pub struct HaarScore {
+    /// Expected decomposition cost `E[k · duration]`.
+    pub score: f64,
+    /// Expected circuit fidelity `E[F^k]` under the model.
+    pub avg_fidelity: f64,
+    /// Empirical distribution over depths: `(k, probability)`.
+    pub depth_distribution: Vec<(usize, f64)>,
+    /// Number of Monte Carlo samples used.
+    pub samples: usize,
+}
+
+/// Estimate the Haar score of a coverage set by Monte Carlo over
+/// Haar-random unitaries.
+///
+/// Unreachable samples (coordinates outside every built level — possible
+/// only when the set was built too shallow) are charged one application
+/// beyond the deepest level, mirroring [`CoverageSet::cost_or_max`].
+pub fn haar_score(set: &CoverageSet, model: &FidelityModel, n: usize, seed: u64) -> HaarScore {
+    let mut rng = Rng::new(seed);
+    let mut total_cost = 0.0f64;
+    let mut total_fid = 0.0f64;
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for _ in 0..n {
+        let w = coords_of(&haar_2q(&mut rng));
+        let k = set.min_k(&w).unwrap_or(set.max_level().k + 1);
+        let cost = k as f64 * set.basis.duration;
+        total_cost += cost;
+        total_fid += model.circuit_fidelity(cost);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    HaarScore {
+        score: total_cost / n as f64,
+        avg_fidelity: total_fid / n as f64,
+        depth_distribution: counts
+            .into_iter()
+            .map(|(k, c)| (k, c as f64 / n as f64))
+            .collect(),
+        samples: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{BasisGate, CoverageOptions, CoverageSet};
+
+    #[test]
+    fn paper_default_t1() {
+        let m = FidelityModel::paper_default();
+        assert!((m.gate_fidelity(1.0) - 0.99).abs() < 1e-12);
+        assert!((m.gate_fidelity(0.5) - 0.99f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_fidelity_multiplies() {
+        let m = FidelityModel::paper_default();
+        let f2 = m.circuit_fidelity(2.0);
+        assert!((f2 - 0.99 * 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_iswap_haar_score_matches_table1() {
+        // Paper Table I: √iSWAP exact Haar score 1.105 with fidelity 0.9890.
+        // With coverage ≈79% at k=2 and the rest at k=3:
+        // 0.5·(2·0.79 + 3·0.21) = 1.105.
+        let opts = CoverageOptions {
+            max_k: 3,
+            samples_per_k: 1500,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 21,
+        };
+        let set = CoverageSet::build(BasisGate::iswap_root(2), &opts);
+        let hs = haar_score(&set, &FidelityModel::paper_default(), 4000, 5);
+        assert!(
+            (hs.score - 1.105).abs() < 0.03,
+            "Haar score = {:.4}, expected ≈1.105",
+            hs.score
+        );
+        assert!(
+            (hs.avg_fidelity - 0.9890).abs() < 0.002,
+            "fidelity = {:.5}, expected ≈0.9890",
+            hs.avg_fidelity
+        );
+    }
+
+    #[test]
+    fn sqrt_iswap_mirror_haar_score_matches_table1() {
+        // Paper Table I: √iSWAP mirror Haar score 1.029, fidelity 0.9897.
+        let opts = CoverageOptions {
+            max_k: 3,
+            samples_per_k: 1500,
+            inflation: 0.012,
+            mirrors: true,
+            seed: 22,
+        };
+        let set = CoverageSet::build(BasisGate::iswap_root(2), &opts);
+        let hs = haar_score(&set, &FidelityModel::paper_default(), 4000, 6);
+        assert!(
+            (hs.score - 1.029).abs() < 0.03,
+            "mirror Haar score = {:.4}, expected ≈1.029",
+            hs.score
+        );
+    }
+
+    #[test]
+    fn depth_distribution_sums_to_one() {
+        let opts = CoverageOptions {
+            max_k: 3,
+            samples_per_k: 600,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 23,
+        };
+        let set = CoverageSet::build(BasisGate::iswap_root(2), &opts);
+        let hs = haar_score(&set, &FidelityModel::paper_default(), 1000, 7);
+        let total: f64 = hs.depth_distribution.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // No Haar gate needs k=1 (measure zero) and none should exceed 3.
+        for (k, p) in &hs.depth_distribution {
+            assert!(*k >= 2 && *k <= 3, "unexpected depth {k} (p={p})");
+        }
+    }
+
+    #[test]
+    fn mirror_score_never_worse() {
+        let mk = |mirrors| {
+            let opts = CoverageOptions {
+                max_k: 3,
+                samples_per_k: 900,
+                inflation: 0.012,
+                mirrors,
+                seed: 24,
+            };
+            CoverageSet::build(BasisGate::iswap_root(2), &opts)
+        };
+        let plain = haar_score(&mk(false), &FidelityModel::paper_default(), 2000, 8);
+        let mirrored = haar_score(&mk(true), &FidelityModel::paper_default(), 2000, 8);
+        assert!(
+            mirrored.score <= plain.score + 1e-9,
+            "mirror {} vs plain {}",
+            mirrored.score,
+            plain.score
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Haar-random unitary sampling.
+//!
+//! Used for the paper's Haar-score computations (Tables I and II, Fig. 5)
+//! and for randomized property tests. The 4×4 sampler follows Mezzadri's
+//! recipe: draw a Ginibre matrix (i.i.d. complex Gaussians), QR-factorize,
+//! and fix the phases with `diag(R)` so the result is exactly Haar.
+
+use mirage_math::qr::{haar_fix, qr4};
+use mirage_math::{Complex64, Mat2, Mat4, Rng};
+
+/// Haar-random 2×2 unitary in SU(2), via the unit-quaternion parametrization
+/// (four Gaussians normalized to the 3-sphere).
+pub fn haar_1q(rng: &mut Rng) -> Mat2 {
+    loop {
+        let (a, b, c, d) = (
+            rng.gaussian(),
+            rng.gaussian(),
+            rng.gaussian(),
+            rng.gaussian(),
+        );
+        let n = (a * a + b * b + c * c + d * d).sqrt();
+        if n < 1e-12 {
+            continue;
+        }
+        let (a, b, c, d) = (a / n, b / n, c / n, d / n);
+        // SU(2) ≅ unit quaternions: [[a+bi, c+di], [−c+di, a−bi]].
+        return Mat2::new(
+            Complex64::new(a, b),
+            Complex64::new(c, d),
+            Complex64::new(-c, d),
+            Complex64::new(a, -b),
+        );
+    }
+}
+
+/// Haar-random 4×4 unitary (Ginibre + QR with phase fix).
+pub fn haar_2q(rng: &mut Rng) -> Mat4 {
+    loop {
+        let mut g = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                g.e[i][j] = Complex64::new(rng.gaussian(), rng.gaussian());
+            }
+        }
+        if let Some((q, r)) = qr4(&g) {
+            return haar_fix(&q, &r);
+        }
+        // Singular Ginibre sample has probability zero; resample.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_1q_unitary_and_special() {
+        let mut rng = Rng::new(101);
+        for _ in 0..100 {
+            let u = haar_1q(&mut rng);
+            assert!(u.is_unitary(1e-12));
+            assert!(u.det().approx_eq(Complex64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn haar_2q_unitary() {
+        let mut rng = Rng::new(202);
+        for _ in 0..100 {
+            let u = haar_2q(&mut rng);
+            assert!(u.is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn haar_2q_trace_statistics() {
+        // For Haar-distributed U(N), E[|Tr U|²] = 1.
+        let mut rng = Rng::new(303);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| haar_2q(&mut rng).trace().norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "E[|tr|²] = {mean}");
+    }
+
+    #[test]
+    fn haar_1q_column_isotropy() {
+        // First column should be uniform on the 3-sphere: E[|u00|²] = 1/2.
+        let mut rng = Rng::new(404);
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| haar_1q(&mut rng).e[0][0].norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "E[|u00|²] = {mean}");
+    }
+
+    #[test]
+    fn haar_2q_entry_isotropy() {
+        // For Haar U(4): E[|u_ij|²] = 1/4 for every entry.
+        let mut rng = Rng::new(505);
+        let n = 20_000;
+        let mut acc = [[0.0f64; 4]; 4];
+        for _ in 0..n {
+            let u = haar_2q(&mut rng);
+            for i in 0..4 {
+                for j in 0..4 {
+                    acc[i][j] += u.e[i][j].norm_sqr();
+                }
+            }
+        }
+        for row in &acc {
+            for &v in row {
+                let mean = v / n as f64;
+                assert!((mean - 0.25).abs() < 0.02, "E[|u|²] = {mean}");
+            }
+        }
+    }
+}

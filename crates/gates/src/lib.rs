@@ -1,0 +1,35 @@
+//! Quantum gate library for the MIRAGE reproduction.
+//!
+//! Provides the concrete matrices for every gate the paper manipulates:
+//!
+//! * [`oneq`] — single-qubit rotations, Cliffords, ZYZ Euler synthesis and
+//!   extraction.
+//! * [`twoq`] — two-qubit gates: CNOT, CZ, SWAP, the **iSWAP family**
+//!   `iSWAP^α` (√iSWAP, ∛iSWAP, ∜iSWAP), CPHASE/pSWAP families, the
+//!   CNS (= CNOT+SWAP) mirror gate, canonical gates `CAN(a,b,c)` and the
+//!   magic-basis transformation.
+//! * [`haar`] — Haar-random SU(2) and U(4) sampling (Ginibre + QR recipe).
+//!
+//! The two-qubit convention is little-endian `|q1 q0⟩`; controlled gates take
+//! the **high** qubit (`q1`) as control. All of the Weyl-chamber machinery is
+//! insensitive to this choice (canonical coordinates are invariant under
+//! qubit reversal combined with local gates), but circuit simulation is not,
+//! so the convention is fixed here once.
+//!
+//! ```
+//! use mirage_gates::{cnot, cns, swap};
+//! // CNS is by definition CNOT followed by SWAP.
+//! let expect = swap().mul(&cnot());
+//! assert!(cns().approx_eq(&expect, 1e-12));
+//! ```
+
+pub mod haar;
+pub mod oneq;
+pub mod twoq;
+
+pub use haar::{haar_1q, haar_2q};
+pub use oneq::{euler_zyz, h, rx, ry, rz, u_zyz};
+pub use twoq::{
+    can, cnot, cns, cphase, cz, iswap, iswap_alpha, magic_basis, pswap, rxx, ryy, rzz,
+    sqrt_iswap, swap,
+};

@@ -1,0 +1,229 @@
+//! Single-qubit gate matrices and Euler-angle synthesis.
+//!
+//! Conventions follow OpenQASM/Qiskit:
+//! `RZ(θ) = exp(−iθZ/2)`, `RY(θ) = exp(−iθY/2)`, `RX(θ) = exp(−iθX/2)`, and
+//! `U(θ,φ,λ) = RZ(φ)·RY(θ)·RZ(λ)` up to global phase.
+
+use mirage_math::{Complex64, Mat2};
+
+/// Pauli X.
+pub fn x() -> Mat2 {
+    Mat2::from_real(0.0, 1.0, 1.0, 0.0)
+}
+
+/// Pauli Y.
+pub fn y() -> Mat2 {
+    Mat2::new(
+        Complex64::ZERO,
+        -Complex64::I,
+        Complex64::I,
+        Complex64::ZERO,
+    )
+}
+
+/// Pauli Z.
+pub fn z() -> Mat2 {
+    Mat2::from_real(1.0, 0.0, 0.0, -1.0)
+}
+
+/// Hadamard.
+pub fn h() -> Mat2 {
+    Mat2::hadamard_like()
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> Mat2 {
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::I,
+    )
+}
+
+/// S†.
+pub fn sdg() -> Mat2 {
+    s().adjoint()
+}
+
+/// T = diag(1, e^{iπ/4}).
+pub fn t() -> Mat2 {
+    phase(std::f64::consts::FRAC_PI_4)
+}
+
+/// T†.
+pub fn tdg() -> Mat2 {
+    t().adjoint()
+}
+
+/// Phase gate diag(1, e^{iλ}).
+pub fn phase(lambda: f64) -> Mat2 {
+    Mat2::new(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::cis(lambda),
+    )
+}
+
+/// `RX(θ) = exp(−iθX/2)`.
+pub fn rx(theta: f64) -> Mat2 {
+    let c = Complex64::real((theta / 2.0).cos());
+    let s = Complex64::new(0.0, -(theta / 2.0).sin());
+    Mat2::new(c, s, s, c)
+}
+
+/// `RY(θ) = exp(−iθY/2)`.
+pub fn ry(theta: f64) -> Mat2 {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Mat2::from_real(c, -s, s, c)
+}
+
+/// `RZ(θ) = exp(−iθZ/2) = diag(e^{−iθ/2}, e^{iθ/2})`.
+pub fn rz(theta: f64) -> Mat2 {
+    Mat2::new(
+        Complex64::cis(-theta / 2.0),
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::cis(theta / 2.0),
+    )
+}
+
+/// General single-qubit unitary from ZYZ Euler angles:
+/// `U(θ,φ,λ) = RZ(φ)·RY(θ)·RZ(λ)` (determinant 1; SU(2)).
+pub fn u_zyz(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    rz(phi).mul(&ry(theta)).mul(&rz(lambda))
+}
+
+/// Extract ZYZ Euler angles and a global phase from an arbitrary 2×2
+/// unitary: returns `(θ, φ, λ, α)` with
+/// `U = e^{iα} · RZ(φ) · RY(θ) · RZ(λ)`.
+///
+/// The decomposition is exact for any unitary input (not only SU(2)).
+///
+/// # Panics
+///
+/// Does not panic; for non-unitary input the reconstruction simply will not
+/// match.
+pub fn euler_zyz(u: &Mat2) -> (f64, f64, f64, f64) {
+    // Normalize into SU(2): divide by sqrt(det).
+    let det = u.det();
+    let det_sqrt = det.sqrt();
+    let su = u.scale(det_sqrt.inv());
+    let alpha0 = det_sqrt.arg();
+
+    // SU(2) form: [[cos(θ/2)e^{-i(φ+λ)/2}, -sin(θ/2)e^{-i(φ-λ)/2}],
+    //              [sin(θ/2)e^{ i(φ-λ)/2},  cos(θ/2)e^{ i(φ+λ)/2}]]
+    let c = su.e[0][0].abs().clamp(0.0, 1.0);
+    let theta = 2.0 * c.acos();
+
+    let (phi, lam) = if su.e[0][0].abs() > su.e[1][0].abs() {
+        // cos branch dominant
+        let sum = 2.0 * su.e[1][1].arg(); // φ+λ
+        if su.e[1][0].abs() < 1e-12 {
+            // Diagonal: only φ+λ defined; put everything in λ.
+            (0.0, sum)
+        } else {
+            let diff = 2.0 * su.e[1][0].arg(); // φ-λ
+            ((sum + diff) / 2.0, (sum - diff) / 2.0)
+        }
+    } else {
+        // sin branch dominant
+        let diff = 2.0 * su.e[1][0].arg();
+        if su.e[1][1].abs() < 1e-12 {
+            // Anti-diagonal: only φ−λ defined.
+            (diff, 0.0)
+        } else {
+            let sum = 2.0 * su.e[1][1].arg();
+            ((sum + diff) / 2.0, (sum - diff) / 2.0)
+        }
+    };
+
+    (theta, phi, lam, alpha0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_math::Rng;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn rotations_are_unitary() {
+        for theta in [-2.0, -0.5, 0.0, 0.3, 1.7, 3.14] {
+            assert!(rx(theta).is_unitary(TOL));
+            assert!(ry(theta).is_unitary(TOL));
+            assert!(rz(theta).is_unitary(TOL));
+        }
+    }
+
+    #[test]
+    fn rotation_composition() {
+        let a = rz(0.4).mul(&rz(0.6));
+        assert!(a.approx_eq(&rz(1.0), TOL));
+        let b = ry(-0.7).mul(&ry(0.7));
+        assert!(b.approx_eq(&Mat2::identity(), TOL));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(rx(std::f64::consts::PI).approx_eq_up_to_phase(&x(), TOL));
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let lhs = h().mul(&x()).mul(&h());
+        assert!(lhs.approx_eq(&z(), TOL));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        assert!(s().mul(&s()).approx_eq(&z(), TOL));
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        assert!(t().mul(&t()).approx_eq(&s(), TOL));
+    }
+
+    #[test]
+    fn euler_roundtrip_special_cases() {
+        let cases = [
+            Mat2::identity(),
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            t(),
+            rx(1.1),
+            ry(-2.2),
+            rz(0.123),
+            phase(2.5),
+        ];
+        for (i, u) in cases.iter().enumerate() {
+            let (theta, phi, lam, alpha) = euler_zyz(u);
+            let rec = u_zyz(theta, phi, lam).scale(Complex64::cis(alpha));
+            assert!(rec.approx_eq(u, 1e-9), "case {i} failed:\n{u}\nvs\n{rec}");
+        }
+    }
+
+    #[test]
+    fn euler_roundtrip_random() {
+        let mut rng = Rng::new(1234);
+        for _ in 0..200 {
+            let u = crate::haar::haar_1q(&mut rng);
+            let (theta, phi, lam, alpha) = euler_zyz(&u);
+            let rec = u_zyz(theta, phi, lam).scale(Complex64::cis(alpha));
+            assert!(rec.approx_eq(&u, 1e-9));
+        }
+    }
+
+    #[test]
+    fn u_zyz_det_is_one() {
+        let u = u_zyz(0.3, 1.2, -0.8);
+        assert!(u.det().approx_eq(Complex64::ONE, TOL));
+    }
+}

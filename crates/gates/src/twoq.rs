@@ -1,0 +1,309 @@
+//! Two-qubit gate matrices: the iSWAP family, canonical gates, and the
+//! magic-basis transformation underlying the Weyl-chamber machinery.
+//!
+//! Canonical convention: `CAN(a,b,c) = exp(i(a·XX + b·YY + c·ZZ))`, giving
+//! the coordinates used throughout the paper:
+//!
+//! | gate | coordinates |
+//! |------|-------------|
+//! | identity | (0, 0, 0) |
+//! | CNOT / CZ / CPHASE(π) | (π/4, 0, 0) |
+//! | iSWAP / CNS | (π/4, π/4, 0) |
+//! | SWAP | (π/4, π/4, π/4) |
+//! | iSWAP^α | (απ/4, απ/4, 0) |
+//! | B gate | (π/4, π/8, 0) |
+
+use mirage_math::{Complex64, Mat4};
+
+/// CNOT with the **high** qubit (`q1`) as control.
+pub fn cnot() -> Mat4 {
+    let mut m = Mat4::zero();
+    m.e[0][0] = Complex64::ONE;
+    m.e[1][1] = Complex64::ONE;
+    m.e[2][3] = Complex64::ONE;
+    m.e[3][2] = Complex64::ONE;
+    m
+}
+
+/// Controlled-Z (symmetric in its qubits).
+pub fn cz() -> Mat4 {
+    Mat4::diag([
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::real(-1.0),
+    ])
+}
+
+/// Controlled-phase `diag(1,1,1,e^{iθ})`.
+pub fn cphase(theta: f64) -> Mat4 {
+    Mat4::diag([
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::cis(theta),
+    ])
+}
+
+/// SWAP.
+pub fn swap() -> Mat4 {
+    Mat4::swap()
+}
+
+/// iSWAP: swaps `|01⟩ ↔ |10⟩` with a phase of `i`.
+pub fn iswap() -> Mat4 {
+    let mut m = Mat4::zero();
+    m.e[0][0] = Complex64::ONE;
+    m.e[1][2] = Complex64::I;
+    m.e[2][1] = Complex64::I;
+    m.e[3][3] = Complex64::ONE;
+    m
+}
+
+/// The fractional iSWAP family: `iSWAP^α = CAN(απ/4, απ/4, 0)` exactly
+/// (α = 1 is iSWAP, α = 1/2 is √iSWAP, and so on).
+pub fn iswap_alpha(alpha: f64) -> Mat4 {
+    let t = alpha * std::f64::consts::FRAC_PI_4;
+    can(t, t, 0.0)
+}
+
+/// √iSWAP.
+pub fn sqrt_iswap() -> Mat4 {
+    iswap_alpha(0.5)
+}
+
+/// CNS = CNOT followed by SWAP (`SWAP · CNOT` as a matrix); locally
+/// equivalent to iSWAP — the paper's flagship mirror gate.
+pub fn cns() -> Mat4 {
+    swap().mul(&cnot())
+}
+
+/// Parametric SWAP family: `pSWAP(θ) = SWAP · CPHASE(θ)`, the mirror of the
+/// CPHASE family (paper Fig. 6). `pSWAP(π) = iSWAP` up to local gates;
+/// `pSWAP(0) = SWAP`.
+pub fn pswap(theta: f64) -> Mat4 {
+    swap().mul(&cphase(theta))
+}
+
+/// `RXX(θ) = exp(−iθ/2·XX)`.
+pub fn rxx(theta: f64) -> Mat4 {
+    can(-theta / 2.0, 0.0, 0.0)
+}
+
+/// `RYY(θ) = exp(−iθ/2·YY)`.
+pub fn ryy(theta: f64) -> Mat4 {
+    can(0.0, -theta / 2.0, 0.0)
+}
+
+/// `RZZ(θ) = exp(−iθ/2·ZZ)`.
+pub fn rzz(theta: f64) -> Mat4 {
+    can(0.0, 0.0, -theta / 2.0)
+}
+
+/// The magic (Bell) basis transformation `B`: columns are the magic states.
+/// Conjugating a local gate `A⊗B` by `B` yields a real orthogonal matrix —
+/// the foundation of the KAK decomposition and the Weyl coordinates.
+///
+/// This is the standard choice (as used by Cirq/Qiskit):
+/// `B = 1/√2 · [[1,0,0,i], [0,i,1,0], [0,i,−1,0], [1,0,0,−i]]`.
+pub fn magic_basis() -> Mat4 {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let o = Complex64::real(s);
+    let i = Complex64::new(0.0, s);
+    let zero = Complex64::ZERO;
+    Mat4::from_rows([
+        [o, zero, zero, i],
+        [zero, i, o, zero],
+        [zero, i, -o, zero],
+        [o, zero, zero, -i],
+    ])
+}
+
+/// The four eigenphases of `CAN(a,b,c)` on the magic-basis states, in the
+/// column order of [`magic_basis`]: the diagonal of `B† · CAN · B`.
+pub fn xx_yy_zz_phases(a: f64, b: f64, c: f64) -> [f64; 4] {
+    // Magic columns are (in order): Φ+ ~ (|00⟩+|11⟩), i(|01⟩+|10⟩),
+    // (|01⟩−|10⟩), i(|00⟩−|11⟩) — eigenvectors of XX,YY,ZZ with signs
+    // (+,−,+), (+,+,−), (−,−,−), (−,+,+).
+    [a - b + c, a + b - c, -a - b - c, -a + b + c]
+}
+
+/// The canonical two-qubit gate `CAN(a,b,c) = exp(i(a·XX + b·YY + c·ZZ))`,
+/// built in closed form through the magic basis (no matrix exponential
+/// needed: the generator is diagonal there).
+pub fn can(a: f64, b: f64, c: f64) -> Mat4 {
+    let phases = xx_yy_zz_phases(a, b, c);
+    let d = Mat4::diag([
+        Complex64::cis(phases[0]),
+        Complex64::cis(phases[1]),
+        Complex64::cis(phases[2]),
+        Complex64::cis(phases[3]),
+    ]);
+    let bm = magic_basis();
+    bm.mul(&d).mul(&bm.adjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oneq;
+    use mirage_math::{Mat2, Rng};
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn all_gates_unitary() {
+        let gates = [
+            cnot(),
+            cz(),
+            swap(),
+            iswap(),
+            sqrt_iswap(),
+            iswap_alpha(1.0 / 3.0),
+            iswap_alpha(0.25),
+            cns(),
+            cphase(0.7),
+            pswap(1.3),
+            rxx(0.5),
+            ryy(-1.1),
+            rzz(2.2),
+            can(0.3, 0.2, 0.1),
+            magic_basis(),
+        ];
+        for (i, g) in gates.iter().enumerate() {
+            assert!(g.is_unitary(TOL), "gate {i} not unitary");
+        }
+    }
+
+    #[test]
+    fn cnot_squared_is_identity() {
+        assert!(cnot().mul(&cnot()).approx_eq(&Mat4::identity(), TOL));
+    }
+
+    #[test]
+    fn iswap_alpha_composes() {
+        let half = sqrt_iswap();
+        assert!(half.mul(&half).approx_eq_up_to_phase(&iswap(), TOL));
+        let quarter = iswap_alpha(0.25);
+        let q4 = quarter.mul(&quarter).mul(&quarter).mul(&quarter);
+        assert!(q4.approx_eq_up_to_phase(&iswap(), TOL));
+    }
+
+    #[test]
+    fn iswap_matches_canonical() {
+        let from_can = iswap_alpha(1.0);
+        assert!(from_can.approx_eq_up_to_phase(&iswap(), TOL));
+    }
+
+    #[test]
+    fn cphase_pi_is_cz() {
+        assert!(cphase(std::f64::consts::PI).approx_eq(&cz(), TOL));
+    }
+
+    #[test]
+    fn pswap_zero_is_swap() {
+        assert!(pswap(0.0).approx_eq(&swap(), TOL));
+    }
+
+    #[test]
+    fn cns_is_swap_times_cnot() {
+        // |10⟩ → CNOT → |11⟩ → SWAP → |11⟩; |01⟩ → |01⟩ → |10⟩.
+        let m = cns();
+        assert!(m.e[3][2].approx_eq(Complex64::ONE, TOL));
+        assert!(m.e[2][1].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn magic_basis_is_unitary_and_realifies_locals() {
+        let bm = magic_basis();
+        assert!(bm.is_unitary(TOL));
+        let mut rng = Rng::new(77);
+        for _ in 0..20 {
+            let a = crate::haar::haar_1q(&mut rng);
+            let b = crate::haar::haar_1q(&mut rng);
+            // Normalize to SU(2) so the conjugated matrix is exactly real
+            // (U(2) global phases would leave a complex scalar behind).
+            let a = a.scale(a.det().sqrt().inv());
+            let b = b.scale(b.det().sqrt().inv());
+            let local = Mat4::kron(&a, &b);
+            let conj = local.conjugate_by(&bm);
+            for row in &conj.e {
+                for v in row {
+                    assert!(v.im.abs() < 1e-9, "imag part {} too large", v.im);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn can_is_diagonal_in_magic_basis() {
+        let g = can(0.4, 0.25, 0.1);
+        let bm = magic_basis();
+        let d = g.conjugate_by(&bm);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(d.e[i][j].abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn can_pi4_xx_is_cnot_class() {
+        // CAN(π/4,0,0) should be locally equivalent to CNOT: the spectra of
+        // G = (B†UB)ᵀ(B†UB) (with U normalized into SU(4)) agree as
+        // multisets — this is the complete local invariant underlying the
+        // Weyl coordinates.
+        fn magic_spectrum(u: &Mat4) -> Vec<f64> {
+            let bm = magic_basis();
+            let m = u.to_special().conjugate_by(&bm);
+            let g = m.transpose().mul(&m);
+            let mut phases: Vec<f64> = mirage_math::eig::eigvals4(&g)
+                .iter()
+                .map(|z| z.arg())
+                .collect();
+            phases.sort_by(f64::total_cmp);
+            phases
+        }
+        let a = magic_spectrum(&can(std::f64::consts::FRAC_PI_4, 0.0, 0.0));
+        let b = magic_spectrum(&cnot());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn rzz_is_diagonal() {
+        let g = rzz(0.9);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(g.e[i][j].abs() < TOL);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rxx_hermitian_generator_symmetry() {
+        // RXX(θ)† = RXX(−θ)
+        assert!(rxx(0.8).adjoint().approx_eq(&rxx(-0.8), TOL));
+    }
+
+    #[test]
+    fn cnot_action_on_basis() {
+        // control = high qubit: |10⟩ → |11⟩.
+        let m = cnot();
+        assert!(m.e[3][2].approx_eq(Complex64::ONE, TOL));
+        assert!(m.e[2][3].approx_eq(Complex64::ONE, TOL));
+        assert!(m.e[0][0].approx_eq(Complex64::ONE, TOL));
+        assert!(m.e[1][1].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn local_kron_helpers() {
+        let u = Mat4::kron(&oneq::h(), &oneq::h());
+        assert!(u.is_unitary(TOL));
+    }
+}

@@ -1,0 +1,327 @@
+//! Double-precision complex scalar.
+//!
+//! A minimal, dependency-free replacement for `num_complex::Complex64` with
+//! the operations the Weyl-chamber and decomposition machinery needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` in double precision.
+///
+/// ```
+/// use mirage_math::Complex64;
+/// let i = Complex64::I;
+/// assert!((i * i + Complex64::ONE).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Construct from Cartesian parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Construct a purely real value.
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Construct `r·e^{iθ}` from polar form.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (cheaper than [`Complex64::abs`]).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; returns non-finite parts if `self` is zero, matching
+    /// IEEE-754 division semantics.
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        Complex64::new(self.re / n, -self.im / n)
+    }
+
+    /// Complex exponential `e^{self}`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::from_polar(r, self.im)
+    }
+
+    /// Principal square root (branch cut on the negative real axis).
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex64::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Principal `n`-th root via polar form.
+    pub fn nth_root(self, n: u32) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex64::from_polar(r.powf(1.0 / f64::from(n)), theta / f64::from(n))
+    }
+
+    /// Raise to a real power via polar form.
+    pub fn powf(self, p: f64) -> Self {
+        if self == Complex64::ZERO {
+            return Complex64::ZERO;
+        }
+        Complex64::from_polar(self.abs().powf(p), self.arg() * p)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// True when both parts are within `tol` of `other`'s.
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// True when both parts are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!((z + Complex64::ZERO).approx_eq(z, TOL));
+        assert!((z * Complex64::ONE).approx_eq(z, TOL));
+        assert!((z - z).approx_eq(Complex64::ZERO, TOL));
+        assert!((z * z.inv()).approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex64::I * Complex64::I).approx_eq(Complex64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 1.234;
+        let a = (Complex64::I * theta).exp();
+        let b = Complex64::cis(theta);
+        assert!(a.approx_eq(b, TOL));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = (Complex64::I * std::f64::consts::PI).exp();
+        assert!(z.approx_eq(Complex64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(2.0, 3.0), (-1.0, 0.5), (0.0, -2.0), (4.0, 0.0)] {
+            let z = Complex64::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-10), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn nth_root_of_unit_phase() {
+        let z = Complex64::cis(1.2);
+        let r = z.nth_root(4);
+        assert!((r.arg() - 0.3).abs() < TOL);
+        assert!((r.abs() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn powf_matches_repeated_mul() {
+        let z = Complex64::new(0.6, 0.8);
+        let p = z.powf(3.0);
+        let m = z * z * z;
+        assert!(p.approx_eq(m, 1e-10));
+    }
+
+    #[test]
+    fn division() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        let q = a / b;
+        assert!((q * b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex64::new(1.5, -2.5);
+        assert!((z * z.conj()).approx_eq(Complex64::real(z.norm_sqr()), TOL));
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex64 = (0..4).map(|k| Complex64::cis(std::f64::consts::FRAC_PI_2 * k as f64)).sum();
+        // 1 + i - 1 - i = 0
+        assert!(total.approx_eq(Complex64::ZERO, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        let s = format!("{}", Complex64::new(1.0, -2.0));
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,381 @@
+//! Eigen-solvers for the 4×4 matrices used by the Weyl machinery.
+//!
+//! Two routines:
+//!
+//! * [`eigvals4`] — eigenvalues of a general complex 4×4 matrix via the
+//!   Faddeev–LeVerrier characteristic polynomial and Durand–Kerner roots.
+//!   Used to read off the canonical coordinates of a two-qubit unitary.
+//! * [`jacobi_sym4`] / [`simultaneous_diag4`] — classical Jacobi rotation
+//!   eigensolver for real symmetric 4×4 matrices, and simultaneous
+//!   diagonalization of a commuting symmetric pair. Used by the full KAK
+//!   decomposition, where `MᵀM` (in the magic basis) is complex symmetric
+//!   unitary so its real and imaginary parts commute.
+
+use crate::poly::roots_monic;
+use crate::{Complex64, Mat4};
+
+/// Eigenvalues of a complex 4×4 matrix (unordered).
+///
+/// Coefficients of the characteristic polynomial are produced by the
+/// Faddeev–LeVerrier recursion from traces of matrix powers, then all four
+/// roots are found simultaneously.
+pub fn eigvals4(m: &Mat4) -> [Complex64; 4] {
+    // p(λ) = λ⁴ + c3 λ³ + c2 λ² + c1 λ + c0 via Newton's identities:
+    // e1 = t1
+    // e2 = (e1 t1 - t2)/2
+    // e3 = (e2 t1 - e1 t2 + t3)/3
+    // e4 = (e3 t1 - e2 t2 + e1 t3 - t4)/4
+    // ck = (-1)^{4-k} e_{4-k}
+    let m2 = m.mul(m);
+    let m3 = m2.mul(m);
+    let m4 = m3.mul(m);
+    let t1 = m.trace();
+    let t2 = m2.trace();
+    let t3 = m3.trace();
+    let t4 = m4.trace();
+
+    let e1 = t1;
+    let e2 = (e1 * t1 - t2).scale(0.5);
+    let e3 = (e2 * t1 - e1 * t2 + t3).scale(1.0 / 3.0);
+    let e4 = (e3 * t1 - e2 * t2 + e1 * t3 - t4).scale(0.25);
+
+    let coeffs = [e4, -e3, e2, -e1]; // [c0, c1, c2, c3]
+    let roots = roots_monic(&coeffs);
+    [roots[0], roots[1], roots[2], roots[3]]
+}
+
+/// Result of a real symmetric eigendecomposition: `a = V · diag(vals) · Vᵀ`
+/// with `V` orthogonal (columns are eigenvectors).
+#[derive(Debug, Clone)]
+pub struct SymEig4 {
+    /// Eigenvalues, in the order matching `vecs` columns.
+    pub vals: [f64; 4],
+    /// Orthogonal matrix whose columns are eigenvectors.
+    pub vecs: [[f64; 4]; 4],
+}
+
+/// Classical Jacobi eigensolver for a real symmetric 4×4 matrix.
+///
+/// Converges to machine precision in a handful of sweeps for 4×4 inputs.
+pub fn jacobi_sym4(a0: [[f64; 4]; 4]) -> SymEig4 {
+    let mut a = a0;
+    let mut v = [[0.0f64; 4]; 4];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for _sweep in 0..64 {
+        // Largest off-diagonal element.
+        let mut off = 0.0f64;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                off = off.max(a[i][j].abs());
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..4 {
+            for q in (p + 1)..4 {
+                if a[p][q].abs() < 1e-16 {
+                    continue;
+                }
+                // Standard Jacobi rotation eliminating a[p][q].
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for k in 0..4 {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..4 {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..4 {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    SymEig4 {
+        vals: [a[0][0], a[1][1], a[2][2], a[3][3]],
+        vecs: v,
+    }
+}
+
+/// Multiply two real 4×4 matrices.
+fn rmul(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let mut out = [[0.0f64; 4]; 4];
+    for i in 0..4 {
+        for k in 0..4 {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// Transpose a real 4×4 matrix.
+fn rtrans(a: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let mut out = [[0.0f64; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[j][i] = a[i][j];
+        }
+    }
+    out
+}
+
+/// Largest off-diagonal magnitude of `Pᵀ A P`.
+fn offdiag_after(p: &[[f64; 4]; 4], a: &[[f64; 4]; 4]) -> f64 {
+    let d = rmul(&rtrans(p), &rmul(a, p));
+    let mut off = 0.0f64;
+    for i in 0..4 {
+        for j in 0..4 {
+            if i != j {
+                off = off.max(d[i][j].abs());
+            }
+        }
+    }
+    off
+}
+
+/// Simultaneously diagonalize two commuting real symmetric 4×4 matrices.
+///
+/// Returns an orthogonal `P` (with `det P = +1`) such that both `Pᵀ·a·P` and
+/// `Pᵀ·b·P` are diagonal to within `tol`. The strategy diagonalizes random
+/// combinations `a + t·b`; for commuting pairs a generic combination has a
+/// simple spectrum whose eigenbasis diagonalizes both.
+///
+/// # Errors
+///
+/// Returns `None` if no tried combination achieves the tolerance (only
+/// happens if the inputs do not actually commute).
+pub fn simultaneous_diag4(
+    a: &[[f64; 4]; 4],
+    b: &[[f64; 4]; 4],
+    tol: f64,
+) -> Option<[[f64; 4]; 4]> {
+    // Deterministic sequence of mixing parameters. Irrational-ish spacing
+    // avoids systematically colliding eigenvalues.
+    let ts = [
+        0.618_033_988_75,
+        1.414_213_562_37,
+        0.267_949_192_43,
+        2.236_067_977_50,
+        0.101_321_183_64,
+        3.302_775_637_73,
+        0.777_777_777_78,
+        5.123_105_625_62,
+    ];
+    for &t in &ts {
+        let mut mix = [[0.0f64; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                mix[i][j] = a[i][j] + t * b[i][j];
+            }
+        }
+        let eig = jacobi_sym4(mix);
+        let mut p = eig.vecs;
+        // Force det(P) = +1 so P ∈ SO(4) (needed by the KAK magic-basis
+        // correspondence SO(4) ≅ SU(2)⊗SU(2)).
+        if rdet4(&p) < 0.0 {
+            for row in p.iter_mut() {
+                row[0] = -row[0];
+            }
+        }
+        if offdiag_after(&p, a) < tol && offdiag_after(&p, b) < tol {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Determinant of a real 4×4 matrix (LU with partial pivoting).
+pub fn rdet4(a0: &[[f64; 4]; 4]) -> f64 {
+    let mut a = *a0;
+    let mut det = 1.0f64;
+    for col in 0..4 {
+        let mut piv = col;
+        for r in (col + 1)..4 {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if a[piv][col] == 0.0 {
+            return 0.0;
+        }
+        if piv != col {
+            a.swap(piv, col);
+            det = -det;
+        }
+        det *= a[col][col];
+        for r in (col + 1)..4 {
+            let f = a[r][col] / a[col][col];
+            for c in col..4 {
+                a[r][c] -= f * a[col][c];
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mat2, Rng};
+
+    #[test]
+    fn eigvals_of_diagonal() {
+        let d = Mat4::diag([
+            Complex64::real(1.0),
+            Complex64::real(-2.0),
+            Complex64::I,
+            Complex64::new(0.5, 0.5),
+        ]);
+        let mut vals = eigvals4(&d).to_vec();
+        for expect in [
+            Complex64::real(1.0),
+            Complex64::real(-2.0),
+            Complex64::I,
+            Complex64::new(0.5, 0.5),
+        ] {
+            let pos = vals
+                .iter()
+                .position(|v| (*v - expect).abs() < 1e-8)
+                .unwrap_or_else(|| panic!("eigenvalue {expect} missing"));
+            vals.remove(pos);
+        }
+    }
+
+    #[test]
+    fn eigvals_of_swap() {
+        // SWAP has eigenvalues {1, 1, 1, -1}.
+        let vals = eigvals4(&Mat4::swap());
+        let pos = vals.iter().filter(|v| (**v - Complex64::ONE).abs() < 1e-5).count();
+        let neg = vals
+            .iter()
+            .filter(|v| (**v + Complex64::ONE).abs() < 1e-5)
+            .count();
+        assert_eq!((pos, neg), (3, 1), "{vals:?}");
+    }
+
+    #[test]
+    fn eigvals_product_is_det() {
+        let u = Mat4::kron(&Mat2::hadamard_like(), &Mat2::from_real(0.0, 1.0, 1.0, 0.0));
+        let vals = eigvals4(&u);
+        let prod = vals.iter().fold(Complex64::ONE, |a, &b| a * b);
+        assert!(prod.approx_eq(u.det(), 1e-8));
+    }
+
+    #[test]
+    fn jacobi_reconstructs() {
+        let a = [
+            [4.0, 1.0, 0.5, 0.0],
+            [1.0, 3.0, 0.2, 0.1],
+            [0.5, 0.2, 2.0, 0.3],
+            [0.0, 0.1, 0.3, 1.0],
+        ];
+        let e = jacobi_sym4(a);
+        // Rebuild V D Vᵀ.
+        let mut d = [[0.0f64; 4]; 4];
+        for i in 0..4 {
+            d[i][i] = e.vals[i];
+        }
+        let rec = rmul(&e.vecs, &rmul(&d, &rtrans(&e.vecs)));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((rec[i][j] - a[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_orthogonal_vectors() {
+        let a = [
+            [1.0, 2.0, 0.0, 0.0],
+            [2.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 5.0, 1.0],
+            [0.0, 0.0, 1.0, 5.0],
+        ];
+        let e = jacobi_sym4(a);
+        let vtv = rmul(&rtrans(&e.vecs), &e.vecs);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[i][j] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_diag_commuting_pair() {
+        // Build a commuting pair: both diagonal in the same random basis.
+        let mut rng = Rng::new(7);
+        // Random rotation via product of Jacobi-style rotations.
+        let mut p = [[0.0f64; 4]; 4];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let theta = rng.uniform_range(0.0, std::f64::consts::TAU);
+                let (s, c) = theta.sin_cos();
+                for row in p.iter_mut() {
+                    let xi = row[i];
+                    let xj = row[j];
+                    row[i] = c * xi - s * xj;
+                    row[j] = s * xi + c * xj;
+                }
+            }
+        }
+        let da = [1.0, 2.0, 3.0, 4.0];
+        let db = [-1.0, 0.5, 0.5, 2.0]; // degenerate pair in b
+        let mk = |d: [f64; 4]| {
+            let mut m = [[0.0f64; 4]; 4];
+            for i in 0..4 {
+                m[i][i] = d[i];
+            }
+            rmul(&p, &rmul(&m, &rtrans(&p)))
+        };
+        let a = mk(da);
+        let b = mk(db);
+        let q = simultaneous_diag4(&a, &b, 1e-8).expect("commuting pair must diagonalize");
+        assert!(offdiag_after(&q, &a) < 1e-8);
+        assert!(offdiag_after(&q, &b) < 1e-8);
+        assert!((rdet4(&q) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rdet_of_rotation_is_one() {
+        let c = 0.6;
+        let s = 0.8;
+        let r = [
+            [c, -s, 0.0, 0.0],
+            [s, c, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        assert!((rdet4(&r) - 1.0).abs() < 1e-12);
+    }
+}

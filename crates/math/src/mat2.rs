@@ -1,0 +1,308 @@
+//! 2×2 complex matrices (single-qubit operators).
+
+use crate::Complex64;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A 2×2 complex matrix in row-major order.
+///
+/// Used throughout the workspace for single-qubit unitaries.
+///
+/// ```
+/// use mirage_math::Mat2;
+/// let h = Mat2::hadamard_like();
+/// assert!(h.is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    /// Row-major entries `[[a,b],[c,d]]` flattened.
+    pub e: [[Complex64; 2]; 2],
+}
+
+impl Default for Mat2 {
+    fn default() -> Self {
+        Mat2::zero()
+    }
+}
+
+impl Mat2 {
+    /// All-zero matrix.
+    pub fn zero() -> Self {
+        Mat2 {
+            e: [[Complex64::ZERO; 2]; 2],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity() -> Self {
+        let mut m = Mat2::zero();
+        m.e[0][0] = Complex64::ONE;
+        m.e[1][1] = Complex64::ONE;
+        m
+    }
+
+    /// Build from four entries, row-major.
+    pub fn new(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Self {
+        Mat2 { e: [[a, b], [c, d]] }
+    }
+
+    /// Build from real entries.
+    pub fn from_real(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Mat2::new(
+            Complex64::real(a),
+            Complex64::real(b),
+            Complex64::real(c),
+            Complex64::real(d),
+        )
+    }
+
+    /// The normalized Hadamard-like matrix `1/√2 [[1,1],[1,-1]]`; used in
+    /// doctests and as a handy unitary fixture.
+    pub fn hadamard_like() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Mat2::from_real(s, s, s, -s)
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn mul(self, rhs: &Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = Complex64::ZERO;
+                for k in 0..2 {
+                    acc += self.e[i][k] * rhs.e[k][j];
+                }
+                out.e[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                out.e[j][i] = self.e[i][j].conj();
+            }
+        }
+        out
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                out.e[j][i] = self.e[i][j];
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Mat2 {
+        let mut out = *self;
+        for row in out.e.iter_mut() {
+            for v in row.iter_mut() {
+                *v = v.conj();
+            }
+        }
+        out
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> Complex64 {
+        self.e[0][0] * self.e[1][1] - self.e[0][1] * self.e[1][0]
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> Complex64 {
+        self.e[0][0] + self.e[1][1]
+    }
+
+    /// Scale every entry by a complex factor.
+    pub fn scale(&self, k: Complex64) -> Mat2 {
+        let mut out = *self;
+        for row in out.e.iter_mut() {
+            for v in row.iter_mut() {
+                *v = *v * k;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.e
+            .iter()
+            .flatten()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// True when `‖self†·self − I‖∞ ≤ tol` entry-wise.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.adjoint().mul(self).approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        for i in 0..2 {
+            for j in 0..2 {
+                if !self.e[i][j].approx_eq(other.e[i][j], tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Approximate equality up to a global phase: finds the largest entry of
+    /// `self`, aligns phases there, then compares.
+    pub fn approx_eq_up_to_phase(&self, other: &Mat2, tol: f64) -> bool {
+        let mut best = (0usize, 0usize);
+        let mut best_mag = -1.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                let m = self.e[i][j].abs();
+                if m > best_mag {
+                    best_mag = m;
+                    best = (i, j);
+                }
+            }
+        }
+        if best_mag < tol {
+            return self.approx_eq(other, tol);
+        }
+        let (i, j) = best;
+        if other.e[i][j].abs() < tol {
+            return false;
+        }
+        let phase = self.e[i][j] / other.e[i][j];
+        self.approx_eq(&other.scale(phase), tol)
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    fn add(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                out.e[i][j] = self.e[i][j] + rhs.e[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    fn sub(self, rhs: Mat2) -> Mat2 {
+        let mut out = Mat2::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                out.e[i][j] = self.e[i][j] - rhs.e[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        Mat2::mul(self, &rhs)
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.e {
+            writeln!(f, "[{} {}]", row[0], row[1])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn pauli_x() -> Mat2 {
+        Mat2::from_real(0.0, 1.0, 1.0, 0.0)
+    }
+
+    fn pauli_y() -> Mat2 {
+        Mat2::new(
+            Complex64::ZERO,
+            -Complex64::I,
+            Complex64::I,
+            Complex64::ZERO,
+        )
+    }
+
+    fn pauli_z() -> Mat2 {
+        Mat2::from_real(1.0, 0.0, 0.0, -1.0)
+    }
+
+    #[test]
+    fn identity_is_unitary() {
+        assert!(Mat2::identity().is_unitary(TOL));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_involutive() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_unitary(TOL));
+            assert!(p.mul(&p).approx_eq(&Mat2::identity(), TOL));
+        }
+    }
+
+    #[test]
+    fn pauli_commutation_xy_equals_iz() {
+        let lhs = pauli_x().mul(&pauli_y());
+        let rhs = pauli_z().scale(Complex64::I);
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn det_of_paulis() {
+        assert!(pauli_x().det().approx_eq(Complex64::real(-1.0), TOL));
+        assert!(pauli_y().det().approx_eq(Complex64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn trace_linear() {
+        let a = pauli_x();
+        let b = pauli_z();
+        let t = (a + b).trace();
+        assert!(t.approx_eq(a.trace() + b.trace(), TOL));
+    }
+
+    #[test]
+    fn adjoint_reverses_product() {
+        let a = Mat2::hadamard_like();
+        let b = pauli_y();
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn phase_insensitive_compare() {
+        let a = Mat2::hadamard_like();
+        let b = a.scale(Complex64::cis(0.9));
+        assert!(b.approx_eq_up_to_phase(&a, 1e-10));
+        assert!(!b.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn fro_norm_of_identity() {
+        assert!((Mat2::identity().fro_norm() - 2f64.sqrt()).abs() < TOL);
+    }
+}

@@ -1,0 +1,229 @@
+//! Derivative-free minimization: Nelder–Mead simplex.
+//!
+//! Two customers in this workspace:
+//!
+//! * the coverage builder, which maximizes support functions of reachable
+//!   regions to pin down polytope vertices, and
+//! * the numerical decomposer (`mirage-synth`), which fits interleaved
+//!   single-qubit parameters to match a target unitary (the paper's
+//!   "numerical decomposition" of §III-A).
+//!
+//! The implementation is the standard adaptive Nelder–Mead with restarts
+//! left to the caller.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NmOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub step: f64,
+}
+
+impl Default for NmOptions {
+    fn default() -> Self {
+        NmOptions {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            step: 0.5,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+}
+
+/// Minimize `f` starting from `x0` with the Nelder–Mead simplex method.
+///
+/// Deterministic given the same inputs. Returns the best point seen.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(mut f: F, x0: &[f64], opts: &NmOptions) -> NmResult {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead requires at least one parameter");
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Adaptive coefficients (Gao & Han) help in higher dimensions.
+    let nf = n as f64;
+    let alpha = 1.0;
+    let beta = 1.0 + 2.0 / nf;
+    let gamma = 0.75 - 1.0 / (2.0 * nf);
+    let delta = 1.0 - 1.0 / nf;
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += opts.step;
+        let fx = eval(&x, &mut evals);
+        simplex.push((x, fx));
+    }
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.f_tol {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0f64; n];
+        for (x, _) in simplex.iter().take(n) {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= nf;
+        }
+        let worst = simplex[n].clone();
+
+        let blend = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = blend(alpha);
+        let fr = eval(&xr, &mut evals);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = blend(beta);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            continue;
+        }
+        if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+            continue;
+        }
+        // Contraction (outside or inside).
+        let (xc, fc) = if fr < worst.1 {
+            let xc = blend(gamma);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        } else {
+            let xc = blend(-gamma);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        };
+        if fc < worst.1.min(fr) {
+            simplex[n] = (xc, fc);
+            continue;
+        }
+        // Shrink toward the best.
+        let best = simplex[0].0.clone();
+        for entry in simplex.iter_mut().skip(1) {
+            let x: Vec<f64> = best
+                .iter()
+                .zip(&entry.0)
+                .map(|(b, v)| b + delta * (v - b))
+                .collect();
+            let fx = eval(&x, &mut evals);
+            *entry = (x, fx);
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    NmResult {
+        x: simplex[0].0.clone(),
+        fx: simplex[0].1,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NmOptions::default(),
+        );
+        assert!(r.fx < 1e-8, "fx = {}", r.fx);
+        assert!((r.x[0] - 3.0).abs() < 1e-4);
+        assert!((r.x[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            a * a + 100.0 * b * b
+        };
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            &NmOptions {
+                max_evals: 5000,
+                ..NmOptions::default()
+            },
+        );
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn handles_higher_dimensions() {
+        let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let x0 = vec![1.0; 12];
+        let r = nelder_mead(
+            sphere,
+            &x0,
+            &NmOptions {
+                max_evals: 20_000,
+                f_tol: 1e-14,
+                step: 0.5,
+            },
+        );
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x[0] * x[0]
+            },
+            &[5.0],
+            &NmOptions {
+                max_evals: 100,
+                f_tol: 0.0,
+                step: 0.1,
+            },
+        );
+        assert!(count <= 110, "count = {count}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter")]
+    fn empty_input_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], &NmOptions::default());
+    }
+}

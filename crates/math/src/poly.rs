@@ -1,0 +1,268 @@
+//! Complex polynomial root finding.
+//!
+//! The Weyl-coordinate computation needs all four eigenvalues of a 4×4
+//! complex matrix, which we obtain as the roots of its characteristic
+//! polynomial. Durand–Kerner (Weierstrass) iteration finds all roots of a
+//! monic polynomial simultaneously and behaves well for the unitary spectra
+//! we feed it (roots on the unit circle, possibly repeated); we finish with
+//! a few Newton polish steps per root.
+
+use crate::Complex64;
+
+/// Evaluate a monic polynomial with the given lower-order coefficients
+/// (`coeffs[k]` multiplies `z^k`, leading coefficient 1 implied) at `z`.
+pub fn eval_monic(coeffs: &[Complex64], z: Complex64) -> Complex64 {
+    // Horner: ((1·z + c_{n-1})·z + ... )·z + c_0
+    let mut acc = Complex64::ONE;
+    for &c in coeffs.iter().rev() {
+        acc = acc * z + c;
+    }
+    acc
+}
+
+/// Derivative of the same monic polynomial at `z`.
+pub fn eval_monic_deriv(coeffs: &[Complex64], z: Complex64) -> Complex64 {
+    let n = coeffs.len();
+    let mut acc = Complex64::real(n as f64);
+    for k in (1..n).rev() {
+        acc = acc * z + coeffs[k] * (k as f64);
+    }
+    acc
+}
+
+/// Find all roots of the monic polynomial `z^n + c_{n-1} z^{n-1} + … + c_0`
+/// given `coeffs = [c_0, …, c_{n-1}]`.
+///
+/// Uses Durand–Kerner iteration from non-symmetric starting points, followed
+/// by Newton polishing. Handles `n ≤ 8`; the workspace only uses `n = 4`.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty.
+pub fn roots_monic(coeffs: &[Complex64]) -> Vec<Complex64> {
+    let n = coeffs.len();
+    assert!(n >= 1, "roots_monic needs at least degree 1");
+    if n == 1 {
+        return vec![-coeffs[0]];
+    }
+    if n == 2 {
+        return quadratic_roots(coeffs[1], coeffs[0]);
+    }
+
+    // Initial guesses: points on a circle of radius ≈ root magnitude bound,
+    // rotated by an irrational-ish offset to break symmetry.
+    let bound = 1.0 + coeffs.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+    let mut zs: Vec<Complex64> = (0..n)
+        .map(|k| {
+            Complex64::from_polar(
+                bound * 0.9,
+                0.4 + std::f64::consts::TAU * k as f64 / n as f64,
+            )
+        })
+        .collect();
+
+    for _iter in 0..200 {
+        let mut max_step = 0.0f64;
+        for i in 0..n {
+            let zi = zs[i];
+            let mut denom = Complex64::ONE;
+            for (j, &zj) in zs.iter().enumerate() {
+                if j != i {
+                    denom *= zi - zj;
+                }
+            }
+            if denom.abs() < 1e-300 {
+                // Perturb collided estimates.
+                zs[i] = zi + Complex64::new(1e-8, 1e-8);
+                max_step = f64::MAX;
+                continue;
+            }
+            let step = eval_monic(coeffs, zi) / denom;
+            zs[i] = zi - step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-14 {
+            break;
+        }
+    }
+
+    // Newton polish for extra accuracy.
+    for z in zs.iter_mut() {
+        for _ in 0..4 {
+            let f = eval_monic(coeffs, *z);
+            let df = eval_monic_deriv(coeffs, *z);
+            if df.abs() < 1e-14 {
+                break;
+            }
+            let step = f / df;
+            if !step.is_finite() || step.abs() > 1.0 {
+                break;
+            }
+            *z = *z - step;
+        }
+    }
+    zs
+}
+
+/// Roots of the monic quadratic `z² + b z + c`, numerically stable form.
+pub fn quadratic_roots(b: Complex64, c: Complex64) -> Vec<Complex64> {
+    let disc = (b * b - c * 4.0).sqrt();
+    // Choose sign to avoid cancellation: q = -(b + sign·disc)/2 with
+    // sign matching b's direction.
+    let s = if (b + disc).abs() >= (b - disc).abs() {
+        b + disc
+    } else {
+        b - disc
+    };
+    if s.abs() < 1e-300 {
+        // b ≈ disc ≈ 0: double root at 0... or pure ±sqrt(-c).
+        let r = (-c + Complex64::ZERO).sqrt();
+        return vec![r, -r];
+    }
+    let q = s.scale(-0.5);
+    vec![q, c / q]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn poly_from_roots(roots: &[Complex64]) -> Vec<Complex64> {
+        // Expand Π (z - r_k) into monic coefficients [c_0..c_{n-1}].
+        let mut coeffs = vec![Complex64::ONE]; // constant poly 1
+        for &r in roots {
+            let mut next = vec![Complex64::ZERO; coeffs.len() + 1];
+            for (k, &c) in coeffs.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] -= c * r;
+            }
+            coeffs = next;
+        }
+        // coeffs currently includes the leading 1; strip it.
+        coeffs.pop();
+        coeffs
+    }
+
+    fn assert_same_multiset(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let mut used = vec![false; b.len()];
+        for &x in a {
+            let mut found = false;
+            for (j, &y) in b.iter().enumerate() {
+                if !used[j] && (x - y).abs() < tol {
+                    used[j] = true;
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "root {x} not matched within {tol}");
+        }
+    }
+
+    #[test]
+    fn quadratic_simple() {
+        // z² - 3z + 2 = (z-1)(z-2)
+        let roots = quadratic_roots(Complex64::real(-3.0), Complex64::real(2.0));
+        assert_same_multiset(
+            &roots,
+            &[Complex64::real(1.0), Complex64::real(2.0)],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        // z² + 1 = (z-i)(z+i)
+        let roots = quadratic_roots(Complex64::ZERO, Complex64::ONE);
+        assert_same_multiset(&roots, &[Complex64::I, -Complex64::I], 1e-12);
+    }
+
+    #[test]
+    fn quartic_distinct_real() {
+        let expected = [
+            Complex64::real(1.0),
+            Complex64::real(-2.0),
+            Complex64::real(3.0),
+            Complex64::real(0.5),
+        ];
+        let coeffs = poly_from_roots(&expected);
+        let roots = roots_monic(&coeffs);
+        assert_same_multiset(&roots, &expected, 1e-8);
+    }
+
+    #[test]
+    fn quartic_unit_circle() {
+        // Typical spectrum of the Weyl-coordinate computation.
+        let expected = [
+            Complex64::cis(0.3),
+            Complex64::cis(-0.3),
+            Complex64::cis(2.0),
+            Complex64::cis(-2.0),
+        ];
+        let coeffs = poly_from_roots(&expected);
+        let roots = roots_monic(&coeffs);
+        assert_same_multiset(&roots, &expected, 1e-8);
+    }
+
+    #[test]
+    fn quartic_with_double_root() {
+        let expected = [
+            Complex64::cis(0.5),
+            Complex64::cis(0.5),
+            Complex64::cis(-1.1),
+            Complex64::cis(2.7),
+        ];
+        let coeffs = poly_from_roots(&expected);
+        let roots = roots_monic(&coeffs);
+        // Repeated roots converge slower; tolerate looser matching.
+        assert_same_multiset(&roots, &expected, 1e-5);
+    }
+
+    #[test]
+    fn quartic_identity_spectrum() {
+        // All roots equal — the spectrum of the identity. Durand–Kerner has a
+        // hard time with quadruple roots; accuracy degrades like ε^{1/4}, so
+        // use a correspondingly loose tolerance (the Weyl pipeline handles
+        // this case upstream by special-casing near-identity gates).
+        let expected = [Complex64::ONE; 4];
+        let coeffs = poly_from_roots(&expected);
+        let roots = roots_monic(&coeffs);
+        assert_same_multiset(&roots, &expected, 2e-3);
+    }
+
+    #[test]
+    fn random_quartics_roundtrip() {
+        let mut rng = Rng::new(99);
+        for _ in 0..50 {
+            let expected: Vec<Complex64> = (0..4)
+                .map(|_| Complex64::new(rng.uniform_range(-2.0, 2.0), rng.uniform_range(-2.0, 2.0)))
+                .collect();
+            let coeffs = poly_from_roots(&expected);
+            let roots = roots_monic(&coeffs);
+            assert_same_multiset(&roots, &expected, 1e-6);
+        }
+    }
+
+    #[test]
+    fn degree_one() {
+        let roots = roots_monic(&[Complex64::real(5.0)]);
+        assert_same_multiset(&roots, &[Complex64::real(-5.0)], 1e-12);
+    }
+
+    #[test]
+    fn eval_monic_horner() {
+        // z² - 3z + 2 at z = 4 → 16 - 12 + 2 = 6
+        let c = [Complex64::real(2.0), Complex64::real(-3.0)];
+        let v = eval_monic(&c, Complex64::real(4.0));
+        assert!(v.approx_eq(Complex64::real(6.0), 1e-12));
+    }
+
+    #[test]
+    fn eval_monic_deriv_correct() {
+        // d/dz (z² - 3z + 2) = 2z - 3 at z = 4 → 5
+        let c = [Complex64::real(2.0), Complex64::real(-3.0)];
+        let v = eval_monic_deriv(&c, Complex64::real(4.0));
+        assert!(v.approx_eq(Complex64::real(5.0), 1e-12));
+    }
+}

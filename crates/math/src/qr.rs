@@ -1,0 +1,138 @@
+//! QR factorization of 4×4 complex matrices.
+//!
+//! Used to project Ginibre samples onto the unitary group when drawing
+//! Haar-random two-qubit gates (Mezzadri's recipe): factor `A = QR`, then
+//! rescale `Q` by the phases of `diag(R)` so the distribution is exactly
+//! Haar.
+
+use crate::{Complex64, Mat4};
+
+/// Modified Gram–Schmidt QR factorization `m = Q·R`.
+///
+/// `Q` is unitary, `R` upper triangular. Returns `None` when a column is
+/// (numerically) linearly dependent, which has probability zero for the
+/// random inputs this is used on.
+pub fn qr4(m: &Mat4) -> Option<(Mat4, Mat4)> {
+    // Work on columns.
+    let mut cols: [[Complex64; 4]; 4] = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in m.e.iter().enumerate() {
+        for j in 0..4 {
+            cols[j][i] = row[j];
+        }
+    }
+
+    let mut q: [[Complex64; 4]; 4] = [[Complex64::ZERO; 4]; 4];
+    let mut r = Mat4::zero();
+
+    for j in 0..4 {
+        let mut v = cols[j];
+        for k in 0..j {
+            // r[k][j] = q_k† · v
+            let mut dot = Complex64::ZERO;
+            for i in 0..4 {
+                dot += q[k][i].conj() * v[i];
+            }
+            r.e[k][j] = dot;
+            for i in 0..4 {
+                v[i] -= dot * q[k][i];
+            }
+        }
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return None;
+        }
+        r.e[j][j] = Complex64::real(norm);
+        for i in 0..4 {
+            q[j][i] = v[i] / norm;
+        }
+    }
+
+    // q currently stores rows = orthonormal columns; transpose into Mat4.
+    let mut qm = Mat4::zero();
+    for j in 0..4 {
+        for i in 0..4 {
+            qm.e[i][j] = q[j][i];
+        }
+    }
+    Some((qm, r))
+}
+
+/// Fix the phases of a QR factor pair so that `Q` is Haar-distributed when
+/// the input was a Ginibre sample: multiply each column of `Q` by the phase
+/// of the corresponding diagonal entry of `R`.
+pub fn haar_fix(q: &Mat4, r: &Mat4) -> Mat4 {
+    let mut out = *q;
+    for j in 0..4 {
+        let d = r.e[j][j];
+        let mag = d.abs();
+        let phase = if mag > 0.0 { d / mag } else { Complex64::ONE };
+        for i in 0..4 {
+            out.e[i][j] = out.e[i][j] * phase;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn random_mat4(rng: &mut Rng) -> Mat4 {
+        let mut m = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                m.e[i][j] = Complex64::new(rng.gaussian(), rng.gaussian());
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = Rng::new(5);
+        for _ in 0..20 {
+            let m = random_mat4(&mut rng);
+            let (q, r) = qr4(&m).expect("random matrix is full rank");
+            assert!(q.mul(&r).approx_eq(&m, 1e-9));
+        }
+    }
+
+    #[test]
+    fn q_is_unitary() {
+        let mut rng = Rng::new(6);
+        for _ in 0..20 {
+            let m = random_mat4(&mut rng);
+            let (q, _) = qr4(&m).unwrap();
+            assert!(q.is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = Rng::new(8);
+        let m = random_mat4(&mut rng);
+        let (_, r) = qr4(&m).unwrap();
+        for i in 1..4 {
+            for j in 0..i {
+                assert!(r.e[i][j].abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn haar_fix_preserves_unitarity() {
+        let mut rng = Rng::new(9);
+        let m = random_mat4(&mut rng);
+        let (q, r) = qr4(&m).unwrap();
+        let u = haar_fix(&q, &r);
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn singular_input_rejected() {
+        let mut m = Mat4::zero();
+        m.e[0][0] = Complex64::ONE; // rank 1
+        assert!(qr4(&m).is_none());
+    }
+}

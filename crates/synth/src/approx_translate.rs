@@ -1,0 +1,215 @@
+//! Fidelity-aware (approximate) basis translation — the circuit-level
+//! counterpart of the paper's Algorithm 1.
+//!
+//! For each two-qubit block, the exact depth `k` from the coverage set sets
+//! a fidelity threshold `F(k·duration)`; every cheaper depth is tried with
+//! the numerical optimizer, and the cheapest one whose *total* fidelity
+//! (decomposition × decoherence) beats the threshold wins. This is how the
+//! paper combines approximation with mirrors for the ~9% infidelity
+//! reduction headline.
+
+use crate::decompose::{decompose, DecompOptions, Decomposition};
+use crate::translate::merge_1q_runs;
+use mirage_circuit::{Circuit, Gate};
+use mirage_coverage::haar::FidelityModel;
+use mirage_coverage::set::CoverageSet;
+use mirage_math::Mat2;
+use mirage_weyl::coords::coords_of;
+use std::collections::HashMap;
+
+/// Statistics from an approximate translation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproxTranslationStats {
+    /// Basis pulses emitted.
+    pub pulses: usize,
+    /// Blocks where a cheaper approximate decomposition was accepted.
+    pub approximated_blocks: usize,
+    /// Total blocks translated.
+    pub total_blocks: usize,
+    /// Product of the chosen decompositions' fidelities (the approximation
+    /// part of circuit infidelity; decoherence comes on top).
+    pub decomposition_fidelity: f64,
+    /// Sum of emitted pulse durations.
+    pub pulse_time: f64,
+}
+
+/// Translate with a per-block fidelity trade-off (see module docs).
+pub fn translate_circuit_approx(
+    c: &Circuit,
+    set: &CoverageSet,
+    model: &FidelityModel,
+    opts: &DecompOptions,
+) -> (Circuit, ApproxTranslationStats) {
+    let basis = &set.basis;
+    let mut out = Circuit::new(c.n_qubits);
+    let mut stats = ApproxTranslationStats {
+        decomposition_fidelity: 1.0,
+        ..Default::default()
+    };
+    let mut cache: HashMap<[i64; 32], (Decomposition, bool)> = HashMap::new();
+
+    for instr in &c.instructions {
+        if !instr.gate.is_two_qubit() {
+            out.push(instr.gate.clone(), &instr.qubits);
+            continue;
+        }
+        stats.total_blocks += 1;
+        let u = instr.gate.matrix2();
+        let key = matrix_key(&u);
+        let (d, approximated) = cache
+            .entry(key)
+            .or_insert_with(|| {
+                let w = coords_of(&u);
+                let exact_k = set.min_k(&w).unwrap_or(set.max_level().k);
+                let exact = decompose(&u, &basis.unitary, exact_k, opts);
+                let threshold =
+                    exact.fidelity * model.circuit_fidelity(exact_k as f64 * basis.duration);
+                // Try cheaper depths, cheapest first.
+                for k in 1..exact_k {
+                    let trial = decompose(&u, &basis.unitary, k, opts);
+                    let total =
+                        trial.fidelity * model.circuit_fidelity(k as f64 * basis.duration);
+                    if total > threshold {
+                        return (trial, true);
+                    }
+                }
+                (exact, false)
+            })
+            .clone();
+
+        if approximated {
+            stats.approximated_blocks += 1;
+        }
+        stats.decomposition_fidelity *= d.fidelity;
+        let locals = d.locals();
+        let (hi, lo) = (instr.qubits[0], instr.qubits[1]);
+        for g in (0..=d.k).rev() {
+            let (lh, ll) = locals[g];
+            push_1q(&mut out, lh, hi);
+            push_1q(&mut out, ll, lo);
+            if g > 0 {
+                out.push(Gate::ISwapPow(basis.duration), &[hi, lo]);
+                stats.pulses += 1;
+                stats.pulse_time += basis.duration;
+            }
+        }
+    }
+
+    (merge_1q_runs(&out), stats)
+}
+
+fn matrix_key(m: &mirage_math::Mat4) -> [i64; 32] {
+    let mut key = [0i64; 32];
+    let mut idx = 0;
+    for row in &m.e {
+        for v in row {
+            key[idx] = (v.re * 1e9).round() as i64;
+            key[idx + 1] = (v.im * 1e9).round() as i64;
+            idx += 2;
+        }
+    }
+    key
+}
+
+fn push_1q(c: &mut Circuit, m: Mat2, q: usize) {
+    if m.approx_eq_up_to_phase(&Mat2::identity(), 1e-10) {
+        return;
+    }
+    c.push(Gate::Unitary1(m), &[q]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_circuit::sim::{run, State};
+    use mirage_coverage::set::{BasisGate, CoverageOptions};
+    use mirage_gates::can;
+    use mirage_math::PI_4;
+
+    fn sqrt_iswap_set() -> CoverageSet {
+        CoverageSet::build(
+            BasisGate::iswap_root(2),
+            &CoverageOptions {
+                max_k: 3,
+                samples_per_k: 700,
+                inflation: 0.012,
+                mirrors: false,
+                seed: 0xA712,
+            },
+        )
+    }
+
+    fn opts(seed: u64) -> DecompOptions {
+        DecompOptions {
+            restarts: 5,
+            evals_per_restart: 5000,
+            infidelity_target: 1e-9,
+            seed,
+        }
+    }
+
+    #[test]
+    fn exact_blocks_stay_exact() {
+        // CNOT has an exact k=2 fit; nothing cheaper can beat the
+        // threshold, so no approximation happens.
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let (t, stats) =
+            translate_circuit_approx(&c, &set, &FidelityModel::paper_default(), &opts(1));
+        assert_eq!(stats.approximated_blocks, 0);
+        assert_eq!(stats.pulses, 2);
+        assert!(stats.decomposition_fidelity > 1.0 - 1e-6);
+        assert!(mirage_circuit::sim::equivalent_on_zero(&c, &t, None));
+    }
+
+    #[test]
+    fn near_boundary_gate_gets_approximated() {
+        // A gate just outside the k=2 region (slightly more SWAP-like than
+        // any 2-pulse circuit can express) with a very noisy model: the
+        // 2-pulse approximation wins over the exact 3-pulse circuit.
+        let noisy = FidelityModel { t1: 4.0 }; // extremely short-lived qubits
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(2);
+        let w = (PI_4, PI_4, 0.35 * PI_4); // near the k=2 boundary, inside k=3
+        c.push(Gate::Unitary2(can(w.0, w.1, w.2)), &[0, 1]);
+        let (_, stats) =
+            translate_circuit_approx(&c, &set, &noisy, &opts(2));
+        assert_eq!(stats.total_blocks, 1);
+        assert_eq!(
+            stats.approximated_blocks, 1,
+            "noisy model should prefer the cheaper approximate fit"
+        );
+        assert_eq!(stats.pulses, 2);
+        assert!(stats.decomposition_fidelity < 1.0 - 1e-6);
+        assert!(stats.decomposition_fidelity > 0.8);
+    }
+
+    #[test]
+    fn good_qubits_prefer_exact() {
+        // Same boundary gate, but with the paper's T1: the exact 3-pulse
+        // circuit wins (0.5 extra duration only costs ~0.5% fidelity).
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(2);
+        c.push(Gate::Unitary2(can(PI_4, PI_4, 0.35 * PI_4)), &[0, 1]);
+        let (t, stats) =
+            translate_circuit_approx(&c, &set, &FidelityModel::paper_default(), &opts(3));
+        assert_eq!(stats.approximated_blocks, 0);
+        assert_eq!(stats.pulses, 3);
+        // And the output is the exact gate.
+        let sa = run(&c);
+        let sb: State = run(&t);
+        assert!(sa.fidelity(&sb) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn cache_shares_decisions() {
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 1);
+        let (_, stats) =
+            translate_circuit_approx(&c, &set, &FidelityModel::paper_default(), &opts(4));
+        assert_eq!(stats.total_blocks, 3);
+        assert_eq!(stats.pulses, 6);
+    }
+}

@@ -1,0 +1,248 @@
+//! Numerical decomposition of a two-qubit target into `k` applications of a
+//! basis gate interleaved with single-qubit unitaries (paper §III-A).
+//!
+//! The ansatz is the Cartan-style ladder of paper Fig. 2:
+//!
+//! ```text
+//! (L₀ᵃ⊗L₀ᵇ) · B · (L₁ᵃ⊗L₁ᵇ) · B · … · B · (Lₖᵃ⊗Lₖᵇ)
+//! ```
+//!
+//! with `6(k+1)` real parameters (a ZYZ triple per local). Parameters are
+//! fitted by Nelder–Mead restarts against the average-gate-fidelity
+//! objective; the fit is phase-insensitive.
+
+use mirage_math::optimize::{nelder_mead, NmOptions};
+use mirage_math::{Mat4, Rng};
+
+use mirage_gates::oneq::u_zyz;
+
+/// Options for [`decompose`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecompOptions {
+    /// Number of Nelder–Mead restarts from random initial parameters.
+    pub restarts: usize,
+    /// Objective-evaluation budget per restart.
+    pub evals_per_restart: usize,
+    /// Stop early once `1 − fidelity` falls below this.
+    pub infidelity_target: f64,
+    /// RNG seed for the restart initializations.
+    pub seed: u64,
+}
+
+impl Default for DecompOptions {
+    fn default() -> Self {
+        DecompOptions {
+            restarts: 6,
+            evals_per_restart: 6000,
+            infidelity_target: 1e-9,
+            seed: 0xDEC0,
+        }
+    }
+}
+
+/// A fitted decomposition.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Number of basis-gate applications.
+    pub k: usize,
+    /// Fitted parameters: `6(k+1)` ZYZ angles (see module docs for layout).
+    pub params: Vec<f64>,
+    /// Average gate fidelity of the fit (1.0 = exact up to phase).
+    pub fidelity: f64,
+}
+
+impl Decomposition {
+    /// Rebuild the ansatz unitary from the fitted parameters.
+    pub fn unitary(&self, basis: &Mat4) -> Mat4 {
+        ansatz_unitary(basis, self.k, &self.params)
+    }
+
+    /// The interleaved local pairs as 2×2 matrices: `k+1` pairs
+    /// `(high, low)`, outermost first.
+    pub fn locals(&self) -> Vec<(mirage_math::Mat2, mirage_math::Mat2)> {
+        (0..=self.k)
+            .map(|g| {
+                let o = 6 * g;
+                (
+                    u_zyz(self.params[o], self.params[o + 1], self.params[o + 2]),
+                    u_zyz(self.params[o + 3], self.params[o + 4], self.params[o + 5]),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Build the ansatz unitary `L₀·B·L₁·B·…·B·Lₖ` (applied right-to-left, so
+/// `L₀` is the *last* layer in time).
+pub fn ansatz_unitary(basis: &Mat4, k: usize, params: &[f64]) -> Mat4 {
+    assert_eq!(params.len(), 6 * (k + 1), "parameter count mismatch");
+    let local = |g: usize| {
+        let o = 6 * g;
+        Mat4::kron(
+            &u_zyz(params[o], params[o + 1], params[o + 2]),
+            &u_zyz(params[o + 3], params[o + 4], params[o + 5]),
+        )
+    };
+    let mut u = local(0);
+    for g in 1..=k {
+        u = u.mul(basis).mul(&local(g));
+    }
+    u
+}
+
+/// Fit a depth-`k` ansatz of `basis` to `target`.
+///
+/// Always returns the best fit found; check [`Decomposition::fidelity`]
+/// against your own threshold to decide whether it counts as exact.
+pub fn decompose(target: &Mat4, basis: &Mat4, k: usize, opts: &DecompOptions) -> Decomposition {
+    let mut rng = Rng::new(opts.seed);
+    let dim = 6 * (k + 1);
+    let mut best: Option<Decomposition> = None;
+
+    for _restart in 0..opts.restarts {
+        let x0: Vec<f64> = (0..dim)
+            .map(|_| rng.uniform_range(0.0, std::f64::consts::TAU))
+            .collect();
+        let objective = |x: &[f64]| {
+            let v = ansatz_unitary(basis, k, x);
+            1.0 - v.average_gate_fidelity(target)
+        };
+        let r = nelder_mead(
+            objective,
+            &x0,
+            &NmOptions {
+                max_evals: opts.evals_per_restart,
+                f_tol: opts.infidelity_target / 10.0,
+                step: 0.8,
+            },
+        );
+        let fid = 1.0 - r.fx;
+        let better = best.as_ref().map(|b| fid > b.fidelity).unwrap_or(true);
+        if better {
+            best = Some(Decomposition {
+                k,
+                params: r.x,
+                fidelity: fid,
+            });
+        }
+        if let Some(b) = &best {
+            if 1.0 - b.fidelity < opts.infidelity_target {
+                break;
+            }
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+/// Convenience: best achievable fidelity for a depth-`k` fit (the callback
+/// shape expected by `mirage_coverage::approx` / Algorithm 1).
+pub fn fit_fidelity(target: &Mat4, basis: &Mat4, k: usize, opts: &DecompOptions) -> f64 {
+    decompose(target, basis, k, opts).fidelity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_gates::{cnot, cns, haar_2q, iswap, sqrt_iswap, swap};
+
+    fn quick_opts(seed: u64) -> DecompOptions {
+        DecompOptions {
+            restarts: 8,
+            evals_per_restart: 8000,
+            infidelity_target: 1e-8,
+            seed,
+        }
+    }
+
+    #[test]
+    fn cnot_from_two_sqrt_iswap() {
+        // Paper Fig. 1a: CNOT = two √iSWAPs plus locals.
+        let d = decompose(&cnot(), &sqrt_iswap(), 2, &quick_opts(1));
+        assert!(
+            d.fidelity > 1.0 - 1e-6,
+            "CNOT @ k=2 fidelity = {}",
+            d.fidelity
+        );
+        let rec = d.unitary(&sqrt_iswap());
+        assert!(rec.average_gate_fidelity(&cnot()) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn cns_from_two_sqrt_iswap() {
+        // Paper Fig. 1b: CNOT+SWAP also needs only two √iSWAPs.
+        let d = decompose(&cns(), &sqrt_iswap(), 2, &quick_opts(2));
+        assert!(
+            d.fidelity > 1.0 - 1e-6,
+            "CNS @ k=2 fidelity = {}",
+            d.fidelity
+        );
+    }
+
+    #[test]
+    fn iswap_from_two_sqrt_iswap() {
+        let d = decompose(&iswap(), &sqrt_iswap(), 2, &quick_opts(3));
+        assert!(d.fidelity > 1.0 - 1e-6, "fidelity = {}", d.fidelity);
+    }
+
+    #[test]
+    fn swap_needs_three_sqrt_iswap() {
+        let two = decompose(&swap(), &sqrt_iswap(), 2, &quick_opts(4));
+        assert!(
+            two.fidelity < 1.0 - 1e-3,
+            "SWAP must NOT fit k=2 (got {})",
+            two.fidelity
+        );
+        let three = decompose(&swap(), &sqrt_iswap(), 3, &quick_opts(5));
+        assert!(
+            three.fidelity > 1.0 - 1e-6,
+            "SWAP @ k=3 fidelity = {}",
+            three.fidelity
+        );
+    }
+
+    #[test]
+    fn cnot_not_reachable_with_one_application() {
+        let d = decompose(&cnot(), &sqrt_iswap(), 1, &quick_opts(6));
+        assert!(d.fidelity < 0.999, "fidelity = {}", d.fidelity);
+    }
+
+    #[test]
+    fn haar_targets_at_k3() {
+        // Three √iSWAPs cover the whole chamber: any Haar target fits.
+        let mut rng = Rng::new(77);
+        for i in 0..3 {
+            let target = haar_2q(&mut rng);
+            let d = decompose(&target, &sqrt_iswap(), 3, &quick_opts(10 + i));
+            assert!(
+                d.fidelity > 1.0 - 1e-4,
+                "target {i} @ k=3 fidelity = {}",
+                d.fidelity
+            );
+        }
+    }
+
+    #[test]
+    fn locals_are_su2() {
+        let d = decompose(&cnot(), &sqrt_iswap(), 2, &quick_opts(8));
+        for (a, b) in d.locals() {
+            assert!(a.is_unitary(1e-9));
+            assert!(b.is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn ansatz_parameter_count_checked() {
+        let r = std::panic::catch_unwind(|| {
+            ansatz_unitary(&sqrt_iswap(), 2, &[0.0; 5]);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fit_fidelity_matches_decompose() {
+        let opts = quick_opts(9);
+        let f = fit_fidelity(&iswap(), &sqrt_iswap(), 2, &opts);
+        let d = decompose(&iswap(), &sqrt_iswap(), 2, &opts);
+        assert!((f - d.fidelity).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Numerical decomposition into a basis gate, basis translation of whole
+//! circuits, and the decoherence error model.
+//!
+//! This crate is the "decomposition" half of the paper's co-design: given a
+//! two-qubit target and a basis gate (√iSWAP and friends), find the
+//! interleaved single-qubit dressing that realizes — or best approximates —
+//! the target with `k` basis applications (paper §III-A "numerical
+//! decomposition"). On top of that:
+//!
+//! * [`translate`] — rewrite a routed circuit into `{basis, 1Q}` form,
+//!   caching one ansatz fit per canonical-coordinate class and re-dressing
+//!   it with per-instance KAK locals (the pulse sequences of paper Fig. 8).
+//! * [`fidelity`] — the decoherence model of Eq. 2 applied to circuits:
+//!   gate fidelity `e^{−duration/T1}`, circuit fidelity from the total gate
+//!   time, and duration-weighted critical paths.
+
+pub mod approx_translate;
+pub mod decompose;
+pub mod fidelity;
+pub mod translate;
+
+pub use approx_translate::{translate_circuit_approx, ApproxTranslationStats};
+pub use decompose::{decompose, DecompOptions, Decomposition};
+pub use fidelity::CircuitFidelity;
+pub use translate::{translate_circuit, TranslationStats};

@@ -1,0 +1,251 @@
+//! Basis translation: rewrite a circuit into `{iSWAP^α, 1Q}` form.
+//!
+//! The paper adds √iSWAP decomposition rules to Qiskit's equivalence
+//! library for final circuit output (§V); here every two-qubit block is
+//! numerically decomposed into the basis (depth chosen by the coverage
+//! set), with a cache keyed on the (quantized) block matrix so repeated
+//! gates — every CX in a circuit, every mirror block — are fitted once.
+
+use crate::decompose::{decompose, DecompOptions};
+use mirage_circuit::{Circuit, Gate};
+use mirage_coverage::set::CoverageSet;
+use mirage_math::{Mat2, Mat4};
+use mirage_weyl::coords::coords_of;
+use std::collections::HashMap;
+
+/// Statistics from a translation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslationStats {
+    /// Number of basis-gate applications emitted.
+    pub pulses: usize,
+    /// Worst residual infidelity across all fitted blocks.
+    pub worst_infidelity: f64,
+    /// Number of unique blocks actually fitted (cache misses).
+    pub unique_blocks: usize,
+    /// Number of blocks served from the cache.
+    pub cache_hits: usize,
+}
+
+fn matrix_key(m: &Mat4) -> [i64; 32] {
+    let mut key = [0i64; 32];
+    let mut idx = 0;
+    for row in &m.e {
+        for v in row {
+            key[idx] = (v.re * 1e9).round() as i64;
+            key[idx + 1] = (v.im * 1e9).round() as i64;
+            idx += 2;
+        }
+    }
+    key
+}
+
+/// Translate `c` into the coverage set's basis gate plus 1Q unitaries.
+///
+/// Decomposition depth for each block is the coverage set's `min_k`
+/// (falling back to one level deeper when the numerical fit misses the
+/// `1e−7` infidelity bar — hull inflation can misjudge points right on a
+/// region boundary).
+pub fn translate_circuit(
+    c: &Circuit,
+    set: &CoverageSet,
+    opts: &DecompOptions,
+) -> (Circuit, TranslationStats) {
+    let basis = &set.basis;
+    let alpha = basis.duration; // iSWAP^α duration = α by construction
+    let mut out = Circuit::new(c.n_qubits);
+    let mut stats = TranslationStats::default();
+    let mut cache: HashMap<[i64; 32], crate::decompose::Decomposition> = HashMap::new();
+
+    for instr in &c.instructions {
+        if !instr.gate.is_two_qubit() {
+            out.push(instr.gate.clone(), &instr.qubits);
+            continue;
+        }
+        let u = instr.gate.matrix2();
+        let key = matrix_key(&u);
+        let d = if let Some(hit) = cache.get(&key) {
+            stats.cache_hits += 1;
+            hit.clone()
+        } else {
+            let w = coords_of(&u);
+            let k0 = set.min_k(&w).unwrap_or(set.max_level().k);
+            let mut best = decompose(&u, &basis.unitary, k0, opts);
+            let mut k = k0;
+            while best.fidelity < 1.0 - 1e-7 && k < set.max_level().k + 1 {
+                k += 1;
+                let retry = decompose(&u, &basis.unitary, k, opts);
+                if retry.fidelity > best.fidelity {
+                    best = retry;
+                }
+            }
+            stats.unique_blocks += 1;
+            cache.insert(key, best.clone());
+            best
+        };
+        stats.worst_infidelity = stats.worst_infidelity.max(1.0 - d.fidelity);
+
+        // Emit right-to-left: U = L₀·B·L₁·…·B·Lₖ applies Lₖ first.
+        let locals = d.locals();
+        let (hi, lo) = (instr.qubits[0], instr.qubits[1]);
+        for g in (0..=d.k).rev() {
+            let (lh, ll) = locals[g];
+            push_1q(&mut out, lh, hi);
+            push_1q(&mut out, ll, lo);
+            if g > 0 {
+                out.push(Gate::ISwapPow(alpha_of(basis)), &[hi, lo]);
+                stats.pulses += 1;
+            }
+        }
+        let _ = alpha;
+    }
+
+    (merge_1q_runs(&out), stats)
+}
+
+fn alpha_of(basis: &mirage_coverage::set::BasisGate) -> f64 {
+    // iSWAP^α has duration α in the paper's normalization.
+    basis.duration
+}
+
+fn push_1q(c: &mut Circuit, m: Mat2, q: usize) {
+    if m.approx_eq_up_to_phase(&Mat2::identity(), 1e-10) {
+        return;
+    }
+    c.push(Gate::Unitary1(m), &[q]);
+}
+
+/// Merge consecutive single-qubit unitaries on the same wire and drop the
+/// ones that collapse to identity.
+pub fn merge_1q_runs(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.n_qubits);
+    let mut pending: Vec<Option<Mat2>> = vec![None; c.n_qubits];
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            if !m.approx_eq_up_to_phase(&Mat2::identity(), 1e-10) {
+                out.push(Gate::Unitary1(m), &[q]);
+            }
+        }
+    };
+    for instr in &c.instructions {
+        match instr.qubits.len() {
+            1 => {
+                let q = instr.qubits[0];
+                let m = instr.gate.matrix1();
+                pending[q] = Some(match pending[q] {
+                    Some(acc) => m.mul(&acc),
+                    None => m,
+                });
+            }
+            2 => {
+                for &q in &instr.qubits {
+                    flush(&mut out, &mut pending, q);
+                }
+                out.push(instr.gate.clone(), &instr.qubits);
+            }
+            _ => unreachable!(),
+        }
+    }
+    for q in 0..c.n_qubits {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_circuit::sim::equivalent_on_zero;
+    use mirage_coverage::set::{BasisGate, CoverageOptions};
+
+    fn sqrt_iswap_set() -> CoverageSet {
+        let opts = CoverageOptions {
+            max_k: 3,
+            samples_per_k: 700,
+            inflation: 0.012,
+            mirrors: false,
+            seed: 71,
+        };
+        CoverageSet::build(BasisGate::iswap_root(2), &opts)
+    }
+
+    fn opts(seed: u64) -> DecompOptions {
+        DecompOptions {
+            restarts: 8,
+            evals_per_restart: 8000,
+            infidelity_target: 1e-9,
+            seed,
+        }
+    }
+
+    #[test]
+    fn single_cx_translates_to_two_pulses() {
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let (t, stats) = translate_circuit(&c, &set, &opts(1));
+        assert_eq!(stats.pulses, 2, "CNOT = 2 √iSWAPs (paper Fig. 1a)");
+        assert!(stats.worst_infidelity < 1e-6);
+        assert!(equivalent_on_zero(&c, &t, None));
+        // Only basis + 1Q gates remain.
+        for i in &t.instructions {
+            assert!(
+                matches!(i.gate, Gate::ISwapPow(_) | Gate::Unitary1(_)),
+                "unexpected gate {:?}",
+                i.gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn swap_translates_to_three_pulses() {
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let (t, stats) = translate_circuit(&c, &set, &opts(2));
+        assert_eq!(stats.pulses, 3, "SWAP = 3 √iSWAPs");
+        assert!(equivalent_on_zero(&c, &t, None));
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_gates() {
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(0, 1);
+        let (_, stats) = translate_circuit(&c, &set, &opts(3));
+        assert_eq!(stats.unique_blocks, 1, "all CX share one fit");
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.pulses, 6);
+    }
+
+    #[test]
+    fn bell_circuit_equivalent_after_translation() {
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let (t, _) = translate_circuit(&c, &set, &opts(4));
+        assert!(equivalent_on_zero(&c, &t, None));
+    }
+
+    #[test]
+    fn merge_1q_collapses_runs() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0); // identity
+        let m = merge_1q_runs(&c);
+        assert_eq!(m.instructions.len(), 0);
+        let mut c2 = Circuit::new(2);
+        c2.h(0).t(0).cx(0, 1);
+        let m2 = merge_1q_runs(&c2);
+        assert_eq!(m2.instructions.len(), 2); // merged 1Q + cx
+        assert!(equivalent_on_zero(&c2, &m2, None));
+    }
+
+    #[test]
+    fn translation_preserves_three_qubit_semantics() {
+        let set = sqrt_iswap_set();
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.4, 1).cx(1, 2).swap(0, 2);
+        let (t, stats) = translate_circuit(&c, &set, &opts(5));
+        assert!(stats.worst_infidelity < 1e-5, "{stats:?}");
+        assert!(equivalent_on_zero(&c, &t, None));
+    }
+}

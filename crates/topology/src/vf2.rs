@@ -1,0 +1,251 @@
+//! VF2-style subgraph monomorphism: embed a circuit's interaction graph
+//! into the hardware coupling graph.
+//!
+//! Qiskit runs `VF2Layout` before routing; when an embedding exists, the
+//! circuit needs zero SWAPs and neither SABRE nor MIRAGE is invoked (paper
+//! §V: "we check if an implementation with no SWAP gates can be found using
+//! VF2Layout"). The search is exact with degree-based pruning and a node
+//! budget so pathological instances fail fast rather than hang.
+
+use crate::CouplingMap;
+
+/// An interaction graph: `n` logical qubits and the pairs that interact.
+#[derive(Debug, Clone)]
+pub struct InteractionGraph {
+    /// Number of logical qubits.
+    pub n: usize,
+    /// Undirected edges (normalized `lo < hi`, deduplicated).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl InteractionGraph {
+    /// Build from an edge iterator (normalizes and dedups).
+    pub fn new<I: IntoIterator<Item = (usize, usize)>>(n: usize, edges: I) -> InteractionGraph {
+        let mut set = std::collections::BTreeSet::new();
+        for (a, b) in edges {
+            assert!(a < n && b < n, "edge out of range");
+            if a != b {
+                set.insert((a.min(b), a.max(b)));
+            }
+        }
+        InteractionGraph {
+            n,
+            edges: set.into_iter().collect(),
+        }
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+}
+
+/// Find an injective map `logical → physical` such that every interaction
+/// edge lands on a coupling edge. Returns `None` when no embedding exists
+/// or the node budget is exhausted (treated as "not found").
+///
+/// `budget` caps the number of search-tree nodes (e.g. `1_000_000`).
+pub fn find_embedding(
+    g: &InteractionGraph,
+    hw: &CouplingMap,
+    budget: usize,
+) -> Option<Vec<usize>> {
+    if g.n > hw.n_qubits() {
+        return None;
+    }
+    let g_adj = g.adjacency();
+    // Order logical qubits by descending degree (most-constrained first),
+    // preferring connectivity to already-placed qubits.
+    let mut order: Vec<usize> = (0..g.n).collect();
+    order.sort_by_key(|&q| std::cmp::Reverse(g_adj[q].len()));
+
+    // Refine: BFS-like ordering so each placed qubit (after the first)
+    // neighbors an earlier one when possible.
+    let mut refined: Vec<usize> = Vec::with_capacity(g.n);
+    let mut placed = vec![false; g.n];
+    while refined.len() < g.n {
+        let next = order
+            .iter()
+            .copied()
+            .filter(|&q| !placed[q])
+            .max_by_key(|&q| {
+                let attached = g_adj[q].iter().filter(|&&x| placed[x]).count();
+                (attached, g_adj[q].len())
+            })
+            .expect("unplaced qubit exists");
+        placed[next] = true;
+        refined.push(next);
+    }
+
+    let mut mapping: Vec<Option<usize>> = vec![None; g.n];
+    let mut used = vec![false; hw.n_qubits()];
+    let mut nodes = 0usize;
+    if backtrack(
+        &refined,
+        0,
+        &g_adj,
+        hw,
+        &mut mapping,
+        &mut used,
+        &mut nodes,
+        budget,
+    ) {
+        Some(mapping.into_iter().map(|m| m.expect("complete")).collect())
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    order: &[usize],
+    depth: usize,
+    g_adj: &[Vec<usize>],
+    hw: &CouplingMap,
+    mapping: &mut Vec<Option<usize>>,
+    used: &mut Vec<bool>,
+    nodes: &mut usize,
+    budget: usize,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    *nodes += 1;
+    if *nodes > budget {
+        return false;
+    }
+    let logical = order[depth];
+    let deg = g_adj[logical].len();
+
+    // Candidate physical qubits: neighbors of an already-mapped neighbor
+    // when one exists (connectivity pruning), otherwise all free qubits.
+    let anchored: Vec<usize> = g_adj[logical]
+        .iter()
+        .filter_map(|&nb| mapping[nb])
+        .collect();
+    let candidates: Vec<usize> = if let Some(&first) = anchored.first() {
+        hw.neighbors(first).to_vec()
+    } else {
+        (0..hw.n_qubits()).collect()
+    };
+
+    for phys in candidates {
+        if used[phys] || hw.neighbors(phys).len() < deg {
+            continue;
+        }
+        // All mapped neighbors must be adjacent to phys.
+        if !anchored.iter().all(|&a| hw.are_adjacent(a, phys)) {
+            continue;
+        }
+        mapping[logical] = Some(phys);
+        used[phys] = true;
+        if backtrack(order, depth + 1, g_adj, hw, mapping, used, nodes, budget) {
+            return true;
+        }
+        mapping[logical] = None;
+        used[phys] = false;
+    }
+    false
+}
+
+/// Verify that `mapping` embeds `g` into `hw` (used by tests and as a
+/// post-condition check in the pipeline).
+pub fn is_valid_embedding(g: &InteractionGraph, hw: &CouplingMap, mapping: &[usize]) -> bool {
+    if mapping.len() != g.n {
+        return false;
+    }
+    let mut seen = vec![false; hw.n_qubits()];
+    for &p in mapping {
+        if p >= hw.n_qubits() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    g.edges
+        .iter()
+        .all(|&(a, b)| hw.are_adjacent(mapping[a], mapping[b]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_into_grid() {
+        let g = InteractionGraph::new(5, (0..4).map(|i| (i, i + 1)));
+        let hw = CouplingMap::grid(3, 3);
+        let m = find_embedding(&g, &hw, 100_000).expect("line fits in grid");
+        assert!(is_valid_embedding(&g, &hw, &m));
+    }
+
+    #[test]
+    fn star_needs_high_degree() {
+        // A 5-star needs a degree-4 hub: fits a grid center, not a line.
+        let g = InteractionGraph::new(5, (1..5).map(|i| (0, i)));
+        let grid = CouplingMap::grid(3, 3);
+        let m = find_embedding(&g, &grid, 100_000).expect("star fits grid center");
+        assert!(is_valid_embedding(&g, &grid, &m));
+        assert_eq!(m[0], 4, "hub must be the center qubit");
+        let line = CouplingMap::line(6);
+        assert!(find_embedding(&g, &line, 100_000).is_none());
+    }
+
+    #[test]
+    fn triangle_rejected_by_bipartite_hosts() {
+        let g = InteractionGraph::new(3, [(0, 1), (1, 2), (0, 2)]);
+        let grid = CouplingMap::grid(3, 3); // bipartite: no triangles
+        assert!(find_embedding(&g, &grid, 100_000).is_none());
+        let a2a = CouplingMap::all_to_all(3);
+        assert!(find_embedding(&g, &a2a, 100_000).is_some());
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        let g = InteractionGraph::new(10, (0..9).map(|i| (i, i + 1)));
+        let hw = CouplingMap::line(5);
+        assert!(find_embedding(&g, &hw, 100_000).is_none());
+    }
+
+    #[test]
+    fn disconnected_interaction_graph() {
+        let g = InteractionGraph::new(4, [(0, 1), (2, 3)]);
+        let hw = CouplingMap::line(4);
+        let m = find_embedding(&g, &hw, 100_000).expect("two pairs fit a line");
+        assert!(is_valid_embedding(&g, &hw, &m));
+    }
+
+    #[test]
+    fn embedding_into_heavy_hex() {
+        let g = InteractionGraph::new(8, (0..7).map(|i| (i, i + 1)));
+        let hw = CouplingMap::heavy_hex(5);
+        let m = find_embedding(&g, &hw, 1_000_000).expect("line fits heavy-hex");
+        assert!(is_valid_embedding(&g, &hw, &m));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        // A hard instance with a tiny budget: K4 into a graph without K4.
+        let g = InteractionGraph::new(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let hw = CouplingMap::grid(5, 5);
+        assert!(find_embedding(&g, &hw, 10).is_none());
+    }
+
+    #[test]
+    fn validator_rejects_bad_maps() {
+        let g = InteractionGraph::new(2, [(0, 1)]);
+        let hw = CouplingMap::line(3);
+        assert!(!is_valid_embedding(&g, &hw, &[0, 2])); // not adjacent
+        assert!(!is_valid_embedding(&g, &hw, &[1, 1])); // not injective
+        assert!(is_valid_embedding(&g, &hw, &[1, 2]));
+    }
+
+    #[test]
+    fn interaction_graph_normalizes() {
+        let g = InteractionGraph::new(3, [(2, 0), (0, 2), (1, 2)]);
+        assert_eq!(g.edges, vec![(0, 2), (1, 2)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Haar-measure geometry of the Weyl chamber.
+//!
+//! The Haar distribution over two-qubit gate *classes* has a known density
+//! on canonical coordinates. This module provides that density, a direct
+//! chamber sampler built on it (rejection sampling), and cumulative checks
+//! used to validate the coverage machinery's Monte Carlo volumes without
+//! going through 4×4 unitaries.
+//!
+//! The density comes from the squared Vandermonde of the magic-basis
+//! eigenphases `θ = (a−b+c, a+b−c, −a+b+c, −a−b−c)`:
+//!
+//! ```text
+//! p(a,b,c) ∝ Π_{i<j} |e^{2iθᵢ} − e^{2iθⱼ}|² ∝ Π_{i<j} sin²(θᵢ − θⱼ)
+//! ```
+//!
+//! which expands to the product of `sin²(2(a±b))`, `sin²(2(a±c))`,
+//! `sin²(2(b±c))` — manifestly invariant under the chamber's conjugation
+//! symmetry `(a,b,c) ↔ (π/2−a,b,c)`.
+
+use crate::coords::WeylCoord;
+use mirage_math::{Rng, PI_2, PI_4};
+
+/// Unnormalized Haar density at a chamber point.
+pub fn haar_density(w: &WeylCoord) -> f64 {
+    let s2 = |x: f64| {
+        let v = (2.0 * x).sin();
+        v * v
+    };
+    s2(w.a - w.b) * s2(w.a + w.b) * s2(w.a - w.c) * s2(w.a + w.c) * s2(w.b - w.c) * s2(w.b + w.c)
+}
+
+/// Upper bound of [`haar_density`] over the chamber: every `sin²` factor is
+/// at most 1.
+const DENSITY_BOUND: f64 = 1.0;
+
+/// Sample a chamber point from the Haar class distribution by rejection.
+pub fn sample_haar_class(rng: &mut Rng) -> WeylCoord {
+    loop {
+        // Uniform proposal over the chamber's bounding box, folded in.
+        let a = rng.uniform_range(0.0, PI_2);
+        let b = rng.uniform_range(0.0, PI_4);
+        let c = rng.uniform_range(0.0, PI_4);
+        let w = WeylCoord { a, b, c };
+        if !w.in_chamber(0.0) {
+            continue;
+        }
+        if rng.uniform_range(0.0, DENSITY_BOUND) < haar_density(&w) {
+            return w;
+        }
+    }
+}
+
+/// Monte Carlo estimate of the Haar probability of an arbitrary region
+/// given by a membership predicate.
+pub fn haar_probability<F: Fn(&WeylCoord) -> bool>(
+    pred: F,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = Rng::new(seed);
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        if pred(&sample_haar_class(&mut rng)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::coords_of;
+    use mirage_gates::haar_2q;
+
+    #[test]
+    fn density_vanishes_on_degenerate_points() {
+        // Coinciding cosines ⇒ zero density: identity, CNOT-line ends, …
+        assert!(haar_density(&WeylCoord::IDENTITY) < 1e-15);
+        assert!(haar_density(&WeylCoord::SWAP) < 1e-15);
+        // iSWAP has c₁ = c₂: density zero too (boundary class).
+        assert!(haar_density(&WeylCoord::ISWAP) < 1e-15);
+        // A generic interior point has positive density.
+        let w = WeylCoord::canonicalize(0.7, 0.5, 0.2);
+        assert!(haar_density(&w) > 1e-6);
+    }
+
+    #[test]
+    fn direct_sampler_matches_unitary_sampler() {
+        // Compare P(a > π/4) between the density sampler and the
+        // QR-of-Ginibre route.
+        let n = 8000;
+        let p_direct = haar_probability(|w| w.a > PI_4, n, 11);
+        let mut rng = Rng::new(12);
+        let mut hits = 0;
+        for _ in 0..n {
+            if coords_of(&haar_2q(&mut rng)).a > PI_4 {
+                hits += 1;
+            }
+        }
+        let p_unitary = hits as f64 / n as f64;
+        assert!(
+            (p_direct - p_unitary).abs() < 0.03,
+            "direct {p_direct:.3} vs unitary {p_unitary:.3}"
+        );
+    }
+
+    #[test]
+    fn cnot_halves_split_mass() {
+        // b > π/8 region mass agrees between the two samplers.
+        let n = 8000;
+        let p_direct = haar_probability(|w| w.b > PI_4 / 2.0, n, 13);
+        let mut rng = Rng::new(14);
+        let mut hits = 0;
+        for _ in 0..n {
+            if coords_of(&haar_2q(&mut rng)).b > PI_4 / 2.0 {
+                hits += 1;
+            }
+        }
+        let p_unitary = hits as f64 / n as f64;
+        assert!(
+            (p_direct - p_unitary).abs() < 0.03,
+            "direct {p_direct:.3} vs unitary {p_unitary:.3}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_chamber() {
+        let mut rng = Rng::new(15);
+        for _ in 0..500 {
+            let w = sample_haar_class(&mut rng);
+            assert!(w.in_chamber(1e-12));
+        }
+    }
+
+    #[test]
+    fn density_bound_holds_empirically() {
+        let mut rng = Rng::new(16);
+        for _ in 0..20_000 {
+            let a = rng.uniform_range(0.0, PI_2);
+            let b = rng.uniform_range(0.0, PI_4);
+            let c = rng.uniform_range(0.0, PI_4);
+            let w = WeylCoord { a, b, c };
+            assert!(haar_density(&w) <= DENSITY_BOUND);
+        }
+    }
+}

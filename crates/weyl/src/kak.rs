@@ -1,0 +1,389 @@
+//! Full KAK (Cartan) decomposition of two-qubit unitaries.
+//!
+//! `U = e^{iφ} · (K1l ⊗ K1r) · CAN(a,b,c) · (K2l ⊗ K2r)` with all `K` in
+//! SU(2). This is the workhorse behind basis translation: once a consolidated
+//! two-qubit block is reduced to its canonical part plus locals, the
+//! canonical part can be rebuilt from the target basis gate and the locals
+//! re-attached.
+//!
+//! The algorithm is the standard magic-basis one: in the magic basis the
+//! local subgroup SU(2)⊗SU(2) becomes SO(4) and `CAN` becomes diagonal, so a
+//! simultaneous real diagonalization of the real and imaginary parts of
+//! `G = MᵀM` produces the Cartan factors.
+
+use crate::coords::WeylCoord;
+#[cfg(test)]
+use crate::coords::coords_of;
+use mirage_gates::{can, magic_basis};
+use mirage_math::eig::{rdet4, simultaneous_diag4};
+use mirage_math::{Complex64, Mat2, Mat4};
+
+/// The factors of a KAK decomposition.
+///
+/// Reconstruct with [`Kak::reconstruct`]; the raw interaction coefficients
+/// `(a, b, c)` are *not* canonicalized (they can be any real numbers) —
+/// use [`Kak::canonical_coords`] for the chamber point.
+#[derive(Debug, Clone)]
+pub struct Kak {
+    /// Left local factor on the high qubit.
+    pub k1l: Mat2,
+    /// Left local factor on the low qubit.
+    pub k1r: Mat2,
+    /// Raw interaction coefficient on XX.
+    pub a: f64,
+    /// Raw interaction coefficient on YY.
+    pub b: f64,
+    /// Raw interaction coefficient on ZZ.
+    pub c: f64,
+    /// Right local factor on the high qubit.
+    pub k2l: Mat2,
+    /// Right local factor on the low qubit.
+    pub k2r: Mat2,
+    /// Global phase φ.
+    pub global_phase: f64,
+}
+
+impl Kak {
+    /// Rebuild the unitary `e^{iφ}(K1l⊗K1r)·CAN(a,b,c)·(K2l⊗K2r)`.
+    pub fn reconstruct(&self) -> Mat4 {
+        let l1 = Mat4::kron(&self.k1l, &self.k1r);
+        let l2 = Mat4::kron(&self.k2l, &self.k2r);
+        l1.mul(&can(self.a, self.b, self.c))
+            .mul(&l2)
+            .scale(Complex64::cis(self.global_phase))
+    }
+
+    /// The canonicalized Weyl-chamber point of the interaction part.
+    pub fn canonical_coords(&self) -> WeylCoord {
+        WeylCoord::canonicalize(self.a, self.b, self.c)
+    }
+}
+
+/// Error type for [`kak_decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KakError {
+    /// The input was not unitary to working precision.
+    NotUnitary,
+    /// The simultaneous diagonalization failed to converge (should not
+    /// happen for unitary input; indicates severe numerical trouble).
+    Diagonalization,
+}
+
+impl std::fmt::Display for KakError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KakError::NotUnitary => write!(f, "input matrix is not unitary"),
+            KakError::Diagonalization => {
+                write!(f, "simultaneous diagonalization did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KakError {}
+
+/// Split a matrix `v ≈ z·(A ⊗ B)` (with `A`, `B` unitary and `|z| = 1`) into
+/// `(A, B, arg z)` with both factors normalized into SU(2).
+fn kron_factor(v: &Mat4) -> Option<(Mat2, Mat2, f64)> {
+    // Locate the largest-magnitude entry.
+    let (mut bi, mut bj, mut mag) = (0usize, 0usize, -1.0f64);
+    for i in 0..4 {
+        for j in 0..4 {
+            let m = v.e[i][j].abs();
+            if m > mag {
+                mag = m;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    if mag < 1e-12 {
+        return None;
+    }
+    let (i1, i0) = (bi / 2, bi % 2);
+    let (j1, j0) = (bj / 2, bj % 2);
+
+    // a[p][q] = A[p][q] · B[i0][j0] and b[k][l] = A[i1][j1] · B[k][l].
+    let mut a = Mat2::zero();
+    let mut b = Mat2::zero();
+    for p in 0..2 {
+        for q in 0..2 {
+            a.e[p][q] = v.e[2 * p + i0][2 * q + j0];
+            b.e[p][q] = v.e[2 * i1 + p][2 * j1 + q];
+        }
+    }
+
+    // Normalize each factor into SU(2).
+    let da = a.det();
+    let db = b.det();
+    if da.abs() < 1e-12 || db.abs() < 1e-12 {
+        return None;
+    }
+    let a = a.scale(da.sqrt().inv());
+    let b = b.scale(db.sqrt().inv());
+
+    // Residual global phase: compare one entry of kron(a,b) against v.
+    let k = Mat4::kron(&a, &b);
+    let z = v.e[bi][bj] / k.e[bi][bj];
+    let phase = z.arg();
+
+    // Verify the factorization (catches inputs that are not actually
+    // tensor products).
+    let rec = k.scale(Complex64::cis(phase));
+    if rec.max_diff(v) > 1e-6 {
+        return None;
+    }
+    Some((a, b, phase))
+}
+
+/// Compute the KAK decomposition of a two-qubit unitary.
+///
+/// # Errors
+///
+/// Returns [`KakError::NotUnitary`] when `u` fails the unitarity check, and
+/// [`KakError::Diagonalization`] on numerical breakdown (not observed for
+/// unitary inputs in practice).
+pub fn kak_decompose(u: &Mat4) -> Result<Kak, KakError> {
+    if !u.is_unitary(1e-8) {
+        return Err(KakError::NotUnitary);
+    }
+
+    // Phase-normalize into SU(4), remembering the global phase.
+    let det = u.det();
+    let phase4 = det.arg() / 4.0;
+    let su = u.scale(Complex64::cis(-phase4));
+    let mut global_phase = phase4;
+
+    let bm = magic_basis();
+    let m = su.conjugate_by(&bm);
+    let g = m.transpose().mul(&m);
+
+    // Split into commuting real symmetric parts and diagonalize together.
+    let mut re = [[0.0f64; 4]; 4];
+    let mut im = [[0.0f64; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            re[i][j] = g.e[i][j].re;
+            im[i][j] = g.e[i][j].im;
+        }
+    }
+    let p = simultaneous_diag4(&re, &im, 1e-7).ok_or(KakError::Diagonalization)?;
+
+    // Eigenphases: λ_j = (Pᵀ G P)_jj.
+    let pm = {
+        let mut x = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                x.e[i][j] = Complex64::real(p[i][j]);
+            }
+        }
+        x
+    };
+    let d2 = pm.transpose().mul(&g).mul(&pm);
+    let mut theta = [0.0f64; 4];
+    for (j, t) in theta.iter_mut().enumerate() {
+        *t = d2.e[j][j].arg() / 2.0;
+    }
+    // With M = K1·D·K2 and K2 = Pᵀ we need det(D) = +1 so that K1 lands in
+    // SO(4): enforce Σθ ≡ 0 (mod 2π) by flipping one phase by π (this keeps
+    // D² = eigenvalues intact).
+    let s = theta.iter().sum::<f64>();
+    let k = (s / std::f64::consts::PI).round() as i64;
+    if k.rem_euclid(2) == 1 {
+        theta[0] += std::f64::consts::PI;
+    }
+
+    // K2 = Pᵀ is real orthogonal with det +1; K1 = M·P·D⁻¹ is then real
+    // orthogonal too (K1ᵀK1 = D⁻¹·PᵀGP·D⁻¹ = D⁻¹·D²·D⁻¹ = I).
+    let d_inv = Mat4::diag([
+        Complex64::cis(-theta[0]),
+        Complex64::cis(-theta[1]),
+        Complex64::cis(-theta[2]),
+        Complex64::cis(-theta[3]),
+    ]);
+    let k1 = m.mul(&pm).mul(&d_inv);
+    let k2m = pm.transpose();
+
+    // Sanity: K1 must be real to working precision.
+    let mut max_im = 0.0f64;
+    let mut k1r = [[0.0f64; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            max_im = max_im.max(k1.e[i][j].im.abs());
+            k1r[i][j] = k1.e[i][j].re;
+        }
+    }
+    if max_im > 1e-6 {
+        return Err(KakError::Diagonalization);
+    }
+    debug_assert!((rdet4(&k1r) - 1.0).abs() < 1e-6);
+
+    // Leave the magic basis: L1 = B K1 B†, L2 = B K2 B†.
+    let l1 = bm.mul(&k1).mul(&bm.adjoint());
+    let l2 = bm.mul(&k2m).mul(&bm.adjoint());
+
+    let (k1l, k1r, p1) = kron_factor(&l1).ok_or(KakError::Diagonalization)?;
+    let (k2l, k2r2, p2) = kron_factor(&l2).ok_or(KakError::Diagonalization)?;
+    global_phase += p1 + p2;
+
+    // Interaction coefficients from the eigenphases (see coords.rs for the
+    // linear map).
+    let a = (theta[0] + theta[1]) / 2.0;
+    let b = (theta[1] + theta[3]) / 2.0;
+    let c = (theta[0] + theta[3]) / 2.0;
+
+    let kak = Kak {
+        k1l,
+        k1r,
+        a,
+        b,
+        c,
+        k2l,
+        k2r: k2r2,
+        global_phase,
+    };
+
+    // Final safeguard: fix the global phase against the actual input (the
+    // eigenphase bookkeeping can leave a π offset when det roots differ).
+    let rec = kak.reconstruct();
+    let mut best = kak;
+    if rec.max_diff(u) > 1e-7 {
+        // Try aligning the phase directly.
+        let (mut bi, mut bj, mut mag) = (0usize, 0usize, -1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                if rec.e[i][j].abs() > mag {
+                    mag = rec.e[i][j].abs();
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let z = u.e[bi][bj] / rec.e[bi][bj];
+        best.global_phase += z.arg();
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_gates::{
+        cnot, cns, cphase, cz, haar_1q, haar_2q, iswap, iswap_alpha, sqrt_iswap, swap,
+    };
+    use mirage_math::Rng;
+
+    fn assert_kak_roundtrip(u: &Mat4, tol: f64) {
+        let kak = kak_decompose(u).expect("decomposition succeeds");
+        let rec = kak.reconstruct();
+        assert!(
+            rec.approx_eq(u, tol),
+            "reconstruction error {:.2e}\ninput:\n{u}\nrec:\n{rec}",
+            rec.max_diff(u)
+        );
+        // Locals must be unitary (SU(2)).
+        assert!(kak.k1l.is_unitary(1e-8));
+        assert!(kak.k1r.is_unitary(1e-8));
+        assert!(kak.k2l.is_unitary(1e-8));
+        assert!(kak.k2r.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn roundtrip_named_gates() {
+        for (name, g) in [
+            ("identity", Mat4::identity()),
+            ("cnot", cnot()),
+            ("cz", cz()),
+            ("swap", swap()),
+            ("iswap", iswap()),
+            ("sqrt_iswap", sqrt_iswap()),
+            ("iswap_1_4", iswap_alpha(0.25)),
+            ("cns", cns()),
+            ("cphase_0.7", cphase(0.7)),
+        ] {
+            let kak = kak_decompose(&g);
+            assert!(kak.is_ok(), "{name}: {kak:?}");
+            assert_kak_roundtrip(&g, 1e-6);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_unitaries() {
+        let mut rng = Rng::new(31);
+        for _ in 0..100 {
+            let u = haar_2q(&mut rng);
+            assert_kak_roundtrip(&u, 1e-6);
+        }
+    }
+
+    #[test]
+    fn coords_agree_with_direct_computation() {
+        let mut rng = Rng::new(32);
+        for _ in 0..100 {
+            let u = haar_2q(&mut rng);
+            let kak = kak_decompose(&u).unwrap();
+            let via_kak = kak.canonical_coords();
+            let direct = coords_of(&u);
+            assert!(
+                via_kak.approx_eq(&direct, 1e-5),
+                "{via_kak} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_locals_only() {
+        let mut rng = Rng::new(33);
+        for _ in 0..20 {
+            let u = Mat4::kron(&haar_1q(&mut rng), &haar_1q(&mut rng));
+            let kak = kak_decompose(&u).unwrap();
+            assert!(kak.canonical_coords().is_identity(1e-6));
+            assert_kak_roundtrip(&u, 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_non_unitary() {
+        let mut m = Mat4::identity();
+        m.e[0][0] = Complex64::real(2.0);
+        assert_eq!(kak_decompose(&m).unwrap_err(), KakError::NotUnitary);
+    }
+
+    #[test]
+    fn kron_factor_roundtrip() {
+        let mut rng = Rng::new(34);
+        for _ in 0..50 {
+            let a = haar_1q(&mut rng);
+            let b = haar_1q(&mut rng);
+            let v = Mat4::kron(&a, &b).scale(Complex64::cis(rng.uniform_range(0.0, 6.28)));
+            let (fa, fb, ph) = kron_factor(&v).expect("valid tensor product");
+            let rec = Mat4::kron(&fa, &fb).scale(Complex64::cis(ph));
+            assert!(rec.approx_eq(&v, 1e-8));
+        }
+    }
+
+    #[test]
+    fn kron_factor_rejects_entangling() {
+        assert!(kron_factor(&cnot()).is_none());
+    }
+
+    #[test]
+    fn dressed_canonical_recovers_coefficients() {
+        // Build U = (A⊗B)·CAN(a,b,c)·(C⊗D) with chamber coefficients; the
+        // KAK coords must match.
+        let mut rng = Rng::new(35);
+        for _ in 0..50 {
+            let w = WeylCoord::canonicalize(
+                rng.uniform_range(0.0, 1.5),
+                rng.uniform_range(0.0, 0.7),
+                rng.uniform_range(0.0, 0.7),
+            );
+            let l = Mat4::kron(&haar_1q(&mut rng), &haar_1q(&mut rng));
+            let r = Mat4::kron(&haar_1q(&mut rng), &haar_1q(&mut rng));
+            let u = l.mul(&can(w.a, w.b, w.c)).mul(&r);
+            let kak = kak_decompose(&u).unwrap();
+            assert!(kak.canonical_coords().approx_eq(&w, 1e-5));
+            assert_kak_roundtrip(&u, 1e-6);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The mirror-gate transformation (paper Eq. 1).
+//!
+//! The *mirror* of a two-qubit gate `U` is `U′ = SWAP · U` — the same
+//! physical interaction with its output wires exchanged. In canonical
+//! coordinates the transformation is the piecewise-affine map
+//!
+//! ```text
+//! (a′,b′,c′) = (π/4 + c, π/4 − b, π/4 − a)   if a ≤ π/4
+//!            = (π/4 − c, π/4 − b, a − π/4)   otherwise
+//! ```
+//!
+//! which exchanges CNOT ↔ iSWAP, fixes the B gate, maps SWAP → identity and
+//! maps the CPHASE family onto the parametric-SWAP family (paper Fig. 6).
+
+use crate::coords::{coords_of, WeylCoord};
+use mirage_math::{Mat4, PI_4};
+
+/// Apply Eq. 1: the canonical coordinates of `SWAP · U` given those of `U`.
+///
+/// The result is already canonical (both branches map the chamber into
+/// itself), but we run it through [`WeylCoord::canonicalize`] anyway to
+/// absorb boundary cases (`c = 0` fold).
+pub fn mirror_coord(w: &WeylCoord) -> WeylCoord {
+    let (a2, b2, c2) = if w.a <= PI_4 {
+        (PI_4 + w.c, PI_4 - w.b, PI_4 - w.a)
+    } else {
+        (PI_4 - w.c, PI_4 - w.b, w.a - PI_4)
+    };
+    WeylCoord::canonicalize(a2, b2, c2)
+}
+
+/// The mirror gate as a matrix: `SWAP · U`.
+pub fn mirror_unitary(u: &Mat4) -> Mat4 {
+    Mat4::swap().mul(u)
+}
+
+/// Convenience: coordinates of the mirror of a unitary, computed through
+/// Eq. 1 (cheap) rather than re-deriving coordinates from the matrix.
+pub fn mirror_coord_of(u: &Mat4) -> WeylCoord {
+    mirror_coord(&coords_of(u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_gates::{can, cnot, cphase, haar_2q, iswap, iswap_alpha, swap};
+    use mirage_math::{Rng, PI_2};
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn mirror_of_cnot_is_iswap() {
+        let m = mirror_coord(&WeylCoord::CNOT);
+        assert!(m.approx_eq(&WeylCoord::ISWAP, TOL));
+    }
+
+    #[test]
+    fn mirror_of_iswap_is_cnot() {
+        let m = mirror_coord(&WeylCoord::ISWAP);
+        assert!(m.approx_eq(&WeylCoord::CNOT, TOL));
+    }
+
+    #[test]
+    fn mirror_of_swap_is_identity() {
+        let m = mirror_coord(&WeylCoord::SWAP);
+        assert!(m.approx_eq(&WeylCoord::IDENTITY, TOL));
+    }
+
+    #[test]
+    fn mirror_of_identity_is_swap() {
+        let m = mirror_coord(&WeylCoord::IDENTITY);
+        assert!(m.approx_eq(&WeylCoord::SWAP, TOL));
+    }
+
+    #[test]
+    fn b_gate_is_self_mirror() {
+        let m = mirror_coord(&WeylCoord::B_GATE);
+        assert!(m.approx_eq(&WeylCoord::B_GATE, TOL));
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        let mut rng = Rng::new(21);
+        for _ in 0..200 {
+            let w = WeylCoord::canonicalize(
+                rng.uniform_range(0.0, PI_2),
+                rng.uniform_range(0.0, PI_4),
+                rng.uniform_range(0.0, PI_4),
+            );
+            let back = mirror_coord(&mirror_coord(&w));
+            assert!(back.approx_eq(&w, 1e-9), "{w} -> {back}");
+        }
+    }
+
+    #[test]
+    fn eq1_matches_matrix_multiplication() {
+        // The defining property: coords(SWAP·U) == mirror(coords(U)).
+        let mut rng = Rng::new(22);
+        for _ in 0..200 {
+            let u = haar_2q(&mut rng);
+            let lhs = coords_of(&mirror_unitary(&u));
+            let rhs = mirror_coord(&coords_of(&u));
+            assert!(lhs.approx_eq(&rhs, 1e-6), "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn eq1_matches_matrix_for_named_gates() {
+        for (name, g) in [
+            ("cnot", cnot()),
+            ("iswap", iswap()),
+            ("swap", swap()),
+            ("sqrt_iswap", iswap_alpha(0.5)),
+            ("cphase(1.1)", cphase(1.1)),
+            ("can", can(0.5, 0.3, 0.2)),
+        ] {
+            let lhs = coords_of(&mirror_unitary(&g));
+            let rhs = mirror_coord(&coords_of(&g));
+            assert!(lhs.approx_eq(&rhs, 1e-6), "{name}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn cphase_mirrors_to_pswap_family() {
+        // mirror(CPHASE(θ)) = (π/4, π/4, π/4 − θ/4) — the pSWAP family line
+        // from SWAP (θ=0) to iSWAP (θ=π).
+        for theta in [0.2, 0.8, 1.6, 2.4, std::f64::consts::PI] {
+            let m = mirror_coord(&WeylCoord::cphase(theta));
+            let expect = WeylCoord::canonicalize(PI_4, PI_4, PI_4 - theta / 4.0);
+            assert!(m.approx_eq(&expect, TOL), "θ={theta}: {m} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn iswap_fraction_mirrors() {
+        // mirror(iSWAP^α) = (π/4, π/4 − απ/4, π/4 − απ/4): partial iSWAPs
+        // mirror onto the CNOT–SWAP edge.
+        for alpha in [0.25, 0.5, 0.75] {
+            let m = mirror_coord(&WeylCoord::iswap_alpha(alpha));
+            let expect =
+                WeylCoord::canonicalize(PI_4, PI_4 - alpha * PI_4, PI_4 - alpha * PI_4);
+            assert!(m.approx_eq(&expect, TOL), "α={alpha}: {m} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn mirror_stays_in_chamber() {
+        let mut rng = Rng::new(23);
+        for _ in 0..300 {
+            let w = coords_of(&haar_2q(&mut rng));
+            let m = mirror_coord(&w);
+            assert!(m.in_chamber(1e-9), "{w} -> {m}");
+        }
+    }
+
+    #[test]
+    fn mirror_unitary_is_swap_times_u() {
+        let u = cnot();
+        let m = mirror_unitary(&u);
+        assert!(m.approx_eq(&Mat4::swap().mul(&u), 1e-12));
+    }
+
+    #[test]
+    fn mirror_coord_of_agrees() {
+        let mut rng = Rng::new(24);
+        let u = haar_2q(&mut rng);
+        let a = mirror_coord_of(&u);
+        let b = coords_of(&mirror_unitary(&u));
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+}

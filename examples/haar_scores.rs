@@ -1,0 +1,40 @@
+//! Compute Haar scores for the iSWAP family with and without mirror
+//! gates — a fast, small-sample version of the paper's Table I.
+//!
+//! Run with: `cargo run --release --example haar_scores`
+
+use mirage::coverage::haar::{haar_score, FidelityModel};
+use mirage::coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+
+fn main() {
+    let model = FidelityModel::paper_default();
+    println!("Haar scores (5000 samples; paper Table I in parentheses)\n");
+    let paper = [
+        ("sqrt(iSWAP)", 2u32, 4usize, (1.105, 1.029)),
+        ("cbrt(iSWAP)", 3, 5, (0.9907, 0.9545)),
+        ("4th-root(iSWAP)", 4, 7, (0.9599, 0.8997)),
+    ];
+    for (label, n, max_k, (paper_plain, paper_mirror)) in paper {
+        let mut scores = Vec::new();
+        for mirrors in [false, true] {
+            let set = CoverageSet::build(
+                BasisGate::iswap_root(n),
+                &CoverageOptions {
+                    max_k,
+                    samples_per_k: 2500,
+                    inflation: 0.012,
+                    mirrors,
+                    seed: 17 + u64::from(n),
+                },
+            );
+            let hs = haar_score(&set, &model, 5000, 23);
+            scores.push(hs.score);
+        }
+        println!(
+            "{label:>16}: standard {:.4} ({paper_plain})   mirror {:.4} ({paper_mirror})",
+            scores[0], scores[1]
+        );
+    }
+    println!("\nLower is better; mirrors always help, and the gain grows as the");
+    println!("basis fraction shrinks — the paper's motivation for fractional iSWAPs.");
+}

@@ -1,0 +1,40 @@
+//! Route a QFT onto the paper's 57-qubit heavy-hex device and onto the 6×6
+//! square lattice, comparing the SABRE baseline against MIRAGE.
+//!
+//! Run with: `cargo run --release --example qft_on_heavy_hex`
+
+use mirage::circuit::generators::qft;
+use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::topology::CouplingMap;
+
+fn main() {
+    let circuit = qft(12, false);
+    println!(
+        "QFT-12: {} two-qubit gates (fully connected interaction graph)\n",
+        circuit.two_qubit_gate_count()
+    );
+
+    for topo in [CouplingMap::heavy_hex(5), CouplingMap::grid(6, 6)] {
+        println!("== {} ({} qubits) ==", topo.name(), topo.n_qubits());
+        let mut base = f64::NAN;
+        for (label, router) in [("SABRE", RouterKind::Sabre), ("MIRAGE", RouterKind::Mirage)] {
+            let opts = TranspileOptions::quick(router, 11);
+            let out = transpile(&circuit, &topo, &opts).expect("transpiles");
+            if label == "SABRE" {
+                base = out.metrics.depth_estimate;
+            }
+            println!(
+                "  {label:>6}: depth {:7.2}  cost {:7.2}  swaps {:3}  mirrors {:3}",
+                out.metrics.depth_estimate,
+                out.metrics.total_gate_cost,
+                out.metrics.swaps_inserted,
+                out.metrics.mirrors_accepted,
+            );
+            if label == "MIRAGE" {
+                let gain = 100.0 * (base - out.metrics.depth_estimate) / base;
+                println!("  depth reduction: {gain:.1}%");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,241 @@
+//! `mirage-cli` — command-line front end for the MIRAGE transpiler.
+//!
+//! ```text
+//! mirage-cli transpile <input.qasm> --topo grid:6x6 [--router mirage|sabre|mirage-swaps]
+//!                      [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
+//! mirage-cli stats <input.qasm>
+//! mirage-cli draw <input.qasm>
+//! mirage-cli gen <name> [--out file.qasm]     # qft:18, ghz:8, twolocal:4, ...
+//! ```
+
+use mirage::circuit::{generators, qasm, render, Circuit};
+use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::synth::decompose::DecompOptions;
+use mirage::synth::translate::translate_circuit;
+use mirage::topology::CouplingMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mirage-cli transpile <input.qasm> --topo <spec> [--router mirage|sabre|mirage-swaps]
+                       [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
+  mirage-cli stats <input.qasm>
+  mirage-cli draw <input.qasm>
+  mirage-cli gen <name> [--out file.qasm]
+
+topology specs : line:N  ring:N  grid:RxC  heavy-hex:D  a2a:N
+generator names: qft:N ghz:N wstate:N bv:N twolocal:N qaoa:N adder:BITS";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "transpile" => cmd_transpile(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "draw" => cmd_draw(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Parse `--flag value` style options; returns (positional, flags).
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            // Boolean flags have no value.
+            if matches!(name, "translate" | "draw") {
+                flags.push((name.to_string(), "true".to_string()));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+                i += 2;
+            }
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parse a topology spec like `grid:6x6` or `heavy-hex:5`.
+fn parse_topology(spec: &str) -> Result<CouplingMap, String> {
+    let (kind, param) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("topology spec '{spec}' needs kind:param"))?;
+    let bad = |_| format!("bad parameter in '{spec}'");
+    match kind {
+        "line" => Ok(CouplingMap::line(param.parse().map_err(bad)?)),
+        "ring" => Ok(CouplingMap::ring(param.parse().map_err(bad)?)),
+        "a2a" => Ok(CouplingMap::all_to_all(param.parse().map_err(bad)?)),
+        "heavy-hex" => Ok(CouplingMap::heavy_hex(param.parse().map_err(bad)?)),
+        "grid" => {
+            let (r, c) = param
+                .split_once('x')
+                .ok_or_else(|| format!("grid spec '{param}' needs RxC"))?;
+            Ok(CouplingMap::grid(
+                r.parse().map_err(bad)?,
+                c.parse().map_err(bad)?,
+            ))
+        }
+        other => Err(format!("unknown topology kind '{other}'")),
+    }
+}
+
+/// Parse a generator spec like `qft:18`.
+fn parse_generator(spec: &str) -> Result<Circuit, String> {
+    let (kind, param) = spec.split_once(':').unwrap_or((spec, ""));
+    let n: usize = if param.is_empty() {
+        0
+    } else {
+        param
+            .parse()
+            .map_err(|_| format!("bad size in '{spec}'"))?
+    };
+    match kind {
+        "qft" => Ok(generators::qft(n.max(2), false)),
+        "ghz" => Ok(generators::ghz(n.max(2))),
+        "wstate" => Ok(generators::wstate(n.max(2))),
+        "bv" => Ok(generators::bv(n.max(2), (n.max(2) - 1) / 2)),
+        "twolocal" => Ok(generators::two_local_full(n.max(2), 1, 7)),
+        "qaoa" => Ok(generators::portfolio_qaoa(n.max(2), 1, 7)),
+        "adder" => Ok(generators::cuccaro_adder(n.max(1))),
+        other => Err(format!("unknown generator '{other}'")),
+    }
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    qasm::from_qasm(&src).map_err(|e| e.to_string())
+}
+
+fn cmd_transpile(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let input = pos.first().ok_or("transpile needs an input file")?;
+    let circuit = load_circuit(input)?;
+    let topo = parse_topology(flag(&flags, "topo").ok_or("--topo is required")?)?;
+    let router = match flag(&flags, "router").unwrap_or("mirage") {
+        "mirage" => RouterKind::Mirage,
+        "mirage-swaps" => RouterKind::MirageSwaps,
+        "sabre" => RouterKind::Sabre,
+        other => return Err(format!("unknown router '{other}'")),
+    };
+    let seed: u64 = flag(&flags, "seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let trials: usize = flag(&flags, "trials")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --trials")?;
+
+    let mut opts = TranspileOptions::quick(router, seed);
+    opts.trials.layout_trials = trials;
+    opts.trials.routing_trials = trials;
+    opts.trials.parallel = true;
+    let out = transpile(&circuit, &topo, &opts).map_err(|e| e.to_string())?;
+
+    eprintln!("input   : {} qubits, {} two-qubit gates", circuit.n_qubits, circuit.two_qubit_gate_count());
+    eprintln!("topology: {} ({} qubits)", topo.name(), topo.n_qubits());
+    eprintln!("router  : {router:?}  (vf2 shortcut: {})", out.used_vf2);
+    eprintln!("depth   : {:.2} iSWAP units", out.metrics.depth_estimate);
+    eprintln!("cost    : {:.2} iSWAP units total", out.metrics.total_gate_cost);
+    eprintln!("swaps   : {}", out.metrics.swaps_inserted);
+    eprintln!(
+        "mirrors : {} ({:.0}% of decisions)",
+        out.metrics.mirrors_accepted,
+        100.0 * out.metrics.mirror_rate
+    );
+
+    let mut result = out.circuit.clone();
+    if flag(&flags, "translate").is_some() {
+        let cov = mirage::core::pipeline::default_coverage();
+        let (translated, stats) = translate_circuit(&result, &cov, &DecompOptions::default());
+        eprintln!(
+            "pulses  : {} sqrt(iSWAP) (residual infidelity {:.1e})",
+            stats.pulses, stats.worst_infidelity
+        );
+        result = translated;
+    }
+    if flag(&flags, "draw").is_some() {
+        println!("{}", render::render(&result));
+    }
+    match flag(&flags, "out") {
+        Some(path) => {
+            std::fs::write(path, qasm::to_qasm(&result))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote   : {path}");
+        }
+        None => {
+            if flag(&flags, "draw").is_none() {
+                print!("{}", qasm::to_qasm(&result));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (pos, _) = split_flags(args)?;
+    let input = pos.first().ok_or("stats needs an input file")?;
+    let c = load_circuit(input)?;
+    println!("qubits          : {}", c.n_qubits);
+    println!("gates           : {}", c.gate_count());
+    println!("two-qubit gates : {}", c.two_qubit_gate_count());
+    println!("cx-equivalent   : {}", generators::cx_equivalent_count(&c));
+    println!("depth           : {}", c.depth());
+    println!("2q depth        : {}", c.depth_2q());
+    println!("interactions    : {}", c.interaction_edges().len());
+    println!("histogram       :");
+    for (name, count) in c.gate_histogram() {
+        println!("  {name:<10} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_draw(args: &[String]) -> Result<(), String> {
+    let (pos, _) = split_flags(args)?;
+    let input = pos.first().ok_or("draw needs an input file")?;
+    let c = load_circuit(input)?;
+    println!("{}", render::render(&c));
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let spec = pos.first().ok_or("gen needs a generator spec")?;
+    let c = parse_generator(spec)?;
+    let text = qasm::to_qasm(&c);
+    match flag(&flags, "out") {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}

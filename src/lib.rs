@@ -1,0 +1,47 @@
+//! # mirage — a Rust reproduction of the MIRAGE quantum transpiler
+//!
+//! This is the umbrella crate of the workspace reproducing
+//! *MIRAGE: Quantum Circuit Decomposition and Routing Collaborative Design
+//! using Mirror Gates* (McKinney, Hatridge, Jones — HPCA 2024,
+//! arXiv:2308.03874).
+//!
+//! It re-exports the public APIs of every subsystem crate so downstream users
+//! can depend on a single crate:
+//!
+//! * [`math`] — complex linear algebra, eigensolvers, deterministic RNG.
+//! * [`gates`] — one/two-qubit gate library, the iSWAP family, Haar sampling.
+//! * [`weyl`] — Weyl-chamber canonical coordinates, the mirror-gate equation
+//!   (paper Eq. 1), and full KAK decomposition.
+//! * [`coverage`] — monodromy-style coverage polytopes, Haar scores,
+//!   approximate-decomposition Monte Carlo (paper Algorithm 1).
+//! * [`circuit`] — circuit IR, DAG, block consolidation, benchmark circuit
+//!   generators (QASMBench/MQTBench equivalents).
+//! * [`topology`] — coupling maps (line/ring/grid/heavy-hex/all-to-all) and a
+//!   VF2 layout check.
+//! * [`synth`] — numerical decomposition into a basis gate, templates, the
+//!   decoherence error model (paper Eq. 2).
+//! * [`core`] — the SABRE baseline router, the MIRAGE router with aggression
+//!   levels (paper Algorithm 2), and the end-to-end transpile pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mirage::core::{transpile, TranspileOptions, RouterKind};
+//! use mirage::circuit::generators::two_local_full;
+//! use mirage::topology::CouplingMap;
+//!
+//! let circ = two_local_full(4, 1, 7);
+//! let topo = CouplingMap::line(4);
+//! let out = transpile(&circ, &topo, &TranspileOptions::quick(RouterKind::Mirage, 1))
+//!     .expect("transpilation succeeds");
+//! assert!(out.metrics.swaps_inserted <= 3);
+//! ```
+
+pub use mirage_circuit as circuit;
+pub use mirage_core as core;
+pub use mirage_coverage as coverage;
+pub use mirage_gates as gates;
+pub use mirage_math as math;
+pub use mirage_synth as synth;
+pub use mirage_topology as topology;
+pub use mirage_weyl as weyl;

@@ -1,0 +1,112 @@
+//! Cross-crate integration: QASM round trips through the full pipeline —
+//! parse → clean → transpile → translate → export — with statevector
+//! verification at each stage.
+
+use mirage::circuit::passes;
+use mirage::circuit::qasm::{from_qasm, to_qasm};
+use mirage::circuit::sim::{run, State};
+use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::math::Complex64;
+use mirage::synth::decompose::DecompOptions;
+use mirage::synth::translate::translate_circuit;
+use mirage::topology::CouplingMap;
+
+const SAMPLE: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cu1(pi/2) q[1],q[2];
+rz(pi/8) q[2];
+cx q[2],q[3];
+swap q[0],q[3];
+ccx q[0],q[1],q[2];
+barrier q[0],q[1];
+measure q[0] -> c[0];
+"#;
+
+#[test]
+fn parse_sample_program() {
+    let c = from_qasm(SAMPLE).expect("parses");
+    assert_eq!(c.n_qubits, 4);
+    assert!(c.two_qubit_gate_count() >= 9); // 3 named + expanded ccx
+}
+
+#[test]
+fn qasm_export_import_fixpoint() {
+    let c = from_qasm(SAMPLE).expect("parses");
+    let text = to_qasm(&c);
+    let c2 = from_qasm(&text).expect("re-parses");
+    let s1 = run(&c);
+    let s2 = run(&c2);
+    assert!(s1.fidelity(&s2) > 1.0 - 1e-9);
+}
+
+#[test]
+fn cleaned_circuit_is_equivalent_mod_elision() {
+    let c = from_qasm(SAMPLE).expect("parses");
+    let cleaned = passes::clean(&c);
+    let (elided, perm) = passes::elide_swaps(&cleaned);
+    assert_eq!(elided.swap_count(), 0);
+    let s_orig = run(&c);
+    let s_new = run(&elided);
+    let expected = s_orig.permuted(&perm);
+    assert!(expected.fidelity(&s_new) > 1.0 - 1e-9);
+}
+
+#[test]
+fn full_pipeline_from_qasm_text() {
+    let c = from_qasm(SAMPLE).expect("parses");
+    let topo = CouplingMap::ring(4);
+    let mut opts = TranspileOptions::quick(RouterKind::Mirage, 3);
+    opts.use_vf2 = false;
+    let out = transpile(&c, &topo, &opts).expect("transpiles");
+
+    // Verify through the final layout.
+    let s_log = run(&c);
+    let s_phys = run(&out.circuit);
+    let mut expected = vec![Complex64::ZERO; 1 << out.circuit.n_qubits];
+    for (s, &amp) in s_log.amps.iter().enumerate() {
+        let mut t = 0usize;
+        for l in 0..c.n_qubits {
+            if s & (1 << l) != 0 {
+                t |= 1 << out.final_layout.phys(l);
+            }
+        }
+        expected[t] = amp;
+    }
+    let expected = State {
+        n: out.circuit.n_qubits,
+        amps: expected,
+    };
+    assert!(
+        s_phys.fidelity(&expected) > 1.0 - 1e-7,
+        "pipeline broke the sample program"
+    );
+}
+
+#[test]
+fn translated_output_exports_cleanly() {
+    let c = from_qasm("qreg q[2];\nh q[0];\ncx q[0],q[1];").expect("parses");
+    let cov = mirage::core::pipeline::default_coverage();
+    let (pulses, stats) = translate_circuit(
+        &c,
+        &cov,
+        &DecompOptions {
+            restarts: 6,
+            evals_per_restart: 6000,
+            infidelity_target: 1e-9,
+            seed: 5,
+        },
+    );
+    assert_eq!(stats.pulses, 2);
+    // The pulse circuit exports (iSWAP^α path) and re-imports equivalently.
+    let text = to_qasm(&pulses);
+    assert!(text.contains("rxx("));
+    let back = from_qasm(&text).expect("re-parses");
+    let s1 = run(&c);
+    let s2 = run(&back);
+    assert!(s1.fidelity(&s2) > 1.0 - 1e-6);
+}

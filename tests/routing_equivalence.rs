@@ -1,0 +1,108 @@
+//! Randomized semantic-equivalence sweep: every router configuration must
+//! produce circuits equivalent to their inputs, across random circuits,
+//! topologies, aggressions, and seeds.
+
+use mirage::circuit::Circuit;
+use mirage::core::router::RoutedCircuit;
+use mirage::core::verify::verify_routed;
+use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::math::Rng;
+use mirage::topology::CouplingMap;
+
+fn random_circuit(n: usize, gates: usize, rng: &mut Rng) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        match rng.below(5) {
+            0 => {
+                let q = rng.below(n);
+                c.h(q);
+            }
+            1 => {
+                let q = rng.below(n);
+                c.rz(rng.uniform_range(0.0, 6.28), q);
+            }
+            2 => {
+                let a = rng.below(n);
+                let b = (a + 1 + rng.below(n - 1)) % n;
+                c.cx(a, b);
+            }
+            3 => {
+                let a = rng.below(n);
+                let b = (a + 1 + rng.below(n - 1)) % n;
+                c.cp(rng.uniform_range(0.3, 2.8), a, b);
+            }
+            _ => {
+                let a = rng.below(n);
+                let b = (a + 1 + rng.below(n - 1)) % n;
+                c.swap(a, b);
+            }
+        }
+    }
+    c
+}
+
+fn check(c: &Circuit, topo: &CouplingMap, router: RouterKind, seed: u64) {
+    let mut opts = TranspileOptions::quick(router, seed);
+    opts.use_vf2 = false;
+    opts.trials.layout_trials = 2;
+    opts.trials.routing_trials = 2;
+    let out = transpile(c, topo, &opts).expect("transpiles");
+    let routed = RoutedCircuit {
+        circuit: out.circuit.clone(),
+        initial_layout: out.initial_layout.clone(),
+        final_layout: out.final_layout.clone(),
+        swaps_inserted: out.metrics.swaps_inserted,
+        mirrors_accepted: out.metrics.mirrors_accepted,
+        mirror_candidates: 1,
+    };
+    assert!(
+        verify_routed(c, &routed),
+        "router {router:?} seed {seed} broke a random circuit"
+    );
+}
+
+#[test]
+fn random_circuits_on_line() {
+    let mut rng = Rng::new(0xE0E);
+    for seed in 0..6u64 {
+        let c = random_circuit(5, 18, &mut rng);
+        let topo = CouplingMap::line(5);
+        check(&c, &topo, RouterKind::Sabre, seed);
+        check(&c, &topo, RouterKind::Mirage, seed);
+    }
+}
+
+#[test]
+fn random_circuits_on_grid() {
+    let mut rng = Rng::new(0xE1E);
+    for seed in 0..4u64 {
+        let c = random_circuit(7, 20, &mut rng);
+        let topo = CouplingMap::grid(3, 3);
+        check(&c, &topo, RouterKind::Mirage, seed);
+    }
+}
+
+#[test]
+fn random_circuits_on_ring() {
+    let mut rng = Rng::new(0xE2E);
+    for seed in 0..4u64 {
+        let c = random_circuit(6, 16, &mut rng);
+        let topo = CouplingMap::ring(6);
+        check(&c, &topo, RouterKind::MirageSwaps, seed);
+    }
+}
+
+#[test]
+fn dense_unitary_blocks_route_correctly() {
+    // Circuits made of opaque Haar blocks — the post-consolidation shape.
+    let mut rng = Rng::new(0xE3E);
+    let mut c = Circuit::new(5);
+    for _ in 0..10 {
+        let a = rng.below(5);
+        let b = (a + 1 + rng.below(4)) % 5;
+        let u = mirage::gates::haar_2q(&mut rng);
+        c.push(mirage::circuit::Gate::Unitary2(u), &[a, b]);
+    }
+    let topo = CouplingMap::line(5);
+    check(&c, &topo, RouterKind::Mirage, 77);
+}
