@@ -1,11 +1,14 @@
-//! Criterion micro-benchmark for the Fig. 13a caching design: coordinate
-//! cost lookups with and without the LRU cache, and block consolidation
-//! with exterior-1Q stripping.
+//! Micro-benchmark for the Fig. 13a caching design: coordinate cost
+//! lookups uncached, through the single-threaded LRU, and through the
+//! sharded shared cache a `Target` carries; plus block consolidation with
+//! exterior-1Q stripping.
+//!
+//! Run with `cargo bench --bench caching`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_bench::timing::bench;
 use mirage_circuit::consolidate::consolidate;
 use mirage_circuit::generators::qft;
-use mirage_coverage::cache::CostCache;
+use mirage_coverage::cache::{CostCache, SharedCostCache};
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_weyl::coords::{coords_of, WeylCoord};
 use std::hint::black_box;
@@ -23,7 +26,7 @@ fn build_set() -> CoverageSet {
     )
 }
 
-fn bench_cost_lookup(c: &mut Criterion) {
+fn main() {
     let set = build_set();
     let coords: Vec<WeylCoord> = consolidate(&qft(12, false))
         .instructions
@@ -32,39 +35,35 @@ fn bench_cost_lookup(c: &mut Criterion) {
         .map(|i| coords_of(&i.gate.matrix2()))
         .collect();
 
-    c.bench_function("cost_lookup/uncached", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for w in &coords {
-                total += set.cost_or_max(black_box(w));
-            }
-            total
-        })
+    bench("cost_lookup/uncached", || {
+        let mut total = 0.0;
+        for w in &coords {
+            total += set.cost_or_max(black_box(w));
+        }
+        total
     });
 
-    c.bench_function("cost_lookup/lru_cached", |b| {
-        let mut cache = CostCache::new(4096);
-        b.iter(|| {
-            let mut total = 0.0;
-            for w in &coords {
-                total += cache.get_or_insert_with(black_box(w), || set.cost_or_max(w));
-            }
-            total
-        })
+    let mut cache = CostCache::new(4096);
+    bench("cost_lookup/lru_cached", || {
+        let mut total = 0.0;
+        for w in &coords {
+            total += cache.get_or_insert_with(black_box(w), || set.cost_or_max(w));
+        }
+        total
     });
-}
 
-fn bench_consolidation(c: &mut Criterion) {
+    let shared = SharedCostCache::new(4096);
+    bench("cost_lookup/shared_sharded", || {
+        let mut total = 0.0;
+        for w in &coords {
+            total += shared.get_or_insert_with(black_box(w), || set.cost_or_max(w));
+        }
+        total
+    });
+
     let circ = qft(16, true);
-    c.bench_function("consolidate/qft16", |b| {
-        b.iter(|| consolidate(black_box(&circ)))
-    });
-}
+    bench("consolidate/qft16", || consolidate(black_box(&circ)));
 
-fn bench_coords(c: &mut Criterion) {
     let u = mirage_gates::cns();
-    c.bench_function("coords_of/cns", |b| b.iter(|| coords_of(black_box(&u))));
+    bench("coords_of/cns", || coords_of(black_box(&u)));
 }
-
-criterion_group!(benches, bench_cost_lookup, bench_consolidation, bench_coords);
-criterion_main!(benches);

@@ -1,7 +1,9 @@
-//! Criterion benchmark for the Weyl-coordinate kernels (the hot path the
+//! Micro-benchmark for the Weyl-coordinate kernels (the hot path the
 //! paper profiles in §VI-C: unitary→coordinate conversion).
+//!
+//! Run with `cargo bench --bench coordinates`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_bench::timing::bench;
 use mirage_gates::haar_2q;
 use mirage_math::Rng;
 use mirage_weyl::coords::coords_of;
@@ -9,29 +11,22 @@ use mirage_weyl::kak::kak_decompose;
 use mirage_weyl::mirror::mirror_coord;
 use std::hint::black_box;
 
-fn bench_coords(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng::new(0xC003D5);
     let gates: Vec<_> = (0..64).map(|_| haar_2q(&mut rng)).collect();
 
-    c.bench_function("weyl/coords_of_haar", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % gates.len();
-            coords_of(black_box(&gates[i]))
-        })
+    let mut i = 0;
+    bench("weyl/coords_of_haar", || {
+        i = (i + 1) % gates.len();
+        coords_of(black_box(&gates[i]))
     });
 
-    c.bench_function("weyl/kak_decompose_haar", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % gates.len();
-            kak_decompose(black_box(&gates[i])).expect("unitary input")
-        })
+    let mut j = 0;
+    bench("weyl/kak_decompose_haar", || {
+        j = (j + 1) % gates.len();
+        kak_decompose(black_box(&gates[j])).expect("unitary input")
     });
 
     let w = coords_of(&gates[0]);
-    c.bench_function("weyl/mirror_eq1", |b| b.iter(|| mirror_coord(black_box(&w))));
+    bench("weyl/mirror_eq1", || mirror_coord(black_box(&w)));
 }
-
-criterion_group!(benches, bench_coords);
-criterion_main!(benches);

@@ -1,21 +1,23 @@
-//! Criterion benchmark for routing throughput: SABRE vs MIRAGE single
-//! trials on representative circuits (supports the Fig. 13b runtime
-//! discussion).
+//! Micro-benchmark for routing throughput: SABRE vs MIRAGE single trials
+//! on representative circuits (supports the Fig. 13b runtime discussion).
+//!
+//! Run with `cargo bench --bench routing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mirage_bench::timing::bench;
 use mirage_circuit::consolidate::consolidate;
 use mirage_circuit::generators::{qft, two_local_full};
 use mirage_circuit::Dag;
 use mirage_core::layout::Layout;
 use mirage_core::router::{node_coords, route, Aggression, RouterConfig};
-use mirage_coverage::cache::CostCache;
+use mirage_core::Target;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_math::Rng;
 use mirage_topology::CouplingMap;
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn build_set() -> CoverageSet {
-    CoverageSet::build(
+fn build_set() -> Arc<CoverageSet> {
+    Arc::new(CoverageSet::build(
         BasisGate::iswap_root(2),
         &CoverageOptions {
             max_k: 3,
@@ -24,13 +26,17 @@ fn build_set() -> CoverageSet {
             mirrors: false,
             seed: 0x40073,
         },
-    )
+    ))
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn main() {
     let cov = build_set();
     let cases = vec![
-        ("qft16/line", consolidate(&qft(16, false)), CouplingMap::line(16)),
+        (
+            "qft16/line",
+            consolidate(&qft(16, false)),
+            CouplingMap::line(16),
+        ),
         (
             "twolocal8/grid",
             consolidate(&two_local_full(8, 1, 5)),
@@ -38,32 +44,25 @@ fn bench_routing(c: &mut Criterion) {
         ),
     ];
     for (name, circ, topo) in cases {
+        let target = Target::with_coverage(topo, cov.clone());
         let dag = Dag::from_circuit(&circ);
         let coords = node_coords(&dag);
         for (router, aggression) in [("sabre", None), ("mirage", Some(Aggression::A2))] {
-            c.bench_function(&format!("route/{name}/{router}"), |b| {
-                b.iter(|| {
-                    let config = RouterConfig {
-                        aggression,
-                        ..RouterConfig::default()
-                    };
-                    let mut cache = CostCache::new(4096);
-                    let mut rng = Rng::new(7);
-                    route(
-                        black_box(&dag),
-                        &coords,
-                        &topo,
-                        Layout::trivial(circ.n_qubits, topo.n_qubits()),
-                        &cov,
-                        &mut cache,
-                        &config,
-                        &mut rng,
-                    )
-                })
+            bench(&format!("route/{name}/{router}"), || {
+                let config = RouterConfig {
+                    aggression,
+                    ..RouterConfig::default()
+                };
+                let mut rng = Rng::new(7);
+                route(
+                    black_box(&dag),
+                    &coords,
+                    &target,
+                    Layout::trivial(circ.n_qubits, target.n_qubits()),
+                    &config,
+                    &mut rng,
+                )
             });
         }
     }
 }
-
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);

@@ -5,12 +5,12 @@
 
 use mirage_bench::{eval_options, print_table};
 use mirage_circuit::generators::{bv, cuccaro_adder, qft, wstate};
-use mirage_core::{transpile, RouterKind};
+use mirage_core::{transpile, RouterKind, Target};
 use mirage_topology::CouplingMap;
 
 fn main() {
     println!("Figure 10 — fixed aggression levels, 6x6 square lattice\n");
-    let topo = CouplingMap::grid(6, 6);
+    let target = Target::sqrt_iswap(CouplingMap::grid(6, 6));
     let circuits = vec![
         ("wstate_n27", wstate(27)),
         ("bigadder_n18", cuccaro_adder(8)),
@@ -24,7 +24,7 @@ fn main() {
         // Baseline (Qiskit/SABRE analogue).
         let mut opts = eval_options(RouterKind::Sabre, 0x1010);
         opts.use_vf2 = false;
-        let base = transpile(circ, &topo, &opts).expect("transpiles");
+        let base = transpile(circ, &target, &opts).expect("transpiles");
         row.push(format!("{:.1}", base.metrics.depth_estimate));
         // Fixed aggression a0..a3.
         for a in 0..4usize {
@@ -33,13 +33,20 @@ fn main() {
             let mut opts = eval_options(RouterKind::Mirage, 0x1010 + a as u64);
             opts.use_vf2 = false;
             opts.trials.aggression_mix = mix;
-            let out = transpile(circ, &topo, &opts).expect("transpiles");
+            let out = transpile(circ, &target, &opts).expect("transpiles");
             row.push(format!("{:.1}", out.metrics.depth_estimate));
         }
         rows.push(row);
     }
     print_table(
-        &["circuit", "Qiskit-like", "Mirage-a0", "Mirage-a1", "Mirage-a2", "Mirage-a3"],
+        &[
+            "circuit",
+            "Qiskit-like",
+            "Mirage-a0",
+            "Mirage-a1",
+            "Mirage-a2",
+            "Mirage-a3",
+        ],
         &rows,
     );
     println!("\nPaper: no single aggression strategy is universally optimal,");

@@ -8,12 +8,12 @@
 
 use mirage_bench::{geo_mean, pct_improvement, print_table, run_one};
 use mirage_circuit::generators::paper_suite;
-use mirage_core::RouterKind;
+use mirage_core::{RouterKind, Target};
 use mirage_topology::CouplingMap;
 
 fn main() {
     println!("Figure 11 — post-selection metric comparison, 6x6 square lattice\n");
-    let topo = CouplingMap::grid(6, 6);
+    let target = Target::sqrt_iswap(CouplingMap::grid(6, 6));
     let suite: Vec<_> = paper_suite()
         .into_iter()
         .filter(|(name, _)| !name.starts_with("wstate") && !name.starts_with("bv"))
@@ -23,10 +23,14 @@ fn main() {
     let mut depths = [Vec::new(), Vec::new(), Vec::new()];
     let mut costs = [Vec::new(), Vec::new(), Vec::new()];
     for (name, circ) in &suite {
-        let kinds = [RouterKind::Sabre, RouterKind::MirageSwaps, RouterKind::Mirage];
+        let kinds = [
+            RouterKind::Sabre,
+            RouterKind::MirageSwaps,
+            RouterKind::Mirage,
+        ];
         let mut cells = vec![name.to_string()];
         for (i, kind) in kinds.iter().enumerate() {
-            let row = run_one(name, circ, &topo, *kind, 0x1111, None);
+            let row = run_one(name, circ, &target, *kind, 0x1111);
             depths[i].push(row.depth);
             costs[i].push(row.gate_cost);
             cells.push(format!("{:.1}", row.depth));
@@ -34,12 +38,26 @@ fn main() {
         rows.push(cells);
         eprintln!("  done: {name}");
     }
-    print_table(&["circuit", "Qiskit", "MIRAGE-Swaps", "MIRAGE-Depth"], &rows);
+    print_table(
+        &["circuit", "Qiskit", "MIRAGE-Swaps", "MIRAGE-Depth"],
+        &rows,
+    );
 
-    let g = [geo_mean(&depths[0]), geo_mean(&depths[1]), geo_mean(&depths[2])];
-    let c = [geo_mean(&costs[0]), geo_mean(&costs[1]), geo_mean(&costs[2])];
+    let g = [
+        geo_mean(&depths[0]),
+        geo_mean(&depths[1]),
+        geo_mean(&depths[2]),
+    ];
+    let c = [
+        geo_mean(&costs[0]),
+        geo_mean(&costs[1]),
+        geo_mean(&costs[2]),
+    ];
     println!("\ngeo-mean depth: qiskit {:.1}, mirage-swaps {:.1} ({:+.1}%), mirage-depth {:.1} ({:+.1}%)",
         g[0], g[1], -pct_improvement(g[0], g[1]), g[2], -pct_improvement(g[0], g[2]));
-    println!("geo-mean gate cost change (depth metric): {:+.1}%", -pct_improvement(c[0], c[2]));
+    println!(
+        "geo-mean gate cost change (depth metric): {:+.1}%",
+        -pct_improvement(c[0], c[2])
+    );
     println!("\nPaper: swap metric -24.1% depth; depth metric -29.5%; gates +0.4%.");
 }

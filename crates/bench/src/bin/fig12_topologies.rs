@@ -9,11 +9,11 @@
 
 use mirage_bench::{geo_mean, pct_improvement, print_table, run_one};
 use mirage_circuit::generators::paper_suite;
-use mirage_core::RouterKind;
+use mirage_core::{RouterKind, Target};
 use mirage_topology::CouplingMap;
 
-fn run_topology(label: &str, topo: &CouplingMap) {
-    println!("== Figure 12 — {label} ({}) ==\n", topo.name());
+fn run_topology(label: &str, target: &Target) {
+    println!("== Figure 12 — {label} ({}) ==\n", target.topology().name());
     let suite: Vec<_> = paper_suite()
         .into_iter()
         .filter(|(name, _)| !name.starts_with("wstate") && !name.starts_with("bv"))
@@ -22,8 +22,8 @@ fn run_topology(label: &str, topo: &CouplingMap) {
     let mut rows = Vec::new();
     let mut agg: [Vec<f64>; 6] = Default::default();
     for (name, circ) in &suite {
-        let base = run_one(name, circ, topo, RouterKind::Sabre, 0x1212, None);
-        let mir = run_one(name, circ, topo, RouterKind::Mirage, 0x1212, None);
+        let base = run_one(name, circ, target, RouterKind::Sabre, 0x1212);
+        let mir = run_one(name, circ, target, RouterKind::Mirage, 0x1212);
         agg[0].push(base.depth);
         agg[1].push(mir.depth);
         agg[2].push(base.gate_cost);
@@ -67,10 +67,16 @@ fn run_topology(label: &str, topo: &CouplingMap) {
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
     if which == "heavy-hex" || which == "both" {
-        run_topology("Heavy-Hex 57Q", &CouplingMap::heavy_hex(5));
+        run_topology(
+            "Heavy-Hex 57Q",
+            &Target::sqrt_iswap(CouplingMap::heavy_hex(5)),
+        );
     }
     if which == "square" || which == "both" {
-        run_topology("Square-Lattice 6x6", &CouplingMap::grid(6, 6));
+        run_topology(
+            "Square-Lattice 6x6",
+            &Target::sqrt_iswap(CouplingMap::grid(6, 6)),
+        );
     }
     println!("Paper: heavy-hex -31.19% depth, -16.97% gates, -56.19% swaps;");
     println!("square  -29.58% depth, -10.25% gates, -59.86% swaps.");

@@ -5,22 +5,26 @@
 //! against Python Qiskit and reports a 47.9% speedup at QFT-64 thanks to
 //! the caching of Fig. 13a. Both sides here are Rust, so we report the
 //! reproducible part of the claim — the effect of the coordinate cache —
-//! plus MIRAGE vs the SABRE baseline at equal trial counts.
+//! plus MIRAGE vs the SABRE baseline at equal trial counts. The "cold
+//! cache" column routes on a target whose shared cache holds a single
+//! coordinate class in total, forcing a polytope scan on effectively
+//! every query.
 
 use mirage_circuit::consolidate::consolidate;
 use mirage_circuit::generators::qft;
 use mirage_circuit::Dag;
 use mirage_core::layout::Layout;
 use mirage_core::router::{node_coords, route, Aggression, RouterConfig};
-use mirage_coverage::cache::CostCache;
+use mirage_core::Target;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_math::Rng;
 use mirage_topology::CouplingMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     println!("Figure 13b — QFT routing runtime (single trial, line topology)\n");
-    let cov = CoverageSet::build(
+    let cov = Arc::new(CoverageSet::build(
         BasisGate::iswap_root(2),
         &CoverageOptions {
             max_k: 3,
@@ -29,39 +33,44 @@ fn main() {
             mirrors: false,
             seed: 0x13B,
         },
-    );
+    ));
 
-    println!("{:>6} {:>12} {:>12} {:>12} {:>10}", "n", "sabre (ms)", "mirage (ms)", "cold-cache", "hit-rate");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "n", "sabre (ms)", "mirage (ms)", "cold-cache", "hit-rate"
+    );
     for &n in &[16usize, 24, 32, 48, 64] {
         let circ = consolidate(&qft(n, false));
-        let topo = CouplingMap::line(n);
         let dag = Dag::from_circuit(&circ);
         let coords = node_coords(&dag);
 
         let time_router = |aggression: Option<Aggression>, cache_cap: usize| {
+            let target = Target::with_coverage(CouplingMap::line(n), cov.clone())
+                .with_cache_capacity(cache_cap);
             let config = RouterConfig {
                 aggression,
                 ..RouterConfig::default()
             };
-            let mut cache = CostCache::new(cache_cap);
             let mut rng = Rng::new(0x1313);
             let t0 = Instant::now();
             let r = route(
                 &dag,
                 &coords,
-                &topo,
+                &target,
                 Layout::trivial(n, n),
-                &cov,
-                &mut cache,
                 &config,
                 &mut rng,
             );
-            (t0.elapsed().as_secs_f64() * 1e3, cache.hit_rate(), r)
+            (
+                t0.elapsed().as_secs_f64() * 1e3,
+                target.cache().hit_rate(),
+                r,
+            )
         };
 
         let (t_sabre, _, _) = time_router(None, 8192);
         let (t_mirage, hit, _) = time_router(Some(Aggression::A2), 8192);
-        // "Cold cache": capacity 1 forces a polytope scan per query —
+        // "Cold cache": a single-entry cache thrashes on every new class —
         // the pre-Fig.13a behaviour.
         let (t_cold, _, _) = time_router(Some(Aggression::A2), 1);
         println!(

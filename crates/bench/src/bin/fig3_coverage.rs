@@ -15,7 +15,10 @@ fn main() {
     println!("Figure 3 — k = 2 coverage, CNOT vs sqrt(iSWAP) ({samples} Haar samples)\n");
 
     let mut rows = Vec::new();
-    for (label, basis) in [("CNOT", BasisGate::cnot()), ("sqrt(iSWAP)", BasisGate::iswap_root(2))] {
+    for (label, basis) in [
+        ("CNOT", BasisGate::cnot()),
+        ("sqrt(iSWAP)", BasisGate::iswap_root(2)),
+    ] {
         for mirrors in [false, true] {
             let opts = CoverageOptions {
                 max_k: 2,
@@ -39,6 +42,9 @@ fn main() {
             ]);
         }
     }
-    print_table(&["Basis", "Polytope", "Haar coverage", "Region ranks"], &rows);
+    print_table(
+        &["Basis", "Polytope", "Haar coverage", "Region ranks"],
+        &rows,
+    );
     println!("\nPaper: CNOT planar 0%; sqrt(iSWAP) 79.0% standard, 94.4% with mirrors.");
 }

@@ -42,7 +42,14 @@ fn main() {
         }
     }
     print_table(
-        &["Basis", "Polytope", "k=2 coverage", "full at k", "k(CNOT)", "k(SWAP)"],
+        &[
+            "Basis",
+            "Polytope",
+            "k=2 coverage",
+            "full at k",
+            "k(CNOT)",
+            "k(SWAP)",
+        ],
         &rows,
     );
     println!("\nPaper: 4th-root needs k=6 standard, never exceeds k=4 with mirrors;");

@@ -56,8 +56,10 @@ fn main() {
             );
         }
     }
-    println!("\nfinal scores: exact {:.4}, approx {:.4}, exact+mirror {:.4}, approx+mirror {:.4}",
-        exact.score, approx.score, exact_mirror.score, approx_mirror.score);
+    println!(
+        "\nfinal scores: exact {:.4}, approx {:.4}, exact+mirror {:.4}, approx+mirror {:.4}",
+        exact.score, approx.score, exact_mirror.score, approx_mirror.score
+    );
     println!("Paper: exact/exact+mirror converge to the dotted asymptotes;");
     println!("approx alone nearly reaches exact+mirror; combining both pushes ~0.90 -> <0.85.");
 }

@@ -6,7 +6,7 @@
 
 use mirage_bench::eval_options;
 use mirage_circuit::generators::two_local_full;
-use mirage_core::{transpile, RouterKind};
+use mirage_core::{transpile, RouterKind, Target};
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_synth::decompose::DecompOptions;
 use mirage_synth::fidelity::pulse_duration;
@@ -16,7 +16,6 @@ use std::sync::Arc;
 fn main() {
     println!("Figure 8 — TwoLocal(full, 4 qubits) on a 4-qubit line, sqrt(iSWAP) basis\n");
     let circ = two_local_full(4, 1, 0xF18);
-    let topo = mirage_topology::CouplingMap::line(4);
     let cov = Arc::new(CoverageSet::build(
         BasisGate::iswap_root(2),
         &CoverageOptions {
@@ -27,6 +26,7 @@ fn main() {
             seed: 0x818,
         },
     ));
+    let target = Target::with_coverage(mirage_topology::CouplingMap::line(4), cov.clone());
     let dopts = DecompOptions {
         restarts: 8,
         evals_per_restart: 8000,
@@ -34,18 +34,23 @@ fn main() {
         seed: 0x918,
     };
 
-    for (label, router) in [("baseline (SABRE)", RouterKind::Sabre), ("MIRAGE", RouterKind::Mirage)] {
+    for (label, router) in [
+        ("baseline (SABRE)", RouterKind::Sabre),
+        ("MIRAGE", RouterKind::Mirage),
+    ] {
         let mut opts = eval_options(router, 0x1018);
-        opts.coverage = Some(cov.clone());
         opts.use_vf2 = false; // force routing so the comparison is honest
-        let out = transpile(&circ, &topo, &opts).expect("transpiles");
+        let out = transpile(&circ, &target, &opts).expect("transpiles");
         let (translated, stats) = translate_circuit(&out.circuit, &cov, &dopts);
         let pulse_depth = pulse_duration(&translated).expect("translated to basis");
         println!("{label}:");
         println!("  SWAPs inserted        : {}", out.metrics.swaps_inserted);
         println!("  mirrors accepted      : {}", out.metrics.mirrors_accepted);
         println!("  sqrt(iSWAP) pulses    : {}", stats.pulses);
-        println!("  pulse critical path   : {:.1} (x sqrt(iSWAP))", pulse_depth / 0.5);
+        println!(
+            "  pulse critical path   : {:.1} (x sqrt(iSWAP))",
+            pulse_depth / 0.5
+        );
         println!("  residual infidelity   : {:.2e}", stats.worst_infidelity);
         println!();
     }

@@ -7,14 +7,14 @@ use mirage_circuit::generators::two_local_full;
 use mirage_circuit::Dag;
 use mirage_core::layout::Layout;
 use mirage_core::router::{node_coords, route, Aggression, RouterConfig};
-use mirage_core::trials::depth_estimate;
-use mirage_coverage::cache::CostCache;
+use mirage_core::Target;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_math::Rng;
+use std::sync::Arc;
 
 fn main() {
     println!("Figure 9 — greedy local minima from a fixed initial layout\n");
-    let cov = CoverageSet::build(
+    let cov = Arc::new(CoverageSet::build(
         BasisGate::iswap_root(2),
         &CoverageOptions {
             max_k: 3,
@@ -23,11 +23,11 @@ fn main() {
             mirrors: false,
             seed: 0x919,
         },
-    );
+    ));
     // The 4-qubit sub-circuit of Fig. 8a, reordered so the first gate needs
     // no SWAPs (paper setup).
     let circ = consolidate(&two_local_full(4, 1, 0xF19));
-    let topo = mirage_topology::CouplingMap::line(4);
+    let target = Target::with_coverage(mirage_topology::CouplingMap::line(4), cov);
     let dag = Dag::from_circuit(&circ);
     let coords = node_coords(&dag);
 
@@ -40,19 +40,16 @@ fn main() {
                 aggression: Some(aggr),
                 ..RouterConfig::default()
             };
-            let mut cache = CostCache::new(512);
             let mut rng = Rng::new(0x5EED9 + seed);
             let r = route(
                 &dag,
                 &coords,
-                &topo,
+                &target,
                 Layout::trivial(4, 4),
-                &cov,
-                &mut cache,
                 &config,
                 &mut rng,
             );
-            let d = depth_estimate(&r.circuit, &cov, &mut cache) / 0.5;
+            let d = target.depth_estimate(&r.circuit) / 0.5;
             best = best.min(d);
             worst = worst.max(d);
             println!(

@@ -21,7 +21,11 @@ fn main() {
     println!("Table I — Haar scores, exact decomposition ({samples} Haar samples)\n");
 
     let mut rows = Vec::new();
-    for (label, n, max_k) in [("sqrt(iSWAP)", 2u32, 4), ("cbrt(iSWAP)", 3, 5), ("4th-root(iSWAP)", 4, 7)] {
+    for (label, n, max_k) in [
+        ("sqrt(iSWAP)", 2u32, 4),
+        ("cbrt(iSWAP)", 3, 5),
+        ("4th-root(iSWAP)", 4, 7),
+    ] {
         let plain = coverage_for(n, false, max_k);
         let mirror = coverage_for(n, true, max_k);
         let hs_plain = haar_score(&plain, &model, samples, 0xAB0 + u64::from(n));
@@ -35,7 +39,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["Basis Gate", "Haar", "Fidelity", "Mirror Haar", "Mirror Fidelity"],
+        &[
+            "Basis Gate",
+            "Haar",
+            "Fidelity",
+            "Mirror Haar",
+            "Mirror Fidelity",
+        ],
         &rows,
     );
     println!("\nPaper: sqrt 1.105/0.9890 -> 1.029/0.9897; cbrt 0.9907/0.9901 -> 0.9545/0.9904; 4th 0.9599/0.9904 -> 0.8997/0.9910");

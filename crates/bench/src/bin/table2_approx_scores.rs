@@ -23,10 +23,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     let model = FidelityModel::paper_default();
-    println!("Table II — Haar scores with approximate decomposition ({samples} Monte Carlo samples)\n");
+    println!(
+        "Table II — Haar scores with approximate decomposition ({samples} Monte Carlo samples)\n"
+    );
 
     let mut rows = Vec::new();
-    for (label, n, max_k) in [("sqrt(iSWAP)", 2u32, 4), ("cbrt(iSWAP)", 3, 5), ("4th-root(iSWAP)", 4, 7)] {
+    for (label, n, max_k) in [
+        ("sqrt(iSWAP)", 2u32, 4),
+        ("cbrt(iSWAP)", 3, 5),
+        ("4th-root(iSWAP)", 4, 7),
+    ] {
         let plain = coverage_for(n, false, max_k);
         let mirror = coverage_for(n, true, max_k);
         let basis = plain.basis.unitary;
@@ -56,7 +62,13 @@ fn main() {
     }
     println!();
     print_table(
-        &["Basis Gate", "Haar", "Fidelity", "Mirror Haar", "Mirror Fidelity"],
+        &[
+            "Basis Gate",
+            "Haar",
+            "Fidelity",
+            "Mirror Haar",
+            "Mirror Fidelity",
+        ],
         &rows,
     );
     println!("\nPaper: sqrt 1.031/0.9895 -> 0.9950/0.9899; cbrt 0.9433/0.9904 -> 0.8900/0.9908; 4th 0.9165/0.9906 -> 0.8453/0.9913");

@@ -40,7 +40,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["name", "qubits", "2Q (raw)", "2Q (CX-equiv)", "paper", "class"],
+        &[
+            "name",
+            "qubits",
+            "2Q (raw)",
+            "2Q (CX-equiv)",
+            "paper",
+            "class",
+        ],
         &rows,
     );
 }

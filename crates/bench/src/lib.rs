@@ -6,10 +6,10 @@
 //! runner, and plain-text table rendering.
 
 use mirage_circuit::Circuit;
-use mirage_core::{transpile, RouterKind, TranspileOptions};
+use mirage_core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
-use mirage_topology::CouplingMap;
-use std::sync::Arc;
+
+pub mod timing;
 
 /// Build a full-quality coverage set for `iSWAP^(1/n)`.
 pub fn coverage_for(n: u32, mirrors: bool, max_k: usize) -> CoverageSet {
@@ -50,18 +50,16 @@ pub struct SuiteRow {
     pub mirror_rate: f64,
 }
 
-/// Transpile one circuit and summarize.
+/// Transpile one circuit onto `target` and summarize.
 pub fn run_one(
     name: &str,
     circuit: &Circuit,
-    topo: &CouplingMap,
+    target: &Target,
     router: RouterKind,
     seed: u64,
-    coverage: Option<Arc<CoverageSet>>,
 ) -> SuiteRow {
-    let mut opts = eval_options(router, seed);
-    opts.coverage = coverage;
-    let out = transpile(circuit, topo, &opts).expect("transpilation succeeds");
+    let opts = eval_options(router, seed);
+    let out = transpile(circuit, target, &opts).expect("transpilation succeeds");
     SuiteRow {
         name: name.to_owned(),
         depth: out.metrics.depth_estimate,

@@ -1,0 +1,88 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace is dependency-free, so the `benches/` targets use this
+//! instead of criterion: each benchmark auto-calibrates an iteration count
+//! to a time budget, runs several measurement batches, and reports the
+//! median and minimum per-iteration time. Run with `cargo bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of measurement batches per benchmark.
+const BATCHES: usize = 15;
+/// Target wall-clock budget per batch.
+const BATCH_BUDGET: Duration = Duration::from_millis(80);
+
+/// Time one closure: calibrate, measure, and print a `name: median / min`
+/// line. Returns the median per-iteration time in nanoseconds.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
+    // Calibration: double the iteration count until a batch fills the budget.
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= BATCH_BUDGET || iters >= 1 << 24 {
+            break;
+        }
+        // Jump straight to the budget once a good estimate exists.
+        if elapsed >= BATCH_BUDGET / 8 {
+            let scale = BATCH_BUDGET.as_secs_f64() / elapsed.as_secs_f64();
+            iters = ((iters as f64 * scale).ceil() as usize).max(iters + 1);
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    println!(
+        "{name:<40} {:>12} median  {:>12} min  ({iters} iters x {BATCHES})",
+        format_ns(median),
+        format_ns(min)
+    );
+    median
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_time() {
+        let ns = bench("noop-accumulate", || (0..100u64).sum::<u64>());
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e3).ends_with("us"));
+        assert!(format_ns(5.0e6).ends_with("ms"));
+        assert!(format_ns(5.0e9).ends_with('s'));
+    }
+}

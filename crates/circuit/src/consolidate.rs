@@ -117,9 +117,9 @@ pub fn consolidate(c: &Circuit) -> Circuit {
     let mut blocks: Vec<Option<Block>> = Vec::new();
 
     let close = |q: usize,
-                     active: &mut Vec<Option<usize>>,
-                     blocks: &mut Vec<Option<Block>>,
-                     out: &mut Vec<Instruction>| {
+                 active: &mut Vec<Option<usize>>,
+                 blocks: &mut Vec<Option<Block>>,
+                 out: &mut Vec<Instruction>| {
         if let Some(slot) = active[q] {
             if let Some(block) = blocks[slot].take() {
                 active[block.hi] = None;
@@ -260,7 +260,10 @@ mod tests {
             })
             .collect();
         assert_eq!(blocks.len(), 2);
-        assert!(blocks[0].approx_eq(blocks[1], 0.0), "blocks must be identical");
+        assert!(
+            blocks[0].approx_eq(blocks[1], 0.0),
+            "blocks must be identical"
+        );
     }
 
     #[test]

@@ -103,11 +103,7 @@ impl Dag {
         let mut dist = vec![0.0f64; self.nodes.len()];
         let mut best = 0.0f64;
         for n in &self.nodes {
-            let start = n
-                .preds
-                .iter()
-                .map(|&p| dist[p])
-                .fold(0.0f64, f64::max);
+            let start = n.preds.iter().map(|&p| dist[p]).fold(0.0f64, f64::max);
             dist[n.id] = start + weight(n);
             best = best.max(dist[n.id]);
         }

@@ -283,18 +283,12 @@ mod tests {
         ];
         for g in twos {
             let prod = g.matrix2().mul(&g.inverse().matrix2());
-            assert!(
-                prod.approx_eq_up_to_phase(&Mat4::identity(), 1e-9),
-                "{g:?}"
-            );
+            assert!(prod.approx_eq_up_to_phase(&Mat4::identity(), 1e-9), "{g:?}");
         }
         let ones = [Gate::S, Gate::T, Gate::Rx(0.4), Gate::U3(0.1, 0.2, 0.3)];
         for g in ones {
             let prod = g.matrix1().mul(&g.inverse().matrix1());
-            assert!(
-                prod.approx_eq_up_to_phase(&Mat2::identity(), 1e-9),
-                "{g:?}"
-            );
+            assert!(prod.approx_eq_up_to_phase(&Mat2::identity(), 1e-9), "{g:?}");
         }
     }
 

@@ -73,7 +73,7 @@ pub fn wstate(n: usize) -> Circuit {
 /// Bernstein–Vazirani with an `ones`-bit secret on `n−1` input qubits plus
 /// one oracle qubit. `bv(30, 18)` reproduces the paper's instance.
 pub fn bv(n: usize, ones: usize) -> Circuit {
-    assert!(n >= 2 && ones <= n - 1, "invalid bv parameters");
+    assert!(n >= 2 && ones < n, "invalid bv parameters");
     let mut c = Circuit::new(n);
     let target = n - 1;
     c.x(target).h(target);

@@ -14,9 +14,7 @@ pub fn remove_identities(c: &Circuit) -> Circuit {
         .instructions
         .iter()
         .filter(|instr| match &instr.gate {
-            g if g.is_two_qubit() => {
-                !g.matrix2().approx_eq_up_to_phase(&Mat4::identity(), 1e-10)
-            }
+            g if g.is_two_qubit() => !g.matrix2().approx_eq_up_to_phase(&Mat4::identity(), 1e-10),
             g => !g.matrix1().approx_eq_up_to_phase(&Mat2::identity(), 1e-10),
         })
         .cloned()
@@ -40,8 +38,7 @@ pub fn cancel_adjacent_inverses(c: &Circuit) -> Circuit {
                 continue;
             };
             // Previous instruction index if it is the same on every wire.
-            let prevs: Vec<Option<usize>> =
-                instr.qubits.iter().map(|&q| last_on_wire[q]).collect();
+            let prevs: Vec<Option<usize>> = instr.qubits.iter().map(|&q| last_on_wire[q]).collect();
             let same_prev = prevs
                 .first()
                 .copied()
@@ -119,8 +116,7 @@ pub fn merge_rotations(c: &Circuit) -> Circuit {
         .filter(|i| match i.gate {
             Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => {
                 mirage_math::wrap_mod(t, std::f64::consts::TAU).abs() > 1e-12
-                    && (mirage_math::wrap_mod(t, std::f64::consts::TAU)
-                        - std::f64::consts::TAU)
+                    && (mirage_math::wrap_mod(t, std::f64::consts::TAU) - std::f64::consts::TAU)
                         .abs()
                         > 1e-12
             }

@@ -39,15 +39,10 @@ pub fn to_qasm(c: &Circuit) -> String {
             Gate::Ry(t) => body.push_str(&format!("ry({t:.12}) {};\n", q(0))),
             Gate::Rz(t) => body.push_str(&format!("rz({t:.12}) {};\n", q(0))),
             Gate::Phase(t) => body.push_str(&format!("u1({t:.12}) {};\n", q(0))),
-            Gate::U3(t, p, l) => {
-                body.push_str(&format!("u3({t:.12},{p:.12},{l:.12}) {};\n", q(0)))
-            }
+            Gate::U3(t, p, l) => body.push_str(&format!("u3({t:.12},{p:.12},{l:.12}) {};\n", q(0))),
             Gate::Unitary1(m) => {
                 let (theta, phi, lam, _alpha) = mirage_gates::euler_zyz(m);
-                body.push_str(&format!(
-                    "u3({theta:.12},{phi:.12},{lam:.12}) {};\n",
-                    q(0)
-                ));
+                body.push_str(&format!("u3({theta:.12},{phi:.12},{lam:.12}) {};\n", q(0)));
             }
             Gate::Cx => body.push_str(&format!("cx {},{};\n", q(0), q(1))),
             Gate::Cz => body.push_str(&format!("cz {},{};\n", q(0), q(1))),
@@ -87,8 +82,7 @@ pub fn to_qasm(c: &Circuit) -> String {
             Gate::Unitary2(m) => {
                 // KAK: U = e^{iφ}(K1l⊗K1r)·CAN(a,b,c)·(K2l⊗K2r), and
                 // CAN(a,b,c) = rxx(−2a)·ryy(−2b)·rzz(−2c).
-                let kak = mirage_weyl::kak::kak_decompose(m)
-                    .expect("unitary blocks decompose");
+                let kak = mirage_weyl::kak::kak_decompose(m).expect("unitary blocks decompose");
                 needs_rxx = true;
                 needs_ryy = true;
                 needs_rzz = true;
@@ -109,14 +103,11 @@ pub fn to_qasm(c: &Circuit) -> String {
 
     let mut header = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
     if needs_iswap {
-        header.push_str(
-            "gate iswap a,b { s a; s b; h a; cx a,b; cx b,a; h b; }\n",
-        );
+        header.push_str("gate iswap a,b { s a; s b; h a; cx a,b; cx b,a; h b; }\n");
     }
     if needs_rxx {
-        header.push_str(
-            "gate rxx(theta) a,b { h a; h b; cx a,b; rz(theta) b; cx a,b; h a; h b; }\n",
-        );
+        header
+            .push_str("gate rxx(theta) a,b { h a; h b; cx a,b; rz(theta) b; cx a,b; h a; h b; }\n");
     }
     if needs_ryy {
         header.push_str("gate ryy(theta) a,b { rx(pi/2) a; rx(pi/2) b; cx a,b; rz(theta) b; cx a,b; rx(-pi/2) a; rx(-pi/2) b; }\n");
@@ -140,7 +131,11 @@ pub struct QasmError {
 
 impl std::fmt::Display for QasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QASM parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -226,10 +221,13 @@ pub fn from_qasm(src: &str) -> Result<Circuit, QasmError> {
                 message: "qreg missing ]".into(),
             })?;
             let name = rest[..open].trim().to_string();
-            let size: usize = rest[open + 1..close].trim().parse().map_err(|_| QasmError {
-                line,
-                message: "bad qreg size".into(),
-            })?;
+            let size: usize = rest[open + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| QasmError {
+                    line,
+                    message: "bad qreg size".into(),
+                })?;
             regs.push((name, total, size));
             total += size;
             continue;
@@ -390,14 +388,11 @@ fn tokenize(src: &str) -> Option<Vec<Tok>> {
                 out.push(Tok::RParen);
                 i += 1;
             }
-            'p' | 'P' => {
-                if src[i..].to_lowercase().starts_with("pi") {
-                    out.push(Tok::Num(std::f64::consts::PI));
-                    i += 2;
-                } else {
-                    return None;
-                }
+            'p' | 'P' if src[i..].to_lowercase().starts_with("pi") => {
+                out.push(Tok::Num(std::f64::consts::PI));
+                i += 2;
             }
+            'p' | 'P' => return None,
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 while i < bytes.len()

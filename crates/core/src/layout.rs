@@ -148,7 +148,7 @@ mod tests {
         let mut rng = Rng::new(5);
         for _ in 0..20 {
             let l = Layout::random(6, 9, &mut rng);
-            let mut seen = vec![false; 9];
+            let mut seen = [false; 9];
             for log in 0..9 {
                 let p = l.phys(log);
                 assert!(!seen[p]);

@@ -1,6 +1,9 @@
 //! The MIRAGE transpiler: SABRE-style routing with mirror-gate
 //! decomposition awareness (the paper's primary contribution, §IV).
 //!
+//! * [`target::Target`] — the device being compiled for: coupling
+//!   topology, basis gate, lazily-built coverage set, duration model, and
+//!   the shared cost cache. Every layer below consumes a `&Target`.
 //! * [`layout::Layout`] — the logical→physical qubit mapping.
 //! * [`router`] — the routing engine: a faithful SABRE baseline (front
 //!   layer, lookahead window, decay) extended with MIRAGE's *intermediate
@@ -13,18 +16,19 @@
 //! * [`pipeline`] — the end-to-end `transpile` entry point: consolidation,
 //!   the VF2 no-SWAP check, routing, and metrics.
 //! * [`verify`] — statevector verification that a routed circuit equals its
-//!   input up to the layout permutations (used heavily by the test-suite).
+//!   input up to the layout permutations, plus coupling-map conformance
+//!   (used heavily by the test-suite).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use mirage_core::{transpile, RouterKind, TranspileOptions};
+//! use mirage_core::{transpile, RouterKind, Target, TranspileOptions};
 //! use mirage_circuit::generators::two_local_full;
 //! use mirage_topology::CouplingMap;
 //!
 //! let circ = two_local_full(4, 1, 7);
-//! let topo = CouplingMap::line(4);
-//! let out = transpile(&circ, &topo, &TranspileOptions::quick(RouterKind::Mirage, 1))
+//! let target = Target::sqrt_iswap(CouplingMap::line(4));
+//! let out = transpile(&circ, &target, &TranspileOptions::quick(RouterKind::Mirage, 1))
 //!     .expect("transpiles");
 //! assert!(out.metrics.depth_estimate > 0.0);
 //! ```
@@ -32,10 +36,12 @@
 pub mod layout;
 pub mod pipeline;
 pub mod router;
+pub mod target;
 pub mod trials;
 pub mod verify;
 
 pub use layout::Layout;
 pub use pipeline::{transpile, RouterKind, TranspileOptions, TranspiledCircuit};
-pub use router::{Aggression, RouterConfig, RoutedCircuit};
+pub use router::{Aggression, RoutedCircuit, RouterConfig};
+pub use target::{DurationModel, Target};
 pub use trials::{Metric, TrialOptions};

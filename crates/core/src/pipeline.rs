@@ -1,16 +1,18 @@
 //! The end-to-end transpile pipeline (paper §V):
 //! consolidate → VF2 no-SWAP check → layout + routing trials → metrics.
+//!
+//! Every device-specific input — topology, basis gate, coverage set, cost
+//! cache, duration model — arrives through one [`Target`], so the same
+//! `transpile(&circuit, &target, &opts)` call serves the paper's √iSWAP
+//! configuration and CNOT/CZ backends alike.
 
 use crate::layout::Layout;
 use crate::router::RoutedCircuit;
+use crate::target::Target;
 use crate::trials::{self, Metric, TrialOptions};
 use mirage_circuit::consolidate::consolidate;
 use mirage_circuit::Circuit;
-use mirage_coverage::cache::CostCache;
-use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_topology::vf2::{find_embedding, InteractionGraph};
-use mirage_topology::CouplingMap;
-use std::sync::{Arc, OnceLock};
 
 /// Which router to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +23,23 @@ pub enum RouterKind {
     MirageSwaps,
     /// MIRAGE with depth post-selection (the paper's headline MIRAGE).
     Mirage,
+}
+
+impl RouterKind {
+    /// The post-selection metric this router uses: only the headline
+    /// MIRAGE selects by duration-weighted depth; the baseline and
+    /// MIRAGE-Swaps select by fewest SWAPs (paper §IV-B).
+    pub fn metric(self) -> Metric {
+        match self {
+            RouterKind::Mirage => Metric::Depth,
+            RouterKind::Sabre | RouterKind::MirageSwaps => Metric::SwapCount,
+        }
+    }
+
+    /// True for the MIRAGE variants (the intermediate mirror layer runs).
+    pub fn uses_mirrors(self) -> bool {
+        matches!(self, RouterKind::Mirage | RouterKind::MirageSwaps)
+    }
 }
 
 /// Transpilation options.
@@ -34,39 +53,27 @@ pub struct TranspileOptions {
     pub use_vf2: bool,
     /// VF2 search-node budget.
     pub vf2_budget: usize,
-    /// Coverage set override (defaults to a shared √iSWAP set).
-    pub coverage: Option<Arc<CoverageSet>>,
 }
 
 impl TranspileOptions {
     /// Light settings for tests and examples.
     pub fn quick(router: RouterKind, seed: u64) -> TranspileOptions {
-        let metric = match router {
-            RouterKind::Mirage => Metric::Depth,
-            _ => Metric::SwapCount,
-        };
         TranspileOptions {
             router,
-            trials: TrialOptions::quick(metric, seed),
+            trials: TrialOptions::quick(router.metric(), seed),
             use_vf2: true,
             vf2_budget: 200_000,
-            coverage: None,
         }
     }
 
     /// The paper's full evaluation settings (20 layouts × 4 passes × 20
     /// routes, parallel).
     pub fn paper(router: RouterKind, seed: u64) -> TranspileOptions {
-        let metric = match router {
-            RouterKind::Mirage => Metric::Depth,
-            _ => Metric::SwapCount,
-        };
         TranspileOptions {
             router,
-            trials: TrialOptions::paper(metric, seed),
+            trials: TrialOptions::paper(router.metric(), seed),
             use_vf2: true,
             vf2_budget: 1_000_000,
-            coverage: None,
         }
     }
 }
@@ -84,6 +91,8 @@ pub struct Metrics {
     pub swaps_inserted: usize,
     /// Mirror gates accepted.
     pub mirrors_accepted: usize,
+    /// Two-qubit gates that went through the intermediate layer.
+    pub mirror_candidates: usize,
     /// Mirror acceptance rate over intermediate-layer decisions.
     pub mirror_rate: f64,
 }
@@ -101,6 +110,21 @@ pub struct TranspiledCircuit {
     pub metrics: Metrics,
     /// True when VF2 found a SWAP-free embedding and routing was skipped.
     pub used_vf2: bool,
+}
+
+impl TranspiledCircuit {
+    /// View the result as a [`RoutedCircuit`] (the shape the verifier and
+    /// router-level tooling consume).
+    pub fn as_routed(&self) -> RoutedCircuit {
+        RoutedCircuit {
+            circuit: self.circuit.clone(),
+            initial_layout: self.initial_layout.clone(),
+            final_layout: self.final_layout.clone(),
+            swaps_inserted: self.metrics.swaps_inserted,
+            mirrors_accepted: self.metrics.mirrors_accepted,
+            mirror_candidates: self.metrics.mirror_candidates,
+        }
+    }
 }
 
 /// Transpilation errors.
@@ -130,34 +154,17 @@ impl std::fmt::Display for TranspileError {
 
 impl std::error::Error for TranspileError {}
 
-/// The shared default coverage set: √iSWAP, three levels, standard
-/// (mirror-free) regions — the costing basis for every experiment unless
-/// overridden.
-pub fn default_coverage() -> Arc<CoverageSet> {
-    static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
-    SET.get_or_init(|| {
-        let opts = CoverageOptions {
-            max_k: 3,
-            samples_per_k: 1200,
-            inflation: 0.012,
-            mirrors: false,
-            seed: 0xC0FFEE,
-        };
-        Arc::new(CoverageSet::build(BasisGate::iswap_root(2), &opts))
-    })
-    .clone()
-}
-
-/// Transpile `circuit` onto `topo`.
+/// Transpile `circuit` onto `target`.
 ///
 /// # Errors
 ///
 /// See [`TranspileError`].
 pub fn transpile(
     circuit: &Circuit,
-    topo: &CouplingMap,
+    target: &Target,
     opts: &TranspileOptions,
 ) -> Result<TranspiledCircuit, TranspileError> {
+    let topo = target.topology();
     if circuit.n_qubits > topo.n_qubits() {
         return Err(TranspileError::CircuitTooLarge {
             circuit: circuit.n_qubits,
@@ -167,10 +174,6 @@ pub fn transpile(
     if !topo.is_connected() {
         return Err(TranspileError::DisconnectedTopology);
     }
-    let coverage = opts
-        .coverage
-        .clone()
-        .unwrap_or_else(default_coverage);
 
     // Input cleaning (paper §V): drop identities, cancel inverses, merge
     // rotations, and elide explicit SWAPs into a wire relabeling — a SWAP
@@ -188,17 +191,16 @@ pub fn transpile(
             let layout = Layout::from_assignment(&embedding, topo.n_qubits());
             let mut placed = Circuit::new(topo.n_qubits());
             for instr in &consolidated.instructions {
-                let qubits: Vec<usize> =
-                    instr.qubits.iter().map(|&q| layout.phys(q)).collect();
+                let qubits: Vec<usize> = instr.qubits.iter().map(|&q| layout.phys(q)).collect();
                 placed.push(instr.gate.clone(), &qubits);
             }
-            let mut cache = CostCache::new(4096);
             let metrics = Metrics {
-                depth_estimate: trials::depth_estimate(&placed, &coverage, &mut cache),
-                total_gate_cost: trials::total_gate_cost(&placed, &coverage, &mut cache),
+                depth_estimate: target.depth_estimate(&placed),
+                total_gate_cost: target.total_gate_cost(&placed),
                 two_qubit_gates: placed.two_qubit_gate_count(),
                 swaps_inserted: 0,
                 mirrors_accepted: 0,
+                mirror_candidates: 0,
                 mirror_rate: 0.0,
             };
             let final_assignment: Vec<usize> = (0..circuit.n_qubits)
@@ -214,9 +216,12 @@ pub fn transpile(
         }
     }
 
-    let mirage = matches!(opts.router, RouterKind::Mirage | RouterKind::MirageSwaps);
-    let mut routed: RoutedCircuit =
-        trials::route_with_trials(&consolidated, topo, &coverage, mirage, &opts.trials);
+    let mut routed: RoutedCircuit = trials::route_with_trials(
+        &consolidated,
+        target,
+        opts.router.uses_mirrors(),
+        &opts.trials,
+    );
 
     // Compose the SWAP-elision relabeling into the final layout: original
     // output wire `w` lives on elided wire `wire_perm[w]`, which routing
@@ -226,13 +231,13 @@ pub fn transpile(
         .collect();
     routed.final_layout = Layout::from_assignment(&adjusted, topo.n_qubits());
 
-    let mut cache = CostCache::new(4096);
     let metrics = Metrics {
-        depth_estimate: trials::depth_estimate(&routed.circuit, &coverage, &mut cache),
-        total_gate_cost: trials::total_gate_cost(&routed.circuit, &coverage, &mut cache),
+        depth_estimate: target.depth_estimate(&routed.circuit),
+        total_gate_cost: target.total_gate_cost(&routed.circuit),
         two_qubit_gates: routed.circuit.two_qubit_gate_count(),
         swaps_inserted: routed.swaps_inserted,
         mirrors_accepted: routed.mirrors_accepted,
+        mirror_candidates: routed.mirror_candidates,
         mirror_rate: routed.mirror_rate(),
     };
     Ok(TranspiledCircuit {
@@ -247,15 +252,15 @@ pub fn transpile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::router::RoutedCircuit;
     use crate::verify::verify_routed;
     use mirage_circuit::generators::{ghz, qft, two_local_full};
+    use mirage_topology::CouplingMap;
 
     #[test]
     fn vf2_skips_routing_for_linear_circuits() {
         let c = ghz(5);
-        let topo = CouplingMap::grid(3, 3);
-        let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 1)).unwrap();
+        let target = Target::sqrt_iswap(CouplingMap::grid(3, 3));
+        let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Sabre, 1)).unwrap();
         assert!(out.used_vf2, "GHZ embeds into a grid without SWAPs");
         assert_eq!(out.metrics.swaps_inserted, 0);
     }
@@ -263,27 +268,19 @@ mod tests {
     #[test]
     fn full_entanglement_requires_routing() {
         let c = two_local_full(4, 1, 7);
-        let topo = CouplingMap::line(4);
-        let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 2)).unwrap();
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
+        let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Mirage, 2)).unwrap();
         assert!(!out.used_vf2);
-        let routed = RoutedCircuit {
-            circuit: out.circuit.clone(),
-            initial_layout: out.initial_layout.clone(),
-            final_layout: out.final_layout.clone(),
-            swaps_inserted: out.metrics.swaps_inserted,
-            mirrors_accepted: out.metrics.mirrors_accepted,
-            mirror_candidates: 1,
-        };
-        assert!(verify_routed(&c, &routed));
+        assert!(verify_routed(&c, &out.as_routed(), &target));
     }
 
     #[test]
     fn mirage_beats_or_ties_sabre_on_depth() {
         let c = qft(6, false);
-        let topo = CouplingMap::line(6);
-        let sabre = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 3)).unwrap();
+        let target = Target::sqrt_iswap(CouplingMap::line(6));
+        let sabre = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Sabre, 3)).unwrap();
         let mirage =
-            transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 3)).unwrap();
+            transpile(&c, &target, &TranspileOptions::quick(RouterKind::Mirage, 3)).unwrap();
         assert!(
             mirage.metrics.depth_estimate <= sabre.metrics.depth_estimate * 1.05 + 1e-9,
             "mirage {:.2} vs sabre {:.2}",
@@ -295,27 +292,120 @@ mod tests {
     #[test]
     fn too_large_circuit_errors() {
         let c = ghz(5);
-        let topo = CouplingMap::line(3);
-        let e = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 4)).unwrap_err();
+        let target = Target::sqrt_iswap(CouplingMap::line(3));
+        let e = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Sabre, 4)).unwrap_err();
         assert!(matches!(e, TranspileError::CircuitTooLarge { .. }));
     }
 
     #[test]
     fn disconnected_topology_errors() {
         let c = ghz(3);
-        let topo = CouplingMap::from_edges(4, &[(0, 1), (2, 3)], "broken");
-        let e = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Sabre, 5)).unwrap_err();
+        let target = Target::sqrt_iswap(CouplingMap::from_edges(4, &[(0, 1), (2, 3)], "broken"));
+        let e = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Sabre, 5)).unwrap_err();
         assert_eq!(e, TranspileError::DisconnectedTopology);
     }
 
     #[test]
     fn metrics_populated() {
         let c = two_local_full(4, 1, 8);
-        let topo = CouplingMap::line(4);
-        let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 6)).unwrap();
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
+        let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Mirage, 6)).unwrap();
         assert!(out.metrics.depth_estimate > 0.0);
         assert!(out.metrics.total_gate_cost >= out.metrics.depth_estimate);
         assert!(out.metrics.two_qubit_gates >= 6);
+    }
+
+    #[test]
+    fn metric_derived_from_router_kind() {
+        // The post-selection metric lives in one place: RouterKind::metric.
+        assert_eq!(RouterKind::Mirage.metric(), Metric::Depth);
+        assert_eq!(RouterKind::MirageSwaps.metric(), Metric::SwapCount);
+        assert_eq!(RouterKind::Sabre.metric(), Metric::SwapCount);
+        for kind in [
+            RouterKind::Sabre,
+            RouterKind::MirageSwaps,
+            RouterKind::Mirage,
+        ] {
+            assert_eq!(
+                TranspileOptions::quick(kind, 1).trials.metric,
+                kind.metric()
+            );
+            assert_eq!(
+                TranspileOptions::paper(kind, 1).trials.metric,
+                kind.metric()
+            );
+        }
+        assert!(!RouterKind::Sabre.uses_mirrors());
+        assert!(RouterKind::MirageSwaps.uses_mirrors());
+        assert!(RouterKind::Mirage.uses_mirrors());
+    }
+
+    #[test]
+    fn shared_cache_is_hit_across_metric_computations() {
+        // One Target = one cost cache for the whole transpile call. Routing
+        // prices every mirror decision and the metric computations re-price
+        // the very same coordinate classes, so by the end the cache must
+        // have served far more hits than misses — the seed's fresh
+        // per-branch `CostCache::new(...)` could never see these hits.
+        let c = qft(5, false);
+        let target = Target::sqrt_iswap(CouplingMap::line(5));
+        let mut opts = TranspileOptions::quick(RouterKind::Mirage, 11);
+        opts.use_vf2 = false;
+        let _ = transpile(&c, &target, &opts).unwrap();
+        let (hits, misses) = target.cache_stats();
+        assert!(
+            hits > 0,
+            "metric computations must hit the routing-era cache"
+        );
+        assert!(
+            hits > misses * 10,
+            "a QFT has a handful of coordinate classes: {hits} hits vs {misses} misses"
+        );
+        // A second transpile on the same target starts warm: miss count
+        // stays flat because every class is already priced.
+        let _ = transpile(&c, &target, &opts).unwrap();
+        let (_, misses_after) = target.cache_stats();
+        assert_eq!(misses, misses_after, "second run must be fully warm");
+    }
+
+    #[test]
+    fn cnot_target_transpiles_qft_on_line() {
+        // Acceptance scenario: the same public API serves a CNOT-basis
+        // device end-to-end.
+        let c = qft(6, false);
+        let target = Target::cnot(CouplingMap::line(6));
+        let out = transpile(
+            &c,
+            &target,
+            &TranspileOptions::quick(RouterKind::Mirage, 13),
+        )
+        .unwrap();
+        assert!(out.metrics.depth_estimate > 0.0);
+        assert!(verify_routed(&c, &out.as_routed(), &target));
+    }
+
+    #[test]
+    fn swap_elision_layout_roundtrip() {
+        // A circuit with explicit SWAPs: the cleaner elides them into a
+        // wire relabeling, so the routed output contains none of them and
+        // the final layout must absorb the permutation. The round-trip
+        // check is `verify_routed` against the adjusted final layout.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).swap(1, 2).cx(2, 3).swap(0, 3).cx(1, 2);
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
+        for router in [RouterKind::Sabre, RouterKind::Mirage] {
+            let mut opts = TranspileOptions::quick(router, 21);
+            opts.use_vf2 = false;
+            let out = transpile(&c, &target, &opts).unwrap();
+            assert!(
+                verify_routed(&c, &out.as_routed(), &target),
+                "{router:?} lost the elided-SWAP permutation"
+            );
+        }
+        // And through the VF2 path, where the embedding layout composes
+        // with the elision permutation instead of a routing layout.
+        let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Sabre, 22)).unwrap();
+        assert!(verify_routed(&c, &out.as_routed(), &target));
     }
 
     #[test]
@@ -325,6 +415,8 @@ mod tests {
             device: 4,
         };
         assert!(e.to_string().contains('9'));
-        assert!(TranspileError::DisconnectedTopology.to_string().contains("disconnected"));
+        assert!(TranspileError::DisconnectedTopology
+            .to_string()
+            .contains("disconnected"));
     }
 }

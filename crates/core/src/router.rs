@@ -10,9 +10,8 @@
 //! lookahead distance heuristic — and accepts the mirror per Algorithm 2.
 
 use crate::layout::Layout;
+use crate::target::Target;
 use mirage_circuit::{Circuit, Dag, Gate};
-use mirage_coverage::cache::CostCache;
-use mirage_coverage::set::CoverageSet;
 use mirage_math::{Mat4, Rng};
 use mirage_topology::CouplingMap;
 use mirage_weyl::coords::{coords_of, WeylCoord};
@@ -126,22 +125,20 @@ pub fn node_coords(dag: &Dag) -> Vec<Option<WeylCoord>> {
         .collect()
 }
 
-/// Route a circuit DAG onto `topo` starting from `layout`.
+/// Route a circuit DAG onto `target` starting from `layout`.
 ///
-/// `coverage` prices decomposition costs for the mirror decision (and is
-/// consulted through the LRU `cache`). `rng` only breaks score ties, so two
-/// runs with equal seeds are identical.
-#[allow(clippy::too_many_arguments)]
+/// The target prices decomposition costs for the mirror decision through
+/// its shared cost cache. `rng` only breaks score ties, so two runs with
+/// equal seeds are identical.
 pub fn route(
     dag: &Dag,
     coords: &[Option<WeylCoord>],
-    topo: &CouplingMap,
+    target: &Target,
     layout: Layout,
-    coverage: &CoverageSet,
-    cache: &mut CostCache,
     config: &RouterConfig,
     rng: &mut Rng,
 ) -> RoutedCircuit {
+    let topo = target.topology();
     let n_phys = topo.n_qubits();
     assert!(dag.n_qubits <= n_phys, "circuit larger than device");
     let initial_layout = layout.clone();
@@ -197,8 +194,8 @@ pub fn route(
                         mirror_candidates += 1;
                         let w = coords[id].expect("2Q node has coords");
                         let wm = mirror_coord(&w);
-                        let dc = cache.get_or_insert_with(&w, || coverage.cost_or_max(&w));
-                        let dcm = cache.get_or_insert_with(&wm, || coverage.cost_or_max(&wm));
+                        let dc = target.gate_cost(&w);
+                        let dcm = target.gate_cost(&wm);
 
                         // Lookahead impact: heuristic over the *remaining*
                         // front and extended set under both mappings.
@@ -265,7 +262,10 @@ pub fn route(
 
         let ext = extended_set(dag, &front, &indeg, &done, config.extended_set_size);
         let candidates = candidate_swaps(dag, &front, &layout, topo);
-        debug_assert!(!candidates.is_empty(), "connected topology yields candidates");
+        debug_assert!(
+            !candidates.is_empty(),
+            "connected topology yields candidates"
+        );
 
         let mut best: Vec<(usize, usize)> = Vec::new();
         let mut best_score = f64::INFINITY;
@@ -335,7 +335,9 @@ pub fn absorb_adjacent_swaps(c: &Circuit) -> (Circuit, usize) {
         // last_touch[q] = index of the latest live instruction on q.
         let mut last_touch: Vec<Option<usize>> = vec![None; c.n_qubits];
         for i in 0..instrs.len() {
-            let Some(instr) = instrs[i].clone() else { continue };
+            let Some(instr) = instrs[i].clone() else {
+                continue;
+            };
             if matches!(instr.gate, Gate::Swap) {
                 let (p, q) = (instr.qubits[0], instr.qubits[1]);
                 if let (Some(a), Some(b)) = (last_touch[p], last_touch[q]) {
@@ -521,12 +523,7 @@ fn candidate_swaps(
 
 /// Deterministic progress step: the first SWAP along the shortest path
 /// between the operands of the first front-layer 2Q gate.
-fn force_step(
-    dag: &Dag,
-    front: &[usize],
-    layout: &Layout,
-    topo: &CouplingMap,
-) -> (usize, usize) {
+fn force_step(dag: &Dag, front: &[usize], layout: &Layout, topo: &CouplingMap) -> (usize, usize) {
     let id = front
         .iter()
         .copied()
@@ -551,30 +548,20 @@ mod tests {
     use crate::verify::verify_routed;
     use mirage_circuit::consolidate::consolidate;
     use mirage_circuit::generators::{ghz, two_local_full};
-    use mirage_coverage::set::{BasisGate, CoverageOptions};
 
-    fn coverage() -> CoverageSet {
-        let opts = CoverageOptions {
-            max_k: 3,
-            samples_per_k: 500,
-            inflation: 0.012,
-            mirrors: false,
-            seed: 81,
-        };
-        CoverageSet::build(BasisGate::iswap_root(2), &opts)
+    fn target(topo: CouplingMap) -> Target {
+        Target::sqrt_iswap(topo)
     }
 
     fn route_simple(
         c: &Circuit,
-        topo: &CouplingMap,
+        target: &Target,
         aggression: Option<Aggression>,
         seed: u64,
     ) -> RoutedCircuit {
-        let cov = coverage();
         let cc = consolidate(c);
         let dag = Dag::from_circuit(&cc);
         let coords = node_coords(&dag);
-        let mut cache = CostCache::new(512);
         let config = RouterConfig {
             aggression,
             ..RouterConfig::default()
@@ -583,10 +570,8 @@ mod tests {
         route(
             &dag,
             &coords,
-            topo,
-            Layout::trivial(c.n_qubits, topo.n_qubits()),
-            &cov,
-            &mut cache,
+            target,
+            Layout::trivial(c.n_qubits, target.n_qubits()),
             &config,
             &mut rng,
         )
@@ -594,49 +579,52 @@ mod tests {
 
     #[test]
     fn already_routable_needs_no_swaps() {
-        let topo = CouplingMap::line(3);
+        let t = target(CouplingMap::line(3));
         let c = ghz(3);
-        let r = route_simple(&c, &topo, None, 1);
+        let r = route_simple(&c, &t, None, 1);
         assert_eq!(r.swaps_inserted, 0);
-        assert!(verify_routed(&c, &r));
+        assert!(verify_routed(&c, &r, &t));
     }
 
     #[test]
     fn sabre_inserts_swaps_on_line() {
-        let topo = CouplingMap::line(4);
+        let t = target(CouplingMap::line(4));
         let c = two_local_full(4, 1, 7);
-        let r = route_simple(&c, &topo, None, 2);
+        let r = route_simple(&c, &t, None, 2);
         assert!(r.swaps_inserted > 0, "full entanglement on a line swaps");
         assert_eq!(r.mirrors_accepted, 0);
         // Every 2Q gate must land on a coupled pair.
         for instr in &r.circuit.instructions {
             if instr.gate.is_two_qubit() {
-                assert!(topo.are_adjacent(instr.qubits[0], instr.qubits[1]));
+                assert!(t.topology().are_adjacent(instr.qubits[0], instr.qubits[1]));
             }
         }
-        assert!(verify_routed(&c, &r));
+        assert!(verify_routed(&c, &r, &t));
     }
 
     #[test]
     fn mirage_preserves_semantics() {
-        let topo = CouplingMap::line(4);
+        let t = target(CouplingMap::line(4));
         let c = two_local_full(4, 1, 7);
         for (seed, aggr) in [
             (3, Aggression::A1),
             (4, Aggression::A2),
             (5, Aggression::A3),
         ] {
-            let r = route_simple(&c, &topo, Some(aggr), seed);
-            assert!(verify_routed(&c, &r), "aggression {aggr:?} broke semantics");
+            let r = route_simple(&c, &t, Some(aggr), seed);
+            assert!(
+                verify_routed(&c, &r, &t),
+                "aggression {aggr:?} broke semantics"
+            );
         }
     }
 
     #[test]
     fn mirage_a0_equals_sabre() {
-        let topo = CouplingMap::line(4);
+        let t = target(CouplingMap::line(4));
         let c = two_local_full(4, 1, 9);
-        let a0 = route_simple(&c, &topo, Some(Aggression::A0), 6);
-        let sabre = route_simple(&c, &topo, None, 6);
+        let a0 = route_simple(&c, &t, Some(Aggression::A0), 6);
+        let sabre = route_simple(&c, &t, None, 6);
         assert_eq!(a0.swaps_inserted, sabre.swaps_inserted);
         assert_eq!(a0.mirrors_accepted, 0);
         assert_eq!(a0.circuit, sabre.circuit);
@@ -644,23 +632,23 @@ mod tests {
 
     #[test]
     fn mirage_accepts_mirrors_on_constrained_topology() {
-        let topo = CouplingMap::line(4);
+        let t = target(CouplingMap::line(4));
         let c = two_local_full(4, 2, 11);
-        let r = route_simple(&c, &topo, Some(Aggression::A2), 7);
+        let r = route_simple(&c, &t, Some(Aggression::A2), 7);
         assert!(
             r.mirrors_accepted > 0,
             "expected mirror acceptances, got 0 of {}",
             r.mirror_candidates
         );
-        assert!(verify_routed(&c, &r));
+        assert!(verify_routed(&c, &r, &t));
     }
 
     #[test]
     fn mirrors_reduce_swaps_or_depth() {
-        let topo = CouplingMap::line(5);
+        let t = target(CouplingMap::line(5));
         let c = two_local_full(5, 2, 13);
-        let sabre = route_simple(&c, &topo, None, 8);
-        let mirage = route_simple(&c, &topo, Some(Aggression::A1), 8);
+        let sabre = route_simple(&c, &t, None, 8);
+        let mirage = route_simple(&c, &t, Some(Aggression::A1), 8);
         assert!(
             mirage.swaps_inserted <= sabre.swaps_inserted,
             "mirage {} vs sabre {}",
@@ -671,15 +659,15 @@ mod tests {
 
     #[test]
     fn routing_on_grid() {
-        let topo = CouplingMap::grid(3, 3);
+        let t = target(CouplingMap::grid(3, 3));
         let c = two_local_full(6, 1, 17);
-        let r = route_simple(&c, &topo, Some(Aggression::A2), 9);
+        let r = route_simple(&c, &t, Some(Aggression::A2), 9);
         for instr in &r.circuit.instructions {
             if instr.gate.is_two_qubit() {
-                assert!(topo.are_adjacent(instr.qubits[0], instr.qubits[1]));
+                assert!(t.topology().are_adjacent(instr.qubits[0], instr.qubits[1]));
             }
         }
-        assert!(verify_routed(&c, &r));
+        assert!(verify_routed(&c, &r, &t));
     }
 
     #[test]
@@ -694,38 +682,49 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let topo = CouplingMap::line(5);
+        let t = target(CouplingMap::line(5));
         let c = two_local_full(5, 1, 21);
-        let a = route_simple(&c, &topo, Some(Aggression::A2), 10);
-        let b = route_simple(&c, &topo, Some(Aggression::A2), 10);
+        let a = route_simple(&c, &t, Some(Aggression::A2), 10);
+        let b = route_simple(&c, &t, Some(Aggression::A2), 10);
         assert_eq!(a.circuit, b.circuit);
         assert_eq!(a.swaps_inserted, b.swaps_inserted);
     }
 
     #[test]
+    fn routing_in_cnot_basis() {
+        // The mirror decision prices gates in whatever basis the target
+        // declares — a CNOT-basis device must still route correctly.
+        let t = Target::cnot(CouplingMap::line(4));
+        let c = two_local_full(4, 1, 19);
+        for aggr in [None, Some(Aggression::A2)] {
+            let r = route_simple(&c, &t, aggr, 12);
+            assert!(
+                verify_routed(&c, &r, &t),
+                "{aggr:?} broke CNOT-basis routing"
+            );
+        }
+    }
+
+    #[test]
     fn random_initial_layout_verifies() {
-        let topo = CouplingMap::grid(3, 3);
+        let t = target(CouplingMap::grid(3, 3));
         let c = ghz(5);
-        let cov = coverage();
         let cc = consolidate(&c);
         let dag = Dag::from_circuit(&cc);
         let coords = node_coords(&dag);
-        let mut cache = CostCache::new(512);
         let mut rng = Rng::new(33);
-        let layout = Layout::random(c.n_qubits, topo.n_qubits(), &mut rng);
+        let layout = Layout::random(c.n_qubits, t.n_qubits(), &mut rng);
         let r = route(
             &dag,
             &coords,
-            &topo,
+            &t,
             layout,
-            &cov,
-            &mut cache,
             &RouterConfig {
                 aggression: Some(Aggression::A2),
                 ..RouterConfig::default()
             },
             &mut rng,
         );
-        assert!(verify_routed(&c, &r));
+        assert!(verify_routed(&c, &r, &t));
     }
 }

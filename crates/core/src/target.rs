@@ -1,0 +1,373 @@
+//! The transpilation target: one object describing the device being
+//! compiled for.
+//!
+//! The seed threaded `(CouplingMap, Arc<CoverageSet>, CostCache, mirror
+//! flag)` tuples ad-hoc through pipeline → trials → router → bench, and
+//! rebuilt fresh cost caches inside every pipeline branch. [`Target`]
+//! replaces that plumbing with a single immutable-after-construction
+//! object owning:
+//!
+//! * the [`CouplingMap`] connectivity graph,
+//! * the basis gate ([`BasisGate`]) the device natively executes,
+//! * the per-depth [`CoverageSet`] for that basis — built **lazily** on
+//!   first cost query, since topology-only work (VF2 embedding, SWAP-only
+//!   routing baselines) never needs it,
+//! * a [`DurationModel`] for instruction weights, and
+//! * one process-wide-shareable sharded [`SharedCostCache`] consulted by
+//!   every routing trial, refinement pass, and metric computation.
+//!
+//! `Target` is `Send + Sync`; routing trials running on scoped threads
+//! share one instance by reference. Cached costs are pure functions of the
+//! coordinate class, so sharing never changes results.
+//!
+//! ```
+//! use mirage_core::target::Target;
+//! use mirage_topology::CouplingMap;
+//!
+//! let target = Target::sqrt_iswap(CouplingMap::grid(6, 6));
+//! assert_eq!(target.n_qubits(), 36);
+//! assert!(!target.coverage_built(), "coverage is lazy");
+//! ```
+
+use mirage_circuit::{Circuit, Instruction};
+use mirage_coverage::cache::SharedCostCache;
+use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+use mirage_topology::CouplingMap;
+use mirage_weyl::coords::{coords_of, WeylCoord};
+use std::sync::{Arc, OnceLock};
+
+/// Gate-duration model: how instruction weights are derived when scoring
+/// circuits against a target.
+///
+/// Two-qubit gates cost their minimum decomposition duration in the target
+/// basis (normalized units, iSWAP = 1.0); single-qubit gates cost
+/// [`DurationModel::one_qubit`]. The paper treats single-qubit gates as
+/// free (§IV-B), which is the default.
+#[derive(Debug, Clone, Copy)]
+pub struct DurationModel {
+    /// Duration charged per single-qubit gate.
+    pub one_qubit: f64,
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel { one_qubit: 0.0 }
+    }
+}
+
+/// Default capacity of a target's shared cost cache (coordinate classes).
+const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// The paper-default coverage construction parameters for a standard
+/// (mirror-free) costing set.
+fn default_coverage_options(seed: u64) -> CoverageOptions {
+    CoverageOptions {
+        max_k: 3,
+        samples_per_k: 1200,
+        inflation: 0.012,
+        mirrors: false,
+        seed,
+    }
+}
+
+/// The shared default coverage set: √iSWAP, three levels, standard
+/// (mirror-free) regions — the costing basis of every paper experiment.
+/// Built once per process and shared by every [`Target::sqrt_iswap`].
+fn default_coverage() -> Arc<CoverageSet> {
+    static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
+    SET.get_or_init(|| {
+        Arc::new(CoverageSet::build(
+            BasisGate::iswap_root(2),
+            &default_coverage_options(0xC0FFEE),
+        ))
+    })
+    .clone()
+}
+
+/// Process-wide CNOT-basis coverage set shared by [`Target::cnot`].
+fn cnot_coverage() -> Arc<CoverageSet> {
+    static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
+    SET.get_or_init(|| {
+        Arc::new(CoverageSet::build(
+            BasisGate::cnot(),
+            &default_coverage_options(0xC407),
+        ))
+    })
+    .clone()
+}
+
+/// Process-wide CZ-basis coverage set shared by [`Target::cz`].
+fn cz_coverage() -> Arc<CoverageSet> {
+    static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
+    SET.get_or_init(|| {
+        Arc::new(CoverageSet::build(
+            BasisGate::cz(),
+            &default_coverage_options(0xC2),
+        ))
+    })
+    .clone()
+}
+
+/// A transpilation target: coupling topology, basis gate, lazily-built
+/// coverage set, duration model, and the shared cost cache.
+///
+/// See the [module docs](self) for design rationale.
+#[derive(Debug)]
+pub struct Target {
+    topo: CouplingMap,
+    basis: BasisGate,
+    coverage_opts: CoverageOptions,
+    coverage: OnceLock<Arc<CoverageSet>>,
+    /// When set, `coverage()` resolves through a process-wide shared set
+    /// instead of building a private one (the stock basis constructors use
+    /// this so repeated `Target`s never rebuild identical polytopes).
+    shared_coverage: Option<fn() -> Arc<CoverageSet>>,
+    durations: DurationModel,
+    cache: SharedCostCache,
+}
+
+impl Target {
+    /// A target with an explicit basis and coverage-construction options;
+    /// the coverage set is built on first cost query.
+    pub fn new(topo: CouplingMap, basis: BasisGate, coverage_opts: CoverageOptions) -> Target {
+        Target {
+            topo,
+            basis,
+            coverage_opts,
+            coverage: OnceLock::new(),
+            shared_coverage: None,
+            durations: DurationModel::default(),
+            cache: SharedCostCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// A target with a pre-built coverage set (bench binaries construct
+    /// full-quality sets up front and share them across targets).
+    pub fn with_coverage(topo: CouplingMap, coverage: Arc<CoverageSet>) -> Target {
+        let basis = coverage.basis.clone();
+        let cell = OnceLock::new();
+        cell.set(coverage).expect("fresh cell");
+        Target {
+            topo,
+            basis,
+            coverage_opts: CoverageOptions::default(),
+            coverage: cell,
+            shared_coverage: None,
+            durations: DurationModel::default(),
+            cache: SharedCostCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// The paper configuration: a √iSWAP-basis device. All `sqrt_iswap`
+    /// targets share one process-wide coverage set (built on first use).
+    pub fn sqrt_iswap(topo: CouplingMap) -> Target {
+        let mut t = Target::new(
+            topo,
+            BasisGate::iswap_root(2),
+            default_coverage_options(0xC0FFEE),
+        );
+        t.shared_coverage = Some(default_coverage);
+        t
+    }
+
+    /// A CNOT-basis device (unit-duration CNOT, full chamber at `k = 3`).
+    pub fn cnot(topo: CouplingMap) -> Target {
+        let mut t = Target::new(topo, BasisGate::cnot(), default_coverage_options(0xC407));
+        t.shared_coverage = Some(cnot_coverage);
+        t
+    }
+
+    /// A CZ-basis device (same canonical class as CNOT; the basis unitary
+    /// differs, which matters for pulse translation).
+    pub fn cz(topo: CouplingMap) -> Target {
+        let mut t = Target::new(topo, BasisGate::cz(), default_coverage_options(0xC2));
+        t.shared_coverage = Some(cz_coverage);
+        t
+    }
+
+    /// Replace the duration model (builder style).
+    #[must_use]
+    pub fn with_durations(mut self, durations: DurationModel) -> Target {
+        self.durations = durations;
+        self
+    }
+
+    /// Replace the shared cost cache with one of the given capacity
+    /// (builder style; the runtime-figure binary uses capacity 1 to
+    /// emulate the pre-caching behaviour the paper compares against).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Target {
+        self.cache = SharedCostCache::new(capacity);
+        self
+    }
+
+    /// The coupling topology.
+    pub fn topology(&self) -> &CouplingMap {
+        &self.topo
+    }
+
+    /// Device width.
+    pub fn n_qubits(&self) -> usize {
+        self.topo.n_qubits()
+    }
+
+    /// The native basis gate.
+    pub fn basis(&self) -> &BasisGate {
+        &self.basis
+    }
+
+    /// The duration model.
+    pub fn durations(&self) -> &DurationModel {
+        &self.durations
+    }
+
+    /// A short identifier, e.g. `sqrt_iswap@grid-6x6`.
+    pub fn name(&self) -> String {
+        format!("{}@{}", self.basis.name, self.topo.name())
+    }
+
+    /// The coverage set, building it on first call.
+    pub fn coverage(&self) -> &Arc<CoverageSet> {
+        self.coverage.get_or_init(|| match self.shared_coverage {
+            Some(shared) => shared(),
+            None => Arc::new(CoverageSet::build(self.basis.clone(), &self.coverage_opts)),
+        })
+    }
+
+    /// True once the lazy coverage set has been built (or was supplied at
+    /// construction).
+    pub fn coverage_built(&self) -> bool {
+        self.coverage.get().is_some()
+    }
+
+    /// The shared cost cache.
+    pub fn cache(&self) -> &SharedCostCache {
+        &self.cache
+    }
+
+    /// Aggregate `(hits, misses)` of the shared cost cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Minimum decomposition duration of coordinate class `w` in the
+    /// target basis, answered through the shared cache (unreachable
+    /// classes are charged one application past the deepest built level,
+    /// keeping the cost function total).
+    pub fn gate_cost(&self, w: &WeylCoord) -> f64 {
+        let coverage = self.coverage();
+        self.cache.get_or_insert_with(w, || coverage.cost_or_max(w))
+    }
+
+    /// Instruction weight under the duration model: two-qubit gates cost
+    /// their decomposition duration, single-qubit gates cost
+    /// [`DurationModel::one_qubit`].
+    pub fn duration_weight(&self, instr: &Instruction) -> f64 {
+        if !instr.gate.is_two_qubit() {
+            return self.durations.one_qubit;
+        }
+        self.gate_cost(&coords_of(&instr.gate.matrix2()))
+    }
+
+    /// Duration-weighted critical path of a circuit on this target
+    /// (MIRAGE-Depth's post-selection metric, paper §IV-B).
+    pub fn depth_estimate(&self, c: &Circuit) -> f64 {
+        c.weighted_depth(|i| self.duration_weight(i))
+    }
+
+    /// Total decomposition cost (sum over all gates).
+    pub fn total_gate_cost(&self, c: &Circuit) -> f64 {
+        c.instructions.iter().map(|i| self.duration_weight(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_circuit::generators::ghz;
+
+    #[test]
+    fn lazy_coverage_not_built_on_construction() {
+        let t = Target::sqrt_iswap(CouplingMap::line(4));
+        assert!(!t.coverage_built());
+        let _ = t.gate_cost(&WeylCoord::CNOT);
+        assert!(t.coverage_built());
+    }
+
+    #[test]
+    fn sqrt_iswap_costs_match_paper() {
+        let t = Target::sqrt_iswap(CouplingMap::line(3));
+        assert!((t.gate_cost(&WeylCoord::CNOT) - 1.0).abs() < 1e-12);
+        assert!((t.gate_cost(&WeylCoord::SWAP) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_basis_prices_cnot_at_one_application() {
+        let t = Target::cnot(CouplingMap::line(3));
+        assert!((t.gate_cost(&WeylCoord::CNOT) - 1.0).abs() < 1e-12);
+        assert!((t.gate_cost(&WeylCoord::ISWAP) - 2.0).abs() < 1e-12);
+        assert!((t.gate_cost(&WeylCoord::SWAP) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cz_basis_matches_cnot_costs() {
+        let cz = Target::cz(CouplingMap::line(3));
+        let cnot = Target::cnot(CouplingMap::line(3));
+        for w in [WeylCoord::CNOT, WeylCoord::ISWAP, WeylCoord::SWAP] {
+            assert!((cz.gate_cost(&w) - cnot.gate_cost(&w)).abs() < 1e-12);
+        }
+        assert_eq!(cz.basis().name, "cz");
+    }
+
+    #[test]
+    fn gate_cost_is_cached() {
+        let t = Target::sqrt_iswap(CouplingMap::line(3));
+        let a = t.gate_cost(&WeylCoord::CNOT);
+        let b = t.gate_cost(&WeylCoord::CNOT);
+        assert_eq!(a, b);
+        let (hits, misses) = t.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn depth_and_total_cost() {
+        let t = Target::sqrt_iswap(CouplingMap::line(4));
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3).swap(1, 2);
+        // cx (1.0) ∥ cx (1.0), then swap (1.5): critical = 2.5, total 3.5.
+        assert!((t.depth_estimate(&c) - 2.5).abs() < 1e-9);
+        assert!((t.total_gate_cost(&c) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_qubit_duration_model() {
+        let t = Target::sqrt_iswap(CouplingMap::line(2))
+            .with_durations(DurationModel { one_qubit: 0.1 });
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert!((t.depth_estimate(&c) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_coverage_is_prebuilt() {
+        let cov = default_coverage();
+        let t = Target::with_coverage(CouplingMap::ring(5), cov.clone());
+        assert!(t.coverage_built());
+        assert_eq!(t.basis().name, "sqrt_iswap");
+        assert!(Arc::ptr_eq(t.coverage(), &cov));
+    }
+
+    #[test]
+    fn name_combines_basis_and_topology() {
+        let t = Target::cnot(CouplingMap::grid(2, 3));
+        assert_eq!(t.name(), "cnot@grid-2x3");
+        assert_eq!(t.n_qubits(), 6);
+    }
+
+    #[test]
+    fn target_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Target>();
+        let _ = ghz(2); // keep the generators import exercised
+    }
+}

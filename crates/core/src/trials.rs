@@ -9,12 +9,9 @@
 
 use crate::layout::Layout;
 use crate::router::{node_coords, route, Aggression, RoutedCircuit, RouterConfig};
-use mirage_circuit::{Circuit, Dag, Instruction};
-use mirage_coverage::cache::CostCache;
-use mirage_coverage::set::CoverageSet;
+use crate::target::Target;
+use mirage_circuit::{Circuit, Dag};
 use mirage_math::Rng;
-use mirage_topology::CouplingMap;
-use mirage_weyl::coords::coords_of;
 
 /// Post-selection metric across routing trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,43 +74,10 @@ impl TrialOptions {
     }
 }
 
-/// Instruction weight for the depth metric: two-qubit gates cost their
-/// minimum decomposition duration, single-qubit gates are free.
-pub fn duration_weight(instr: &Instruction, coverage: &CoverageSet, cache: &mut CostCache) -> f64 {
-    if !instr.gate.is_two_qubit() {
-        return 0.0;
-    }
-    let w = coords_of(&instr.gate.matrix2());
-    cache.get_or_insert_with(&w, || coverage.cost_or_max(&w))
-}
-
-/// Duration-weighted critical path of a routed circuit.
-pub fn depth_estimate(c: &Circuit, coverage: &CoverageSet, cache: &mut CostCache) -> f64 {
-    let weights: Vec<f64> = c
-        .instructions
-        .iter()
-        .map(|i| duration_weight(i, coverage, cache))
-        .collect();
-    let idx = std::cell::Cell::new(0usize);
-    c.weighted_depth(|_| {
-        let w = weights[idx.get()];
-        idx.set(idx.get() + 1);
-        w
-    })
-}
-
-/// Total decomposition cost (sum over all gates).
-pub fn total_gate_cost(c: &Circuit, coverage: &CoverageSet, cache: &mut CostCache) -> f64 {
-    c.instructions
-        .iter()
-        .map(|i| duration_weight(i, coverage, cache))
-        .sum()
-}
-
-fn score(r: &RoutedCircuit, metric: Metric, coverage: &CoverageSet, cache: &mut CostCache) -> f64 {
+fn score(r: &RoutedCircuit, metric: Metric, target: &Target) -> f64 {
     match metric {
         Metric::SwapCount => r.swaps_inserted as f64,
-        Metric::Depth => depth_estimate(&r.circuit, coverage, cache),
+        Metric::Depth => target.depth_estimate(&r.circuit),
     }
 }
 
@@ -181,35 +145,23 @@ pub fn aggression_for_trial(t: usize, total: usize, mix: &[f64; 4]) -> Aggressio
 }
 
 /// SABRE layout refinement: route forward, then backward over the reversed
-/// circuit, feeding each final layout into the next pass.
+/// circuit, feeding each final layout into the next pass. Cost queries go
+/// through the target's shared cache — no per-refinement cache exists.
 #[allow(clippy::too_many_arguments)]
 fn refine_layout(
     dag_fwd: &Dag,
     dag_bwd: &Dag,
     coords_fwd: &[Option<mirage_weyl::coords::WeylCoord>],
     coords_bwd: &[Option<mirage_weyl::coords::WeylCoord>],
-    topo: &CouplingMap,
-    coverage: &CoverageSet,
+    target: &Target,
     config: &RouterConfig,
     mut layout: Layout,
     iters: usize,
     rng: &mut Rng,
 ) -> Layout {
-    let mut cache = CostCache::new(1024);
     for _ in 0..iters {
-        let fwd = route(
-            dag_fwd, coords_fwd, topo, layout, coverage, &mut cache, config, rng,
-        );
-        let bwd = route(
-            dag_bwd,
-            coords_bwd,
-            topo,
-            fwd.final_layout,
-            coverage,
-            &mut cache,
-            config,
-            rng,
-        );
+        let fwd = route(dag_fwd, coords_fwd, target, layout, config, rng);
+        let bwd = route(dag_bwd, coords_bwd, target, fwd.final_layout, config, rng);
         layout = bwd.final_layout;
     }
     layout
@@ -220,8 +172,7 @@ fn refine_layout(
 /// should be [`Metric::SwapCount`] for a faithful baseline).
 pub fn route_with_trials(
     circuit: &Circuit,
-    topo: &CouplingMap,
-    coverage: &CoverageSet,
+    target: &Target,
     mirage: bool,
     opts: &TrialOptions,
 ) -> RoutedCircuit {
@@ -233,7 +184,7 @@ pub fn route_with_trials(
 
     let one_layout_trial = |trial: usize| -> Vec<RoutedCircuit> {
         let mut rng = Rng::new(opts.seed ^ (0x9E37 + trial as u64 * 0x100_0000));
-        let layout = Layout::random(circuit.n_qubits, topo.n_qubits(), &mut rng);
+        let layout = Layout::random(circuit.n_qubits, target.n_qubits(), &mut rng);
 
         // Two refinements per layout trial: a mirror-free one (placements
         // that suit the A0 safety net and conservative trials) and, for
@@ -247,8 +198,7 @@ pub fn route_with_trials(
             &dag_bwd,
             &coords_fwd,
             &coords_bwd,
-            topo,
-            coverage,
+            target,
             &RouterConfig::default(),
             layout.clone(),
             opts.fwd_bwd_iters,
@@ -260,8 +210,7 @@ pub fn route_with_trials(
                 &dag_bwd,
                 &coords_fwd,
                 &coords_bwd,
-                topo,
-                coverage,
+                target,
                 &RouterConfig {
                     aggression: Some(Aggression::A1),
                     ..RouterConfig::default()
@@ -277,7 +226,11 @@ pub fn route_with_trials(
         (0..opts.routing_trials)
             .map(|t| {
                 let aggression = if mirage {
-                    Some(aggression_for_trial(t, opts.routing_trials, &opts.aggression_mix))
+                    Some(aggression_for_trial(
+                        t,
+                        opts.routing_trials,
+                        &opts.aggression_mix,
+                    ))
                 } else {
                     None
                 };
@@ -288,7 +241,6 @@ pub fn route_with_trials(
                 if let Some(lambda) = opts.mirror_lambda {
                     config.mirror_heuristic_weight = lambda;
                 }
-                let mut cache = CostCache::new(1024);
                 let mut trial_rng = rng.spawn();
                 // A0 trials anchor on the mirror-free placement; the rest
                 // alternate between the two refinements.
@@ -300,10 +252,8 @@ pub fn route_with_trials(
                 let mut routed = route(
                     &dag_fwd,
                     &coords_fwd,
-                    topo,
+                    target,
                     start,
-                    coverage,
-                    &mut cache,
                     &config,
                     &mut trial_rng,
                 );
@@ -342,13 +292,9 @@ pub fn route_with_trials(
         }
     }
 
-    let mut cache = CostCache::new(4096);
     candidates
         .into_iter()
-        .min_by(|a, b| {
-            score(a, opts.metric, coverage, &mut cache)
-                .total_cmp(&score(b, opts.metric, coverage, &mut cache))
-        })
+        .min_by(|a, b| score(a, opts.metric, target).total_cmp(&score(b, opts.metric, target)))
         .expect("at least one trial ran")
 }
 
@@ -358,25 +304,15 @@ mod tests {
     use crate::verify::verify_routed;
     use mirage_circuit::consolidate::consolidate;
     use mirage_circuit::generators::two_local_full;
-    use mirage_coverage::set::{BasisGate, CoverageOptions};
+    use mirage_topology::CouplingMap;
 
-    fn coverage() -> CoverageSet {
-        let opts = CoverageOptions {
-            max_k: 3,
-            samples_per_k: 500,
-            inflation: 0.012,
-            mirrors: false,
-            seed: 91,
-        };
-        CoverageSet::build(BasisGate::iswap_root(2), &opts)
-    }
+    const PAPER_MIX: [f64; 4] = [0.05, 0.45, 0.45, 0.05];
 
     #[test]
     fn aggression_mix_banding() {
-        let mix = [0.05, 0.45, 0.45, 0.05];
         let total = 20;
         let counts = (0..total).fold([0usize; 4], |mut acc, t| {
-            match aggression_for_trial(t, total, &mix) {
+            match aggression_for_trial(t, total, &PAPER_MIX) {
                 Aggression::A0 => acc[0] += 1,
                 Aggression::A1 => acc[1] += 1,
                 Aggression::A2 => acc[2] += 1,
@@ -386,37 +322,64 @@ mod tests {
         });
         assert_eq!(counts, [1, 9, 9, 1], "paper's 5/45/45/5 on 20 trials");
         // Small trial counts still include every configured level.
-        let counts8 = aggression_counts(8, &mix);
+        let counts8 = aggression_counts(8, &PAPER_MIX);
         assert!(counts8.iter().all(|&c| c >= 1), "{counts8:?}");
         assert_eq!(counts8.iter().sum::<usize>(), 8);
-        let counts2 = aggression_counts(2, &mix);
-        assert_eq!(counts2.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn aggression_counts_single_trial_with_paper_mix() {
+        // total = 1 with four nonzero shares: every level first claims its
+        // at-least-one slot (assigned = 4), then reconciliation must shed
+        // three without panicking; the surviving slot belongs to a main
+        // strategy, not the 5% tails.
+        let counts = aggression_counts(1, &PAPER_MIX);
+        assert_eq!(counts.iter().sum::<usize>(), 1, "{counts:?}");
+        assert_eq!(counts[1] + counts[2], 1, "tails dropped first: {counts:?}");
+        // And the trial-to-level map agrees with the counts.
+        let level = aggression_for_trial(0, 1, &PAPER_MIX);
+        assert!(matches!(level, Aggression::A1 | Aggression::A2));
+    }
+
+    #[test]
+    fn aggression_counts_two_trials_with_paper_mix() {
+        let counts = aggression_counts(2, &PAPER_MIX);
+        assert_eq!(counts.iter().sum::<usize>(), 2, "{counts:?}");
         // The small shares (A0/A3) are dropped before the main strategies.
-        assert_eq!(counts2[1] + counts2[2], 2, "{counts2:?}");
-        let counts1 = aggression_counts(1, &mix);
-        assert_eq!(counts1.iter().sum::<usize>(), 1);
+        assert_eq!(counts[1] + counts[2], 2, "{counts:?}");
+    }
+
+    #[test]
+    fn aggression_counts_all_zero_mix() {
+        // A degenerate all-zero mix must still produce exactly `total`
+        // trials (no level gets the at-least-one guarantee, so the
+        // surplus-distribution loop alone fills the bands).
+        for total in [1usize, 2, 7, 20] {
+            let counts = aggression_counts(total, &[0.0; 4]);
+            assert_eq!(counts.iter().sum::<usize>(), total, "{counts:?}");
+        }
+        // The trial mapper stays total as well.
+        let _ = aggression_for_trial(0, 1, &[0.0; 4]);
+        let _ = aggression_for_trial(19, 20, &[0.0; 4]);
     }
 
     #[test]
     fn trials_return_valid_routing() {
-        let cov = coverage();
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
         let c = consolidate(&two_local_full(4, 1, 7));
-        let topo = CouplingMap::line(4);
-        let r = route_with_trials(&c, &topo, &cov, true, &TrialOptions::quick(Metric::Depth, 1));
-        assert!(verify_routed(&c, &r));
+        let r = route_with_trials(&c, &target, true, &TrialOptions::quick(Metric::Depth, 1));
+        assert!(verify_routed(&c, &r, &target));
     }
 
     #[test]
     fn depth_metric_never_worse_than_random_trial() {
-        let cov = coverage();
+        let target = Target::sqrt_iswap(CouplingMap::line(5));
         let c = consolidate(&two_local_full(5, 2, 8));
-        let topo = CouplingMap::line(5);
-        let best = route_with_trials(&c, &topo, &cov, true, &TrialOptions::quick(Metric::Depth, 2));
+        let best = route_with_trials(&c, &target, true, &TrialOptions::quick(Metric::Depth, 2));
         // The selected candidate's depth must be ≤ a fresh single trial's.
         let single = route_with_trials(
             &c,
-            &topo,
-            &cov,
+            &target,
             true,
             &TrialOptions {
                 layout_trials: 1,
@@ -424,52 +387,35 @@ mod tests {
                 ..TrialOptions::quick(Metric::Depth, 3)
             },
         );
-        let mut cache = CostCache::new(256);
-        let d_best = depth_estimate(&best.circuit, &cov, &mut cache);
-        let d_single = depth_estimate(&single.circuit, &cov, &mut cache);
+        let d_best = target.depth_estimate(&best.circuit);
+        let d_single = target.depth_estimate(&single.circuit);
         assert!(d_best <= d_single + 1e-9, "{d_best} vs {d_single}");
     }
 
     #[test]
     fn parallel_matches_serial() {
-        let cov = coverage();
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
         let c = consolidate(&two_local_full(4, 1, 9));
-        let topo = CouplingMap::line(4);
         let mut serial_opts = TrialOptions::quick(Metric::SwapCount, 5);
         serial_opts.parallel = false;
         let mut parallel_opts = serial_opts.clone();
         parallel_opts.parallel = true;
-        let a = route_with_trials(&c, &topo, &cov, false, &serial_opts);
-        let b = route_with_trials(&c, &topo, &cov, false, &parallel_opts);
+        let a = route_with_trials(&c, &target, false, &serial_opts);
+        let b = route_with_trials(&c, &target, false, &parallel_opts);
         assert_eq!(a.circuit, b.circuit, "parallelism must not change results");
     }
 
     #[test]
     fn sabre_baseline_accepts_no_mirrors() {
-        let cov = coverage();
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
         let c = consolidate(&two_local_full(4, 1, 10));
-        let topo = CouplingMap::line(4);
         let r = route_with_trials(
             &c,
-            &topo,
-            &cov,
+            &target,
             false,
             &TrialOptions::quick(Metric::SwapCount, 6),
         );
         assert_eq!(r.mirrors_accepted, 0);
         assert_eq!(r.mirror_candidates, 0);
-    }
-
-    #[test]
-    fn depth_estimate_counts_durations() {
-        let cov = coverage();
-        let mut c = Circuit::new(4);
-        c.cx(0, 1).cx(2, 3).swap(1, 2);
-        let mut cache = CostCache::new(64);
-        // cx (1.0) ∥ cx (1.0), then swap (1.5): critical = 2.5.
-        let d = depth_estimate(&c, &cov, &mut cache);
-        assert!((d - 2.5).abs() < 1e-9, "depth = {d}");
-        let total = total_gate_cost(&c, &cov, &mut cache);
-        assert!((total - 3.5).abs() < 1e-9, "total = {total}");
     }
 }

@@ -1,23 +1,36 @@
-//! Statevector verification of routed circuits.
+//! Statevector verification of routed circuits against a target.
 //!
 //! A routed circuit acts on physical wires; logical qubit `l` starts at
 //! `initial_layout.phys(l)` and ends at `final_layout.phys(l)`. The checker
 //! simulates both circuits from `|0…0⟩` and compares through the final
 //! placement. Because all inputs are `|0⟩`, the initial placement needs no
-//! correction.
+//! correction. On top of semantic equivalence, every two-qubit gate of the
+//! routed circuit must sit on a coupled pair of the target's topology.
 
 use crate::router::RoutedCircuit;
+use crate::target::Target;
 use mirage_circuit::sim::{run, State};
 use mirage_circuit::Circuit;
 use mirage_math::Complex64;
 
 /// True when `routed` implements `original` up to global phase and the
-/// routing-induced output permutation.
+/// routing-induced output permutation, and every two-qubit gate respects
+/// the target's coupling map.
 ///
 /// # Panics
 ///
 /// Panics if the physical register exceeds the simulator cap (24 qubits).
-pub fn verify_routed(original: &Circuit, routed: &RoutedCircuit) -> bool {
+pub fn verify_routed(original: &Circuit, routed: &RoutedCircuit, target: &Target) -> bool {
+    for instr in &routed.circuit.instructions {
+        if instr.gate.is_two_qubit()
+            && !target
+                .topology()
+                .are_adjacent(instr.qubits[0], instr.qubits[1])
+        {
+            return false;
+        }
+    }
+
     let n_log = original.n_qubits;
     let n_phys = routed.circuit.n_qubits;
     let s_log = run(original);
@@ -46,6 +59,13 @@ pub fn verify_routed(original: &Circuit, routed: &RoutedCircuit) -> bool {
 mod tests {
     use super::*;
     use crate::layout::Layout;
+    use mirage_topology::CouplingMap;
+
+    fn line_target(n: usize) -> Target {
+        // Verification never queries decomposition costs, so the lazy
+        // coverage set stays unbuilt and these targets are cheap.
+        Target::sqrt_iswap(CouplingMap::line(n))
+    }
 
     #[test]
     fn identity_routing_verifies() {
@@ -59,7 +79,9 @@ mod tests {
             mirrors_accepted: 0,
             mirror_candidates: 0,
         };
-        assert!(verify_routed(&c, &routed));
+        let t = line_target(2);
+        assert!(verify_routed(&c, &routed, &t));
+        assert!(!t.coverage_built(), "verification must not build coverage");
     }
 
     #[test]
@@ -76,7 +98,7 @@ mod tests {
             mirrors_accepted: 0,
             mirror_candidates: 0,
         };
-        assert!(!verify_routed(&c, &routed));
+        assert!(!verify_routed(&c, &routed, &line_target(2)));
     }
 
     #[test]
@@ -95,7 +117,7 @@ mod tests {
             mirrors_accepted: 0,
             mirror_candidates: 0,
         };
-        assert!(verify_routed(&c, &routed));
+        assert!(verify_routed(&c, &routed, &line_target(2)));
     }
 
     #[test]
@@ -112,7 +134,7 @@ mod tests {
             mirrors_accepted: 0,
             mirror_candidates: 0,
         };
-        assert!(!verify_routed(&c, &routed));
+        assert!(!verify_routed(&c, &routed, &line_target(2)));
     }
 
     #[test]
@@ -131,6 +153,26 @@ mod tests {
             mirrors_accepted: 0,
             mirror_candidates: 0,
         };
-        assert!(verify_routed(&c, &routed));
+        assert!(verify_routed(&c, &routed, &line_target(4)));
+    }
+
+    #[test]
+    fn uncoupled_gate_fails_even_when_semantics_match() {
+        // Semantically perfect, but the 2Q gate sits on an uncoupled pair
+        // (0, 2) of a line — the target check must reject it.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 2);
+        let routed = RoutedCircuit {
+            circuit: c.clone(),
+            initial_layout: Layout::trivial(3, 3),
+            final_layout: Layout::trivial(3, 3),
+            swaps_inserted: 0,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        assert!(!verify_routed(&c, &routed, &line_target(3)));
+        // On an all-to-all target the same pair is fine.
+        let a2a = Target::sqrt_iswap(CouplingMap::all_to_all(3));
+        assert!(verify_routed(&c, &routed, &a2a));
     }
 }

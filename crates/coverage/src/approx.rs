@@ -102,7 +102,10 @@ pub fn approx_gate_costs(
 /// quadratically in the chamber distance (both are Riemannian metrics around
 /// the optimum), so `F ≈ 1 − β·d²` with `β` fit offline against the real
 /// optimizer (`mirage-synth` provides the real one; benches use it).
-pub fn distance_oracle<'a>(set: &'a CoverageSet, beta: f64) -> impl Fn(&Mat4, usize) -> Option<f64> + 'a {
+pub fn distance_oracle<'a>(
+    set: &'a CoverageSet,
+    beta: f64,
+) -> impl Fn(&Mat4, usize) -> Option<f64> + 'a {
     move |target: &Mat4, k: usize| {
         let w = coords_of(target);
         let level = set.levels.iter().find(|l| l.k == k)?;

@@ -8,6 +8,8 @@
 
 use mirage_weyl::coords::WeylCoord;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// A bounded least-recently-used cache from quantized coordinates to cost.
 #[derive(Debug)]
@@ -91,6 +93,98 @@ impl CostCache {
     }
 }
 
+/// A thread-safe sharded wrapper over [`CostCache`].
+///
+/// One instance is shared by every routing trial, refinement pass, and
+/// metric computation of a transpile call (and across calls, when the
+/// caller reuses its `Target`), replacing the per-call caches the seed
+/// constructed in each pipeline branch. Keys are spread over independently
+/// locked shards so parallel layout trials don't serialize on one mutex;
+/// cached values are pure functions of the coordinate class, so sharing
+/// never changes results.
+#[derive(Debug)]
+pub struct SharedCostCache {
+    shards: Vec<Mutex<CostCache>>,
+}
+
+impl SharedCostCache {
+    /// Maximum number of independently locked shards.
+    pub const SHARDS: usize = 16;
+
+    /// Create a sharded cache holding roughly `capacity` coordinate classes
+    /// in total. Capacities below [`Self::SHARDS`] get one shard per entry,
+    /// so a capacity-1 cache really does hold a single class (the runtime
+    /// figure relies on this to emulate uncached behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> SharedCostCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let n_shards = capacity.min(Self::SHARDS);
+        let per_shard = capacity.div_ceil(n_shards);
+        SharedCostCache {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(CostCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, w: &WeylCoord) -> &Mutex<CostCache> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        w.quantized().hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    /// Look up a coordinate, or compute-and-insert through `f`.
+    ///
+    /// `f` runs while the shard lock is held, so concurrent queries of one
+    /// class compute at most once per shard residence.
+    pub fn get_or_insert_with<F: FnOnce() -> f64>(&self, w: &WeylCoord, f: F) -> f64 {
+        self.shard(w)
+            .lock()
+            .expect("cache shard poisoned")
+            .get_or_insert_with(w, f)
+    }
+
+    /// Look up without inserting.
+    pub fn peek(&self, w: &WeylCoord) -> Option<f64> {
+        self.shard(w).lock().expect("cache shard poisoned").peek(w)
+    }
+
+    /// Total cached classes across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate `(hits, misses)` counters across shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").stats())
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
+    }
+
+    /// Aggregate hit rate in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.stats();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +256,67 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         CostCache::new(0);
+    }
+
+    #[test]
+    fn shared_cache_hits_across_threads() {
+        let cache = SharedCostCache::new(64);
+        let w = WeylCoord::CNOT;
+        assert_eq!(cache.get_or_insert_with(&w, || 2.0), 2.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Inserted once above: every thread must observe a hit.
+                    assert_eq!(cache.get_or_insert_with(&w, || 99.0), 2.0);
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 4);
+        assert!((cache.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_spreads_over_shards() {
+        let cache = SharedCostCache::new(SharedCostCache::SHARDS * 8);
+        for i in 0..200 {
+            let w = WeylCoord::canonicalize(0.007 * i as f64, 0.0, 0.0);
+            cache.get_or_insert_with(&w, || i as f64);
+        }
+        // Per-shard LRU capacity bounds the total.
+        assert!(cache.len() <= SharedCostCache::SHARDS * 8);
+        assert!(cache.len() > 8, "keys should not all collapse to one shard");
+    }
+
+    #[test]
+    fn shared_cache_peek() {
+        let cache = SharedCostCache::new(8);
+        let w = WeylCoord::ISWAP;
+        assert!(cache.peek(&w).is_none());
+        cache.get_or_insert_with(&w, || 1.5);
+        assert_eq!(cache.peek(&w), Some(1.5));
+    }
+
+    #[test]
+    fn capacity_one_holds_a_single_class() {
+        // A capacity-1 shared cache collapses to one single-entry shard,
+        // so every new class evicts the previous one.
+        let cache = SharedCostCache::new(1);
+        let a = WeylCoord::canonicalize(0.1, 0.0, 0.0);
+        let b = WeylCoord::canonicalize(0.2, 0.0, 0.0);
+        cache.get_or_insert_with(&a, || 1.0);
+        cache.get_or_insert_with(&b, || 2.0);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.peek(&a).is_none(), "a must have been evicted");
+        assert_eq!(cache.peek(&b), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn shared_zero_capacity_panics() {
+        SharedCostCache::new(0);
     }
 }

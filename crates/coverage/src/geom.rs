@@ -149,9 +149,17 @@ impl ConvexPolytope {
         for axis in 0..3 {
             let mut n = [0.0; 3];
             n[axis] = 1.0;
-            halfspaces.push(Halfspace { n, d: p[axis], equality: true });
+            halfspaces.push(Halfspace {
+                n,
+                d: p[axis],
+                equality: true,
+            });
             n[axis] = -1.0;
-            halfspaces.push(Halfspace { n, d: -p[axis], equality: true });
+            halfspaces.push(Halfspace {
+                n,
+                d: -p[axis],
+                equality: true,
+            });
         }
         ConvexPolytope {
             vertices: vec![p],
@@ -174,7 +182,11 @@ impl ConvexPolytope {
         let v = perpendicular(u);
         let w = cross(u, v);
         let mut halfspaces = vec![
-            Halfspace { n: u, d: dot(u, b), equality: false },
+            Halfspace {
+                n: u,
+                d: dot(u, b),
+                equality: false,
+            },
             Halfspace {
                 n: scale(u, -1.0),
                 d: -dot(u, a),
@@ -183,7 +195,11 @@ impl ConvexPolytope {
         ];
         for dir in [v, w] {
             let d = dot(dir, p0);
-            halfspaces.push(Halfspace { n: dir, d, equality: true });
+            halfspaces.push(Halfspace {
+                n: dir,
+                d,
+                equality: true,
+            });
             halfspaces.push(Halfspace {
                 n: scale(dir, -1.0),
                 d: -d,
@@ -197,12 +213,7 @@ impl ConvexPolytope {
         }
     }
 
-    fn from_planar(
-        pts: &[[f64; 3]],
-        p0: [f64; 3],
-        u: [f64; 3],
-        v: [f64; 3],
-    ) -> ConvexPolytope {
+    fn from_planar(pts: &[[f64; 3]], p0: [f64; 3], u: [f64; 3], v: [f64; 3]) -> ConvexPolytope {
         let w = normalize(cross(u, v)).expect("u ⊥ v are unit vectors");
         // Project into the plane.
         let proj: Vec<(f64, f64)> = pts
@@ -221,7 +232,11 @@ impl ConvexPolytope {
         let mut halfspaces = Vec::new();
         // Plane equality as an opposing pair.
         let dw = dot(w, p0);
-        halfspaces.push(Halfspace { n: w, d: dw, equality: true });
+        halfspaces.push(Halfspace {
+            n: w,
+            d: dw,
+            equality: true,
+        });
         halfspaces.push(Halfspace {
             n: scale(w, -1.0),
             d: -dw,
@@ -241,7 +256,11 @@ impl ConvexPolytope {
             let (nx, ny) = (ey / len, -ex / len);
             let n3 = add(scale(u, nx), scale(v, ny));
             let d = dot(n3, vertices[i]);
-            halfspaces.push(Halfspace { n: n3, d, equality: false });
+            halfspaces.push(Halfspace {
+                n: n3,
+                d,
+                equality: false,
+            });
         }
         ConvexPolytope {
             vertices,
@@ -259,10 +278,7 @@ impl ConvexPolytope {
         for f in &faces {
             for &vi in &[f.a, f.b, f.c] {
                 let p = pts[vi];
-                if !vert_set
-                    .iter()
-                    .any(|q| norm(sub(*q, p)) < 1e-9)
-                {
+                if !vert_set.iter().any(|q| norm(sub(*q, p)) < 1e-9) {
                     vert_set.push(p);
                 }
             }
@@ -394,11 +410,13 @@ fn hull_2d(pts: &[(f64, f64)]) -> Vec<(f64, f64)> {
     if p.len() <= 2 {
         return p;
     }
-    let cross2 =
-        |o: (f64, f64), a: (f64, f64), b: (f64, f64)| (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0);
+    let cross2 = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
     let mut lower: Vec<(f64, f64)> = Vec::new();
     for &pt in &p {
-        while lower.len() >= 2 && cross2(lower[lower.len() - 2], lower[lower.len() - 1], pt) <= 1e-14
+        while lower.len() >= 2
+            && cross2(lower[lower.len() - 2], lower[lower.len() - 1], pt) <= 1e-14
         {
             lower.pop();
         }
@@ -406,7 +424,8 @@ fn hull_2d(pts: &[(f64, f64)]) -> Vec<(f64, f64)> {
     }
     let mut upper: Vec<(f64, f64)> = Vec::new();
     for &pt in p.iter().rev() {
-        while upper.len() >= 2 && cross2(upper[upper.len() - 2], upper[upper.len() - 1], pt) <= 1e-14
+        while upper.len() >= 2
+            && cross2(upper[upper.len() - 2], upper[upper.len() - 1], pt) <= 1e-14
         {
             upper.pop();
         }
@@ -490,14 +509,11 @@ fn quickhull3(pts: &[[f64; 3]]) -> Option<Vec<Face>> {
         return None;
     }
 
-    let interior = scale(
-        add(add(pts[i0], pts[i1]), add(pts[i2], pts[i3])),
-        0.25,
-    );
+    let interior = scale(add(add(pts[i0], pts[i1]), add(pts[i2], pts[i3])), 0.25);
 
     let mk_face = |a: usize, b: usize, c: usize| -> Face {
-        let mut nrm = normalize(cross(sub(pts[b], pts[a]), sub(pts[c], pts[a])))
-            .unwrap_or([0.0, 0.0, 1.0]);
+        let mut nrm =
+            normalize(cross(sub(pts[b], pts[a]), sub(pts[c], pts[a]))).unwrap_or([0.0, 0.0, 1.0]);
         let mut d = dot(nrm, pts[a]);
         if dot(nrm, interior) > d {
             nrm = scale(nrm, -1.0);
@@ -761,13 +777,7 @@ mod tests {
     fn random_hull_contains_all_inputs() {
         let mut rng = Rng::new(11);
         let pts: Vec<[f64; 3]> = (0..500)
-            .map(|_| {
-                [
-                    rng.gaussian(),
-                    rng.gaussian() * 0.5,
-                    rng.gaussian() * 2.0,
-                ]
-            })
+            .map(|_| [rng.gaussian(), rng.gaussian() * 0.5, rng.gaussian() * 2.0])
             .collect();
         let p = ConvexPolytope::from_points(&pts).unwrap();
         for &pt in &pts {

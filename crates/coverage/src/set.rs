@@ -97,6 +97,16 @@ impl BasisGate {
             coord: WeylCoord::CNOT,
         }
     }
+
+    /// The CZ basis gate (unit duration; same canonical class as CNOT).
+    pub fn cz() -> BasisGate {
+        BasisGate {
+            name: "cz".to_owned(),
+            unitary: mirage_gates::cz(),
+            duration: 1.0,
+            coord: WeylCoord::CNOT,
+        }
+    }
 }
 
 /// The coverage region for a fixed number of basis-gate applications.
@@ -226,9 +236,8 @@ impl CoverageSet {
     /// charged one application beyond the deepest built level. Keeps router
     /// cost functions total.
     pub fn cost_or_max(&self, w: &WeylCoord) -> f64 {
-        self.min_cost(w).unwrap_or_else(|| {
-            (self.levels.len() as f64 + 1.0) * self.basis.duration
-        })
+        self.min_cost(w)
+            .unwrap_or((self.levels.len() as f64 + 1.0) * self.basis.duration)
     }
 
     /// The deepest built level.
@@ -337,10 +346,10 @@ fn signed_perm_sums(v: &[f64; 3], k: usize) -> Vec<[f64; 3]> {
             for sy in [-1.0, 1.0] {
                 for sz in [-1.0, 1.0] {
                     let cand = [sx * v[p[0]], sy * v[p[1]], sz * v[p[2]]];
-                    if !images
-                        .iter()
-                        .any(|q| (q[0] - cand[0]).abs() + (q[1] - cand[1]).abs() + (q[2] - cand[2]).abs() < 1e-12)
-                    {
+                    if !images.iter().any(|q| {
+                        (q[0] - cand[0]).abs() + (q[1] - cand[1]).abs() + (q[2] - cand[2]).abs()
+                            < 1e-12
+                    }) {
                         images.push(cand);
                     }
                 }

@@ -30,6 +30,6 @@ pub mod twoq;
 pub use haar::{haar_1q, haar_2q};
 pub use oneq::{euler_zyz, h, rx, ry, rz, u_zyz};
 pub use twoq::{
-    can, cnot, cns, cphase, cz, iswap, iswap_alpha, magic_basis, pswap, rxx, ryy, rzz,
-    sqrt_iswap, swap,
+    can, cnot, cns, cphase, cz, iswap, iswap_alpha, magic_basis, pswap, rxx, ryy, rzz, sqrt_iswap,
+    swap,
 };

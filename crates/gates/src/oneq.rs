@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn rotations_are_unitary() {
-        for theta in [-2.0, -0.5, 0.0, 0.3, 1.7, 3.14] {
+        for theta in [-2.0, -0.5, 0.0, 0.3, 1.7, 3.2] {
             assert!(rx(theta).is_unitary(TOL));
             assert!(ry(theta).is_unitary(TOL));
             assert!(rz(theta).is_unitary(TOL));

@@ -147,7 +147,7 @@ pub fn can(a: f64, b: f64, c: f64) -> Mat4 {
 mod tests {
     use super::*;
     use crate::oneq;
-    use mirage_math::{Mat2, Rng};
+    use mirage_math::Rng;
 
     const TOL: f64 = 1e-10;
 

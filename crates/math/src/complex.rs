@@ -200,7 +200,10 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     fn div(self, rhs: Complex64) -> Complex64 {
-        self * rhs.inv()
+        #[allow(clippy::suspicious_arithmetic_impl)] // division IS mul by inverse
+        {
+            self * rhs.inv()
+        }
     }
 }
 
@@ -314,7 +317,9 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let total: Complex64 = (0..4).map(|k| Complex64::cis(std::f64::consts::FRAC_PI_2 * k as f64)).sum();
+        let total: Complex64 = (0..4)
+            .map(|k| Complex64::cis(std::f64::consts::FRAC_PI_2 * k as f64))
+            .sum();
         // 1 + i - 1 - i = 0
         assert!(total.approx_eq(Complex64::ZERO, TOL));
     }

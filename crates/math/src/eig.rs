@@ -171,16 +171,12 @@ fn offdiag_after(p: &[[f64; 4]; 4], a: &[[f64; 4]; 4]) -> f64 {
 ///
 /// Returns `None` if no tried combination achieves the tolerance (only
 /// happens if the inputs do not actually commute).
-pub fn simultaneous_diag4(
-    a: &[[f64; 4]; 4],
-    b: &[[f64; 4]; 4],
-    tol: f64,
-) -> Option<[[f64; 4]; 4]> {
+pub fn simultaneous_diag4(a: &[[f64; 4]; 4], b: &[[f64; 4]; 4], tol: f64) -> Option<[[f64; 4]; 4]> {
     // Deterministic sequence of mixing parameters. Irrational-ish spacing
     // avoids systematically colliding eigenvalues.
     let ts = [
         0.618_033_988_75,
-        1.414_213_562_37,
+        std::f64::consts::SQRT_2,
         0.267_949_192_43,
         2.236_067_977_50,
         0.101_321_183_64,
@@ -272,7 +268,10 @@ mod tests {
     fn eigvals_of_swap() {
         // SWAP has eigenvalues {1, 1, 1, -1}.
         let vals = eigvals4(&Mat4::swap());
-        let pos = vals.iter().filter(|v| (**v - Complex64::ONE).abs() < 1e-5).count();
+        let pos = vals
+            .iter()
+            .filter(|v| (**v - Complex64::ONE).abs() < 1e-5)
+            .count();
         let neg = vals
             .iter()
             .filter(|v| (**v + Complex64::ONE).abs() < 1e-5)

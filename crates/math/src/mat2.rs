@@ -43,7 +43,9 @@ impl Mat2 {
 
     /// Build from four entries, row-major.
     pub fn new(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Self {
-        Mat2 { e: [[a, b], [c, d]] }
+        Mat2 {
+            e: [[a, b], [c, d]],
+        }
     }
 
     /// Build from real entries.
@@ -64,6 +66,7 @@ impl Mat2 {
     }
 
     /// Matrix product `self · rhs`.
+    #[allow(clippy::should_implement_trait)] // by-reference operand; kept for call-site symmetry with Mat4
     pub fn mul(self, rhs: &Mat2) -> Mat2 {
         let mut out = Mat2::zero();
         for i in 0..2 {
@@ -126,7 +129,7 @@ impl Mat2 {
         let mut out = *self;
         for row in out.e.iter_mut() {
             for v in row.iter_mut() {
-                *v = *v * k;
+                *v *= k;
             }
         }
         out

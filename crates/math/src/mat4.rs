@@ -83,6 +83,7 @@ impl Mat4 {
     }
 
     /// Matrix product `self · rhs`.
+    #[allow(clippy::should_implement_trait)] // by-reference operand; a std::ops::Mul impl would force copies
     pub fn mul(self, rhs: &Mat4) -> Mat4 {
         let mut out = Mat4::zero();
         for i in 0..4 {
@@ -177,7 +178,7 @@ impl Mat4 {
         let mut out = *self;
         for row in out.e.iter_mut() {
             for v in row.iter_mut() {
-                *v = *v * k;
+                *v *= k;
             }
         }
         out
@@ -437,6 +438,8 @@ mod tests {
 
     #[test]
     fn trace_of_identity() {
-        assert!(Mat4::identity().trace().approx_eq(Complex64::real(4.0), TOL));
+        assert!(Mat4::identity()
+            .trace()
+            .approx_eq(Complex64::real(4.0), TOL));
     }
 }

@@ -98,7 +98,7 @@ pub fn roots_monic(coeffs: &[Complex64]) -> Vec<Complex64> {
             if !step.is_finite() || step.abs() > 1.0 {
                 break;
             }
-            *z = *z - step;
+            *z -= step;
         }
     }
     zs
@@ -164,11 +164,7 @@ mod tests {
     fn quadratic_simple() {
         // z² - 3z + 2 = (z-1)(z-2)
         let roots = quadratic_roots(Complex64::real(-3.0), Complex64::real(2.0));
-        assert_same_multiset(
-            &roots,
-            &[Complex64::real(1.0), Complex64::real(2.0)],
-            1e-12,
-        );
+        assert_same_multiset(&roots, &[Complex64::real(1.0), Complex64::real(2.0)], 1e-12);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn haar_fix(q: &Mat4, r: &Mat4) -> Mat4 {
         let mag = d.abs();
         let phase = if mag > 0.0 { d / mag } else { Complex64::ONE };
         for i in 0..4 {
-            out.e[i][j] = out.e[i][j] * phase;
+            out.e[i][j] *= phase;
         }
     }
     out

@@ -67,8 +67,7 @@ pub fn translate_circuit_approx(
                 // Try cheaper depths, cheapest first.
                 for k in 1..exact_k {
                     let trial = decompose(&u, &basis.unitary, k, opts);
-                    let total =
-                        trial.fidelity * model.circuit_fidelity(k as f64 * basis.duration);
+                    let total = trial.fidelity * model.circuit_fidelity(k as f64 * basis.duration);
                     if total > threshold {
                         return (trial, true);
                     }
@@ -173,8 +172,7 @@ mod tests {
         let mut c = Circuit::new(2);
         let w = (PI_4, PI_4, 0.35 * PI_4); // near the k=2 boundary, inside k=3
         c.push(Gate::Unitary2(can(w.0, w.1, w.2)), &[0, 1]);
-        let (_, stats) =
-            translate_circuit_approx(&c, &set, &noisy, &opts(2));
+        let (_, stats) = translate_circuit_approx(&c, &set, &noisy, &opts(2));
         assert_eq!(stats.total_blocks, 1);
         assert_eq!(
             stats.approximated_blocks, 1,

@@ -172,8 +172,8 @@ impl HeterogeneousModel {
 
     /// Fidelity of one gate of duration `d` on the given qubits.
     pub fn gate_fidelity(&self, duration: f64, qubits: &[usize]) -> f64 {
-        let rate: f64 = qubits.iter().map(|&q| 1.0 / self.t1[q]).sum::<f64>()
-            / qubits.len().max(1) as f64;
+        let rate: f64 =
+            qubits.iter().map(|&q| 1.0 / self.t1[q]).sum::<f64>() / qubits.len().max(1) as f64;
         (-duration * rate).exp()
     }
 
@@ -218,10 +218,7 @@ mod het_tests {
         c.cx(0, 1).swap(1, 2).cx(0, 1);
         let global = circuit_fidelity(&c, &set, &model).fidelity;
         let per_qubit = het.circuit_fidelity(&c, &set);
-        assert!(
-            (global - per_qubit).abs() < 1e-9,
-            "{global} vs {per_qubit}"
-        );
+        assert!((global - per_qubit).abs() < 1e-9, "{global} vs {per_qubit}");
     }
 
     #[test]

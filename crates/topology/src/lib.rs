@@ -72,8 +72,7 @@ impl CouplingMap {
 
     /// A ring of `n` qubits.
     pub fn ring(n: usize) -> CouplingMap {
-        let mut edges: Vec<(usize, usize)> =
-            (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let mut edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
         if n > 2 {
             edges.push((n - 1, 0));
         }
@@ -123,7 +122,7 @@ impl CouplingMap {
     pub fn heavy_hex(d: usize) -> CouplingMap {
         assert!(d >= 3 && d % 2 == 1, "heavy-hex needs odd d ≥ 3");
         let row_len = 2 * d - 1;
-        let bridges_per_gap = (d + 1) / 2;
+        let bridges_per_gap = d.div_ceil(2);
         let mut edges: Vec<(usize, usize)> = Vec::new();
         let mut next = 0usize;
 

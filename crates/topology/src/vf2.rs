@@ -49,11 +49,7 @@ impl InteractionGraph {
 /// or the node budget is exhausted (treated as "not found").
 ///
 /// `budget` caps the number of search-tree nodes (e.g. `1_000_000`).
-pub fn find_embedding(
-    g: &InteractionGraph,
-    hw: &CouplingMap,
-    budget: usize,
-) -> Option<Vec<usize>> {
+pub fn find_embedding(g: &InteractionGraph, hw: &CouplingMap, budget: usize) -> Option<Vec<usize>> {
     if g.n > hw.n_qubits() {
         return None;
     }

@@ -442,7 +442,11 @@ mod tests {
         // The mirror of CPHASE(0.4): (π/4, π/4, π/4 − 0.1) has a = π/4 but a
         // general pSWAP-like gate built directly can live at a > π/4 — e.g.
         // CAN(0.35π, 0.1π, 0.05π).
-        let w = WeylCoord::canonicalize(0.35 * std::f64::consts::PI, 0.1 * std::f64::consts::PI, 0.05 * std::f64::consts::PI);
+        let w = WeylCoord::canonicalize(
+            0.35 * std::f64::consts::PI,
+            0.1 * std::f64::consts::PI,
+            0.05 * std::f64::consts::PI,
+        );
         assert!(w.a > PI_4);
         assert!(w.in_chamber(1e-12));
         let got = coords_of(&can(w.a, w.b, w.c));
@@ -497,7 +501,11 @@ mod tests {
 
     #[test]
     fn b_gate_constant() {
-        let b = can(WeylCoord::B_GATE.a, WeylCoord::B_GATE.b, WeylCoord::B_GATE.c);
+        let b = can(
+            WeylCoord::B_GATE.a,
+            WeylCoord::B_GATE.b,
+            WeylCoord::B_GATE.c,
+        );
         assert!(coords_of(&b).approx_eq(&WeylCoord::B_GATE, TOL));
     }
 

@@ -52,11 +52,7 @@ pub fn sample_haar_class(rng: &mut Rng) -> WeylCoord {
 
 /// Monte Carlo estimate of the Haar probability of an arbitrary region
 /// given by a membership predicate.
-pub fn haar_probability<F: Fn(&WeylCoord) -> bool>(
-    pred: F,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn haar_probability<F: Fn(&WeylCoord) -> bool>(pred: F, samples: usize, seed: u64) -> f64 {
     let mut rng = Rng::new(seed);
     let mut hits = 0usize;
     for _ in 0..samples {

@@ -11,9 +11,9 @@
 //! simultaneous real diagonalization of the real and imaginary parts of
 //! `G = MᵀM` produces the Cartan factors.
 
-use crate::coords::WeylCoord;
 #[cfg(test)]
 use crate::coords::coords_of;
+use crate::coords::WeylCoord;
 use mirage_gates::{can, magic_basis};
 use mirage_math::eig::{rdet4, simultaneous_diag4};
 use mirage_math::{Complex64, Mat2, Mat4};
@@ -324,10 +324,7 @@ mod tests {
             let kak = kak_decompose(&u).unwrap();
             let via_kak = kak.canonical_coords();
             let direct = coords_of(&u);
-            assert!(
-                via_kak.approx_eq(&direct, 1e-5),
-                "{via_kak} vs {direct}"
-            );
+            assert!(via_kak.approx_eq(&direct, 1e-5), "{via_kak} vs {direct}");
         }
     }
 
@@ -355,7 +352,9 @@ mod tests {
         for _ in 0..50 {
             let a = haar_1q(&mut rng);
             let b = haar_1q(&mut rng);
-            let v = Mat4::kron(&a, &b).scale(Complex64::cis(rng.uniform_range(0.0, 6.28)));
+            let v = Mat4::kron(&a, &b).scale(Complex64::cis(
+                rng.uniform_range(0.0, std::f64::consts::TAU),
+            ));
             let (fa, fb, ph) = kron_factor(&v).expect("valid tensor product");
             let rec = Mat4::kron(&fa, &fb).scale(Complex64::cis(ph));
             assert!(rec.approx_eq(&v, 1e-8));

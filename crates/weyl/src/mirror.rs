@@ -137,8 +137,7 @@ mod tests {
         // mirror onto the CNOT–SWAP edge.
         for alpha in [0.25, 0.5, 0.75] {
             let m = mirror_coord(&WeylCoord::iswap_alpha(alpha));
-            let expect =
-                WeylCoord::canonicalize(PI_4, PI_4 - alpha * PI_4, PI_4 - alpha * PI_4);
+            let expect = WeylCoord::canonicalize(PI_4, PI_4 - alpha * PI_4, PI_4 - alpha * PI_4);
             assert!(m.approx_eq(&expect, TOL), "α={alpha}: {m} vs {expect}");
         }
     }

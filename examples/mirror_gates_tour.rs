@@ -38,7 +38,10 @@ fn main() {
         ("iSWAP (CNOT's mirror)", WeylCoord::ISWAP),
         ("SWAP", WeylCoord::SWAP),
         ("identity (SWAP's mirror)", WeylCoord::IDENTITY),
-        ("CPHASE(π/2)", WeylCoord::cphase(std::f64::consts::FRAC_PI_2)),
+        (
+            "CPHASE(π/2)",
+            WeylCoord::cphase(std::f64::consts::FRAC_PI_2),
+        ),
         (
             "pSWAP(π/2) (its mirror)",
             mirror_coord(&WeylCoord::cphase(std::f64::consts::FRAC_PI_2)),

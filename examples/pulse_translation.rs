@@ -6,7 +6,7 @@
 
 use mirage::circuit::generators::ghz;
 use mirage::circuit::sim::run;
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::fidelity::pulse_duration;
@@ -20,7 +20,6 @@ fn main() {
         c.cx(0, 3).cx(1, 3); // extra long-range gates to force routing
         c
     };
-    let topo = CouplingMap::line(4);
     let cov = Arc::new(CoverageSet::build(
         BasisGate::iswap_root(2),
         &CoverageOptions {
@@ -32,13 +31,15 @@ fn main() {
         },
     ));
 
+    let target = Target::with_coverage(CouplingMap::line(4), cov.clone());
     let mut opts = TranspileOptions::quick(RouterKind::Mirage, 5);
-    opts.coverage = Some(cov.clone());
     opts.use_vf2 = false;
-    let routed = transpile(&circuit, &topo, &opts).expect("transpiles");
+    let routed = transpile(&circuit, &target, &opts).expect("transpiles");
     println!(
         "routed: {} 2Q gates, {} swaps, {} mirrors",
-        routed.metrics.two_qubit_gates, routed.metrics.swaps_inserted, routed.metrics.mirrors_accepted
+        routed.metrics.two_qubit_gates,
+        routed.metrics.swaps_inserted,
+        routed.metrics.mirrors_accepted
     );
 
     let dopts = DecompOptions {

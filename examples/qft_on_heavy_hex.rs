@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example qft_on_heavy_hex`
 
 use mirage::circuit::generators::qft;
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::topology::CouplingMap;
 
 fn main() {
@@ -15,11 +15,12 @@ fn main() {
     );
 
     for topo in [CouplingMap::heavy_hex(5), CouplingMap::grid(6, 6)] {
-        println!("== {} ({} qubits) ==", topo.name(), topo.n_qubits());
+        let target = Target::sqrt_iswap(topo);
+        println!("== {} ({} qubits) ==", target.name(), target.n_qubits());
         let mut base = f64::NAN;
         for (label, router) in [("SABRE", RouterKind::Sabre), ("MIRAGE", RouterKind::Mirage)] {
             let opts = TranspileOptions::quick(router, 11);
-            let out = transpile(&circuit, &topo, &opts).expect("transpiles");
+            let out = transpile(&circuit, &target, &opts).expect("transpiles");
             if label == "SABRE" {
                 base = out.metrics.depth_estimate;
             }

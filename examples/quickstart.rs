@@ -4,19 +4,19 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use mirage::circuit::generators::two_local_full;
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::topology::CouplingMap;
 
 fn main() {
     // A fully entangling TwoLocal ansatz — the motivating workload of the
     // paper's Fig. 8 — on a 5-qubit line.
     let circuit = two_local_full(5, 1, 42);
-    let topo = CouplingMap::line(5);
+    let target = Target::sqrt_iswap(CouplingMap::line(5));
     println!(
-        "input: {} qubits, {} two-qubit gates, topology {}\n",
+        "input: {} qubits, {} two-qubit gates, target {}\n",
         circuit.n_qubits,
         circuit.two_qubit_gate_count(),
-        topo.name()
+        target.name()
     );
 
     for (label, router) in [
@@ -26,9 +26,12 @@ fn main() {
     ] {
         let mut opts = TranspileOptions::quick(router, 7);
         opts.use_vf2 = false; // force routing so the comparison is visible
-        let out = transpile(&circuit, &topo, &opts).expect("transpilation succeeds");
+        let out = transpile(&circuit, &target, &opts).expect("transpilation succeeds");
         println!("{label}:");
-        println!("  depth estimate   : {:.2} (iSWAP time units)", out.metrics.depth_estimate);
+        println!(
+            "  depth estimate   : {:.2} (iSWAP time units)",
+            out.metrics.depth_estimate
+        );
         println!("  total gate cost  : {:.2}", out.metrics.total_gate_cost);
         println!("  SWAPs inserted   : {}", out.metrics.swaps_inserted);
         println!(

@@ -1,7 +1,8 @@
 //! `mirage-cli` — command-line front end for the MIRAGE transpiler.
 //!
 //! ```text
-//! mirage-cli transpile <input.qasm> --topo grid:6x6 [--router mirage|sabre|mirage-swaps]
+//! mirage-cli transpile <input.qasm> --topo grid:6x6 [--basis sqrt-iswap|cnot|cz]
+//!                      [--router mirage|sabre|mirage-swaps]
 //!                      [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
 //! mirage-cli stats <input.qasm>
 //! mirage-cli draw <input.qasm>
@@ -9,7 +10,7 @@
 //! ```
 
 use mirage::circuit::{generators, qasm, render, Circuit};
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::translate::translate_circuit;
 use mirage::topology::CouplingMap;
@@ -29,13 +30,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  mirage-cli transpile <input.qasm> --topo <spec> [--router mirage|sabre|mirage-swaps]
+  mirage-cli transpile <input.qasm> --topo <spec> [--basis sqrt-iswap|cnot|cz]
+                       [--router mirage|sabre|mirage-swaps]
                        [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
   mirage-cli stats <input.qasm>
   mirage-cli draw <input.qasm>
   mirage-cli gen <name> [--out file.qasm]
 
 topology specs : line:N  ring:N  grid:RxC  heavy-hex:D  a2a:N
+basis gates    : sqrt-iswap (default)  cnot  cz
 generator names: qft:N ghz:N wstate:N bv:N twolocal:N qaoa:N adder:BITS";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -49,8 +52,11 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `--flag value` pairs collected by [`split_flags`].
+type Flags = Vec<(String, String)>;
+
 /// Parse `--flag value` style options; returns (positional, flags).
-fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     let mut pos = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
@@ -107,15 +113,24 @@ fn parse_topology(spec: &str) -> Result<CouplingMap, String> {
     }
 }
 
+/// Build a [`Target`] from a topology spec and basis-gate name.
+fn parse_target(topo_spec: &str, basis: &str) -> Result<Target, String> {
+    let topo = parse_topology(topo_spec)?;
+    match basis {
+        "sqrt-iswap" | "sqrt_iswap" => Ok(Target::sqrt_iswap(topo)),
+        "cnot" => Ok(Target::cnot(topo)),
+        "cz" => Ok(Target::cz(topo)),
+        other => Err(format!("unknown basis gate '{other}'")),
+    }
+}
+
 /// Parse a generator spec like `qft:18`.
 fn parse_generator(spec: &str) -> Result<Circuit, String> {
     let (kind, param) = spec.split_once(':').unwrap_or((spec, ""));
     let n: usize = if param.is_empty() {
         0
     } else {
-        param
-            .parse()
-            .map_err(|_| format!("bad size in '{spec}'"))?
+        param.parse().map_err(|_| format!("bad size in '{spec}'"))?
     };
     match kind {
         "qft" => Ok(generators::qft(n.max(2), false)),
@@ -138,7 +153,10 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let input = pos.first().ok_or("transpile needs an input file")?;
     let circuit = load_circuit(input)?;
-    let topo = parse_topology(flag(&flags, "topo").ok_or("--topo is required")?)?;
+    let target = parse_target(
+        flag(&flags, "topo").ok_or("--topo is required")?,
+        flag(&flags, "basis").unwrap_or("sqrt-iswap"),
+    )?;
     let router = match flag(&flags, "router").unwrap_or("mirage") {
         "mirage" => RouterKind::Mirage,
         "mirage-swaps" => RouterKind::MirageSwaps,
@@ -158,13 +176,23 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     opts.trials.layout_trials = trials;
     opts.trials.routing_trials = trials;
     opts.trials.parallel = true;
-    let out = transpile(&circuit, &topo, &opts).map_err(|e| e.to_string())?;
+    let out = transpile(&circuit, &target, &opts).map_err(|e| e.to_string())?;
 
-    eprintln!("input   : {} qubits, {} two-qubit gates", circuit.n_qubits, circuit.two_qubit_gate_count());
-    eprintln!("topology: {} ({} qubits)", topo.name(), topo.n_qubits());
+    eprintln!(
+        "input   : {} qubits, {} two-qubit gates",
+        circuit.n_qubits,
+        circuit.two_qubit_gate_count()
+    );
+    eprintln!("target  : {} ({} qubits)", target.name(), target.n_qubits());
     eprintln!("router  : {router:?}  (vf2 shortcut: {})", out.used_vf2);
-    eprintln!("depth   : {:.2} iSWAP units", out.metrics.depth_estimate);
-    eprintln!("cost    : {:.2} iSWAP units total", out.metrics.total_gate_cost);
+    eprintln!(
+        "depth   : {:.2} duration units (iSWAP = 1.0)",
+        out.metrics.depth_estimate
+    );
+    eprintln!(
+        "cost    : {:.2} duration units total",
+        out.metrics.total_gate_cost
+    );
     eprintln!("swaps   : {}", out.metrics.swaps_inserted);
     eprintln!(
         "mirrors : {} ({:.0}% of decisions)",
@@ -174,11 +202,13 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
 
     let mut result = out.circuit.clone();
     if flag(&flags, "translate").is_some() {
-        let cov = mirage::core::pipeline::default_coverage();
-        let (translated, stats) = translate_circuit(&result, &cov, &DecompOptions::default());
+        let (translated, stats) =
+            translate_circuit(&result, target.coverage(), &DecompOptions::default());
         eprintln!(
-            "pulses  : {} sqrt(iSWAP) (residual infidelity {:.1e})",
-            stats.pulses, stats.worst_infidelity
+            "pulses  : {} {} (residual infidelity {:.1e})",
+            stats.pulses,
+            target.basis().name,
+            stats.worst_infidelity
         );
         result = translated;
     }

@@ -20,19 +20,20 @@
 //!   VF2 layout check.
 //! * [`synth`] — numerical decomposition into a basis gate, templates, the
 //!   decoherence error model (paper Eq. 2).
-//! * [`core`] — the SABRE baseline router, the MIRAGE router with aggression
-//!   levels (paper Algorithm 2), and the end-to-end transpile pipeline.
+//! * [`core`] — the [`core::Target`] device model, the SABRE baseline
+//!   router, the MIRAGE router with aggression levels (paper Algorithm 2),
+//!   and the end-to-end transpile pipeline.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use mirage::core::{transpile, TranspileOptions, RouterKind};
+//! use mirage::core::{transpile, Target, TranspileOptions, RouterKind};
 //! use mirage::circuit::generators::two_local_full;
 //! use mirage::topology::CouplingMap;
 //!
 //! let circ = two_local_full(4, 1, 7);
-//! let topo = CouplingMap::line(4);
-//! let out = transpile(&circ, &topo, &TranspileOptions::quick(RouterKind::Mirage, 1))
+//! let target = Target::sqrt_iswap(CouplingMap::line(4));
+//! let out = transpile(&circ, &target, &TranspileOptions::quick(RouterKind::Mirage, 1))
 //!     .expect("transpilation succeeds");
 //! assert!(out.metrics.swaps_inserted <= 3);
 //! ```

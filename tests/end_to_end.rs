@@ -3,32 +3,20 @@
 //! directional claims (MIRAGE reduces SWAPs/depth vs the SABRE baseline).
 
 use mirage::circuit::generators::{ghz, qft, two_local_full, wstate};
-use mirage::core::router::RoutedCircuit;
 use mirage::core::verify::verify_routed;
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::topology::CouplingMap;
-
-fn as_routed(out: &mirage::core::TranspiledCircuit) -> RoutedCircuit {
-    RoutedCircuit {
-        circuit: out.circuit.clone(),
-        initial_layout: out.initial_layout.clone(),
-        final_layout: out.final_layout.clone(),
-        swaps_inserted: out.metrics.swaps_inserted,
-        mirrors_accepted: out.metrics.mirrors_accepted,
-        mirror_candidates: 1,
-    }
-}
 
 #[test]
 fn mirage_preserves_semantics_on_qft() {
     let c = qft(5, true);
-    let topo = CouplingMap::line(5);
+    let target = Target::sqrt_iswap(CouplingMap::line(5));
     for seed in [1u64, 2, 3] {
         let mut opts = TranspileOptions::quick(RouterKind::Mirage, seed);
         opts.use_vf2 = false;
-        let out = transpile(&c, &topo, &opts).expect("transpiles");
+        let out = transpile(&c, &target, &opts).expect("transpiles");
         assert!(
-            verify_routed(&c, &as_routed(&out)),
+            verify_routed(&c, &out.as_routed(), &target),
             "seed {seed} broke semantics"
         );
     }
@@ -37,25 +25,31 @@ fn mirage_preserves_semantics_on_qft() {
 #[test]
 fn sabre_preserves_semantics_on_qft() {
     let c = qft(5, false);
-    let topo = CouplingMap::grid(2, 3);
+    let target = Target::sqrt_iswap(CouplingMap::grid(2, 3));
     let mut opts = TranspileOptions::quick(RouterKind::Sabre, 4);
     opts.use_vf2 = false;
-    let out = transpile(&c, &topo, &opts).expect("transpiles");
-    assert!(verify_routed(&c, &as_routed(&out)));
+    let out = transpile(&c, &target, &opts).expect("transpiles");
+    assert!(verify_routed(&c, &out.as_routed(), &target));
 }
 
 #[test]
 fn all_output_gates_respect_topology() {
     let c = two_local_full(9, 1, 5);
-    let topo = CouplingMap::grid(3, 3);
-    for router in [RouterKind::Sabre, RouterKind::MirageSwaps, RouterKind::Mirage] {
+    let target = Target::sqrt_iswap(CouplingMap::grid(3, 3));
+    for router in [
+        RouterKind::Sabre,
+        RouterKind::MirageSwaps,
+        RouterKind::Mirage,
+    ] {
         let mut opts = TranspileOptions::quick(router, 6);
         opts.use_vf2 = false;
-        let out = transpile(&c, &topo, &opts).expect("transpiles");
+        let out = transpile(&c, &target, &opts).expect("transpiles");
         for instr in &out.circuit.instructions {
             if instr.gate.is_two_qubit() {
                 assert!(
-                    topo.are_adjacent(instr.qubits[0], instr.qubits[1]),
+                    target
+                        .topology()
+                        .are_adjacent(instr.qubits[0], instr.qubits[1]),
                     "{router:?} emitted an uncoupled gate on {:?}",
                     instr.qubits
                 );
@@ -69,13 +63,13 @@ fn mirage_depth_never_worse_than_sabre_by_much() {
     // Directional claim on a routing-heavy workload; MIRAGE should clearly
     // win (the paper reports ≈30% average depth reduction).
     let c = two_local_full(6, 2, 9);
-    let topo = CouplingMap::line(6);
+    let target = Target::sqrt_iswap(CouplingMap::line(6));
     let mut sabre_opts = TranspileOptions::quick(RouterKind::Sabre, 7);
     sabre_opts.use_vf2 = false;
     let mut mirage_opts = TranspileOptions::quick(RouterKind::Mirage, 7);
     mirage_opts.use_vf2 = false;
-    let sabre = transpile(&c, &topo, &sabre_opts).unwrap();
-    let mirage = transpile(&c, &topo, &mirage_opts).unwrap();
+    let sabre = transpile(&c, &target, &sabre_opts).unwrap();
+    let mirage = transpile(&c, &target, &mirage_opts).unwrap();
     assert!(
         mirage.metrics.depth_estimate < sabre.metrics.depth_estimate,
         "mirage {:.2} should beat sabre {:.2} on a line-routed dense circuit",
@@ -88,12 +82,14 @@ fn mirage_depth_never_worse_than_sabre_by_much() {
 #[test]
 fn heavy_hex_routing_completes() {
     let c = wstate(27);
-    let topo = CouplingMap::heavy_hex(5);
-    let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 8)).unwrap();
+    let target = Target::sqrt_iswap(CouplingMap::heavy_hex(5));
+    let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Mirage, 8)).unwrap();
     assert_eq!(out.circuit.n_qubits, 57);
     for instr in &out.circuit.instructions {
         if instr.gate.is_two_qubit() {
-            assert!(topo.are_adjacent(instr.qubits[0], instr.qubits[1]));
+            assert!(target
+                .topology()
+                .are_adjacent(instr.qubits[0], instr.qubits[1]));
         }
     }
 }
@@ -101,8 +97,8 @@ fn heavy_hex_routing_completes() {
 #[test]
 fn vf2_handles_linear_circuits_without_routing() {
     let c = ghz(10);
-    let topo = CouplingMap::heavy_hex(5);
-    let out = transpile(&c, &topo, &TranspileOptions::quick(RouterKind::Mirage, 9)).unwrap();
+    let target = Target::sqrt_iswap(CouplingMap::heavy_hex(5));
+    let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Mirage, 9)).unwrap();
     assert!(out.used_vf2);
     assert_eq!(out.metrics.swaps_inserted, 0);
     assert_eq!(out.metrics.mirrors_accepted, 0);
@@ -111,10 +107,10 @@ fn vf2_handles_linear_circuits_without_routing() {
 #[test]
 fn results_deterministic_across_runs() {
     let c = qft(6, false);
-    let topo = CouplingMap::line(6);
+    let target = Target::sqrt_iswap(CouplingMap::line(6));
     let opts = TranspileOptions::quick(RouterKind::Mirage, 10);
-    let a = transpile(&c, &topo, &opts).unwrap();
-    let b = transpile(&c, &topo, &opts).unwrap();
+    let a = transpile(&c, &target, &opts).unwrap();
+    let b = transpile(&c, &target, &opts).unwrap();
     assert_eq!(a.circuit, b.circuit);
     assert_eq!(a.metrics.swaps_inserted, b.metrics.swaps_inserted);
 }
@@ -123,14 +119,17 @@ fn results_deterministic_across_runs() {
 fn mirror_acceptance_tracks_aggression() {
     // A3 (always accept) must accept at least as many mirrors as A0 (never).
     let c = two_local_full(5, 1, 11);
-    let topo = CouplingMap::line(5);
+    let target = Target::sqrt_iswap(CouplingMap::line(5));
     let run = |mix: [f64; 4]| {
         let mut opts = TranspileOptions::quick(RouterKind::Mirage, 12);
         opts.use_vf2 = false;
         opts.trials.aggression_mix = mix;
         opts.trials.layout_trials = 1;
         opts.trials.routing_trials = 1;
-        transpile(&c, &topo, &opts).unwrap().metrics.mirrors_accepted
+        transpile(&c, &target, &opts)
+            .unwrap()
+            .metrics
+            .mirrors_accepted
     };
     let never = run([1.0, 0.0, 0.0, 0.0]);
     let always = run([0.0, 0.0, 0.0, 1.0]);

@@ -57,8 +57,14 @@ fn fig3_sqrt_iswap_coverage_fractions() {
     let mirror = set(2, true, 3, 3);
     let c_plain = plain.haar_coverage(2, 6000, 33);
     let c_mirror = mirror.haar_coverage(2, 6000, 33);
-    assert!((c_plain - 0.790).abs() < 0.05, "standard coverage {c_plain:.3}");
-    assert!((c_mirror - 0.944).abs() < 0.05, "mirror coverage {c_mirror:.3}");
+    assert!(
+        (c_plain - 0.790).abs() < 0.05,
+        "standard coverage {c_plain:.3}"
+    );
+    assert!(
+        (c_mirror - 0.944).abs() < 0.05,
+        "mirror coverage {c_mirror:.3}"
+    );
 }
 
 #[test]
@@ -67,9 +73,17 @@ fn table1_sqrt_iswap_haar_scores() {
     let model = FidelityModel::paper_default();
     let hs_plain = haar_score(&set(2, false, 3, 4), &model, 6000, 44);
     let hs_mirror = haar_score(&set(2, true, 3, 4), &model, 6000, 44);
-    assert!((hs_plain.score - 1.105).abs() < 0.035, "{:.4}", hs_plain.score);
+    assert!(
+        (hs_plain.score - 1.105).abs() < 0.035,
+        "{:.4}",
+        hs_plain.score
+    );
     assert!((hs_plain.avg_fidelity - 0.9890).abs() < 0.001);
-    assert!((hs_mirror.score - 1.029).abs() < 0.035, "{:.4}", hs_mirror.score);
+    assert!(
+        (hs_mirror.score - 1.029).abs() < 0.035,
+        "{:.4}",
+        hs_mirror.score
+    );
     assert!((hs_mirror.avg_fidelity - 0.9897).abs() < 0.001);
 }
 

@@ -1,6 +1,8 @@
-//! Property-based tests (proptest) over the core invariants: Weyl-chamber
+//! Property-style randomized tests over the core invariants: Weyl-chamber
 //! canonicalization, the mirror equation, circuit metrics, simulation, and
-//! routing.
+//! routing. Each property is checked over a deterministic sweep of cases
+//! driven by the workspace RNG (the repo carries no external property-test
+//! dependency).
 
 use mirage::circuit::consolidate::consolidate;
 use mirage::circuit::sim::equivalent_on_zero;
@@ -10,75 +12,114 @@ use mirage::math::{Mat4, Rng};
 use mirage::weyl::coords::{coords_of, WeylCoord};
 use mirage::weyl::kak::kak_decompose;
 use mirage::weyl::mirror::{mirror_coord, mirror_unitary};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn canonicalize_lands_in_chamber(a in -7.0f64..7.0, b in -7.0f64..7.0, c in -7.0f64..7.0) {
-        let w = WeylCoord::canonicalize(a, b, c);
-        prop_assert!(w.in_chamber(1e-9), "{w}");
+#[test]
+fn canonicalize_lands_in_chamber() {
+    let mut rng = Rng::new(0x11);
+    for _ in 0..CASES {
+        let w = WeylCoord::canonicalize(
+            rng.uniform_range(-7.0, 7.0),
+            rng.uniform_range(-7.0, 7.0),
+            rng.uniform_range(-7.0, 7.0),
+        );
+        assert!(w.in_chamber(1e-9), "{w}");
     }
+}
 
-    #[test]
-    fn canonicalize_is_idempotent(a in -7.0f64..7.0, b in -7.0f64..7.0, c in -7.0f64..7.0) {
-        let w = WeylCoord::canonicalize(a, b, c);
+#[test]
+fn canonicalize_is_idempotent() {
+    let mut rng = Rng::new(0x12);
+    for _ in 0..CASES {
+        let w = WeylCoord::canonicalize(
+            rng.uniform_range(-7.0, 7.0),
+            rng.uniform_range(-7.0, 7.0),
+            rng.uniform_range(-7.0, 7.0),
+        );
         let w2 = WeylCoord::canonicalize(w.a, w.b, w.c);
-        prop_assert!(w.approx_eq(&w2, 1e-9), "{w} vs {w2}");
+        assert!(w.approx_eq(&w2, 1e-9), "{w} vs {w2}");
     }
+}
 
-    #[test]
-    fn mirror_is_involutive(a in 0.0f64..1.5, b in 0.0f64..0.8, c in 0.0f64..0.8) {
-        let w = WeylCoord::canonicalize(a, b, c);
+#[test]
+fn mirror_is_involutive() {
+    let mut rng = Rng::new(0x13);
+    for _ in 0..CASES {
+        let w = WeylCoord::canonicalize(
+            rng.uniform_range(0.0, 1.5),
+            rng.uniform_range(0.0, 0.8),
+            rng.uniform_range(0.0, 0.8),
+        );
         let back = mirror_coord(&mirror_coord(&w));
-        prop_assert!(back.approx_eq(&w, 1e-9), "{w} -> {back}");
+        assert!(back.approx_eq(&w, 1e-9), "{w} -> {back}");
     }
+}
 
-    #[test]
-    fn coords_of_can_roundtrip(a in 0.0f64..1.5, b in 0.0f64..0.8, c in 0.0f64..0.8) {
-        let w = WeylCoord::canonicalize(a, b, c);
+#[test]
+fn coords_of_can_roundtrip() {
+    let mut rng = Rng::new(0x14);
+    for _ in 0..CASES {
+        let w = WeylCoord::canonicalize(
+            rng.uniform_range(0.0, 1.5),
+            rng.uniform_range(0.0, 0.8),
+            rng.uniform_range(0.0, 0.8),
+        );
         let got = coords_of(&can(w.a, w.b, w.c));
-        prop_assert!(got.approx_eq(&w, 1e-6), "{w} vs {got}");
+        assert!(got.approx_eq(&w, 1e-6), "{w} vs {got}");
     }
+}
 
-    #[test]
-    fn mirror_eq1_matches_matrices(seed in 0u64..10_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn mirror_eq1_matches_matrices() {
+    let mut rng = Rng::new(0x15);
+    for _ in 0..CASES {
         let u = haar_2q(&mut rng);
         let lhs = coords_of(&mirror_unitary(&u));
         let rhs = mirror_coord(&coords_of(&u));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-6), "{lhs} vs {rhs}");
+        assert!(lhs.approx_eq(&rhs, 1e-6), "{lhs} vs {rhs}");
     }
+}
 
-    #[test]
-    fn coords_invariant_under_locals(seed in 0u64..10_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn coords_invariant_under_locals() {
+    let mut rng = Rng::new(0x16);
+    for _ in 0..CASES {
         let u = haar_2q(&mut rng);
         let l = Mat4::kron(&haar_1q(&mut rng), &haar_1q(&mut rng));
         let r = Mat4::kron(&haar_1q(&mut rng), &haar_1q(&mut rng));
         let a = coords_of(&u);
         let b = coords_of(&l.mul(&u).mul(&r));
-        prop_assert!(a.approx_eq(&b, 1e-6), "{a} vs {b}");
+        assert!(a.approx_eq(&b, 1e-6), "{a} vs {b}");
     }
+}
 
-    #[test]
-    fn kak_reconstructs(seed in 0u64..10_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn kak_reconstructs() {
+    let mut rng = Rng::new(0x17);
+    for _ in 0..CASES {
         let u = haar_2q(&mut rng);
         let kak = kak_decompose(&u).expect("haar unitary decomposes");
         let rec = kak.reconstruct();
-        prop_assert!(rec.approx_eq(&u, 1e-6), "error {:.2e}", rec.max_diff(&u));
+        assert!(rec.approx_eq(&u, 1e-6), "error {:.2e}", rec.max_diff(&u));
     }
+}
 
-    #[test]
-    fn consolidation_preserves_semantics(seed in 0u64..5_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn consolidation_preserves_semantics() {
+    let mut rng = Rng::new(0x18);
+    for _ in 0..32 {
         let mut c = Circuit::new(4);
         for _ in 0..12 {
             match rng.below(4) {
-                0 => { let q = rng.below(4); c.h(q); }
-                1 => { let q = rng.below(4); c.rz(rng.uniform_range(0.0, 6.0), q); }
+                0 => {
+                    let q = rng.below(4);
+                    c.h(q);
+                }
+                1 => {
+                    let q = rng.below(4);
+                    c.rz(rng.uniform_range(0.0, 6.0), q);
+                }
                 2 => {
                     let a = rng.below(4);
                     let b = (a + 1 + rng.below(3)) % 4;
@@ -92,13 +133,15 @@ proptest! {
             }
         }
         let cc = consolidate(&c);
-        prop_assert!(equivalent_on_zero(&c, &cc, None));
-        prop_assert!(cc.instructions.len() <= c.instructions.len());
+        assert!(equivalent_on_zero(&c, &cc, None));
+        assert!(cc.instructions.len() <= c.instructions.len());
     }
+}
 
-    #[test]
-    fn weighted_depth_bounds(seed in 0u64..5_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn weighted_depth_bounds() {
+    let mut rng = Rng::new(0x19);
+    for _ in 0..32 {
         let mut c = Circuit::new(5);
         for _ in 0..15 {
             let a = rng.below(5);
@@ -107,31 +150,42 @@ proptest! {
         }
         // Depth is at most the gate count and at least count/⌊n/2⌋.
         let d = c.depth();
-        prop_assert!(d <= c.gate_count());
-        prop_assert!(d * 2 >= c.gate_count() / 2);
+        assert!(d <= c.gate_count());
+        assert!(d * 2 >= c.gate_count() / 2);
         // Weighted depth with unit weights equals depth.
         let wd = c.weighted_depth(|_| 1.0);
-        prop_assert!((wd - d as f64).abs() < 1e-9);
+        assert!((wd - d as f64).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn mirror_unitary_coords_cost_identity(seed in 0u64..5_000) {
-        // SWAP·SWAP·U == U: double mirror at the matrix level.
-        let mut rng = Rng::new(seed);
+#[test]
+fn mirror_unitary_coords_cost_identity() {
+    // SWAP·SWAP·U == U: double mirror at the matrix level.
+    let mut rng = Rng::new(0x1A);
+    for _ in 0..CASES {
         let u = haar_2q(&mut rng);
         let mm = mirror_unitary(&mirror_unitary(&u));
-        prop_assert!(mm.approx_eq(&u, 1e-12));
+        assert!(mm.approx_eq(&u, 1e-12));
     }
+}
 
-    #[test]
-    fn gate_inverses_cancel(theta in -3.0f64..3.0) {
-        for g in [Gate::Rx(theta), Gate::Ry(theta), Gate::Rz(theta), Gate::Phase(theta)] {
+#[test]
+fn gate_inverses_cancel() {
+    let mut rng = Rng::new(0x1B);
+    for _ in 0..CASES {
+        let theta = rng.uniform_range(-3.0, 3.0);
+        for g in [
+            Gate::Rx(theta),
+            Gate::Ry(theta),
+            Gate::Rz(theta),
+            Gate::Phase(theta),
+        ] {
             let m = g.matrix1().mul(&g.inverse().matrix1());
-            prop_assert!(m.approx_eq_up_to_phase(&mirage::math::Mat2::identity(), 1e-9));
+            assert!(m.approx_eq_up_to_phase(&mirage::math::Mat2::identity(), 1e-9));
         }
         for g in [Gate::Cphase(theta), Gate::Rzz(theta), Gate::Cry(theta)] {
             let m = g.matrix2().mul(&g.inverse().matrix2());
-            prop_assert!(m.approx_eq_up_to_phase(&Mat4::identity(), 1e-9));
+            assert!(m.approx_eq_up_to_phase(&Mat4::identity(), 1e-9));
         }
     }
 }

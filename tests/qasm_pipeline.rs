@@ -5,7 +5,7 @@
 use mirage::circuit::passes;
 use mirage::circuit::qasm::{from_qasm, to_qasm};
 use mirage::circuit::sim::{run, State};
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::math::Complex64;
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::translate::translate_circuit;
@@ -59,10 +59,10 @@ fn cleaned_circuit_is_equivalent_mod_elision() {
 #[test]
 fn full_pipeline_from_qasm_text() {
     let c = from_qasm(SAMPLE).expect("parses");
-    let topo = CouplingMap::ring(4);
+    let target = Target::sqrt_iswap(CouplingMap::ring(4));
     let mut opts = TranspileOptions::quick(RouterKind::Mirage, 3);
     opts.use_vf2 = false;
-    let out = transpile(&c, &topo, &opts).expect("transpiles");
+    let out = transpile(&c, &target, &opts).expect("transpiles");
 
     // Verify through the final layout.
     let s_log = run(&c);
@@ -90,10 +90,10 @@ fn full_pipeline_from_qasm_text() {
 #[test]
 fn translated_output_exports_cleanly() {
     let c = from_qasm("qreg q[2];\nh q[0];\ncx q[0],q[1];").expect("parses");
-    let cov = mirage::core::pipeline::default_coverage();
+    let target = Target::sqrt_iswap(CouplingMap::line(2));
     let (pulses, stats) = translate_circuit(
         &c,
-        &cov,
+        target.coverage(),
         &DecompOptions {
             restarts: 6,
             evals_per_restart: 6000,

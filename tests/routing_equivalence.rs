@@ -3,9 +3,8 @@
 //! topologies, aggressions, and seeds.
 
 use mirage::circuit::Circuit;
-use mirage::core::router::RoutedCircuit;
 use mirage::core::verify::verify_routed;
-use mirage::core::{transpile, RouterKind, TranspileOptions};
+use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
 use mirage::math::Rng;
 use mirage::topology::CouplingMap;
 
@@ -19,7 +18,7 @@ fn random_circuit(n: usize, gates: usize, rng: &mut Rng) -> Circuit {
             }
             1 => {
                 let q = rng.below(n);
-                c.rz(rng.uniform_range(0.0, 6.28), q);
+                c.rz(rng.uniform_range(0.0, std::f64::consts::TAU), q);
             }
             2 => {
                 let a = rng.below(n);
@@ -41,22 +40,14 @@ fn random_circuit(n: usize, gates: usize, rng: &mut Rng) -> Circuit {
     c
 }
 
-fn check(c: &Circuit, topo: &CouplingMap, router: RouterKind, seed: u64) {
+fn check(c: &Circuit, target: &Target, router: RouterKind, seed: u64) {
     let mut opts = TranspileOptions::quick(router, seed);
     opts.use_vf2 = false;
     opts.trials.layout_trials = 2;
     opts.trials.routing_trials = 2;
-    let out = transpile(c, topo, &opts).expect("transpiles");
-    let routed = RoutedCircuit {
-        circuit: out.circuit.clone(),
-        initial_layout: out.initial_layout.clone(),
-        final_layout: out.final_layout.clone(),
-        swaps_inserted: out.metrics.swaps_inserted,
-        mirrors_accepted: out.metrics.mirrors_accepted,
-        mirror_candidates: 1,
-    };
+    let out = transpile(c, target, &opts).expect("transpiles");
     assert!(
-        verify_routed(c, &routed),
+        verify_routed(c, &out.as_routed(), target),
         "router {router:?} seed {seed} broke a random circuit"
     );
 }
@@ -66,9 +57,9 @@ fn random_circuits_on_line() {
     let mut rng = Rng::new(0xE0E);
     for seed in 0..6u64 {
         let c = random_circuit(5, 18, &mut rng);
-        let topo = CouplingMap::line(5);
-        check(&c, &topo, RouterKind::Sabre, seed);
-        check(&c, &topo, RouterKind::Mirage, seed);
+        let target = Target::sqrt_iswap(CouplingMap::line(5));
+        check(&c, &target, RouterKind::Sabre, seed);
+        check(&c, &target, RouterKind::Mirage, seed);
     }
 }
 
@@ -77,8 +68,8 @@ fn random_circuits_on_grid() {
     let mut rng = Rng::new(0xE1E);
     for seed in 0..4u64 {
         let c = random_circuit(7, 20, &mut rng);
-        let topo = CouplingMap::grid(3, 3);
-        check(&c, &topo, RouterKind::Mirage, seed);
+        let target = Target::sqrt_iswap(CouplingMap::grid(3, 3));
+        check(&c, &target, RouterKind::Mirage, seed);
     }
 }
 
@@ -87,8 +78,8 @@ fn random_circuits_on_ring() {
     let mut rng = Rng::new(0xE2E);
     for seed in 0..4u64 {
         let c = random_circuit(6, 16, &mut rng);
-        let topo = CouplingMap::ring(6);
-        check(&c, &topo, RouterKind::MirageSwaps, seed);
+        let target = Target::sqrt_iswap(CouplingMap::ring(6));
+        check(&c, &target, RouterKind::MirageSwaps, seed);
     }
 }
 
@@ -103,6 +94,6 @@ fn dense_unitary_blocks_route_correctly() {
         let u = mirage::gates::haar_2q(&mut rng);
         c.push(mirage::circuit::Gate::Unitary2(u), &[a, b]);
     }
-    let topo = CouplingMap::line(5);
-    check(&c, &topo, RouterKind::Mirage, 77);
+    let target = Target::sqrt_iswap(CouplingMap::line(5));
+    check(&c, &target, RouterKind::Mirage, 77);
 }
