@@ -1,0 +1,80 @@
+//! Micro-benchmark for the calibration layer: success-metric scoring and
+//! calibrated routing must stay cheap relative to uncalibrated routing,
+//! since every trial of a `Metric::EstimatedSuccess` run re-scores its
+//! candidate.
+//!
+//! Run with `cargo bench --bench calibration`.
+
+use mirage_bench::timing::bench;
+use mirage_circuit::consolidate::consolidate;
+use mirage_circuit::generators::qft;
+use mirage_circuit::Dag;
+use mirage_core::calibration::Calibration;
+use mirage_core::layout::Layout;
+use mirage_core::router::{node_coords, route, Aggression, RouterConfig};
+use mirage_core::Target;
+use mirage_math::Rng;
+use mirage_topology::CouplingMap;
+use std::hint::black_box;
+
+fn main() {
+    let topo = CouplingMap::line(12);
+    let uniform = Target::sqrt_iswap(topo.clone());
+    let calibrated = Target::sqrt_iswap(topo.clone())
+        .with_calibration(Calibration::synthetic(&topo, &mut Rng::new(0xBE)))
+        .expect("synthetic calibration covers the topology");
+
+    let circ = consolidate(&qft(12, false));
+    let dag = Dag::from_circuit(&circ);
+    let coords = node_coords(&dag);
+    let config = RouterConfig {
+        aggression: Some(Aggression::A2),
+        ..RouterConfig::default()
+    };
+
+    // Warm both cost caches so the comparison isolates the per-edge work.
+    let warm = |target: &Target, name: &str| {
+        let mut rng = Rng::new(1);
+        let routed = route(
+            &dag,
+            &coords,
+            target,
+            Layout::trivial(circ.n_qubits, target.n_qubits()),
+            &config,
+            &mut rng,
+        );
+        bench(&format!("route/mirage-a2/{name}"), || {
+            let mut rng = Rng::new(2);
+            route(
+                &dag,
+                &coords,
+                black_box(target),
+                Layout::trivial(circ.n_qubits, target.n_qubits()),
+                &config,
+                &mut rng,
+            )
+        });
+        bench(&format!("score/depth/{name}"), || {
+            target.depth_estimate(black_box(&routed.circuit))
+        });
+        bench(&format!("score/log-success/{name}"), || {
+            routed.log_success(black_box(target))
+        });
+        routed
+    };
+    let _ = warm(&uniform, "uniform");
+    let routed = warm(&calibrated, "calibrated");
+
+    // Text round-trip throughput (CLI load path).
+    let cal = Calibration::synthetic(&CouplingMap::heavy_hex(5), &mut Rng::new(3));
+    bench("calibration/to-text/heavy-hex-5", || cal.to_text());
+    let text = cal.to_text();
+    bench("calibration/from-text/heavy-hex-5", || {
+        Calibration::from_text(black_box(&text)).expect("round-trip parses")
+    });
+
+    eprintln!(
+        "sanity: calibrated qft-12 success {:.4}",
+        routed.estimated_success(&calibrated)
+    );
+}

@@ -4,6 +4,13 @@
 //! paper (see `DESIGN.md` §3 for the index). This library holds the pieces
 //! they share: full-quality coverage-set construction, the benchmark-suite
 //! runner, and plain-text table rendering.
+//!
+//! ---
+//! **Owns:** [`coverage_for`], [`eval_options`], [`run_one`]/[`SuiteRow`],
+//! [`timing::bench`], and the `src/bin/` experiment binaries.
+//! **Paper:** §§V–VI experiments — Figs. 3–13, Tables I–III, plus the
+//! calibration-skew sweep (`calibration_skew`) that extends Table III to
+//! noisy heterogeneous devices.
 
 use mirage_circuit::Circuit;
 use mirage_core::{transpile, RouterKind, Target, TranspileOptions};

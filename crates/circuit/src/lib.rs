@@ -18,6 +18,13 @@
 //!   exterior-1Q-stripping cache key of paper Fig. 13a.
 //! * [`generators`] — structurally faithful equivalents of the
 //!   QASMBench/MQTBench circuits in the paper's Table III.
+//!
+//! ---
+//! **Owns:** [`gate::Gate`], [`circuit::Circuit`], [`dag::Dag`], [`sim`],
+//! [`consolidate`], [`passes`], [`qasm`], [`generators`].
+//! **Paper:** the Qiskit slice of §V — input cleaning, block
+//! consolidation (Fig. 13a's cache key), and the Table III benchmark
+//! suite.
 
 pub mod circuit;
 pub mod consolidate;

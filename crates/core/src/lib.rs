@@ -2,8 +2,12 @@
 //! decomposition awareness (the paper's primary contribution, §IV).
 //!
 //! * [`target::Target`] — the device being compiled for: coupling
-//!   topology, basis gate, lazily-built coverage set, duration model, and
-//!   the shared cost cache. Every layer below consumes a `&Target`.
+//!   topology, basis gate, lazily-built coverage set, calibration data,
+//!   and the shared cost cache. Every layer below consumes a `&Target`.
+//! * [`calibration::Calibration`] — per-edge 2Q durations/error rates and
+//!   per-qubit 1Q/readout errors, with uniform/synthetic builders and a
+//!   plain-text file format; drives the noise-aware
+//!   [`trials::Metric::EstimatedSuccess`] routing metric.
 //! * [`layout::Layout`] — the logical→physical qubit mapping.
 //! * [`router`] — the routing engine: a faithful SABRE baseline (front
 //!   layer, lookahead window, decay) extended with MIRAGE's *intermediate
@@ -32,7 +36,16 @@
 //!     .expect("transpiles");
 //! assert!(out.metrics.depth_estimate > 0.0);
 //! ```
+//!
+//! ---
+//! **Owns:** [`target::Target`], [`calibration::Calibration`],
+//! [`router::route`], [`trials::route_with_trials`],
+//! [`pipeline::transpile`], [`verify::verify_report`].
+//! **Paper:** §IV (the MIRAGE router, Algorithm 2, the depth metric) and
+//! the §V pipeline; the calibration layer extends §IV-B's duration metric
+//! to measured per-edge data.
 
+pub mod calibration;
 pub mod layout;
 pub mod pipeline;
 pub mod router;
@@ -40,8 +53,10 @@ pub mod target;
 pub mod trials;
 pub mod verify;
 
+pub use calibration::{Calibration, CalibrationError, EdgeCalibration, QubitCalibration};
 pub use layout::Layout;
 pub use pipeline::{transpile, RouterKind, TranspileOptions, TranspiledCircuit};
 pub use router::{Aggression, RoutedCircuit, RouterConfig};
 pub use target::{DurationModel, Target};
 pub use trials::{Metric, TrialOptions};
+pub use verify::{verify_report, verify_routed, VerifyReport};

@@ -2,9 +2,9 @@
 //! consolidate → VF2 no-SWAP check → layout + routing trials → metrics.
 //!
 //! Every device-specific input — topology, basis gate, coverage set, cost
-//! cache, duration model — arrives through one [`Target`], so the same
+//! cache, calibration — arrives through one [`Target`], so the same
 //! `transpile(&circuit, &target, &opts)` call serves the paper's √iSWAP
-//! configuration and CNOT/CZ backends alike.
+//! configuration, CNOT/CZ backends, and calibrated noisy devices alike.
 
 use crate::layout::Layout;
 use crate::router::RoutedCircuit;
@@ -76,6 +76,15 @@ impl TranspileOptions {
             vf2_budget: 1_000_000,
         }
     }
+
+    /// Override the post-selection metric (builder style) — e.g.
+    /// [`Metric::EstimatedSuccess`] to route for predicted success
+    /// probability on a calibrated target instead of the router's default.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> TranspileOptions {
+        self.trials.metric = metric;
+        self
+    }
 }
 
 /// Aggregate metrics of a transpiled circuit.
@@ -95,6 +104,10 @@ pub struct Metrics {
     pub mirror_candidates: usize,
     /// Mirror acceptance rate over intermediate-layer decisions.
     pub mirror_rate: f64,
+    /// Estimated success probability under the target's calibration
+    /// (gate log-fidelity product plus readout on the logical qubits'
+    /// final homes; `1.0` on an uncalibrated/zero-error target).
+    pub estimated_success: f64,
 }
 
 /// The transpilation result.
@@ -194,6 +207,10 @@ pub fn transpile(
                 let qubits: Vec<usize> = instr.qubits.iter().map(|&q| layout.phys(q)).collect();
                 placed.push(instr.gate.clone(), &qubits);
             }
+            let final_assignment: Vec<usize> = (0..circuit.n_qubits)
+                .map(|w| layout.phys(wire_perm[w]))
+                .collect();
+            let final_layout = Layout::from_assignment(&final_assignment, topo.n_qubits());
             let metrics = Metrics {
                 depth_estimate: target.depth_estimate(&placed),
                 total_gate_cost: target.total_gate_cost(&placed),
@@ -202,14 +219,14 @@ pub fn transpile(
                 mirrors_accepted: 0,
                 mirror_candidates: 0,
                 mirror_rate: 0.0,
+                // Same convention as RoutedCircuit::log_success: readout at
+                // the logical qubits' final homes.
+                estimated_success: target.estimated_success(&placed, &final_layout.assignment()),
             };
-            let final_assignment: Vec<usize> = (0..circuit.n_qubits)
-                .map(|w| layout.phys(wire_perm[w]))
-                .collect();
             return Ok(TranspiledCircuit {
                 circuit: placed,
                 initial_layout: layout,
-                final_layout: Layout::from_assignment(&final_assignment, topo.n_qubits()),
+                final_layout,
                 metrics,
                 used_vf2: true,
             });
@@ -239,6 +256,7 @@ pub fn transpile(
         mirrors_accepted: routed.mirrors_accepted,
         mirror_candidates: routed.mirror_candidates,
         mirror_rate: routed.mirror_rate(),
+        estimated_success: routed.estimated_success(target),
     };
     Ok(TranspiledCircuit {
         circuit: routed.circuit,
@@ -406,6 +424,51 @@ mod tests {
         // with the elision permutation instead of a routing layout.
         let out = transpile(&c, &target, &TranspileOptions::quick(RouterKind::Sabre, 22)).unwrap();
         assert!(verify_routed(&c, &out.as_routed(), &target));
+    }
+
+    #[test]
+    fn estimated_success_selectable_end_to_end() {
+        use crate::calibration::Calibration;
+        use crate::trials::Metric;
+        use mirage_math::Rng;
+
+        let topo = CouplingMap::line(5);
+        let cal = Calibration::synthetic(&topo, &mut Rng::new(0xACC));
+        let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        let c = two_local_full(5, 1, 9);
+        let opts =
+            TranspileOptions::quick(RouterKind::Mirage, 7).with_metric(Metric::EstimatedSuccess);
+        assert_eq!(opts.trials.metric, Metric::EstimatedSuccess);
+        let out = transpile(&c, &target, &opts).unwrap();
+        assert!(verify_routed(&c, &out.as_routed(), &target));
+        assert!(
+            out.metrics.estimated_success > 0.0 && out.metrics.estimated_success < 1.0,
+            "noisy device: 0 < {} < 1",
+            out.metrics.estimated_success
+        );
+    }
+
+    #[test]
+    fn uncalibrated_target_reports_certain_success() {
+        // Zero-error (uniform) calibration: the success estimate must be
+        // exactly 1 through both the VF2 and the routed path.
+        let target = Target::sqrt_iswap(CouplingMap::grid(3, 3));
+        let vf2 = transpile(
+            &ghz(5),
+            &target,
+            &TranspileOptions::quick(RouterKind::Sabre, 1),
+        )
+        .unwrap();
+        assert!(vf2.used_vf2);
+        assert_eq!(vf2.metrics.estimated_success, 1.0);
+        let routed = transpile(
+            &two_local_full(6, 1, 17),
+            &target,
+            &TranspileOptions::quick(RouterKind::Mirage, 2),
+        )
+        .unwrap();
+        assert!(!routed.used_vf2);
+        assert_eq!(routed.metrics.estimated_success, 1.0);
     }
 
     #[test]

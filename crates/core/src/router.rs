@@ -108,6 +108,23 @@ impl RoutedCircuit {
             self.mirrors_accepted as f64 / self.mirror_candidates as f64
         }
     }
+
+    /// Natural log of the estimated success probability under the target's
+    /// calibration: per-application edge errors over every routed gate plus
+    /// readout errors on the final physical homes of the logical qubits
+    /// (`final_layout.assignment()`). This is the quantity
+    /// [`crate::trials::Metric::EstimatedSuccess`] post-selects on (higher
+    /// is better).
+    pub fn log_success(&self, target: &Target) -> f64 {
+        target.circuit_log_success(&self.circuit)
+            + target.readout_log_success(&self.final_layout.assignment())
+    }
+
+    /// `exp` of [`RoutedCircuit::log_success`]: the estimated probability
+    /// that the whole routed circuit, including readout, succeeds.
+    pub fn estimated_success(&self, target: &Target) -> f64 {
+        self.log_success(target).exp()
+    }
 }
 
 /// Pre-computed per-node canonical coordinates for the two-qubit nodes of a
@@ -194,8 +211,14 @@ pub fn route(
                         mirror_candidates += 1;
                         let w = coords[id].expect("2Q node has coords");
                         let wm = mirror_coord(&w);
-                        let dc = target.gate_cost(&w);
-                        let dcm = target.gate_cost(&wm);
+                        // Price both options on the edge the gate executes
+                        // on: a calibrated slow coupler scales dc and dcm
+                        // alike, which amplifies their *difference* against
+                        // the hop-denominated routing term — on expensive
+                        // edges the decomposition delta dominates, exactly
+                        // the effect the calibration-skew experiment sweeps.
+                        let dc = target.gate_cost_on(&w, p1, p2);
+                        let dcm = target.gate_cost_on(&wm, p1, p2);
 
                         // Lookahead impact: heuristic over the *remaining*
                         // front and extended set under both mappings.

@@ -12,7 +12,13 @@
 //! * the per-depth [`CoverageSet`] for that basis — built **lazily** on
 //!   first cost query, since topology-only work (VF2 embedding, SWAP-only
 //!   routing baselines) never needs it,
-//! * a [`DurationModel`] for instruction weights, and
+//! * a [`Calibration`] — per-edge 2Q durations and error rates, per-qubit
+//!   1Q durations/errors and readout errors — that drives duration weights
+//!   ([`Target::duration_weight`]) and success estimates
+//!   ([`Target::estimated_success`]); stock constructors start from
+//!   [`Calibration::uniform`], which reproduces the paper's idealized
+//!   device exactly, and [`Target::with_calibration`] swaps in measured
+//!   data (see [`crate::calibration`]), and
 //! * one process-wide-shareable sharded [`SharedCostCache`] consulted by
 //!   every routing trial, refinement pass, and metric computation.
 //!
@@ -29,6 +35,7 @@
 //! assert!(!target.coverage_built(), "coverage is lazy");
 //! ```
 
+use crate::calibration::{Calibration, CalibrationError, QubitCalibration};
 use mirage_circuit::{Circuit, Instruction};
 use mirage_coverage::cache::SharedCostCache;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
@@ -36,13 +43,19 @@ use mirage_topology::CouplingMap;
 use mirage_weyl::coords::{coords_of, WeylCoord};
 use std::sync::{Arc, OnceLock};
 
-/// Gate-duration model: how instruction weights are derived when scoring
-/// circuits against a target.
+/// Uniform gate-duration model: the single-knob special case of
+/// [`Calibration`].
 ///
 /// Two-qubit gates cost their minimum decomposition duration in the target
-/// basis (normalized units, iSWAP = 1.0); single-qubit gates cost
-/// [`DurationModel::one_qubit`]. The paper treats single-qubit gates as
-/// free (§IV-B), which is the default.
+/// basis (normalized units, iSWAP = 1.0) scaled by their edge's
+/// calibration; single-qubit gates cost [`DurationModel::one_qubit`] on
+/// every qubit. The paper treats single-qubit gates as free (§IV-B), which
+/// is the default.
+///
+/// Precedence: [`Target::with_durations`] rewrites the 1Q durations of the
+/// target's **current** calibration — the calibration is the single source
+/// of truth, and whichever of `with_durations` / `with_calibration` runs
+/// last wins.
 #[derive(Debug, Clone, Copy)]
 pub struct DurationModel {
     /// Duration charged per single-qubit gate.
@@ -50,8 +63,13 @@ pub struct DurationModel {
 }
 
 impl Default for DurationModel {
+    /// Derived from the ideal qubit of [`Calibration::uniform`]
+    /// ([`QubitCalibration::default`]) — one source of truth for "1Q gates
+    /// are free".
     fn default() -> Self {
-        DurationModel { one_qubit: 0.0 }
+        DurationModel {
+            one_qubit: QubitCalibration::default().duration_1q,
+        }
     }
 }
 
@@ -109,7 +127,7 @@ fn cz_coverage() -> Arc<CoverageSet> {
 }
 
 /// A transpilation target: coupling topology, basis gate, lazily-built
-/// coverage set, duration model, and the shared cost cache.
+/// coverage set, calibration data, and the shared cost cache.
 ///
 /// See the [module docs](self) for design rationale.
 #[derive(Debug)]
@@ -122,7 +140,7 @@ pub struct Target {
     /// instead of building a private one (the stock basis constructors use
     /// this so repeated `Target`s never rebuild identical polytopes).
     shared_coverage: Option<fn() -> Arc<CoverageSet>>,
-    durations: DurationModel,
+    calibration: Calibration,
     cache: SharedCostCache,
 }
 
@@ -130,13 +148,14 @@ impl Target {
     /// A target with an explicit basis and coverage-construction options;
     /// the coverage set is built on first cost query.
     pub fn new(topo: CouplingMap, basis: BasisGate, coverage_opts: CoverageOptions) -> Target {
+        let calibration = Calibration::uniform(&topo);
         Target {
             topo,
             basis,
             coverage_opts,
             coverage: OnceLock::new(),
             shared_coverage: None,
-            durations: DurationModel::default(),
+            calibration,
             cache: SharedCostCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
@@ -147,13 +166,14 @@ impl Target {
         let basis = coverage.basis.clone();
         let cell = OnceLock::new();
         cell.set(coverage).expect("fresh cell");
+        let calibration = Calibration::uniform(&topo);
         Target {
             topo,
             basis,
             coverage_opts: CoverageOptions::default(),
             coverage: cell,
             shared_coverage: None,
-            durations: DurationModel::default(),
+            calibration,
             cache: SharedCostCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
@@ -185,11 +205,43 @@ impl Target {
         t
     }
 
-    /// Replace the duration model (builder style).
+    /// Apply a uniform duration model (builder style): every qubit's 1Q
+    /// duration in the current calibration is set to
+    /// [`DurationModel::one_qubit`]. Per-edge data is untouched; a later
+    /// [`Target::with_calibration`] replaces this again — last call wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.one_qubit` is negative or non-finite (the
+    /// calibration layer rejects unphysical durations).
     #[must_use]
     pub fn with_durations(mut self, durations: DurationModel) -> Target {
-        self.durations = durations;
+        for q in 0..self.calibration.n_qubits() {
+            let mut cal = self.calibration.qubit_or_default(q);
+            cal.duration_1q = durations.one_qubit;
+            self.calibration
+                .set_qubit(q, cal)
+                .expect("DurationModel::one_qubit must be finite and non-negative");
+        }
         self
+    }
+
+    /// Replace the calibration (builder style). Stock constructors start
+    /// from [`Calibration::uniform`], which scores identically to the
+    /// uncalibrated paper device.
+    ///
+    /// # Errors
+    ///
+    /// Rejects calibrations that do not fully cover the topology (width
+    /// mismatch or a coupler without an entry), so later per-edge lookups
+    /// on routed circuits cannot fail.
+    pub fn with_calibration(
+        mut self,
+        calibration: Calibration,
+    ) -> Result<Target, CalibrationError> {
+        calibration.validate_for(&self.topo)?;
+        self.calibration = calibration;
+        Ok(self)
     }
 
     /// Replace the shared cost cache with one of the given capacity
@@ -216,9 +268,10 @@ impl Target {
         &self.basis
     }
 
-    /// The duration model.
-    pub fn durations(&self) -> &DurationModel {
-        &self.durations
+    /// The device calibration (per-edge durations/errors, per-qubit
+    /// durations/errors/readout).
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
     }
 
     /// A short identifier, e.g. `sqrt_iswap@grid-6x6`.
@@ -259,14 +312,29 @@ impl Target {
         self.cache.get_or_insert_with(w, || coverage.cost_or_max(w))
     }
 
-    /// Instruction weight under the duration model: two-qubit gates cost
-    /// their decomposition duration, single-qubit gates cost
-    /// [`DurationModel::one_qubit`].
+    /// Decomposition cost of coordinate class `w` executed on the coupler
+    /// `(a, b)`: the basis-independent [`Target::gate_cost`] scaled by that
+    /// edge's calibrated duration factor. Pairs without a calibration entry
+    /// (a circuit scored before placement) fall back to the nominal factor.
+    pub fn gate_cost_on(&self, w: &WeylCoord, a: usize, b: usize) -> f64 {
+        self.gate_cost(w) * self.calibration.edge_or_nominal(a, b).duration_factor
+    }
+
+    /// Instruction weight under the calibration: two-qubit gates cost their
+    /// decomposition duration scaled by their edge's duration factor,
+    /// single-qubit gates cost their qubit's calibrated 1Q duration.
     pub fn duration_weight(&self, instr: &Instruction) -> f64 {
         if !instr.gate.is_two_qubit() {
-            return self.durations.one_qubit;
+            return self
+                .calibration
+                .qubit_or_default(instr.qubits[0])
+                .duration_1q;
         }
-        self.gate_cost(&coords_of(&instr.gate.matrix2()))
+        self.gate_cost_on(
+            &coords_of(&instr.gate.matrix2()),
+            instr.qubits[0],
+            instr.qubits[1],
+        )
     }
 
     /// Duration-weighted critical path of a circuit on this target
@@ -279,6 +347,57 @@ impl Target {
     pub fn total_gate_cost(&self, c: &Circuit) -> f64 {
         c.instructions.iter().map(|i| self.duration_weight(i)).sum()
     }
+
+    /// Natural log of one instruction's estimated success probability.
+    ///
+    /// Two-qubit gates pay their edge's per-application error once per
+    /// basis application (`cost / basis.duration` applications — a SWAP
+    /// priced at 3 CNOTs or 3 √iSWAPs pays 3, a mirror only its own cost);
+    /// single-qubit gates pay their qubit's 1Q error once.
+    pub fn instruction_log_success(&self, instr: &Instruction) -> f64 {
+        if !instr.gate.is_two_qubit() {
+            let q = self.calibration.qubit_or_default(instr.qubits[0]);
+            return ln_survival(q.error_1q);
+        }
+        let w = coords_of(&instr.gate.matrix2());
+        let applications = self.gate_cost(&w) / self.basis.duration;
+        let edge = self
+            .calibration
+            .edge_or_nominal(instr.qubits[0], instr.qubits[1]);
+        applications * ln_survival(edge.error_2q)
+    }
+
+    /// Natural log of a circuit's estimated success probability: the sum of
+    /// per-instruction log-fidelities (readout excluded; see
+    /// [`Target::readout_log_success`]).
+    pub fn circuit_log_success(&self, c: &Circuit) -> f64 {
+        c.instructions
+            .iter()
+            .map(|i| self.instruction_log_success(i))
+            .sum()
+    }
+
+    /// Natural log of the probability that measuring the given physical
+    /// qubits all succeeds, under the calibrated readout errors.
+    pub fn readout_log_success(&self, measured: &[usize]) -> f64 {
+        measured
+            .iter()
+            .map(|&q| ln_survival(self.calibration.qubit_or_default(q).readout_error))
+            .sum()
+    }
+
+    /// Estimated success probability of running `c` and measuring the
+    /// physical qubits in `measured` — the quantity
+    /// [`crate::trials::Metric::EstimatedSuccess`] post-selects on.
+    pub fn estimated_success(&self, c: &Circuit, measured: &[usize]) -> f64 {
+        (self.circuit_log_success(c) + self.readout_log_success(measured)).exp()
+    }
+}
+
+/// `ln(1 − e)`, clamped so pathological error rates (`e → 1`) stay finite
+/// and comparisons through [`f64::total_cmp`] remain well-ordered.
+fn ln_survival(error: f64) -> f64 {
+    (1.0 - error).max(1e-300).ln()
 }
 
 #[cfg(test)]
@@ -369,5 +488,115 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Target>();
         let _ = ghz(2); // keep the generators import exercised
+    }
+
+    #[test]
+    fn default_duration_model_derives_from_uniform_calibration() {
+        // One source of truth: DurationModel::default() is the 1Q duration
+        // of the ideal qubit Calibration::uniform hands out.
+        assert_eq!(
+            DurationModel::default().one_qubit,
+            QubitCalibration::default().duration_1q
+        );
+        let t = Target::sqrt_iswap(CouplingMap::line(3));
+        assert_eq!(t.calibration().qubit_or_default(0).duration_1q, 0.0);
+    }
+
+    #[test]
+    fn per_edge_duration_scales_depth() {
+        let topo = CouplingMap::line(3);
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            1,
+            2,
+            crate::calibration::EdgeCalibration {
+                duration_factor: 10.0,
+                error_2q: 0.0,
+            },
+        )
+        .unwrap();
+        let t = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        let mut cheap = Circuit::new(3);
+        cheap.cx(0, 1);
+        let mut dear = Circuit::new(3);
+        dear.cx(1, 2);
+        assert!((t.depth_estimate(&cheap) - 1.0).abs() < 1e-9);
+        assert!((t.depth_estimate(&dear) - 10.0).abs() < 1e-9);
+        assert!((t.gate_cost_on(&WeylCoord::CNOT, 2, 1) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_success_prices_per_application() {
+        let topo = CouplingMap::line(2);
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            0,
+            1,
+            crate::calibration::EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 0.01,
+            },
+        )
+        .unwrap();
+        let t = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        // CNOT = 2 √iSWAP applications, SWAP = 3.
+        let mut cnot = Circuit::new(2);
+        cnot.cx(0, 1);
+        let mut swap = Circuit::new(2);
+        swap.swap(0, 1);
+        let ln_s = (1.0f64 - 0.01).ln();
+        assert!((t.circuit_log_success(&cnot) - 2.0 * ln_s).abs() < 1e-12);
+        assert!((t.circuit_log_success(&swap) - 3.0 * ln_s).abs() < 1e-12);
+        // Success probability includes readout of the measured qubits.
+        let mut cal2 = Calibration::uniform(t.topology());
+        cal2.set_qubit(
+            0,
+            QubitCalibration {
+                duration_1q: 0.0,
+                error_1q: 0.0,
+                readout_error: 0.5,
+            },
+        )
+        .unwrap();
+        let t2 = Target::sqrt_iswap(CouplingMap::line(2))
+            .with_calibration(cal2)
+            .unwrap();
+        let empty = Circuit::new(2);
+        assert!((t2.estimated_success(&empty, &[0]) - 0.5).abs() < 1e-12);
+        assert!((t2.estimated_success(&empty, &[1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_calibration_scores_like_stock_target() {
+        let stock = Target::sqrt_iswap(CouplingMap::line(4));
+        let calibrated = Target::sqrt_iswap(CouplingMap::line(4))
+            .with_calibration(Calibration::uniform(&CouplingMap::line(4)))
+            .unwrap();
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(2, 3).swap(1, 2);
+        assert_eq!(stock.depth_estimate(&c), calibrated.depth_estimate(&c));
+        assert_eq!(stock.total_gate_cost(&c), calibrated.total_gate_cost(&c));
+        assert_eq!(calibrated.estimated_success(&c, &[0, 1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn with_calibration_rejects_partial_coverage() {
+        let topo = CouplingMap::line(4);
+        let partial =
+            Calibration::from_edges(4, &[(0, 1, crate::calibration::EdgeCalibration::default())])
+                .unwrap();
+        let err = Target::sqrt_iswap(topo)
+            .with_calibration(partial)
+            .unwrap_err();
+        assert!(matches!(err, CalibrationError::MissingEdge { .. }));
+    }
+
+    #[test]
+    fn with_durations_rewrites_all_qubits() {
+        let t = Target::sqrt_iswap(CouplingMap::line(3))
+            .with_durations(DurationModel { one_qubit: 0.25 });
+        for q in 0..3 {
+            assert_eq!(t.calibration().qubit_or_default(q).duration_1q, 0.25);
+        }
     }
 }

@@ -6,12 +6,68 @@
 //! placement. Because all inputs are `|0⟩`, the initial placement needs no
 //! correction. On top of semantic equivalence, every two-qubit gate of the
 //! routed circuit must sit on a coupled pair of the target's topology.
+//!
+//! [`verify_report`] bundles both checks with the calibration-derived
+//! success estimate into one [`VerifyReport`] for CLI/bench reporting.
 
 use crate::router::RoutedCircuit;
 use crate::target::Target;
 use mirage_circuit::sim::{run, State};
 use mirage_circuit::Circuit;
 use mirage_math::Complex64;
+
+/// The full verification verdict: structural and semantic checks plus the
+/// calibration-derived success estimate, so one call answers both "is this
+/// routing correct?" and "how likely is it to succeed on the device?".
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyReport {
+    /// Every two-qubit gate sits on a coupled pair of the target.
+    pub coupling_ok: bool,
+    /// The routed circuit implements the original (up to global phase and
+    /// the routing-induced output permutation). `false` without simulation
+    /// when the coupling check already failed.
+    pub semantics_ok: bool,
+    /// Natural log of the estimated success probability under the target's
+    /// calibration (see [`RoutedCircuit::log_success`]).
+    pub log_success: f64,
+    /// `exp` of [`VerifyReport::log_success`].
+    pub estimated_success: f64,
+}
+
+impl VerifyReport {
+    /// True when both the coupling and the semantic checks passed.
+    pub fn ok(&self) -> bool {
+        self.coupling_ok && self.semantics_ok
+    }
+}
+
+/// Verify `routed` against `original` and report the verdict together with
+/// the calibrated success estimate.
+///
+/// # Panics
+///
+/// Panics if the physical register exceeds the simulator cap (24 qubits).
+pub fn verify_report(original: &Circuit, routed: &RoutedCircuit, target: &Target) -> VerifyReport {
+    let coupling_ok = coupling_respected(routed, target);
+    let semantics_ok = coupling_ok && semantics_match(original, routed);
+    let log_success = routed.log_success(target);
+    VerifyReport {
+        coupling_ok,
+        semantics_ok,
+        log_success,
+        estimated_success: log_success.exp(),
+    }
+}
+
+/// Every two-qubit gate of the routed circuit sits on a coupled pair.
+fn coupling_respected(routed: &RoutedCircuit, target: &Target) -> bool {
+    routed.circuit.instructions.iter().all(|instr| {
+        !instr.gate.is_two_qubit()
+            || target
+                .topology()
+                .are_adjacent(instr.qubits[0], instr.qubits[1])
+    })
+}
 
 /// True when `routed` implements `original` up to global phase and the
 /// routing-induced output permutation, and every two-qubit gate respects
@@ -21,16 +77,11 @@ use mirage_math::Complex64;
 ///
 /// Panics if the physical register exceeds the simulator cap (24 qubits).
 pub fn verify_routed(original: &Circuit, routed: &RoutedCircuit, target: &Target) -> bool {
-    for instr in &routed.circuit.instructions {
-        if instr.gate.is_two_qubit()
-            && !target
-                .topology()
-                .are_adjacent(instr.qubits[0], instr.qubits[1])
-        {
-            return false;
-        }
-    }
+    coupling_respected(routed, target) && semantics_match(original, routed)
+}
 
+/// Statevector comparison through the final placement (no coupling check).
+fn semantics_match(original: &Circuit, routed: &RoutedCircuit) -> bool {
     let n_log = original.n_qubits;
     let n_phys = routed.circuit.n_qubits;
     let s_log = run(original);
@@ -135,6 +186,62 @@ mod tests {
             mirror_candidates: 0,
         };
         assert!(!verify_routed(&c, &routed, &line_target(2)));
+    }
+
+    #[test]
+    fn report_combines_checks_and_success() {
+        use crate::calibration::{Calibration, EdgeCalibration};
+
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let routed = RoutedCircuit {
+            circuit: c.clone(),
+            initial_layout: Layout::trivial(2, 2),
+            final_layout: Layout::trivial(2, 2),
+            swaps_inserted: 0,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        let topo = mirage_topology::CouplingMap::line(2);
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            0,
+            1,
+            EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 0.01,
+            },
+        )
+        .unwrap();
+        let t = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        let report = verify_report(&c, &routed, &t);
+        assert!(report.ok());
+        assert!(report.coupling_ok && report.semantics_ok);
+        // One CNOT = 2 applications at 1% error, perfect readout.
+        let expected = (1.0f64 - 0.01).powi(2);
+        assert!((report.estimated_success - expected).abs() < 1e-12);
+        assert!((report.log_success - expected.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_flags_coupling_failure_without_simulating() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2); // uncoupled on a line
+        let routed = RoutedCircuit {
+            circuit: c.clone(),
+            initial_layout: Layout::trivial(3, 3),
+            final_layout: Layout::trivial(3, 3),
+            swaps_inserted: 0,
+            mirrors_accepted: 0,
+            mirror_candidates: 0,
+        };
+        let t = line_target(3);
+        let report = verify_report(&c, &routed, &t);
+        assert!(!report.coupling_ok);
+        assert!(!report.semantics_ok);
+        assert!(!report.ok());
+        // The success estimate is still produced (nominal here).
+        assert_eq!(report.estimated_success, 1.0);
     }
 
     #[test]

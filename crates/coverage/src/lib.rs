@@ -22,6 +22,12 @@
 //!   approximate decomposition, parameterized by a numerical-decomposition
 //!   callback (provided by `mirage-synth` to avoid a dependency cycle).
 //! * [`cache`] — the LRU coordinate→cost cache of paper Fig. 13a.
+//!
+//! ---
+//! **Owns:** [`set::CoverageSet`]/[`set::BasisGate`], [`geom`] polytopes,
+//! [`haar::HaarScore`]/[`haar::FidelityModel`], [`cache::CostCache`].
+//! **Paper:** §III (monodromy coverage, Algorithm 1), Tables I/II,
+//! Figs. 3–6 and 13a.
 
 pub mod approx;
 pub mod cache;

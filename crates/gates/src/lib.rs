@@ -22,6 +22,12 @@
 //! let expect = swap().mul(&cnot());
 //! assert!(cns().approx_eq(&expect, 1e-12));
 //! ```
+//!
+//! ---
+//! **Owns:** [`oneq`] (rotations, Cliffords, ZYZ), [`twoq`] (CNOT/CZ/SWAP,
+//! the iSWAP family, CNS, `CAN(a,b,c)`), [`haar`] sampling.
+//! **Paper:** §II background — the gate vocabulary and the CNS/mirror
+//! gates of Fig. 1.
 
 pub mod haar;
 pub mod oneq;

@@ -28,6 +28,12 @@
 //! assert!(swap.is_unitary(1e-12));
 //! assert!((swap.mul(&swap)).approx_eq(&Mat4::identity(), 1e-12));
 //! ```
+//!
+//! ---
+//! **Owns:** [`Complex64`], [`Mat2`], [`Mat4`], [`qr::qr4`], [`eig`],
+//! [`poly`], [`rng::Rng`].
+//! **Paper:** the numerical substrate under §§III–V (no section of its
+//! own; replaces the Python implementation's NumPy/SciPy layer).
 
 pub mod complex;
 pub mod eig;

@@ -13,6 +13,12 @@
 //! * [`fidelity`] — the decoherence model of Eq. 2 applied to circuits:
 //!   gate fidelity `e^{−duration/T1}`, circuit fidelity from the total gate
 //!   time, and duration-weighted critical paths.
+//!
+//! ---
+//! **Owns:** [`decompose::decompose`], [`translate::translate_circuit`],
+//! [`approx_translate`], [`fidelity::CircuitFidelity`].
+//! **Paper:** §III-A numerical decomposition, the Eq. 2 decoherence
+//! model, and the pulse sequences of Fig. 8.
 
 pub mod approx_translate;
 pub mod decompose;

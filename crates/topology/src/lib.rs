@@ -11,6 +11,12 @@
 //!   `VF2Layout` pre-pass: when a circuit's interaction graph embeds
 //!   directly into the hardware graph, no routing is needed and the
 //!   transpilers are bypassed (paper §V).
+//!
+//! ---
+//! **Owns:** [`CouplingMap`] (line/ring/grid/heavy-hex/all-to-all),
+//! [`vf2::find_embedding`].
+//! **Paper:** §V topologies — the 57-qubit heavy-hex and 6×6 lattice of
+//! Fig. 12 — and the VF2 layout pre-pass.
 
 pub mod vf2;
 

@@ -25,6 +25,12 @@
 //! let c = coords_of(&cnot());
 //! assert!(c.approx_eq(&WeylCoord::CNOT, 1e-8));
 //! ```
+//!
+//! ---
+//! **Owns:** [`coords::WeylCoord`], [`coords::coords_of`],
+//! [`mirror::mirror_coord`], [`kak::kak_decompose`].
+//! **Paper:** §II-B/§III — canonical coordinates, the mirror equation
+//! (Eq. 1), and the Cartan/KAK decomposition the synthesis layer dresses.
 
 pub mod coords;
 pub mod haar_measure;

@@ -1,0 +1,68 @@
+//! Calibration-aware routing: transpile a QFT onto a heavy-hex device with
+//! a synthetic (seeded-random) calibration, comparing the depth metric
+//! against the noise-aware `Metric::EstimatedSuccess` post-selection.
+//!
+//! Run with: `cargo run --release --example calibrated_routing`
+
+use mirage::circuit::generators::qft;
+use mirage::core::{transpile, Calibration, Metric, RouterKind, Target, TranspileOptions};
+use mirage::math::Rng;
+use mirage::topology::CouplingMap;
+
+fn main() {
+    let topo = CouplingMap::heavy_hex(3);
+    let calibration = Calibration::synthetic(&topo, &mut Rng::new(0xD06E));
+    println!(
+        "device: {} ({} qubits, {} calibrated couplers)",
+        topo.name(),
+        topo.n_qubits(),
+        calibration.edges().count()
+    );
+    // The same file format `mirage-cli --calibration` consumes:
+    let preview: String =
+        calibration
+            .to_text()
+            .lines()
+            .take(4)
+            .fold(String::new(), |mut acc, line| {
+                acc.push_str("  ");
+                acc.push_str(line);
+                acc.push('\n');
+                acc
+            });
+    print!("calibration preview:\n{preview}  ...\n\n");
+
+    let target = Target::sqrt_iswap(topo)
+        .with_calibration(calibration)
+        .expect("synthetic calibration covers every coupler");
+    let circuit = qft(6, false);
+
+    for (label, router, metric) in [
+        ("SABRE (swap metric)", RouterKind::Sabre, None),
+        ("MIRAGE (depth metric)", RouterKind::Mirage, None),
+        (
+            "MIRAGE (success metric)",
+            RouterKind::Mirage,
+            Some(Metric::EstimatedSuccess),
+        ),
+    ] {
+        let mut opts = TranspileOptions::quick(router, 11);
+        opts.use_vf2 = false; // force routing so the metrics differ visibly
+        if let Some(metric) = metric {
+            opts = opts.with_metric(metric);
+        }
+        let out = transpile(&circuit, &target, &opts).expect("transpilation succeeds");
+        println!("{label}:");
+        println!(
+            "  est. success : {:.4} (incl. readout)",
+            out.metrics.estimated_success
+        );
+        println!("  depth        : {:.2}", out.metrics.depth_estimate);
+        println!(
+            "  swaps / mirrors : {} / {}\n",
+            out.metrics.swaps_inserted, out.metrics.mirrors_accepted
+        );
+    }
+    println!("Routing for predicted success keeps traffic off the noisy couplers;");
+    println!("mirrors absorb SWAPs so MIRAGE pays fewer error-prone applications.");
+}

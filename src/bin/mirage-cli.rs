@@ -3,14 +3,17 @@
 //! ```text
 //! mirage-cli transpile <input.qasm> --topo grid:6x6 [--basis sqrt-iswap|cnot|cz]
 //!                      [--router mirage|sabre|mirage-swaps]
+//!                      [--calibration cal.txt] [--metric depth|swaps|success]
 //!                      [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
 //! mirage-cli stats <input.qasm>
 //! mirage-cli draw <input.qasm>
 //! mirage-cli gen <name> [--out file.qasm]     # qft:18, ghz:8, twolocal:4, ...
+//! mirage-cli gen-cal --topo heavy-hex:5 [--seed N] [--out cal.txt]
 //! ```
 
 use mirage::circuit::{generators, qasm, render, Circuit};
-use mirage::core::{transpile, RouterKind, Target, TranspileOptions};
+use mirage::core::{transpile, Calibration, Metric, RouterKind, Target, TranspileOptions};
+use mirage::math::Rng;
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::translate::translate_circuit;
 use mirage::topology::CouplingMap;
@@ -32,14 +35,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mirage-cli transpile <input.qasm> --topo <spec> [--basis sqrt-iswap|cnot|cz]
                        [--router mirage|sabre|mirage-swaps]
+                       [--calibration cal.txt] [--metric depth|swaps|success]
                        [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
   mirage-cli stats <input.qasm>
   mirage-cli draw <input.qasm>
   mirage-cli gen <name> [--out file.qasm]
+  mirage-cli gen-cal --topo <spec> [--seed N] [--out cal.txt]
 
 topology specs : line:N  ring:N  grid:RxC  heavy-hex:D  a2a:N
 basis gates    : sqrt-iswap (default)  cnot  cz
-generator names: qft:N ghz:N wstate:N bv:N twolocal:N qaoa:N adder:BITS";
+generator names: qft:N ghz:N wstate:N bv:N twolocal:N qaoa:N adder:BITS
+metrics        : depth (default for mirage)  swaps  success (needs --calibration
+                 or a zero-error device; selects on predicted success probability)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -48,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&args[1..]),
         "draw" => cmd_draw(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
+        "gen-cal" => cmd_gen_cal(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -153,15 +161,27 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     let (pos, flags) = split_flags(args)?;
     let input = pos.first().ok_or("transpile needs an input file")?;
     let circuit = load_circuit(input)?;
-    let target = parse_target(
+    let mut target = parse_target(
         flag(&flags, "topo").ok_or("--topo is required")?,
         flag(&flags, "basis").unwrap_or("sqrt-iswap"),
     )?;
+    if let Some(path) = flag(&flags, "calibration") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let cal = Calibration::from_text(&text).map_err(|e| e.to_string())?;
+        target = target.with_calibration(cal).map_err(|e| e.to_string())?;
+    }
     let router = match flag(&flags, "router").unwrap_or("mirage") {
         "mirage" => RouterKind::Mirage,
         "mirage-swaps" => RouterKind::MirageSwaps,
         "sabre" => RouterKind::Sabre,
         other => return Err(format!("unknown router '{other}'")),
+    };
+    let metric = match flag(&flags, "metric") {
+        None => None,
+        Some("depth") => Some(Metric::Depth),
+        Some("swaps") => Some(Metric::SwapCount),
+        Some("success") => Some(Metric::EstimatedSuccess),
+        Some(other) => return Err(format!("unknown metric '{other}'")),
     };
     let seed: u64 = flag(&flags, "seed")
         .unwrap_or("7")
@@ -176,6 +196,9 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     opts.trials.layout_trials = trials;
     opts.trials.routing_trials = trials;
     opts.trials.parallel = true;
+    if let Some(metric) = metric {
+        opts = opts.with_metric(metric);
+    }
     let out = transpile(&circuit, &target, &opts).map_err(|e| e.to_string())?;
 
     eprintln!(
@@ -198,6 +221,10 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
         "mirrors : {} ({:.0}% of decisions)",
         out.metrics.mirrors_accepted,
         100.0 * out.metrics.mirror_rate
+    );
+    eprintln!(
+        "success : {:.4} estimated probability (incl. readout)",
+        out.metrics.estimated_success
     );
 
     let mut result = out.circuit.clone();
@@ -263,6 +290,30 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let text = qasm::to_qasm(&c);
     match flag(&flags, "out") {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Emit a seeded synthetic calibration file for a topology — a starting
+/// point for hand-editing or for feeding `transpile --calibration`.
+fn cmd_gen_cal(args: &[String]) -> Result<(), String> {
+    let (_, flags) = split_flags(args)?;
+    let topo = parse_topology(flag(&flags, "topo").ok_or("--topo is required")?)?;
+    let seed: u64 = flag(&flags, "seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let cal = Calibration::synthetic(&topo, &mut Rng::new(seed));
+    let text = cal.to_text();
+    match flag(&flags, "out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote   : {path} ({} qubits)", cal.n_qubits());
+            Ok(())
+        }
         None => {
             print!("{text}");
             Ok(())

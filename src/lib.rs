@@ -20,9 +20,11 @@
 //!   VF2 layout check.
 //! * [`synth`] — numerical decomposition into a basis gate, templates, the
 //!   decoherence error model (paper Eq. 2).
-//! * [`core`] — the [`core::Target`] device model, the SABRE baseline
-//!   router, the MIRAGE router with aggression levels (paper Algorithm 2),
-//!   and the end-to-end transpile pipeline.
+//! * [`core`] — the [`core::Target`] device model with its
+//!   [`core::Calibration`] layer (per-edge durations/errors, noise-aware
+//!   routing metric), the SABRE baseline router, the MIRAGE router with
+//!   aggression levels (paper Algorithm 2), and the end-to-end transpile
+//!   pipeline.
 //!
 //! # Quickstart
 //!
@@ -46,3 +48,9 @@ pub use mirage_math as math;
 pub use mirage_synth as synth;
 pub use mirage_topology as topology;
 pub use mirage_weyl as weyl;
+
+/// Compiles every `rust` code block in the README as a doctest, so the
+/// quickstart (and the calibration walkthrough) can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;

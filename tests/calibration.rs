@@ -1,0 +1,172 @@
+//! Integration tests for the calibration layer: the uniform calibration
+//! must be metrically invisible, the file format must round-trip, missing
+//! entries must fail loudly, and `Metric::EstimatedSuccess` must be
+//! selectable through the public `TranspileOptions` API.
+
+use mirage::circuit::generators::{qft, two_local_full};
+use mirage::core::{
+    transpile, verify_report, verify_routed, Calibration, CalibrationError, EdgeCalibration,
+    Metric, QubitCalibration, RouterKind, Target, TranspileOptions,
+};
+use mirage::math::Rng;
+use mirage::topology::CouplingMap;
+
+/// A zero-error calibration is the identity: same routed circuit, same
+/// depth/cost metrics as the stock (uncalibrated) target, success exactly 1.
+#[test]
+fn zero_error_calibration_reproduces_uniform_metrics_exactly() {
+    let circuit = two_local_full(5, 1, 23);
+    for router in [RouterKind::Sabre, RouterKind::Mirage] {
+        let stock = Target::sqrt_iswap(CouplingMap::line(5));
+        let calibrated = Target::sqrt_iswap(CouplingMap::line(5))
+            .with_calibration(Calibration::uniform(&CouplingMap::line(5)))
+            .expect("uniform covers the line");
+        let mut opts = TranspileOptions::quick(router, 5);
+        opts.use_vf2 = false;
+        let a = transpile(&circuit, &stock, &opts).unwrap();
+        let b = transpile(&circuit, &calibrated, &opts).unwrap();
+        assert_eq!(a.circuit, b.circuit, "{router:?} must route identically");
+        assert_eq!(a.metrics.depth_estimate, b.metrics.depth_estimate);
+        assert_eq!(a.metrics.total_gate_cost, b.metrics.total_gate_cost);
+        assert_eq!(a.metrics.swaps_inserted, b.metrics.swaps_inserted);
+        assert_eq!(b.metrics.estimated_success, 1.0);
+    }
+}
+
+/// The plain-text format round-trips bit-exactly, including hand-set
+/// outlier values.
+#[test]
+fn calibration_file_round_trips() {
+    let topo = CouplingMap::grid(3, 3);
+    let mut cal = Calibration::synthetic(&topo, &mut Rng::new(0xF00D));
+    cal.set_edge(
+        0,
+        1,
+        EdgeCalibration {
+            duration_factor: 12.75,
+            error_2q: 0.0375,
+        },
+    )
+    .unwrap();
+    cal.set_qubit(
+        4,
+        QubitCalibration {
+            duration_1q: 0.03,
+            error_1q: 0.002,
+            readout_error: 0.11,
+        },
+    )
+    .unwrap();
+    let text = cal.to_text();
+    let back = Calibration::from_text(&text).expect("well-formed text parses");
+    assert_eq!(cal, back);
+    // And the re-serialized text is stable (idempotent save).
+    assert_eq!(text, back.to_text());
+}
+
+/// A calibration that misses a coupler is rejected when attached to a
+/// target, with an error naming the edge.
+#[test]
+fn missing_edge_rejected_at_target_attach() {
+    let topo = CouplingMap::grid(2, 2); // edges (0,1) (0,2) (1,3) (2,3)
+    let partial = Calibration::from_edges(
+        4,
+        &[
+            (0, 1, EdgeCalibration::default()),
+            (0, 2, EdgeCalibration::default()),
+            (1, 3, EdgeCalibration::default()),
+        ],
+    )
+    .unwrap();
+    let err = Target::sqrt_iswap(topo)
+        .with_calibration(partial)
+        .unwrap_err();
+    assert_eq!(err, CalibrationError::MissingEdge { a: 2, b: 3 });
+    assert!(err.to_string().contains("(2, 3)"));
+}
+
+/// `Metric::EstimatedSuccess` is selectable through the public options and
+/// produces a verified routing whose reported success matches the
+/// verifier's independent recomputation.
+#[test]
+fn estimated_success_end_to_end_with_verify_report() {
+    let topo = CouplingMap::grid(3, 3);
+    let cal = Calibration::synthetic(&topo, &mut Rng::new(0xE2E));
+    let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+    let circuit = qft(6, false);
+    let mut opts =
+        TranspileOptions::quick(RouterKind::Mirage, 3).with_metric(Metric::EstimatedSuccess);
+    opts.use_vf2 = false;
+    let out = transpile(&circuit, &target, &opts).unwrap();
+    let routed = out.as_routed();
+    assert!(verify_routed(&circuit, &routed, &target));
+    let report = verify_report(&circuit, &routed, &target);
+    assert!(report.ok());
+    assert!(
+        (report.estimated_success - out.metrics.estimated_success).abs() < 1e-12,
+        "pipeline ({}) and verifier ({}) must agree",
+        out.metrics.estimated_success,
+        report.estimated_success
+    );
+    assert!(report.estimated_success > 0.0 && report.estimated_success < 1.0);
+}
+
+/// Success-metric routing on a device with one catastrophic edge avoids
+/// that edge when an alternative of equal length exists.
+#[test]
+fn success_metric_penalizes_bad_edges() {
+    // A ring: two equal-length paths between any pair, so routing can
+    // always avoid the one terrible coupler.
+    let topo = CouplingMap::ring(6);
+    let mut cal = Calibration::uniform(&topo);
+    for &(a, b) in topo.edges() {
+        cal.set_edge(
+            a,
+            b,
+            EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 1e-3,
+            },
+        )
+        .unwrap();
+    }
+    cal.set_edge(
+        2,
+        3,
+        EdgeCalibration {
+            duration_factor: 8.0,
+            error_2q: 0.25,
+        },
+    )
+    .unwrap();
+    let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+    let circuit = two_local_full(6, 1, 31);
+    let mut opts =
+        TranspileOptions::quick(RouterKind::Mirage, 9).with_metric(Metric::EstimatedSuccess);
+    opts.use_vf2 = false;
+    let out = transpile(&circuit, &target, &opts).unwrap();
+    assert!(verify_routed(&circuit, &out.as_routed(), &target));
+    let on_bad_edge = out
+        .circuit
+        .instructions
+        .iter()
+        .filter(|i| i.gate.is_two_qubit() && i.qubits.contains(&2) && i.qubits.contains(&3))
+        .count();
+    // Post-selection across trials should find a candidate that touches the
+    // bad coupler rarely (the depth metric alone would tolerate it).
+    let depth_out = {
+        let mut o = TranspileOptions::quick(RouterKind::Mirage, 9);
+        o.use_vf2 = false;
+        transpile(&circuit, &target, &o).unwrap()
+    };
+    assert!(
+        out.metrics.estimated_success >= depth_out.metrics.estimated_success - 1e-9,
+        "success metric ({}) must not lose to depth metric ({})",
+        out.metrics.estimated_success,
+        depth_out.metrics.estimated_success
+    );
+    assert!(
+        on_bad_edge <= 2,
+        "success-metric routing leaned on the bad edge {on_bad_edge} times"
+    );
+}
