@@ -1,0 +1,190 @@
+//! Layout-strategy shootout: does calibration-aware seeding beat the
+//! paper's uniform-random layout trials on a noisy device?
+//!
+//! For each topology (a square grid and the IBM-style heavy-hex) a
+//! [`Calibration::skewed`] device is built — 10× slower/noisier outlier
+//! edges on a random quarter of the couplers, fixed seed — and every
+//! benchmark circuit is routed through one [`TrialEngine`] at **equal
+//! trial budget** under each layout strategy (and the balanced mix),
+//! post-selecting on [`Metric::EstimatedSuccess`]. The table reports the
+//! predicted success probability per strategy; the summary compares
+//! noise-aware (and mixed) seeding against random seeding. Everything is
+//! seed-deterministic.
+//!
+//! Usage: `layout_strategies [--quick] [grid|heavy-hex|all]`
+
+use mirage_bench::{geo_mean, print_table};
+use mirage_circuit::consolidate::consolidate;
+use mirage_circuit::generators::{portfolio_qaoa, qft, two_local_full};
+use mirage_circuit::Circuit;
+use mirage_core::calibration::Calibration;
+use mirage_core::placement::BALANCED_STRATEGY_MIX;
+use mirage_core::trials::{Metric, TrialEngine, TrialOptions};
+use mirage_core::{StrategyKind, Target};
+use mirage_math::Rng;
+use mirage_topology::CouplingMap;
+
+const BASE_ERROR: f64 = 5e-3;
+const OUTLIER_FRACTION: f64 = 0.25;
+const SKEW_FACTOR: f64 = 10.0;
+const SEED: u64 = 0x1A10;
+
+struct Config {
+    quick: bool,
+    which: String,
+}
+
+fn circuits(quick: bool) -> Vec<(String, Circuit)> {
+    let n = if quick { 5 } else { 6 };
+    vec![
+        (format!("qft-{n}"), qft(n, false)),
+        (format!("twolocal-{n}"), two_local_full(n, 1, 7)),
+        (format!("qaoa-{n}"), portfolio_qaoa(n, 1, 7)),
+    ]
+}
+
+/// The compared seeding configurations: each one-hot strategy plus the
+/// balanced mix.
+fn lanes() -> Vec<(&'static str, [f64; 4])> {
+    let mut lanes: Vec<(&'static str, [f64; 4])> = StrategyKind::ALL
+        .iter()
+        .map(|&k| (k.name(), k.one_hot()))
+        .collect();
+    lanes.push(("mixed", BALANCED_STRATEGY_MIX));
+    lanes
+}
+
+fn options(quick: bool, mix: [f64; 4]) -> TrialOptions {
+    let mut opts = TrialOptions::quick(Metric::EstimatedSuccess, SEED);
+    opts.layout_trials = if quick { 4 } else { 8 };
+    opts.routing_trials = if quick { 4 } else { 6 };
+    opts.fwd_bwd_iters = if quick { 2 } else { 3 };
+    opts.parallel = true;
+    opts.strategy_mix = mix;
+    opts
+}
+
+fn run_topology(label: &str, topo: &CouplingMap, cfg: &Config) -> Vec<(String, f64)> {
+    let cal = Calibration::skewed(
+        topo,
+        &mut Rng::new(0xCA11B),
+        BASE_ERROR,
+        OUTLIER_FRACTION,
+        SKEW_FACTOR,
+    )
+    .expect("base error and factor are in range");
+    let target = Target::sqrt_iswap(topo.clone())
+        .with_calibration(cal)
+        .expect("skewed calibration covers the topology");
+    println!(
+        "== layout strategies — {label} ({}, {} edges, {:.0}% outliers x{:.0}) ==\n",
+        topo.name(),
+        topo.edges().len(),
+        100.0 * OUTLIER_FRACTION,
+        SKEW_FACTOR
+    );
+
+    let mut rows = Vec::new();
+    // Geo-mean estimated success per lane across the circuit suite.
+    let mut per_lane: Vec<(String, Vec<f64>)> = lanes()
+        .iter()
+        .map(|(n, _)| (n.to_string(), Vec::new()))
+        .collect();
+    for (name, circ) in circuits(cfg.quick) {
+        let consolidated = consolidate(&circ);
+        let engine = TrialEngine::new(&consolidated, &target);
+        let mut row = vec![name.clone()];
+        for (lane, (lane_name, mix)) in lanes().into_iter().enumerate() {
+            let outcome = engine
+                .run_detailed(true, &options(cfg.quick, mix))
+                .expect("valid options");
+            let success = outcome.best.estimated_success(&target);
+            per_lane[lane].1.push(success);
+            let marker = if lane_name == "mixed" {
+                format!(" ({})", outcome.strategy.name())
+            } else {
+                String::new()
+            };
+            row.push(format!("{success:.4}{marker}"));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["circuit"];
+    let lane_defs = lanes();
+    for (name, _) in &lane_defs {
+        header.push(name);
+    }
+    print_table(&header, &rows);
+    println!();
+
+    let summary: Vec<(String, f64)> = per_lane
+        .into_iter()
+        .map(|(name, xs)| (name, geo_mean(&xs)))
+        .collect();
+    for (name, g) in &summary {
+        println!("{name:<16} geo-mean estimated success {g:.4}");
+    }
+    println!();
+    summary
+}
+
+fn main() {
+    let mut cfg = Config {
+        quick: false,
+        which: "all".into(),
+    };
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            cfg.quick = true;
+        } else {
+            cfg.which = arg;
+        }
+    }
+    let topologies: Vec<(&str, CouplingMap)> = vec![
+        (
+            "grid",
+            if cfg.quick {
+                CouplingMap::grid(3, 3)
+            } else {
+                CouplingMap::grid(4, 4)
+            },
+        ),
+        ("heavy-hex", CouplingMap::heavy_hex(3)),
+    ];
+    let mut all_ok = true;
+    for (label, topo) in &topologies {
+        if cfg.which != "all" && cfg.which != *label {
+            continue;
+        }
+        let summary = run_topology(label, topo, &cfg);
+        let get = |name: &str| {
+            summary
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, g)| g)
+                .expect("lane present")
+        };
+        let random = get("random");
+        let best_aware = get("noise-aware").max(get("mixed"));
+        let ok = best_aware >= random;
+        all_ok &= ok;
+        println!(
+            "{label}: noise-aware/mixed {best_aware:.4} vs random {random:.4} -> {}",
+            if ok {
+                "calibration-aware seeding wins"
+            } else {
+                "REGRESSION"
+            }
+        );
+        println!();
+    }
+    println!(
+        "verdict: calibration-aware seeding >= random at equal trial budget: {}",
+        if all_ok { "yes" } else { "NO" }
+    );
+    // The CI smoke run gates on this: a regression must fail the build,
+    // not just print a sad table.
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

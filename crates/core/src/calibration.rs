@@ -312,6 +312,21 @@ impl Calibration {
         self.n_qubits
     }
 
+    /// True when every qubit is ideal and every edge nominal — i.e. the
+    /// device is indistinguishable from [`Calibration::uniform`] and no
+    /// placement can be better than any other on noise grounds. The
+    /// `NoiseAware` layout strategy uses this to fall back to random
+    /// seeding instead of manufacturing spurious quality differences.
+    pub fn is_uniform(&self) -> bool {
+        self.qubits
+            .iter()
+            .all(|q| *q == QubitCalibration::default())
+            && self
+                .edges
+                .values()
+                .all(|e| *e == EdgeCalibration::default())
+    }
+
     /// Iterate over `(edge, calibration)` entries in normalized order.
     pub fn edges(&self) -> impl Iterator<Item = (&(usize, usize), &EdgeCalibration)> {
         self.edges.iter()
@@ -651,6 +666,35 @@ mod tests {
             cal.set_qubit(9, QubitCalibration::default()),
             Err(CalibrationError::QubitOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn is_uniform_detects_any_degradation() {
+        let topo = CouplingMap::grid(3, 3);
+        let mut cal = Calibration::uniform(&topo);
+        assert!(cal.is_uniform());
+        cal.set_edge(
+            0,
+            1,
+            EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 1e-4,
+            },
+        )
+        .unwrap();
+        assert!(!cal.is_uniform());
+        let mut cal2 = Calibration::uniform(&topo);
+        cal2.set_qubit(
+            4,
+            QubitCalibration {
+                duration_1q: 0.0,
+                error_1q: 0.0,
+                readout_error: 0.01,
+            },
+        )
+        .unwrap();
+        assert!(!cal2.is_uniform());
+        assert!(!Calibration::synthetic(&topo, &mut Rng::new(3)).is_uniform());
     }
 
     #[test]

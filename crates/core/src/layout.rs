@@ -107,6 +107,27 @@ impl Layout {
         self.log_to_phys[..self.n_logical].to_vec()
     }
 
+    /// True when the two internal maps are mutually inverse bijections
+    /// over the full device register — the invariant every constructor
+    /// and every [`LayoutStrategy`](crate::placement::LayoutStrategy)
+    /// must uphold (the placement property tests check proposals with
+    /// this).
+    pub fn is_bijective(&self) -> bool {
+        let n = self.n_physical();
+        if self.phys_to_log.len() != n || self.n_logical > n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for logical in 0..n {
+            let p = self.log_to_phys[logical];
+            if p >= n || seen[p] || self.phys_to_log[p] != logical {
+                return false;
+            }
+            seen[p] = true;
+        }
+        true
+    }
+
     /// Full physical-side permutation `old→new` between two layouts of the
     /// same device: where does the occupant of `p` under `self` sit under
     /// `other`?
@@ -155,6 +176,7 @@ mod tests {
                 seen[p] = true;
                 assert_eq!(l.log(p), log);
             }
+            assert!(l.is_bijective());
         }
     }
 

@@ -9,14 +9,19 @@
 //!   plain-text file format; drives the noise-aware
 //!   [`trials::Metric::EstimatedSuccess`] routing metric.
 //! * [`layout::Layout`] — the logical→physical qubit mapping.
+//! * [`placement`] — pluggable initial-layout strategies behind the
+//!   [`placement::LayoutStrategy`] trait: the paper's random seeding,
+//!   interaction/degree matching, calibration-aware region seeding, and
+//!   the VF2 embedding pre-pass (success-probability tie-breaking).
 //! * [`router`] — the routing engine: a faithful SABRE baseline (front
 //!   layer, lookahead window, decay) extended with MIRAGE's *intermediate
 //!   layer*, which may replace each executed two-qubit gate `U` by its
 //!   mirror `SWAP·U` per the aggression rules of Algorithm 2.
-//! * [`trials`] — SABRE-style forward–backward layout search, independent
-//!   routing trials (optionally in parallel), and post-selection by either
-//!   SWAP count (the baseline metric) or the duration-weighted critical
-//!   path (MIRAGE-Depth, §IV-B).
+//! * [`trials`] — the [`trials::TrialEngine`]: strategy-seeded layout
+//!   trials, SABRE forward–backward refinement, independent routing trials
+//!   (optionally in parallel), and post-selection by SWAP count, the
+//!   duration-weighted critical path (MIRAGE-Depth, §IV-B), or estimated
+//!   success probability.
 //! * [`pipeline`] — the end-to-end `transpile` entry point: consolidation,
 //!   the VF2 no-SWAP check, routing, and metrics.
 //! * [`verify`] — statevector verification that a routed circuit equals its
@@ -48,6 +53,7 @@
 pub mod calibration;
 pub mod layout;
 pub mod pipeline;
+pub mod placement;
 pub mod router;
 pub mod target;
 pub mod trials;
@@ -55,8 +61,9 @@ pub mod verify;
 
 pub use calibration::{Calibration, CalibrationError, EdgeCalibration, QubitCalibration};
 pub use layout::Layout;
-pub use pipeline::{transpile, RouterKind, TranspileOptions, TranspiledCircuit};
+pub use pipeline::{transpile, RouterKind, TranspileError, TranspileOptions, TranspiledCircuit};
+pub use placement::{LayoutStrategy, PlacementContext, StrategyKind, BALANCED_STRATEGY_MIX};
 pub use router::{Aggression, RoutedCircuit, RouterConfig};
 pub use target::{DurationModel, Target};
-pub use trials::{Metric, TrialOptions};
+pub use trials::{Metric, TrialEngine, TrialOptions, TrialOutcome};
 pub use verify::{verify_report, verify_routed, VerifyReport};

@@ -5,14 +5,19 @@
 //! cache, calibration — arrives through one [`Target`], so the same
 //! `transpile(&circuit, &target, &opts)` call serves the paper's √iSWAP
 //! configuration, CNOT/CZ backends, and calibrated noisy devices alike.
+//! Placement and routing run inside one [`TrialEngine`]: the VF2 pre-pass
+//! is the engine's [`Vf2Embed`](crate::placement::Vf2Embed) strategy, and
+//! the trial loop spreads its layout budget across the strategies of
+//! [`crate::placement`] according to
+//! [`TrialOptions::strategy_mix`](crate::trials::TrialOptions::strategy_mix).
 
 use crate::layout::Layout;
+use crate::placement;
 use crate::router::RoutedCircuit;
 use crate::target::Target;
-use crate::trials::{self, Metric, TrialOptions};
+use crate::trials::{Metric, TrialEngine, TrialOptions};
 use mirage_circuit::consolidate::consolidate;
 use mirage_circuit::Circuit;
-use mirage_topology::vf2::{find_embedding, InteractionGraph};
 
 /// Which router to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +157,16 @@ pub enum TranspileError {
     },
     /// The coupling graph is disconnected.
     DisconnectedTopology,
+    /// A trial mix (aggression or layout-strategy shares) is
+    /// mis-normalized — running it would silently re-allocate the trial
+    /// budget, so it is rejected instead (see
+    /// [`TrialOptions::validate`](crate::trials::TrialOptions::validate)).
+    InvalidTrialMix {
+        /// Which mix was rejected (`"aggression_mix"` / `"strategy_mix"`).
+        which: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TranspileError {
@@ -161,6 +176,9 @@ impl std::fmt::Display for TranspileError {
                 write!(f, "circuit needs {circuit} qubits, device has {device}")
             }
             TranspileError::DisconnectedTopology => write!(f, "coupling map is disconnected"),
+            TranspileError::InvalidTrialMix { which, detail } => {
+                write!(f, "invalid {which}: {detail}")
+            }
         }
     }
 }
@@ -177,6 +195,7 @@ pub fn transpile(
     target: &Target,
     opts: &TranspileOptions,
 ) -> Result<TranspiledCircuit, TranspileError> {
+    opts.trials.validate()?;
     let topo = target.topology();
     if circuit.n_qubits > topo.n_qubits() {
         return Err(TranspileError::CircuitTooLarge {
@@ -196,17 +215,15 @@ pub fn transpile(
     let (elided, wire_perm) = mirage_circuit::passes::elide_swaps(&cleaned);
     let consolidated = consolidate(&elided);
 
-    // VF2 pre-pass: a SWAP-free embedding makes routing unnecessary.
+    // One engine owns placement, refinement, routing, and post-selection.
+    let engine = TrialEngine::new(&consolidated, target).with_vf2_budget(opts.vf2_budget);
+
+    // VF2 pre-pass (the Vf2Embed strategy): a SWAP-free embedding makes
+    // routing unnecessary; on calibrated targets ties between embeddings
+    // break by estimated success.
     if opts.use_vf2 {
-        let edges: Vec<(usize, usize)> = consolidated.interaction_edges().into_iter().collect();
-        let g = InteractionGraph::new(consolidated.n_qubits, edges);
-        if let Some(embedding) = find_embedding(&g, topo, opts.vf2_budget) {
-            let layout = Layout::from_assignment(&embedding, topo.n_qubits());
-            let mut placed = Circuit::new(topo.n_qubits());
-            for instr in &consolidated.instructions {
-                let qubits: Vec<usize> = instr.qubits.iter().map(|&q| layout.phys(q)).collect();
-                placed.push(instr.gate.clone(), &qubits);
-            }
+        if let Some(layout) = engine.vf2_layout() {
+            let placed = placement::apply_layout(&consolidated, &layout);
             let final_assignment: Vec<usize> = (0..circuit.n_qubits)
                 .map(|w| layout.phys(wire_perm[w]))
                 .collect();
@@ -233,12 +250,7 @@ pub fn transpile(
         }
     }
 
-    let mut routed: RoutedCircuit = trials::route_with_trials(
-        &consolidated,
-        target,
-        opts.router.uses_mirrors(),
-        &opts.trials,
-    );
+    let mut routed: RoutedCircuit = engine.run(opts.router.uses_mirrors(), &opts.trials)?;
 
     // Compose the SWAP-elision relabeling into the final layout: original
     // output wire `w` lives on elided wire `wire_perm[w]`, which routing

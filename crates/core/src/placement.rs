@@ -1,0 +1,656 @@
+//! Initial placement: pluggable layout-seeding strategies.
+//!
+//! The paper's trial loop (§V) starts every layout trial from a uniformly
+//! random placement and lets SABRE-style refinement plus post-selection do
+//! the rest. That is one point in a design space this module makes
+//! explicit: a [`LayoutStrategy`] proposes the *seed* layout of a trial,
+//! and the [`TrialEngine`](crate::trials::TrialEngine) spreads its layout
+//! budget across strategies via [`TrialOptions::strategy_mix`] — the same
+//! shape as the aggression mix of §IV-C.
+//!
+//! Strategies:
+//!
+//! * [`Random`] — the paper's uniform seeding ([`Layout::random`]).
+//! * [`DegreeMatched`] — high-interaction logical qubits onto high-degree
+//!   physical qubits, packing interaction partners close together.
+//! * [`NoiseAware`] — grows a low-error region of the device (ranked by
+//!   [`Target::qubit_quality`]) and places the circuit inside it; on a
+//!   uniform calibration there is nothing to rank, so it falls back to
+//!   [`Random`].
+//! * [`Vf2Embed`] — exact subgraph embedding (the `VF2Layout` pre-pass of
+//!   §V, extracted from the pipeline), breaking ties between embeddings by
+//!   [`Metric::EstimatedSuccess`](crate::trials::Metric::EstimatedSuccess)
+//!   on calibrated targets.
+//!
+//! Every strategy receives a [`PlacementContext`] (circuit interaction
+//! weights + the [`Target`]) and a seeded [`Rng`], and must return a valid
+//! bijection (see [`Layout`]) or `None` when it cannot place the circuit
+//! (only [`Vf2Embed`], when no embedding exists); callers fall back to
+//! [`Random`], which always succeeds.
+//!
+//! [`TrialOptions::strategy_mix`]: crate::trials::TrialOptions::strategy_mix
+
+use crate::layout::Layout;
+use crate::target::Target;
+use crate::trials::mix_counts;
+use mirage_circuit::Circuit;
+use mirage_math::Rng;
+use mirage_topology::vf2::{find_embeddings, InteractionGraph};
+
+/// Everything a layout strategy may consult: the (consolidated) circuit,
+/// the device, and precomputed interaction statistics.
+#[derive(Debug)]
+pub struct PlacementContext<'a> {
+    circuit: &'a Circuit,
+    target: &'a Target,
+    /// Interacting logical pairs with their two-qubit gate counts.
+    interactions: Vec<((usize, usize), f64)>,
+    /// Per-logical-qubit sum of interaction weights.
+    weighted_degree: Vec<f64>,
+    vf2_budget: usize,
+}
+
+/// Default VF2 search-node budget for placement contexts built without an
+/// explicit one (matches `TranspileOptions::quick`).
+pub const DEFAULT_VF2_BUDGET: usize = 200_000;
+
+impl<'a> PlacementContext<'a> {
+    /// Build a context for placing `circuit` onto `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the device.
+    pub fn new(circuit: &'a Circuit, target: &'a Target) -> PlacementContext<'a> {
+        assert!(
+            circuit.n_qubits <= target.n_qubits(),
+            "circuit wider than device"
+        );
+        let mut weights = std::collections::BTreeMap::new();
+        let mut weighted_degree = vec![0.0; circuit.n_qubits];
+        for instr in &circuit.instructions {
+            if instr.gate.is_two_qubit() {
+                let (a, b) = (instr.qubits[0], instr.qubits[1]);
+                *weights.entry((a.min(b), a.max(b))).or_insert(0.0) += 1.0;
+                weighted_degree[a] += 1.0;
+                weighted_degree[b] += 1.0;
+            }
+        }
+        PlacementContext {
+            circuit,
+            target,
+            interactions: weights.into_iter().collect(),
+            weighted_degree,
+            vf2_budget: DEFAULT_VF2_BUDGET,
+        }
+    }
+
+    /// Override the VF2 search-node budget (builder style).
+    #[must_use]
+    pub fn with_vf2_budget(mut self, budget: usize) -> PlacementContext<'a> {
+        self.vf2_budget = budget;
+        self
+    }
+
+    /// The circuit being placed.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The device being placed onto.
+    pub fn target(&self) -> &Target {
+        self.target
+    }
+
+    /// Number of real (circuit) logical qubits.
+    pub fn n_logical(&self) -> usize {
+        self.circuit.n_qubits
+    }
+
+    /// Number of device qubits.
+    pub fn n_physical(&self) -> usize {
+        self.target.n_qubits()
+    }
+
+    /// Interacting logical pairs (normalized `lo < hi`) with the number of
+    /// two-qubit gates on each pair.
+    pub fn interactions(&self) -> &[((usize, usize), f64)] {
+        &self.interactions
+    }
+
+    /// Sum of interaction weights touching logical qubit `q`.
+    pub fn weighted_degree(&self, q: usize) -> f64 {
+        self.weighted_degree[q]
+    }
+
+    /// Per-logical adjacency: `(partner, weight)` lists.
+    fn partner_lists(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut partners = vec![Vec::new(); self.n_logical()];
+        for &((a, b), w) in &self.interactions {
+            partners[a].push((b, w));
+            partners[b].push((a, w));
+        }
+        partners
+    }
+}
+
+/// Re-apply a placement: rewrite every instruction of `circuit` onto the
+/// physical qubits `layout` assigns, widening to the device register.
+pub fn apply_layout(circuit: &Circuit, layout: &Layout) -> Circuit {
+    let mut placed = Circuit::new(layout.n_physical());
+    for instr in &circuit.instructions {
+        let qubits: Vec<usize> = instr.qubits.iter().map(|&q| layout.phys(q)).collect();
+        placed.push(instr.gate.clone(), &qubits);
+    }
+    placed
+}
+
+/// A pluggable initial-layout generator. Implementations must be cheap
+/// relative to a routing trial and deterministic given the `rng` state.
+pub trait LayoutStrategy: Send + Sync {
+    /// Short stable identifier (CLI values, table headers).
+    fn name(&self) -> &'static str;
+
+    /// Propose a seed layout, or `None` when the strategy cannot place
+    /// this circuit (callers fall back to [`Random`]).
+    fn propose(&self, ctx: &PlacementContext<'_>, rng: &mut Rng) -> Option<Layout>;
+}
+
+/// The paper's uniform seeding: a fresh [`Layout::random`] per trial.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Random;
+
+impl LayoutStrategy for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&self, ctx: &PlacementContext<'_>, rng: &mut Rng) -> Option<Layout> {
+        Some(Layout::random(ctx.n_logical(), ctx.n_physical(), rng))
+    }
+}
+
+/// Greedy interaction/connectivity matching: logical qubits are placed in
+/// descending interaction order; each lands on the free physical qubit
+/// minimizing the interaction-weighted distance to its already-placed
+/// partners, tie-broken by hardware degree (hubs onto well-connected
+/// seats) and then randomly, so repeated trials explore distinct
+/// placements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeMatched;
+
+impl LayoutStrategy for DegreeMatched {
+    fn name(&self) -> &'static str {
+        "degree-matched"
+    }
+
+    fn propose(&self, ctx: &PlacementContext<'_>, rng: &mut Rng) -> Option<Layout> {
+        let allowed: Vec<usize> = (0..ctx.n_physical()).collect();
+        let degree = |p: usize| ctx.target().topology().neighbors(p).len() as f64;
+        Some(greedy_assign(ctx, &allowed, &degree, rng))
+    }
+}
+
+/// Calibration-aware seeding: rank physical qubits by
+/// [`Target::qubit_quality`], grow a connected low-error region from a
+/// randomly chosen high-quality start seat, and place the circuit inside
+/// it (interaction-heavy logical qubits onto the quietest seats). On a
+/// uniform calibration every seat scores identically, so the strategy
+/// falls back to [`Random`] rather than manufacturing fake preferences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoiseAware;
+
+impl LayoutStrategy for NoiseAware {
+    fn name(&self) -> &'static str {
+        "noise-aware"
+    }
+
+    fn propose(&self, ctx: &PlacementContext<'_>, rng: &mut Rng) -> Option<Layout> {
+        let target = ctx.target();
+        if target.calibration().is_uniform() {
+            return Random.propose(ctx, rng);
+        }
+        let n_phys = ctx.n_physical();
+        let quality: Vec<f64> = (0..n_phys).map(|q| target.qubit_quality(q)).collect();
+
+        // Start from one of the best quartile of seats (randomized so the
+        // trial loop explores several regions of a patchy device).
+        let mut ranked: Vec<usize> = (0..n_phys).collect();
+        ranked.sort_by(|&a, &b| quality[b].total_cmp(&quality[a]));
+        let pool = ranked.len().div_ceil(4).max(1);
+        let start = ranked[rng.below(pool)];
+
+        // Grow a connected region, preferring quiet seats reached through
+        // quiet couplers.
+        let topo = target.topology();
+        let mut in_region = vec![false; n_phys];
+        let mut region = vec![start];
+        in_region[start] = true;
+        while region.len() < ctx.n_logical() {
+            // Deduplicated frontier (ordered, so the random tie-break is
+            // one fair draw per candidate regardless of how many region
+            // members it touches).
+            let frontier: std::collections::BTreeSet<usize> = region
+                .iter()
+                .flat_map(|&member| topo.neighbors(member).iter().copied())
+                .filter(|&q| !in_region[q])
+                .collect();
+            let mut best: Option<(f64, f64, usize)> = None;
+            for q in frontier {
+                let links: Vec<f64> = topo
+                    .neighbors(q)
+                    .iter()
+                    .filter(|&&nb| in_region[nb])
+                    .map(|&nb| ln_survival(target.calibration().edge_or_nominal(q, nb).error_2q))
+                    .collect();
+                let bonus = links.iter().sum::<f64>() / links.len().max(1) as f64;
+                let key = (quality[q] + bonus, rng.uniform(), q);
+                if best.map_or(true, |b| (key.0, key.1).gt(&(b.0, b.1))) {
+                    best = Some(key);
+                }
+            }
+            match best {
+                Some((_, _, q)) => {
+                    in_region[q] = true;
+                    region.push(q);
+                }
+                // Disconnected device (transpile rejects these, but stay
+                // total): take the best remaining seat outright.
+                None => {
+                    let q = ranked
+                        .iter()
+                        .copied()
+                        .find(|&q| !in_region[q])
+                        .expect("n_logical <= n_physical");
+                    in_region[q] = true;
+                    region.push(q);
+                }
+            }
+        }
+        Some(greedy_assign(ctx, &region, &|p| quality[p], rng))
+    }
+}
+
+/// The `VF2Layout` pre-pass as a strategy: an exact SWAP-free embedding of
+/// the interaction graph when one exists (then routing has nothing to do).
+/// Up to [`Vf2Embed::MAX_CANDIDATES`] embeddings are enumerated and ties
+/// are broken by the estimated success probability of the placed circuit —
+/// on a calibrated device, embeddings avoiding lossy couplers and bad
+/// readout win; on a uniform device every embedding scores 1.0 and the
+/// first (the classic single-result VF2 answer) is kept.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vf2Embed;
+
+impl Vf2Embed {
+    /// How many embeddings the tie-break considers.
+    pub const MAX_CANDIDATES: usize = 8;
+}
+
+impl LayoutStrategy for Vf2Embed {
+    fn name(&self) -> &'static str {
+        "vf2"
+    }
+
+    fn propose(&self, ctx: &PlacementContext<'_>, _rng: &mut Rng) -> Option<Layout> {
+        let pairs = ctx.interactions().iter().map(|&((a, b), _)| (a, b));
+        let g = InteractionGraph::new(ctx.n_logical(), pairs);
+        let topo = ctx.target().topology();
+        let candidates = if ctx.target().calibration().is_uniform() {
+            find_embeddings(&g, topo, ctx.vf2_budget, 1)
+        } else {
+            find_embeddings(&g, topo, ctx.vf2_budget, Self::MAX_CANDIDATES)
+        };
+        let mut best: Option<(f64, Layout)> = None;
+        for embedding in candidates {
+            let layout = Layout::from_assignment(&embedding, topo.n_qubits());
+            let placed = apply_layout(ctx.circuit(), &layout);
+            let success = ctx
+                .target()
+                .estimated_success(&placed, &layout.assignment());
+            // Strict improvement only: ties keep the earliest embedding,
+            // so uniform targets reproduce the single-result VF2 pass.
+            if best.as_ref().map_or(true, |(s, _)| success > *s) {
+                best = Some((success, layout));
+            }
+        }
+        best.map(|(_, layout)| layout)
+    }
+}
+
+/// The built-in strategies, addressable for mixes and CLI flags. The
+/// order defines the lanes of
+/// [`TrialOptions::strategy_mix`](crate::trials::TrialOptions::strategy_mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// [`Random`].
+    Random,
+    /// [`DegreeMatched`].
+    DegreeMatched,
+    /// [`NoiseAware`].
+    NoiseAware,
+    /// [`Vf2Embed`].
+    Vf2Embed,
+}
+
+/// A balanced split of the layout budget across all four strategies:
+/// random exploration keeps its plurality (it is the only unbiased
+/// estimator), noise-aware gets the next share on calibrated targets, and
+/// VF2 a token lane (it is deterministic, so one trial extracts all its
+/// value).
+pub const BALANCED_STRATEGY_MIX: [f64; 4] = [0.4, 0.2, 0.3, 0.1];
+
+impl StrategyKind {
+    /// Every strategy, in mix-lane order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Random,
+        StrategyKind::DegreeMatched,
+        StrategyKind::NoiseAware,
+        StrategyKind::Vf2Embed,
+    ];
+
+    /// The strategy object.
+    pub fn strategy(self) -> &'static dyn LayoutStrategy {
+        match self {
+            StrategyKind::Random => &Random,
+            StrategyKind::DegreeMatched => &DegreeMatched,
+            StrategyKind::NoiseAware => &NoiseAware,
+            StrategyKind::Vf2Embed => &Vf2Embed,
+        }
+    }
+
+    /// Short stable identifier (same as the strategy object's name).
+    pub fn name(self) -> &'static str {
+        self.strategy().name()
+    }
+
+    /// A mix giving this strategy the whole layout budget.
+    pub fn one_hot(self) -> [f64; 4] {
+        let mut mix = [0.0; 4];
+        mix[self as usize] = 1.0;
+        mix
+    }
+
+    /// The strategy seeding layout trial `t` of `total` under `mix`
+    /// (mirrors [`aggression_for_trial`](crate::trials::aggression_for_trial):
+    /// every strategy with a nonzero share gets at least one trial).
+    pub fn for_trial(t: usize, total: usize, mix: &[f64; 4]) -> StrategyKind {
+        let counts = mix_counts(total.max(1), mix);
+        let mut upto = 0usize;
+        for (lane, &n) in counts.iter().enumerate() {
+            upto += n;
+            if t < upto {
+                return StrategyKind::ALL[lane];
+            }
+        }
+        StrategyKind::Vf2Embed
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StrategyKind, String> {
+        match s {
+            "random" => Ok(StrategyKind::Random),
+            "degree" | "degree-matched" => Ok(StrategyKind::DegreeMatched),
+            "noise" | "noise-aware" => Ok(StrategyKind::NoiseAware),
+            "vf2" => Ok(StrategyKind::Vf2Embed),
+            other => Err(format!("unknown layout strategy '{other}'")),
+        }
+    }
+}
+
+/// Shared greedy placement core: take logical qubits in descending
+/// interaction order and put each on the free seat from `allowed`
+/// minimizing the interaction-weighted distance to its placed partners;
+/// ties go to the seat with the higher `seat_quality`, then randomly.
+fn greedy_assign(
+    ctx: &PlacementContext<'_>,
+    allowed: &[usize],
+    seat_quality: &dyn Fn(usize) -> f64,
+    rng: &mut Rng,
+) -> Layout {
+    let n_logical = ctx.n_logical();
+    assert!(allowed.len() >= n_logical, "region smaller than circuit");
+    let partners = ctx.partner_lists();
+    let topo = ctx.target().topology();
+
+    // Random jitter decides equal-interaction orderings per trial.
+    let mut order: Vec<(f64, f64, usize)> = (0..n_logical)
+        .map(|l| (ctx.weighted_degree(l), rng.uniform(), l))
+        .collect();
+    order.sort_by(|a, b| (b.0, b.1).partial_cmp(&(a.0, a.1)).expect("finite keys"));
+
+    let mut seat_of = vec![usize::MAX; n_logical];
+    let mut taken = vec![false; ctx.n_physical()];
+    for &(_, _, l) in &order {
+        let mut best: Option<(f64, f64, f64, usize)> = None;
+        for &p in allowed {
+            if taken[p] {
+                continue;
+            }
+            let mut cost = 0.0;
+            for &(partner, w) in &partners[l] {
+                if seat_of[partner] != usize::MAX {
+                    cost += w * f64::from(topo.distance(p, seat_of[partner]));
+                }
+            }
+            let key = (cost, -seat_quality(p), rng.uniform(), p);
+            let better = best.map_or(true, |b| {
+                (key.0, key.1, key.2)
+                    .partial_cmp(&(b.0, b.1, b.2))
+                    .expect("finite keys")
+                    .is_lt()
+            });
+            if better {
+                best = Some(key);
+            }
+        }
+        let (_, _, _, p) = best.expect("free seat exists");
+        seat_of[l] = p;
+        taken[p] = true;
+    }
+    Layout::from_assignment(&seat_of, ctx.n_physical())
+}
+
+/// `ln(1 − e)` clamped to stay finite (same convention as the target's
+/// scoring paths).
+fn ln_survival(error: f64) -> f64 {
+    (1.0 - error).max(1e-300).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{Calibration, EdgeCalibration, QubitCalibration};
+    use mirage_circuit::generators::{ghz, qft, two_local_full};
+    use mirage_topology::CouplingMap;
+
+    fn assert_valid_bijection(layout: &Layout, n_logical: usize, n_physical: usize) {
+        assert_eq!(layout.n_logical(), n_logical);
+        assert_eq!(layout.n_physical(), n_physical);
+        assert!(layout.is_bijective());
+    }
+
+    #[test]
+    fn every_strategy_emits_valid_bijections_on_ragged_sizes() {
+        // Seeded sweep over n_logical < n_physical on three topologies.
+        let mut rng = Rng::new(0x9A9);
+        for topo in [
+            CouplingMap::line(9),
+            CouplingMap::grid(3, 4),
+            CouplingMap::heavy_hex(3),
+        ] {
+            for n_logical in [2usize, 3, 5, 7] {
+                let circ = two_local_full(n_logical, 1, 7);
+                let cal = Calibration::synthetic(&topo, &mut Rng::new(0xBAD));
+                let target = Target::sqrt_iswap(topo.clone())
+                    .with_calibration(cal)
+                    .unwrap();
+                let ctx = PlacementContext::new(&circ, &target);
+                for kind in StrategyKind::ALL {
+                    for _ in 0..4 {
+                        if let Some(layout) = kind.strategy().propose(&ctx, &mut rng) {
+                            assert_valid_bijection(&layout, n_logical, topo.n_qubits());
+                        } else {
+                            assert_eq!(
+                                kind,
+                                StrategyKind::Vf2Embed,
+                                "only VF2 may decline to place"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_matched_puts_hub_on_high_degree_seat() {
+        // A 5-qubit star circuit on a 3x3 grid: the hub interacts with
+        // everyone and must land on the center (the only degree-4 seat).
+        let mut circ = Circuit::new(5);
+        for leaf in 1..5 {
+            circ.cx(0, leaf);
+        }
+        let target = Target::sqrt_iswap(CouplingMap::grid(3, 3));
+        let ctx = PlacementContext::new(&circ, &target);
+        for seed in 0..5 {
+            let layout = DegreeMatched
+                .propose(&ctx, &mut Rng::new(seed))
+                .expect("always places");
+            assert_eq!(layout.phys(0), 4, "hub on the grid center");
+            // Leaves sit adjacent to the hub.
+            for leaf in 1..5 {
+                assert!(target.topology().are_adjacent(layout.phys(leaf), 4));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_aware_prefers_the_quiet_region_and_falls_back_on_uniform() {
+        // Left half of a 2x4 grid is clean, right half noisy.
+        let topo = CouplingMap::grid(2, 4);
+        let mut cal = Calibration::uniform(&topo);
+        for q in [2, 3, 6, 7] {
+            cal.set_qubit(
+                q,
+                QubitCalibration {
+                    duration_1q: 0.0,
+                    error_1q: 5e-3,
+                    readout_error: 0.08,
+                },
+            )
+            .unwrap();
+        }
+        for &(a, b) in topo.edges() {
+            if a.max(b) % 4 >= 2 {
+                cal.set_edge(
+                    a,
+                    b,
+                    EdgeCalibration {
+                        duration_factor: 1.0,
+                        error_2q: 0.04,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        let target = Target::sqrt_iswap(topo.clone())
+            .with_calibration(cal)
+            .unwrap();
+        let circ = ghz(4);
+        let ctx = PlacementContext::new(&circ, &target);
+        for seed in 0..6 {
+            let layout = NoiseAware
+                .propose(&ctx, &mut Rng::new(seed))
+                .expect("always places");
+            let seats: Vec<usize> = layout.assignment();
+            // The clean 2x2 block is columns 0-1: qubits {0, 1, 4, 5}.
+            for &p in &seats {
+                assert!(
+                    [0usize, 1, 4, 5].contains(&p),
+                    "seed {seed}: seat {p} outside the quiet region ({seats:?})"
+                );
+            }
+        }
+        // Uniform calibration: noise-aware must be exactly random seeding.
+        let uniform = Target::sqrt_iswap(CouplingMap::grid(2, 4));
+        let uctx = PlacementContext::new(&circ, &uniform);
+        let a = NoiseAware.propose(&uctx, &mut Rng::new(42)).unwrap();
+        let b = Random.propose(&uctx, &mut Rng::new(42)).unwrap();
+        assert_eq!(a, b, "uniform targets degrade to Random");
+    }
+
+    #[test]
+    fn vf2_embed_breaks_ties_by_estimated_success() {
+        // One CNOT on a 3-line whose (0,1) coupler is lossy: several
+        // embeddings exist, and the strategy must pick one on (1,2).
+        let topo = CouplingMap::line(3);
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            0,
+            1,
+            EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 0.1,
+            },
+        )
+        .unwrap();
+        cal.set_edge(
+            1,
+            2,
+            EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 1e-4,
+            },
+        )
+        .unwrap();
+        let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        let circ = ghz(2);
+        let ctx = PlacementContext::new(&circ, &target);
+        let layout = Vf2Embed
+            .propose(&ctx, &mut Rng::new(0))
+            .expect("a 2-line embeds into a 3-line");
+        let mut seats = layout.assignment();
+        seats.sort_unstable();
+        assert_eq!(seats, vec![1, 2], "must avoid the lossy (0,1) coupler");
+        // And it declines when no embedding exists (full graph on a line).
+        let heavy = two_local_full(4, 1, 7);
+        let line = Target::sqrt_iswap(CouplingMap::line(4));
+        let no_embed = PlacementContext::new(&heavy, &line);
+        assert!(Vf2Embed.propose(&no_embed, &mut Rng::new(0)).is_none());
+    }
+
+    #[test]
+    fn strategy_kind_round_trips_names_and_mixes() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(kind.name().parse::<StrategyKind>().unwrap(), kind);
+            let mix = kind.one_hot();
+            assert_eq!(mix.iter().sum::<f64>(), 1.0);
+            for t in 0..7 {
+                assert_eq!(StrategyKind::for_trial(t, 7, &mix), kind);
+            }
+        }
+        assert!("wibble".parse::<StrategyKind>().is_err());
+        assert!((BALANCED_STRATEGY_MIX.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The balanced mix reaches every lane on a paper-size budget.
+        let hit: std::collections::BTreeSet<&str> = (0..20)
+            .map(|t| StrategyKind::for_trial(t, 20, &BALANCED_STRATEGY_MIX).name())
+            .collect();
+        assert_eq!(hit.len(), 4, "{hit:?}");
+    }
+
+    #[test]
+    fn apply_layout_relabels_wires() {
+        let circ = qft(3, false);
+        let layout = Layout::from_assignment(&[2, 0, 3], 4);
+        let placed = apply_layout(&circ, &layout);
+        assert_eq!(placed.n_qubits, 4);
+        assert_eq!(placed.gate_count(), circ.gate_count());
+        for (orig, moved) in circ.instructions.iter().zip(&placed.instructions) {
+            for (&q, &p) in orig.qubits.iter().zip(&moved.qubits) {
+                assert_eq!(layout.phys(q), p);
+            }
+        }
+    }
+}

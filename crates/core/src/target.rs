@@ -392,6 +392,47 @@ impl Target {
     pub fn estimated_success(&self, c: &Circuit, measured: &[usize]) -> f64 {
         (self.circuit_log_success(c) + self.readout_log_success(measured)).exp()
     }
+
+    /// Quality of one physical qubit as a seat for a circuit qubit: the
+    /// log-survival of its own 1Q and readout errors plus the **mean**
+    /// log-survival per application across its incident couplers. Always
+    /// `≤ 0`, with `0` the ideal qubit; on [`Calibration::uniform`] every
+    /// qubit scores exactly `0`. The `NoiseAware` layout strategy ranks
+    /// seats by this number.
+    pub fn qubit_quality(&self, q: usize) -> f64 {
+        let qc = self.calibration.qubit_or_default(q);
+        let neighbors = self.topo.neighbors(q);
+        let edge_term = if neighbors.is_empty() {
+            0.0
+        } else {
+            neighbors
+                .iter()
+                .map(|&nb| ln_survival(self.calibration.edge_or_nominal(q, nb).error_2q))
+                .sum::<f64>()
+                / neighbors.len() as f64
+        };
+        ln_survival(qc.error_1q) + ln_survival(qc.readout_error) + edge_term
+    }
+
+    /// Quality of a connected region of physical qubits: the sum of the
+    /// members' 1Q/readout log-survivals plus the log-survival of every
+    /// coupler internal to the region (counted once). Higher is better and
+    /// `0` is a noiseless region; comparing candidate regions of equal size
+    /// tells a layout strategy where a circuit should live.
+    pub fn region_quality(&self, qubits: &[usize]) -> f64 {
+        let member: std::collections::HashSet<usize> = qubits.iter().copied().collect();
+        let mut quality = 0.0;
+        for &q in &member {
+            let qc = self.calibration.qubit_or_default(q);
+            quality += ln_survival(qc.error_1q) + ln_survival(qc.readout_error);
+            for &nb in self.topo.neighbors(q) {
+                if nb > q && member.contains(&nb) {
+                    quality += ln_survival(self.calibration.edge_or_nominal(q, nb).error_2q);
+                }
+            }
+        }
+        quality
+    }
 }
 
 /// `ln(1 − e)`, clamped so pathological error rates (`e → 1`) stay finite
@@ -589,6 +630,47 @@ mod tests {
             .with_calibration(partial)
             .unwrap_err();
         assert!(matches!(err, CalibrationError::MissingEdge { .. }));
+    }
+
+    #[test]
+    fn qubit_and_region_quality_rank_noise() {
+        let topo = CouplingMap::line(4);
+        let mut cal = Calibration::uniform(&topo);
+        // Degrade the right end: qubit 3 reads out badly, edge (2,3) is lossy.
+        cal.set_qubit(
+            3,
+            QubitCalibration {
+                duration_1q: 0.0,
+                error_1q: 0.0,
+                readout_error: 0.1,
+            },
+        )
+        .unwrap();
+        cal.set_edge(
+            2,
+            3,
+            crate::calibration::EdgeCalibration {
+                duration_factor: 1.0,
+                error_2q: 0.05,
+            },
+        )
+        .unwrap();
+        let t = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        // Ideal qubits score 0; degraded seats score strictly worse.
+        assert_eq!(t.qubit_quality(0), 0.0);
+        assert!(t.qubit_quality(3) < t.qubit_quality(1));
+        assert!(t.qubit_quality(2) < t.qubit_quality(1), "lossy coupler");
+        // The clean left pair beats the degraded right pair.
+        assert_eq!(t.region_quality(&[0, 1]), 0.0);
+        assert!(t.region_quality(&[2, 3]) < t.region_quality(&[0, 1]));
+        // Internal edges count once; disconnected members add no edge term.
+        assert_eq!(t.region_quality(&[0, 2]), 0.0);
+        // On a uniform target everything is indistinguishable.
+        let uniform = Target::sqrt_iswap(CouplingMap::line(4));
+        assert!(uniform.calibration().is_uniform());
+        for q in 0..4 {
+            assert_eq!(uniform.qubit_quality(q), 0.0);
+        }
     }
 
     #[test]

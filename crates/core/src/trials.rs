@@ -1,4 +1,5 @@
-//! Layout search, independent routing trials, and post-selection.
+//! The trial engine: layout search, independent routing trials, and
+//! post-selection behind one API.
 //!
 //! The paper's configuration (§V): 20 independent layout trials, each
 //! refined by 4 forward–backward routing passes (SABRE layout), then
@@ -9,12 +10,21 @@
 //! metric, [`Metric::EstimatedSuccess`], post-selects on the predicted
 //! success probability instead — the quantity the paper compares on real
 //! hardware.
+//!
+//! [`TrialEngine`] owns the whole loop — seed-layout generation through the
+//! pluggable strategies of [`crate::placement`] (budget split by
+//! [`TrialOptions::strategy_mix`], mirroring the aggression mix), SABRE
+//! refinement, routing trials, and post-selection — and is the one consumer
+//! `transpile`, the bench harness, and `mirage-cli` all sit on.
 
 use crate::layout::Layout;
+use crate::pipeline::TranspileError;
+use crate::placement::{LayoutStrategy, PlacementContext, StrategyKind, Vf2Embed};
 use crate::router::{node_coords, route, Aggression, RoutedCircuit, RouterConfig};
 use crate::target::Target;
 use mirage_circuit::{Circuit, Dag};
 use mirage_math::Rng;
+use mirage_weyl::coords::WeylCoord;
 
 /// Post-selection metric across routing trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +46,7 @@ pub enum Metric {
 /// Trial-loop configuration.
 #[derive(Debug, Clone)]
 pub struct TrialOptions {
-    /// Independent random initial layouts.
+    /// Independent initial layouts.
     pub layout_trials: usize,
     /// Forward–backward refinement passes per layout.
     pub fwd_bwd_iters: usize,
@@ -45,8 +55,14 @@ pub struct TrialOptions {
     /// Post-selection metric.
     pub metric: Metric,
     /// Fraction of routing trials at each aggression level (A0..A3);
-    /// ignored by the SABRE baseline.
+    /// ignored by the SABRE baseline. Must sum to ~1.0
+    /// (see [`TrialOptions::validate`]).
     pub aggression_mix: [f64; 4],
+    /// Fraction of layout trials seeded by each [`StrategyKind`] (lane
+    /// order [`StrategyKind::ALL`]: random, degree-matched, noise-aware,
+    /// vf2). Must sum to ~1.0. The default gives random seeding the whole
+    /// budget — the paper's configuration.
+    pub strategy_mix: [f64; 4],
     /// Base RNG seed.
     pub seed: u64,
     /// Run layout trials on threads.
@@ -64,6 +80,7 @@ impl TrialOptions {
             routing_trials: 20,
             metric,
             aggression_mix: [0.05, 0.45, 0.45, 0.05],
+            strategy_mix: StrategyKind::Random.one_hot(),
             seed,
             parallel: true,
             mirror_lambda: None,
@@ -78,11 +95,60 @@ impl TrialOptions {
             routing_trials: 4,
             metric,
             aggression_mix: [0.05, 0.45, 0.45, 0.05],
+            strategy_mix: StrategyKind::Random.one_hot(),
             seed,
             parallel: false,
             mirror_lambda: None,
         }
     }
+
+    /// Give one strategy the whole layout budget (builder style).
+    #[must_use]
+    pub fn with_strategy(mut self, kind: StrategyKind) -> TrialOptions {
+        self.strategy_mix = kind.one_hot();
+        self
+    }
+
+    /// Set the layout-strategy mix (builder style); see
+    /// [`crate::placement::BALANCED_STRATEGY_MIX`] for a ready-made split.
+    #[must_use]
+    pub fn with_strategy_mix(mut self, mix: [f64; 4]) -> TrialOptions {
+        self.strategy_mix = mix;
+        self
+    }
+
+    /// Check that both trial mixes are well-formed: every share finite and
+    /// non-negative, and each mix summing to 1 (±1e-6). Mis-normalized
+    /// mixes would silently re-allocate the trial budget, so the pipeline
+    /// rejects them up front.
+    ///
+    /// # Errors
+    ///
+    /// [`TranspileError::InvalidTrialMix`] naming the offending mix.
+    pub fn validate(&self) -> Result<(), TranspileError> {
+        validate_mix("aggression_mix", &self.aggression_mix)?;
+        validate_mix("strategy_mix", &self.strategy_mix)?;
+        Ok(())
+    }
+}
+
+fn validate_mix(which: &'static str, mix: &[f64]) -> Result<(), TranspileError> {
+    for &share in mix {
+        if !share.is_finite() || share < 0.0 {
+            return Err(TranspileError::InvalidTrialMix {
+                which,
+                detail: format!("share {share} is not a finite non-negative fraction"),
+            });
+        }
+    }
+    let sum: f64 = mix.iter().sum();
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(TranspileError::InvalidTrialMix {
+            which,
+            detail: format!("shares sum to {sum}, expected 1.0"),
+        });
+    }
+    Ok(())
 }
 
 fn score(r: &RoutedCircuit, metric: Metric, target: &Target) -> f64 {
@@ -95,13 +161,18 @@ fn score(r: &RoutedCircuit, metric: Metric, target: &Target) -> f64 {
     }
 }
 
-/// Trial counts per aggression level for `total` routing trials under the
-/// mix. Every level with a nonzero share gets **at least one** trial —
-/// in particular A0 (the mirror-free safety net) is always in the candidate
-/// pool, so depth post-selection can never do worse than the baseline plus
-/// trial noise.
-pub fn aggression_counts(total: usize, mix: &[f64; 4]) -> [usize; 4] {
-    let mut counts = [0usize; 4];
+/// Trial counts per mix lane for `total` trials. Every lane with a nonzero
+/// share gets **at least one** trial — in particular A0 (the mirror-free
+/// safety net of the aggression mix) is always in the candidate pool, so
+/// depth post-selection can never do worse than the baseline plus trial
+/// noise. Shared by the aggression bands and the layout-strategy lanes.
+///
+/// # Panics
+///
+/// Panics when `mix` is empty but `total > 0` (no lane to assign to).
+pub fn mix_counts(total: usize, mix: &[f64]) -> Vec<usize> {
+    let lanes = mix.len();
+    let mut counts = vec![0usize; lanes];
     let mut assigned = 0usize;
     for (i, &share) in mix.iter().enumerate() {
         if share > 0.0 {
@@ -111,13 +182,13 @@ pub fn aggression_counts(total: usize, mix: &[f64; 4]) -> [usize; 4] {
     }
     // Reconcile to exactly `total`: trim the largest shares first while
     // they have spares, then drop the smallest shares entirely (with fewer
-    // trials than configured levels, some level must lose its slot).
+    // trials than configured lanes, some lane must lose its slot).
     while assigned > total {
-        let i = (0..4)
+        let i = (0..lanes)
             .filter(|&i| counts[i] > 1)
             .max_by(|&a, &b| mix[a].total_cmp(&mix[b]))
             .or_else(|| {
-                (0..4)
+                (0..lanes)
                     .filter(|&i| counts[i] > 0)
                     .min_by(|&a, &b| mix[a].total_cmp(&mix[b]))
             })
@@ -126,17 +197,24 @@ pub fn aggression_counts(total: usize, mix: &[f64; 4]) -> [usize; 4] {
         assigned -= 1;
     }
     while assigned < total {
-        let i = (0..4)
+        let i = (0..lanes)
             .max_by(|&a, &b| {
                 let da = mix[a] * total as f64 - counts[a] as f64;
                 let db = mix[b] * total as f64 - counts[b] as f64;
                 da.total_cmp(&db)
             })
-            .expect("four bands");
+            .expect("nonempty mix");
         counts[i] += 1;
         assigned += 1;
     }
     counts
+}
+
+/// Trial counts per aggression level for `total` routing trials under the
+/// mix (the four-lane view of [`mix_counts`]).
+pub fn aggression_counts(total: usize, mix: &[f64; 4]) -> [usize; 4] {
+    let counts = mix_counts(total, mix);
+    [counts[0], counts[1], counts[2], counts[3]]
 }
 
 /// Assign an aggression level to routing-trial `t` of `total` according to
@@ -158,47 +236,163 @@ pub fn aggression_for_trial(t: usize, total: usize, mix: &[f64; 4]) -> Aggressio
     Aggression::A3
 }
 
-/// SABRE layout refinement: route forward, then backward over the reversed
-/// circuit, feeding each final layout into the next pass. Cost queries go
-/// through the target's shared cache — no per-refinement cache exists.
-#[allow(clippy::too_many_arguments)]
-fn refine_layout(
-    dag_fwd: &Dag,
-    dag_bwd: &Dag,
-    coords_fwd: &[Option<mirage_weyl::coords::WeylCoord>],
-    coords_bwd: &[Option<mirage_weyl::coords::WeylCoord>],
-    target: &Target,
-    config: &RouterConfig,
-    mut layout: Layout,
-    iters: usize,
-    rng: &mut Rng,
-) -> Layout {
-    for _ in 0..iters {
-        let fwd = route(dag_fwd, coords_fwd, target, layout, config, rng);
-        let bwd = route(dag_bwd, coords_bwd, target, fwd.final_layout, config, rng);
-        layout = bwd.final_layout;
-    }
-    layout
+/// The routing result of a full trial run, with provenance.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// The best routed candidate under the configured metric.
+    pub best: RoutedCircuit,
+    /// The layout strategy that seeded the winning candidate.
+    pub strategy: StrategyKind,
+    /// Total routed candidates scored (layout trials × routing trials).
+    pub candidates: usize,
 }
 
-/// Run the full trial loop and return the best routed circuit under the
-/// metric. `mirage = false` gives the SABRE baseline (no mirrors, metric
-/// should be [`Metric::SwapCount`] for a faithful baseline).
-pub fn route_with_trials(
-    circuit: &Circuit,
-    target: &Target,
-    mirage: bool,
-    opts: &TrialOptions,
-) -> RoutedCircuit {
-    let dag_fwd = Dag::from_circuit(circuit);
-    let reversed = circuit.reversed();
-    let dag_bwd = Dag::from_circuit(&reversed);
-    let coords_fwd = node_coords(&dag_fwd);
-    let coords_bwd = node_coords(&dag_bwd);
+/// The routing precompute: forward/backward DAGs and per-node Weyl
+/// coordinates. Built lazily — a transpile that takes the VF2 fast path
+/// never routes, so it never pays for this.
+#[derive(Debug)]
+struct RoutingState {
+    dag_fwd: Dag,
+    dag_bwd: Dag,
+    coords_fwd: Vec<Option<WeylCoord>>,
+    coords_bwd: Vec<Option<WeylCoord>>,
+}
 
-    let one_layout_trial = |trial: usize| -> Vec<RoutedCircuit> {
+/// The unified trial engine: one object owning layout generation (via the
+/// [`crate::placement`] strategies), SABRE forward–backward refinement,
+/// independent routing trials, and metric post-selection.
+///
+/// The forward/backward DAGs and per-node Weyl coordinates are computed
+/// once, on first routing use; [`TrialEngine::run`] can be called
+/// repeatedly with different options (the bench harness sweeps strategies
+/// this way). The engine borrows its circuit and [`Target`]; reusing one
+/// target keeps the shared cost cache warm across runs.
+#[derive(Debug)]
+pub struct TrialEngine<'a> {
+    target: &'a Target,
+    ctx: PlacementContext<'a>,
+    routing: std::sync::OnceLock<RoutingState>,
+    /// `Vf2Embed` is deterministic per engine, so its (possibly absent)
+    /// proposal is computed once and shared by the pre-pass and every
+    /// vf2-lane layout trial.
+    vf2: std::sync::OnceLock<Option<Layout>>,
+}
+
+impl<'a> TrialEngine<'a> {
+    /// Build an engine for routing `circuit` (already consolidated) onto
+    /// `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the device (the pipeline
+    /// rejects this case with a clean error before constructing engines).
+    pub fn new(circuit: &'a Circuit, target: &'a Target) -> TrialEngine<'a> {
+        TrialEngine {
+            target,
+            ctx: PlacementContext::new(circuit, target),
+            routing: std::sync::OnceLock::new(),
+            vf2: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Override the VF2 search-node budget used by the [`Vf2Embed`]
+    /// strategy (builder style).
+    #[must_use]
+    pub fn with_vf2_budget(mut self, budget: usize) -> TrialEngine<'a> {
+        self.ctx = self.ctx.with_vf2_budget(budget);
+        self
+    }
+
+    /// The placement context the engine hands to layout strategies.
+    pub fn context(&self) -> &PlacementContext<'a> {
+        &self.ctx
+    }
+
+    /// The SWAP-free VF2 placement, when one exists — the pipeline's
+    /// pre-pass: a circuit that embeds directly needs no routing at all.
+    /// Ties between embeddings break by estimated success (see
+    /// [`Vf2Embed`]). The search runs once per engine; repeated calls
+    /// (and vf2-lane layout trials) reuse the cached answer.
+    pub fn vf2_layout(&self) -> Option<Layout> {
+        self.vf2
+            // Vf2Embed is deterministic; the RNG is unused by it.
+            .get_or_init(|| Vf2Embed.propose(&self.ctx, &mut Rng::new(0)))
+            .clone()
+    }
+
+    /// The lazily-built routing precompute.
+    fn routing_state(&self) -> &RoutingState {
+        self.routing.get_or_init(|| {
+            let circuit = self.ctx.circuit();
+            let dag_fwd = Dag::from_circuit(circuit);
+            let reversed = circuit.reversed();
+            let dag_bwd = Dag::from_circuit(&reversed);
+            let coords_fwd = node_coords(&dag_fwd);
+            let coords_bwd = node_coords(&dag_bwd);
+            RoutingState {
+                dag_fwd,
+                dag_bwd,
+                coords_fwd,
+                coords_bwd,
+            }
+        })
+    }
+
+    /// SABRE layout refinement: route forward, then backward over the
+    /// reversed circuit, feeding each final layout into the next pass.
+    /// Cost queries go through the target's shared cache.
+    fn refine_layout(
+        &self,
+        config: &RouterConfig,
+        mut layout: Layout,
+        iters: usize,
+        rng: &mut Rng,
+    ) -> Layout {
+        let state = self.routing_state();
+        for _ in 0..iters {
+            let fwd = route(
+                &state.dag_fwd,
+                &state.coords_fwd,
+                self.target,
+                layout,
+                config,
+                rng,
+            );
+            let bwd = route(
+                &state.dag_bwd,
+                &state.coords_bwd,
+                self.target,
+                fwd.final_layout,
+                config,
+                rng,
+            );
+            layout = bwd.final_layout;
+        }
+        layout
+    }
+
+    /// One layout trial: seed a layout via the mix-selected strategy,
+    /// refine it, and run the configured routing trials.
+    fn one_layout_trial(
+        &self,
+        trial: usize,
+        mirage: bool,
+        opts: &TrialOptions,
+    ) -> (StrategyKind, Vec<RoutedCircuit>) {
         let mut rng = Rng::new(opts.seed ^ (0x9E37 + trial as u64 * 0x100_0000));
-        let layout = Layout::random(circuit.n_qubits, target.n_qubits(), &mut rng);
+        let kind = StrategyKind::for_trial(trial, opts.layout_trials, &opts.strategy_mix);
+        // Only Vf2Embed can decline (no embedding); fall back to random
+        // seeding so the trial budget is never wasted. Vf2Embed proposals
+        // go through the engine-level cache — the strategy is
+        // deterministic, so per-trial re-searches would be pure waste.
+        let proposed = if kind == StrategyKind::Vf2Embed {
+            self.vf2_layout()
+        } else {
+            kind.strategy().propose(&self.ctx, &mut rng)
+        };
+        let layout = proposed.unwrap_or_else(|| {
+            Layout::random(self.ctx.n_logical(), self.ctx.n_physical(), &mut rng)
+        });
 
         // Two refinements per layout trial: a mirror-free one (placements
         // that suit the A0 safety net and conservative trials) and, for
@@ -207,24 +401,14 @@ pub fn route_with_trials(
         // qft-family placements improve markedly under mirror-aware
         // refinement while ripple-adder placements degrade — so routing
         // trials are spread over both and post-selection arbitrates.
-        let plain = refine_layout(
-            &dag_fwd,
-            &dag_bwd,
-            &coords_fwd,
-            &coords_bwd,
-            target,
+        let plain = self.refine_layout(
             &RouterConfig::default(),
             layout.clone(),
             opts.fwd_bwd_iters,
             &mut rng,
         );
         let mirrored = if mirage {
-            refine_layout(
-                &dag_fwd,
-                &dag_bwd,
-                &coords_fwd,
-                &coords_bwd,
-                target,
+            self.refine_layout(
                 &RouterConfig {
                     aggression: Some(Aggression::A1),
                     ..RouterConfig::default()
@@ -237,7 +421,8 @@ pub fn route_with_trials(
             plain.clone()
         };
 
-        (0..opts.routing_trials)
+        let state = self.routing_state();
+        let routed = (0..opts.routing_trials)
             .map(|t| {
                 let aggression = if mirage {
                     Some(aggression_for_trial(
@@ -264,9 +449,9 @@ pub fn route_with_trials(
                     mirrored.clone()
                 };
                 let mut routed = route(
-                    &dag_fwd,
-                    &coords_fwd,
-                    target,
+                    &state.dag_fwd,
+                    &state.coords_fwd,
+                    self.target,
                     start,
                     &config,
                     &mut trial_rng,
@@ -283,33 +468,88 @@ pub fn route_with_trials(
                 }
                 routed
             })
-            .collect()
-    };
-
-    let mut candidates: Vec<RoutedCircuit> = Vec::new();
-    if opts.parallel && opts.layout_trials > 1 {
-        let results: Vec<Vec<RoutedCircuit>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..opts.layout_trials)
-                .map(|t| s.spawn(move || one_layout_trial(t)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("routing thread panicked"))
-                .collect()
-        });
-        for r in results {
-            candidates.extend(r);
-        }
-    } else {
-        for t in 0..opts.layout_trials {
-            candidates.extend(one_layout_trial(t));
-        }
+            .collect();
+        (kind, routed)
     }
 
-    candidates
-        .into_iter()
-        .min_by(|a, b| score(a, opts.metric, target).total_cmp(&score(b, opts.metric, target)))
-        .expect("at least one trial ran")
+    /// Run the full trial loop; like [`TrialEngine::run`] but also reports
+    /// which strategy seeded the winner and how many candidates were
+    /// scored (the `layout_strategies` experiment consumes this).
+    ///
+    /// # Errors
+    ///
+    /// [`TranspileError::InvalidTrialMix`] when either mix in `opts` is
+    /// mis-normalized (see [`TrialOptions::validate`]).
+    pub fn run_detailed(
+        &self,
+        mirage: bool,
+        opts: &TrialOptions,
+    ) -> Result<TrialOutcome, TranspileError> {
+        opts.validate()?;
+        let mut tagged: Vec<(StrategyKind, RoutedCircuit)> = Vec::new();
+        if opts.parallel && opts.layout_trials > 1 {
+            let results: Vec<(StrategyKind, Vec<RoutedCircuit>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..opts.layout_trials)
+                    .map(|t| s.spawn(move || self.one_layout_trial(t, mirage, opts)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("routing thread panicked"))
+                    .collect()
+            });
+            for (kind, routed) in results {
+                tagged.extend(routed.into_iter().map(|r| (kind, r)));
+            }
+        } else {
+            for t in 0..opts.layout_trials {
+                let (kind, routed) = self.one_layout_trial(t, mirage, opts);
+                tagged.extend(routed.into_iter().map(|r| (kind, r)));
+            }
+        }
+        let candidates = tagged.len();
+        let (strategy, best) = tagged
+            .into_iter()
+            .min_by(|(_, a), (_, b)| {
+                score(a, opts.metric, self.target).total_cmp(&score(b, opts.metric, self.target))
+            })
+            .expect("at least one trial ran");
+        Ok(TrialOutcome {
+            best,
+            strategy,
+            candidates,
+        })
+    }
+
+    /// Run the full trial loop and return the best routed circuit under
+    /// the metric. `mirage = false` gives the SABRE baseline (no mirrors;
+    /// the metric should be [`Metric::SwapCount`] for a faithful
+    /// baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`TranspileError::InvalidTrialMix`] when either mix in `opts` is
+    /// mis-normalized.
+    pub fn run(&self, mirage: bool, opts: &TrialOptions) -> Result<RoutedCircuit, TranspileError> {
+        self.run_detailed(mirage, opts).map(|outcome| outcome.best)
+    }
+}
+
+/// Run the full trial loop and return the best routed circuit under the
+/// metric — the classic free-function view of [`TrialEngine`].
+///
+/// # Panics
+///
+/// Panics when `opts` carries a mis-normalized trial mix; construct a
+/// [`TrialEngine`] (or go through `transpile`) for a `Result` instead.
+pub fn route_with_trials(
+    circuit: &Circuit,
+    target: &Target,
+    mirage: bool,
+    opts: &TrialOptions,
+) -> RoutedCircuit {
+    TrialEngine::new(circuit, target)
+        .run(mirage, opts)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -378,6 +618,60 @@ mod tests {
     }
 
     #[test]
+    fn mix_counts_generalizes_beyond_four_lanes() {
+        let counts = mix_counts(10, &[0.5, 0.25, 0.25]);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert_eq!(counts[0], 5);
+        assert!(counts[1].min(counts[2]) == 2 && counts[1].max(counts[2]) == 3);
+        let counts = mix_counts(3, &[0.9, 0.05, 0.03, 0.01, 0.01]);
+        assert_eq!(counts.iter().sum::<usize>(), 3, "{counts:?}");
+        assert!(counts[0] >= 1);
+    }
+
+    #[test]
+    fn invalid_mixes_rejected_with_clean_errors() {
+        let mut opts = TrialOptions::quick(Metric::Depth, 1);
+        opts.aggression_mix = [0.5, 0.5, 0.5, 0.5];
+        let err = opts.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            TranspileError::InvalidTrialMix {
+                which: "aggression_mix",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("sum to 2"), "{err}");
+
+        let mut opts = TrialOptions::quick(Metric::Depth, 1);
+        opts.strategy_mix = [1.5, -0.5, 0.0, 0.0];
+        let err = opts.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            TranspileError::InvalidTrialMix {
+                which: "strategy_mix",
+                ..
+            }
+        ));
+
+        let mut opts = TrialOptions::quick(Metric::Depth, 1);
+        opts.strategy_mix = [f64::NAN, 0.5, 0.5, 0.0];
+        assert!(opts.validate().is_err());
+
+        // The engine surfaces the same error instead of mis-allocating.
+        let target = Target::sqrt_iswap(CouplingMap::line(4));
+        let c = consolidate(&two_local_full(4, 1, 7));
+        let mut opts = TrialOptions::quick(Metric::Depth, 1);
+        opts.aggression_mix = [0.0; 4];
+        let engine = TrialEngine::new(&c, &target);
+        assert!(engine.run(true, &opts).is_err());
+
+        // And slight float noise passes.
+        let mut opts = TrialOptions::quick(Metric::Depth, 1);
+        opts.aggression_mix = [0.1, 0.2, 0.3, 0.4 + 1e-9];
+        opts.validate().unwrap();
+    }
+
+    #[test]
     fn trials_return_valid_routing() {
         let target = Target::sqrt_iswap(CouplingMap::line(4));
         let c = consolidate(&two_local_full(4, 1, 7));
@@ -417,6 +711,26 @@ mod tests {
         let a = route_with_trials(&c, &target, false, &serial_opts);
         let b = route_with_trials(&c, &target, false, &parallel_opts);
         assert_eq!(a.circuit, b.circuit, "parallelism must not change results");
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_mixed_strategies() {
+        // Strategy selection is by trial index, so threading must not
+        // change which strategy seeds which trial (or the result).
+        let topo = CouplingMap::grid(2, 3);
+        let cal = crate::calibration::Calibration::synthetic(&topo, &mut Rng::new(0xABC));
+        let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        let c = consolidate(&two_local_full(5, 1, 8));
+        let mut opts = TrialOptions::quick(Metric::EstimatedSuccess, 5)
+            .with_strategy_mix(crate::placement::BALANCED_STRATEGY_MIX);
+        opts.layout_trials = 5;
+        let engine = TrialEngine::new(&c, &target);
+        let serial = engine.run_detailed(true, &opts).unwrap();
+        opts.parallel = true;
+        let parallel = engine.run_detailed(true, &opts).unwrap();
+        assert_eq!(serial.best.circuit, parallel.best.circuit);
+        assert_eq!(serial.strategy, parallel.strategy);
+        assert_eq!(serial.candidates, 5 * opts.routing_trials);
     }
 
     #[test]
@@ -481,5 +795,26 @@ mod tests {
         );
         assert_eq!(r.mirrors_accepted, 0);
         assert_eq!(r.mirror_candidates, 0);
+    }
+
+    #[test]
+    fn every_strategy_routes_verifiably() {
+        // Each one-hot strategy mix produces a valid routed circuit, and
+        // run_detailed attributes the winner to that strategy.
+        let topo = CouplingMap::grid(2, 3);
+        let cal = crate::calibration::Calibration::synthetic(&topo, &mut Rng::new(0x717));
+        let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+        let c = consolidate(&two_local_full(4, 1, 7));
+        let engine = TrialEngine::new(&c, &target);
+        for kind in StrategyKind::ALL {
+            let opts = TrialOptions::quick(Metric::EstimatedSuccess, 9).with_strategy(kind);
+            let outcome = engine.run_detailed(true, &opts).unwrap();
+            assert!(
+                verify_routed(&c, &outcome.best, &target),
+                "{} routed invalidly",
+                kind.name()
+            );
+            assert_eq!(outcome.strategy, kind);
+        }
     }
 }

@@ -108,26 +108,54 @@ pub struct SharedCostCache {
 }
 
 impl SharedCostCache {
-    /// Maximum number of independently locked shards.
-    pub const SHARDS: usize = 16;
+    /// Upper bound on the automatically chosen shard count — beyond this,
+    /// extra mutexes only add memory, not concurrency.
+    pub const MAX_DEFAULT_SHARDS: usize = 64;
+
+    /// The default shard count: one per available hardware thread (the
+    /// number of routing trials that can actually contend at once), clamped
+    /// to `[1, MAX_DEFAULT_SHARDS]`. Falls back to 16 when the platform
+    /// cannot report its parallelism.
+    pub fn default_shard_count() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(16)
+            .clamp(1, Self::MAX_DEFAULT_SHARDS)
+    }
 
     /// Create a sharded cache holding roughly `capacity` coordinate classes
-    /// in total. Capacities below [`Self::SHARDS`] get one shard per entry,
-    /// so a capacity-1 cache really does hold a single class (the runtime
-    /// figure relies on this to emulate uncached behaviour).
+    /// in total, with [`SharedCostCache::default_shard_count`] shards.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> SharedCostCache {
+        SharedCostCache::with_shards(capacity, Self::default_shard_count())
+    }
+
+    /// Create a sharded cache with an explicit shard count (the contention
+    /// micro-bench sweeps this; capacity-limited callers get fewer shards so
+    /// a capacity-1 cache really does hold a single class — the runtime
+    /// figure relies on this to emulate uncached behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `shards == 0`.
+    pub fn with_shards(capacity: usize, shards: usize) -> SharedCostCache {
         assert!(capacity > 0, "cache capacity must be positive");
-        let n_shards = capacity.min(Self::SHARDS);
+        assert!(shards > 0, "shard count must be positive");
+        let n_shards = capacity.min(shards);
         let per_shard = capacity.div_ceil(n_shards);
         SharedCostCache {
             shards: (0..n_shards)
                 .map(|_| Mutex::new(CostCache::new(per_shard)))
                 .collect(),
         }
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     fn shard(&self, w: &WeylCoord) -> &Mutex<CostCache> {
@@ -281,14 +309,34 @@ mod tests {
 
     #[test]
     fn shared_cache_spreads_over_shards() {
-        let cache = SharedCostCache::new(SharedCostCache::SHARDS * 8);
+        let cache = SharedCostCache::with_shards(16 * 8, 16);
+        assert_eq!(cache.shard_count(), 16);
         for i in 0..200 {
             let w = WeylCoord::canonicalize(0.007 * i as f64, 0.0, 0.0);
             cache.get_or_insert_with(&w, || i as f64);
         }
         // Per-shard LRU capacity bounds the total.
-        assert!(cache.len() <= SharedCostCache::SHARDS * 8);
+        assert!(cache.len() <= 16 * 8);
         assert!(cache.len() > 8, "keys should not all collapse to one shard");
+    }
+
+    #[test]
+    fn shard_count_defaults_to_available_parallelism() {
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(16)
+            .clamp(1, SharedCostCache::MAX_DEFAULT_SHARDS);
+        assert_eq!(SharedCostCache::default_shard_count(), expected);
+        // Capacity still caps the shard count; explicit counts are honored.
+        assert_eq!(SharedCostCache::new(4096).shard_count(), expected.min(4096));
+        assert_eq!(SharedCostCache::with_shards(4096, 2).shard_count(), 2);
+        assert_eq!(SharedCostCache::with_shards(3, 64).shard_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_panics() {
+        SharedCostCache::with_shards(8, 0);
     }
 
     #[test]

@@ -50,8 +50,25 @@ impl InteractionGraph {
 ///
 /// `budget` caps the number of search-tree nodes (e.g. `1_000_000`).
 pub fn find_embedding(g: &InteractionGraph, hw: &CouplingMap, budget: usize) -> Option<Vec<usize>> {
-    if g.n > hw.n_qubits() {
-        return None;
+    find_embeddings(g, hw, budget, 1).into_iter().next()
+}
+
+/// Enumerate up to `max_results` distinct embeddings in search order (the
+/// first entry, when any exists, is exactly [`find_embedding`]'s answer).
+///
+/// Callers that post-select embeddings — e.g. the `Vf2Embed` placement
+/// strategy breaking ties by estimated success on a calibrated device —
+/// get a candidate pool instead of whichever solution the search stumbles
+/// on first. One `budget` covers the whole enumeration, so a pathological
+/// instance still fails fast.
+pub fn find_embeddings(
+    g: &InteractionGraph,
+    hw: &CouplingMap,
+    budget: usize,
+    max_results: usize,
+) -> Vec<Vec<usize>> {
+    if g.n > hw.n_qubits() || max_results == 0 {
+        return Vec::new();
     }
     let g_adj = g.adjacency();
     // Order logical qubits by descending degree (most-constrained first),
@@ -80,7 +97,8 @@ pub fn find_embedding(g: &InteractionGraph, hw: &CouplingMap, budget: usize) -> 
     let mut mapping: Vec<Option<usize>> = vec![None; g.n];
     let mut used = vec![false; hw.n_qubits()];
     let mut nodes = 0usize;
-    if backtrack(
+    let mut found: Vec<Vec<usize>> = Vec::new();
+    backtrack(
         &refined,
         0,
         &g_adj,
@@ -89,13 +107,14 @@ pub fn find_embedding(g: &InteractionGraph, hw: &CouplingMap, budget: usize) -> 
         &mut used,
         &mut nodes,
         budget,
-    ) {
-        Some(mapping.into_iter().map(|m| m.expect("complete")).collect())
-    } else {
-        None
-    }
+        max_results,
+        &mut found,
+    );
+    found
 }
 
+/// Returns `true` when the search should stop (enough results, or budget
+/// spent); solutions accumulate into `found`.
 #[allow(clippy::too_many_arguments)]
 fn backtrack(
     order: &[usize],
@@ -106,13 +125,16 @@ fn backtrack(
     used: &mut Vec<bool>,
     nodes: &mut usize,
     budget: usize,
+    max_results: usize,
+    found: &mut Vec<Vec<usize>>,
 ) -> bool {
     if depth == order.len() {
-        return true;
+        found.push(mapping.iter().map(|m| m.expect("complete")).collect());
+        return found.len() >= max_results;
     }
     *nodes += 1;
     if *nodes > budget {
-        return false;
+        return true;
     }
     let logical = order[depth];
     let deg = g_adj[logical].len();
@@ -139,11 +161,23 @@ fn backtrack(
         }
         mapping[logical] = Some(phys);
         used[phys] = true;
-        if backtrack(order, depth + 1, g_adj, hw, mapping, used, nodes, budget) {
-            return true;
-        }
+        let stop = backtrack(
+            order,
+            depth + 1,
+            g_adj,
+            hw,
+            mapping,
+            used,
+            nodes,
+            budget,
+            max_results,
+            found,
+        );
         mapping[logical] = None;
         used[phys] = false;
+        if stop {
+            return true;
+        }
     }
     false
 }
@@ -237,6 +271,27 @@ mod tests {
         assert!(!is_valid_embedding(&g, &hw, &[0, 2])); // not adjacent
         assert!(!is_valid_embedding(&g, &hw, &[1, 1])); // not injective
         assert!(is_valid_embedding(&g, &hw, &[1, 2]));
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_valid_embeddings() {
+        // One interacting pair on a 4-line: 2 orientations × 3 edges.
+        let g = InteractionGraph::new(2, [(0, 1)]);
+        let hw = CouplingMap::line(4);
+        let all = find_embeddings(&g, &hw, 100_000, 16);
+        assert_eq!(all.len(), 6);
+        for m in &all {
+            assert!(is_valid_embedding(&g, &hw, m));
+        }
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "embeddings must be distinct");
+        // The first enumerated solution is find_embedding's answer.
+        assert_eq!(find_embedding(&g, &hw, 100_000).unwrap(), all[0]);
+        // max_results truncates, zero yields nothing.
+        assert_eq!(find_embeddings(&g, &hw, 100_000, 2).len(), 2);
+        assert!(find_embeddings(&g, &hw, 100_000, 0).is_empty());
     }
 
     #[test]

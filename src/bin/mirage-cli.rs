@@ -4,6 +4,7 @@
 //! mirage-cli transpile <input.qasm> --topo grid:6x6 [--basis sqrt-iswap|cnot|cz]
 //!                      [--router mirage|sabre|mirage-swaps]
 //!                      [--calibration cal.txt] [--metric depth|swaps|success]
+//!                      [--layout random|degree|noise|vf2|mixed]
 //!                      [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
 //! mirage-cli stats <input.qasm>
 //! mirage-cli draw <input.qasm>
@@ -12,7 +13,10 @@
 //! ```
 
 use mirage::circuit::{generators, qasm, render, Circuit};
-use mirage::core::{transpile, Calibration, Metric, RouterKind, Target, TranspileOptions};
+use mirage::core::placement::StrategyKind;
+use mirage::core::{
+    transpile, Calibration, Metric, RouterKind, Target, TranspileOptions, BALANCED_STRATEGY_MIX,
+};
 use mirage::math::Rng;
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::translate::translate_circuit;
@@ -36,6 +40,7 @@ const USAGE: &str = "usage:
   mirage-cli transpile <input.qasm> --topo <spec> [--basis sqrt-iswap|cnot|cz]
                        [--router mirage|sabre|mirage-swaps]
                        [--calibration cal.txt] [--metric depth|swaps|success]
+                       [--layout random|degree|noise|vf2|mixed]
                        [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
   mirage-cli stats <input.qasm>
   mirage-cli draw <input.qasm>
@@ -46,7 +51,11 @@ topology specs : line:N  ring:N  grid:RxC  heavy-hex:D  a2a:N
 basis gates    : sqrt-iswap (default)  cnot  cz
 generator names: qft:N ghz:N wstate:N bv:N twolocal:N qaoa:N adder:BITS
 metrics        : depth (default for mirage)  swaps  success (needs --calibration
-                 or a zero-error device; selects on predicted success probability)";
+                 or a zero-error device; selects on predicted success probability)
+layouts        : how layout trials are seeded — random (default), degree
+                 (interaction/degree matching), noise (low-error regions of the
+                 calibration), vf2 (exact embeddings), or mixed (a balanced
+                 split of the trial budget across all four)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -192,10 +201,18 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --trials")?;
 
+    let layout = flag(&flags, "layout").unwrap_or("random");
+    let strategy_mix = if layout == "mixed" {
+        BALANCED_STRATEGY_MIX
+    } else {
+        layout.parse::<StrategyKind>()?.one_hot()
+    };
+
     let mut opts = TranspileOptions::quick(router, seed);
     opts.trials.layout_trials = trials;
     opts.trials.routing_trials = trials;
     opts.trials.parallel = true;
+    opts.trials.strategy_mix = strategy_mix;
     if let Some(metric) = metric {
         opts = opts.with_metric(metric);
     }
@@ -208,6 +225,7 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     );
     eprintln!("target  : {} ({} qubits)", target.name(), target.n_qubits());
     eprintln!("router  : {router:?}  (vf2 shortcut: {})", out.used_vf2);
+    eprintln!("layout  : {layout} seeding");
     eprintln!(
         "depth   : {:.2} duration units (iSWAP = 1.0)",
         out.metrics.depth_estimate
