@@ -45,8 +45,8 @@ fn circuits(quick: bool) -> Vec<(String, Circuit)> {
 
 /// The compared seeding configurations: each one-hot strategy plus the
 /// balanced mix.
-fn lanes() -> Vec<(&'static str, [f64; 4])> {
-    let mut lanes: Vec<(&'static str, [f64; 4])> = StrategyKind::ALL
+fn lanes() -> Vec<(&'static str, [f64; 5])> {
+    let mut lanes: Vec<(&'static str, [f64; 5])> = StrategyKind::ALL
         .iter()
         .map(|&k| (k.name(), k.one_hot()))
         .collect();
@@ -54,7 +54,7 @@ fn lanes() -> Vec<(&'static str, [f64; 4])> {
     lanes
 }
 
-fn options(quick: bool, mix: [f64; 4]) -> TrialOptions {
+fn options(quick: bool, mix: [f64; 5]) -> TrialOptions {
     let mut opts = TrialOptions::quick(Metric::EstimatedSuccess, SEED);
     opts.layout_trials = if quick { 4 } else { 8 };
     opts.routing_trials = if quick { 4 } else { 6 };

@@ -1,0 +1,284 @@
+//! `serve_throughput` — jobs/sec scaling of the batch transpilation
+//! service, and a mid-run calibration hot-swap.
+//!
+//! Two experiments over one fixed, seed-deterministic batch:
+//!
+//! 1. **Worker scaling** — the batch runs on a fresh
+//!    `TranspileService` with 1, 2, then 4 workers; the table reports
+//!    jobs/sec and the speedup over the single worker. Because every job
+//!    runs single-threaded inside its worker, the speedup is pure
+//!    pool-level parallelism. On hosts with at least 4 hardware threads
+//!    the run **exits nonzero** when the 4-worker pool fails to reach the
+//!    required speedup over the single worker — 2× in `--quick` (the CI
+//!    smoke gate, tolerant of shared runners) and 2.5× in the full run
+//!    (the acceptance bar, for dedicated hardware); hosts with fewer
+//!    threads report the numbers but skip the gate — there is no
+//!    parallelism to measure. Each pool size is measured twice and the
+//!    better run kept, so one noisy-neighbor window cannot fail the gate.
+//! 2. **Calibration hot-swap** — one service stays up while the device
+//!    "drifts": the first half of the batch is scored under the boot
+//!    calibration, then a strictly noisier calibration is swapped in
+//!    (`Target::swap_calibration` — no rebuild, no restart) and the second
+//!    half runs. The run exits nonzero unless every post-swap job records
+//!    the new calibration generation and the predicted success drops.
+//!
+//! Usage: `serve_throughput [--quick] [--workers N]`
+
+use mirage_circuit::generators::{portfolio_qaoa, qft, two_local_full};
+use mirage_circuit::Circuit;
+use mirage_core::calibration::Calibration;
+use mirage_core::trials::Metric;
+use mirage_core::{RouterKind, Target, TranspileOptions};
+use mirage_math::Rng;
+use mirage_serve::{TranspileJob, TranspileService};
+use mirage_topology::CouplingMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 0x5E27E;
+
+struct Config {
+    quick: bool,
+    max_workers: usize,
+}
+
+fn topology(cfg: &Config) -> CouplingMap {
+    if cfg.quick {
+        CouplingMap::grid(3, 3)
+    } else {
+        CouplingMap::grid(4, 4)
+    }
+}
+
+fn boot_calibration(topo: &CouplingMap) -> Calibration {
+    Calibration::skewed(topo, &mut Rng::new(0xB007), 5e-3, 0.25, 4.0)
+        .expect("base error and factor are in range")
+}
+
+/// The snapshot the hot-swap installs: the boot device degraded to a 4×
+/// higher error floor, then perturbed per-edge/per-qubit by
+/// [`Calibration::drifted`] (±15%, seeded). The floor keeps every edge
+/// strictly noisier than boot — so predicted success must drop for every
+/// job — while the drift makes it a realistic re-calibration rather than a
+/// uniform rescale.
+fn drifted_calibration(topo: &CouplingMap) -> Calibration {
+    Calibration::skewed(topo, &mut Rng::new(0xB007), 2e-2, 0.25, 4.0)
+        .expect("base error and factor are in range")
+        .drifted(&mut Rng::new(0xD21F7), 0.15)
+}
+
+/// The fixed batch: a cycle of routing-heavy benchmark circuits, one job
+/// per (circuit, repetition) with its own seed.
+fn batch(cfg: &Config) -> Vec<TranspileJob> {
+    let n = if cfg.quick { 6 } else { 7 };
+    let reps = if cfg.quick { 4 } else { 6 };
+    let suite: Vec<(String, Circuit)> = vec![
+        (format!("qft-{n}"), qft(n, false)),
+        (format!("twolocal-{n}"), two_local_full(n, 1, 7)),
+        (format!("qaoa-{n}"), portfolio_qaoa(n, 1, 7)),
+    ];
+    let mut opts =
+        TranspileOptions::quick(RouterKind::Mirage, SEED).with_metric(Metric::EstimatedSuccess);
+    opts.use_vf2 = false; // every job must pay for routing, not embed away
+    opts.trials.layout_trials = if cfg.quick { 4 } else { 6 };
+    opts.trials.routing_trials = if cfg.quick { 4 } else { 6 };
+    opts.trials.fwd_bwd_iters = 3;
+    let mut jobs = Vec::new();
+    for rep in 0..reps {
+        for (name, circuit) in &suite {
+            jobs.push(
+                TranspileJob::new(format!("{name}#{rep}"), circuit.clone(), opts.clone())
+                    .with_seed(SEED + jobs.len() as u64),
+            );
+        }
+    }
+    jobs
+}
+
+fn fresh_target(cfg: &Config) -> Arc<Target> {
+    let topo = topology(cfg);
+    let cal = boot_calibration(&topo);
+    Arc::new(
+        Target::sqrt_iswap(topo)
+            .with_calibration(cal)
+            .expect("calibration covers the topology"),
+    )
+}
+
+/// Run the fixed batch once on a fresh service and return (jobs/sec,
+/// circuits).
+fn measure_once(cfg: &Config, workers: usize) -> (f64, Vec<Circuit>) {
+    let service = TranspileService::new(fresh_target(cfg), workers);
+    let jobs = batch(cfg);
+    let n = jobs.len();
+    let start = Instant::now();
+    let results = service.run_batch(jobs).expect("service is live");
+    let elapsed = start.elapsed();
+    service.shutdown();
+    let circuits = results
+        .into_iter()
+        .map(|r| r.outcome.expect("benchmark jobs succeed").circuit)
+        .collect();
+    (n as f64 / elapsed.as_secs_f64().max(1e-9), circuits)
+}
+
+/// Best of two runs: a throughput gate on shared CI runners must not fail
+/// because a noisy neighbor landed on exactly one measurement window.
+fn measure(cfg: &Config, workers: usize) -> (f64, Vec<Circuit>) {
+    let (t1, circuits) = measure_once(cfg, workers);
+    let (t2, again) = measure_once(cfg, workers);
+    assert_eq!(circuits, again, "same batch, same seeds, same results");
+    (t1.max(t2), circuits)
+}
+
+fn scaling_experiment(cfg: &Config) -> bool {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "== serve_throughput — worker scaling ({} jobs, host parallelism {parallelism}) ==\n",
+        batch(cfg).len()
+    );
+    let mut pool_sizes = vec![1usize, 2, 4];
+    pool_sizes.retain(|&w| w <= cfg.max_workers);
+    let mut baseline = 0.0;
+    let mut baseline_circuits: Vec<Circuit> = Vec::new();
+    let mut identical = true;
+    let mut quad_speedup = None;
+    println!(
+        "{:>8} {:>10} {:>9}  results",
+        "workers", "jobs/sec", "speedup"
+    );
+    for &workers in &pool_sizes {
+        let (throughput, circuits) = measure(cfg, workers);
+        if workers == 1 {
+            baseline = throughput;
+            baseline_circuits = circuits.clone();
+        }
+        let same = circuits == baseline_circuits;
+        identical &= same;
+        let speedup = throughput / baseline;
+        if workers == 4 {
+            quad_speedup = Some(speedup);
+        }
+        println!(
+            "{workers:>8} {throughput:>10.2} {speedup:>8.2}x  {}",
+            if same { "bit-identical" } else { "DIVERGED" }
+        );
+    }
+    println!();
+    if !identical {
+        println!("FAIL: results changed with the worker count");
+        return false;
+    }
+    match quad_speedup {
+        Some(speedup) if parallelism >= 4 => {
+            // The CI smoke (--quick, shared runners) gates the satellite's
+            // 2x floor; the full run enforces the stricter 2.5x acceptance
+            // bar on dedicated hardware.
+            let required = if cfg.quick { 2.0 } else { 2.5 };
+            let ok = speedup >= required;
+            println!(
+                "4-worker speedup {speedup:.2}x vs required {required:.2}x -> {}",
+                if ok { "ok" } else { "FAIL" }
+            );
+            ok
+        }
+        Some(speedup) => {
+            println!(
+                "4-worker speedup {speedup:.2}x (host has {parallelism} threads; \
+                 scaling gate skipped — nothing to scale onto)"
+            );
+            true
+        }
+        None => true,
+    }
+}
+
+fn hot_swap_experiment(cfg: &Config) -> bool {
+    let workers = cfg.max_workers.min(4);
+    println!("\n== serve_throughput — mid-run calibration hot-swap ({workers} workers) ==\n");
+    let target = fresh_target(cfg);
+    let topo = target.topology().clone();
+    let service = TranspileService::new(Arc::clone(&target), workers);
+    let jobs = batch(cfg);
+    let half = jobs.len() / 2;
+    let mut jobs = jobs.into_iter();
+
+    let first: Vec<_> = (&mut jobs).take(half).collect();
+    let first_results = service.run_batch(first).expect("service is live");
+
+    let generation = service
+        .swap_calibration(Arc::new(drifted_calibration(&topo)))
+        .expect("drifted calibration covers the topology");
+
+    let second: Vec<_> = jobs.collect();
+    let second_results = service.run_batch(second).expect("service is live");
+    let stats = service.shutdown();
+
+    let mean_success = |results: &[mirage_serve::JobResult]| {
+        let xs: Vec<f64> = results
+            .iter()
+            .map(|r| {
+                r.outcome
+                    .as_ref()
+                    .expect("benchmark jobs succeed")
+                    .metrics
+                    .estimated_success
+            })
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let before = mean_success(&first_results);
+    let after = mean_success(&second_results);
+    let generations_ok = first_results.iter().all(|r| r.generation == 0)
+        && second_results.iter().all(|r| r.generation == 1)
+        && generation == 1;
+    println!(
+        "jobs under boot calibration : {:>3}  mean estimated success {before:.4}",
+        first_results.len()
+    );
+    println!(
+        "jobs under drifted snapshot : {:>3}  mean estimated success {after:.4}",
+        second_results.len()
+    );
+    println!(
+        "service stayed up: {} jobs total, generation 0 -> {generation}, no rebuild",
+        stats.jobs
+    );
+    let ok = generations_ok && after < before;
+    println!(
+        "hot-swap verdict: post-swap jobs see the noisier device -> {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    ok
+}
+
+fn main() {
+    let mut cfg = Config {
+        quick: false,
+        max_workers: 4,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--workers" => {
+                cfg.max_workers = args
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .expect("--workers needs an integer >= 1");
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    // Build the shared coverage set once, outside every timed region.
+    let _ = fresh_target(&cfg).gate_cost(&mirage_weyl::coords::WeylCoord::CNOT);
+
+    let scaling_ok = scaling_experiment(&cfg);
+    let swap_ok = hot_swap_experiment(&cfg);
+    if !(scaling_ok && swap_ok) {
+        std::process::exit(1);
+    }
+}

@@ -307,6 +307,40 @@ impl Calibration {
         Ok(cal)
     }
 
+    /// A drifted copy of this calibration: every edge's duration factor
+    /// and error rate, and every qubit's errors, are multiplied by an
+    /// independent random factor in `[1/(1+magnitude), 1+magnitude]`
+    /// (log-uniform, so drift is unbiased in log space), clamped to the
+    /// physical ranges. This is the serving-layer scenario: the device a
+    /// long-lived `mirage_serve::TranspileService` process targets is never
+    /// the device that was calibrated at boot, and
+    /// [`Target::swap_calibration`](crate::target::Target::swap_calibration)
+    /// absorbs the refreshed snapshot without a rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude` is negative or non-finite.
+    pub fn drifted(&self, rng: &mut Rng, magnitude: f64) -> Calibration {
+        assert!(
+            magnitude.is_finite() && magnitude >= 0.0,
+            "drift magnitude must be a finite non-negative factor"
+        );
+        let span = (1.0 + magnitude).ln();
+        let factor = |rng: &mut Rng| rng.uniform_range(-span, span).exp();
+        let mut cal = self.clone();
+        for q in cal.qubits.iter_mut() {
+            // 1Q durations stay put (the paper's free-1Q convention);
+            // errors drift multiplicatively and stay in [0, 1).
+            q.error_1q = (q.error_1q * factor(rng)).min(0.999_999);
+            q.readout_error = (q.readout_error * factor(rng)).min(0.999_999);
+        }
+        for e in cal.edges.values_mut() {
+            e.duration_factor = (e.duration_factor * factor(rng)).max(1e-6);
+            e.error_2q = (e.error_2q * factor(rng)).min(0.999_999);
+        }
+        cal
+    }
+
     /// Calibrated register width.
     pub fn n_qubits(&self) -> usize {
         self.n_qubits
@@ -748,6 +782,28 @@ mod tests {
             assert!(e.duration_factor >= 0.85 && e.duration_factor <= 1.3);
             assert!(e.error_2q > 0.0 && e.error_2q < 1.0);
         }
+    }
+
+    #[test]
+    fn drifted_stays_valid_and_bounded() {
+        let topo = CouplingMap::grid(3, 3);
+        let base = Calibration::synthetic(&topo, &mut Rng::new(0xD1));
+        let drifted = base.drifted(&mut Rng::new(0xD2), 0.3);
+        drifted.validate_for(&topo).unwrap();
+        assert_ne!(base, drifted, "nonzero drift must change something");
+        for ((k, e0), (k1, e1)) in base.edges().zip(drifted.edges()) {
+            assert_eq!(k, k1, "drift never adds or drops couplers");
+            let ratio = e1.duration_factor / e0.duration_factor;
+            assert!((1.0 / 1.3..=1.3).contains(&ratio), "ratio {ratio}");
+            assert!(e1.error_2q > 0.0 && e1.error_2q < 1.0);
+        }
+        // Zero magnitude is the identity.
+        assert_eq!(base.drifted(&mut Rng::new(1), 0.0), base);
+        // Seed-deterministic.
+        assert_eq!(
+            base.drifted(&mut Rng::new(7), 0.2),
+            base.drifted(&mut Rng::new(7), 0.2)
+        );
     }
 
     #[test]

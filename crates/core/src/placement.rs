@@ -17,6 +17,10 @@
 //!   [`Target::qubit_quality`]) and places the circuit inside it; on a
 //!   uniform calibration there is nothing to rank, so it falls back to
 //!   [`Random`].
+//! * [`DegreeNoise`] — the hybrid: degree-greedy assignment seeded into a
+//!   low-error region (with head-room), so hubs land on well-connected
+//!   seats *of the quiet part* of the device; degrades to [`DegreeMatched`]
+//!   on uniform calibrations.
 //! * [`Vf2Embed`] — exact subgraph embedding (the `VF2Layout` pre-pass of
 //!   §V, extracted from the pipeline), breaking ties between embeddings by
 //!   [`Metric::EstimatedSuccess`](crate::trials::Metric::EstimatedSuccess)
@@ -30,6 +34,7 @@
 //!
 //! [`TrialOptions::strategy_mix`]: crate::trials::TrialOptions::strategy_mix
 
+use crate::calibration::Calibration;
 use crate::layout::Layout;
 use crate::target::Target;
 use crate::trials::mix_counts;
@@ -206,67 +211,136 @@ impl LayoutStrategy for NoiseAware {
 
     fn propose(&self, ctx: &PlacementContext<'_>, rng: &mut Rng) -> Option<Layout> {
         let target = ctx.target();
-        if target.calibration().is_uniform() {
+        let cal = target.calibration();
+        if cal.is_uniform() {
             return Random.propose(ctx, rng);
         }
-        let n_phys = ctx.n_physical();
-        let quality: Vec<f64> = (0..n_phys).map(|q| target.qubit_quality(q)).collect();
+        let quality: Vec<f64> = (0..ctx.n_physical())
+            .map(|q| target.qubit_quality_with(&cal, q))
+            .collect();
+        let region = grow_low_error_region(ctx, &cal, &quality, ctx.n_logical(), rng);
+        Some(greedy_assign(ctx, &region, &|p| quality[p], rng))
+    }
+}
 
-        // Start from one of the best quartile of seats (randomized so the
-        // trial loop explores several regions of a patchy device).
-        let mut ranked: Vec<usize> = (0..n_phys).collect();
-        ranked.sort_by(|&a, &b| quality[b].total_cmp(&quality[a]));
-        let pool = ranked.len().div_ceil(4).max(1);
-        let start = ranked[rng.below(pool)];
+/// Grow a connected region of `size` physical qubits, preferring quiet
+/// seats reached through quiet couplers. `cal` is the caller's calibration
+/// snapshot (the same one that ranked `quality`, so one proposal never
+/// mixes two calibrations). The start seat is drawn from the best quartile
+/// (randomized, so the trial loop explores several regions of a patchy
+/// device). Shared by [`NoiseAware`] and [`DegreeNoise`].
+fn grow_low_error_region(
+    ctx: &PlacementContext<'_>,
+    cal: &Calibration,
+    quality: &[f64],
+    size: usize,
+    rng: &mut Rng,
+) -> Vec<usize> {
+    let target = ctx.target();
+    let n_phys = ctx.n_physical();
+    let mut ranked: Vec<usize> = (0..n_phys).collect();
+    ranked.sort_by(|&a, &b| quality[b].total_cmp(&quality[a]));
+    let pool = ranked.len().div_ceil(4).max(1);
+    let start = ranked[rng.below(pool)];
 
-        // Grow a connected region, preferring quiet seats reached through
-        // quiet couplers.
-        let topo = target.topology();
-        let mut in_region = vec![false; n_phys];
-        let mut region = vec![start];
-        in_region[start] = true;
-        while region.len() < ctx.n_logical() {
-            // Deduplicated frontier (ordered, so the random tie-break is
-            // one fair draw per candidate regardless of how many region
-            // members it touches).
-            let frontier: std::collections::BTreeSet<usize> = region
+    let topo = target.topology();
+    let mut in_region = vec![false; n_phys];
+    let mut region = vec![start];
+    in_region[start] = true;
+    while region.len() < size.min(n_phys) {
+        // Deduplicated frontier (ordered, so the random tie-break is
+        // one fair draw per candidate regardless of how many region
+        // members it touches).
+        let frontier: std::collections::BTreeSet<usize> = region
+            .iter()
+            .flat_map(|&member| topo.neighbors(member).iter().copied())
+            .filter(|&q| !in_region[q])
+            .collect();
+        let mut best: Option<(f64, f64, usize)> = None;
+        for q in frontier {
+            let links: Vec<f64> = topo
+                .neighbors(q)
                 .iter()
-                .flat_map(|&member| topo.neighbors(member).iter().copied())
-                .filter(|&q| !in_region[q])
+                .filter(|&&nb| in_region[nb])
+                .map(|&nb| ln_survival(cal.edge_or_nominal(q, nb).error_2q))
                 .collect();
-            let mut best: Option<(f64, f64, usize)> = None;
-            for q in frontier {
-                let links: Vec<f64> = topo
-                    .neighbors(q)
-                    .iter()
-                    .filter(|&&nb| in_region[nb])
-                    .map(|&nb| ln_survival(target.calibration().edge_or_nominal(q, nb).error_2q))
-                    .collect();
-                let bonus = links.iter().sum::<f64>() / links.len().max(1) as f64;
-                let key = (quality[q] + bonus, rng.uniform(), q);
-                if best.map_or(true, |b| (key.0, key.1).gt(&(b.0, b.1))) {
-                    best = Some(key);
-                }
-            }
-            match best {
-                Some((_, _, q)) => {
-                    in_region[q] = true;
-                    region.push(q);
-                }
-                // Disconnected device (transpile rejects these, but stay
-                // total): take the best remaining seat outright.
-                None => {
-                    let q = ranked
-                        .iter()
-                        .copied()
-                        .find(|&q| !in_region[q])
-                        .expect("n_logical <= n_physical");
-                    in_region[q] = true;
-                    region.push(q);
-                }
+            let bonus = links.iter().sum::<f64>() / links.len().max(1) as f64;
+            let key = (quality[q] + bonus, rng.uniform(), q);
+            if best.map_or(true, |b| (key.0, key.1).gt(&(b.0, b.1))) {
+                best = Some(key);
             }
         }
-        Some(greedy_assign(ctx, &region, &|p| quality[p], rng))
+        match best {
+            Some((_, _, q)) => {
+                in_region[q] = true;
+                region.push(q);
+            }
+            // Disconnected device (transpile rejects these, but stay
+            // total): take the best remaining seat outright.
+            None => {
+                let q = ranked
+                    .iter()
+                    .copied()
+                    .find(|&q| !in_region[q])
+                    .expect("size <= n_physical");
+                in_region[q] = true;
+                region.push(q);
+            }
+        }
+    }
+    region
+}
+
+/// The hybrid degree+noise strategy the ROADMAP asked for: degree-greedy
+/// placement seeded **into** a low-error region. [`DegreeMatched`] alone
+/// chases hardware hubs wherever they sit — on a skewed device it happily
+/// parks the whole circuit on lossy couplers, and because it is nearly
+/// deterministic it concentrates its entire trial budget on that one
+/// placement family. `DegreeNoise` first grows a connected low-error region
+/// (like [`NoiseAware`]) with head-room beyond the circuit width, then runs
+/// the same interaction-weighted greedy assignment *restricted to that
+/// region*, tie-breaking toward well-connected seats. On a uniform
+/// calibration there is no noise signal and it degrades to
+/// [`DegreeMatched`] exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeNoise;
+
+impl DegreeNoise {
+    /// Extra seats grown beyond the circuit width, as a fraction of it:
+    /// the slack gives the degree-greedy core real seat choices inside the
+    /// quiet region (a region of exactly circuit width would make the
+    /// assignment order irrelevant).
+    pub const REGION_SLACK: f64 = 0.5;
+
+    /// Region size for a circuit of `n_logical` qubits on a device with
+    /// `n_physical` seats.
+    fn region_size(n_logical: usize, n_physical: usize) -> usize {
+        let slack = ((n_logical as f64 * Self::REGION_SLACK).ceil() as usize).max(1);
+        (n_logical + slack).min(n_physical)
+    }
+}
+
+impl LayoutStrategy for DegreeNoise {
+    fn name(&self) -> &'static str {
+        "degree-noise"
+    }
+
+    fn propose(&self, ctx: &PlacementContext<'_>, rng: &mut Rng) -> Option<Layout> {
+        let target = ctx.target();
+        let cal = target.calibration();
+        if cal.is_uniform() {
+            return DegreeMatched.propose(ctx, rng);
+        }
+        let quality: Vec<f64> = (0..ctx.n_physical())
+            .map(|q| target.qubit_quality_with(&cal, q))
+            .collect();
+        let size = Self::region_size(ctx.n_logical(), ctx.n_physical());
+        let region = grow_low_error_region(ctx, &cal, &quality, size, rng);
+        let topo = target.topology();
+        // Degree dominates the tie-break inside the quiet region; quality
+        // (a small negative log-survival) orders seats of equal degree.
+        let seat_quality = |p: usize| topo.neighbors(p).len() as f64 + quality[p].clamp(-0.9, 0.0);
+        Some(greedy_assign(ctx, &region, &seat_quality, rng))
     }
 }
 
@@ -327,23 +401,31 @@ pub enum StrategyKind {
     DegreeMatched,
     /// [`NoiseAware`].
     NoiseAware,
+    /// [`DegreeNoise`].
+    DegreeNoise,
     /// [`Vf2Embed`].
     Vf2Embed,
 }
 
-/// A balanced split of the layout budget across all four strategies:
+/// Number of strategy lanes — the width of
+/// [`TrialOptions::strategy_mix`](crate::trials::TrialOptions::strategy_mix).
+pub const N_STRATEGIES: usize = 5;
+
+/// A balanced split of the layout budget across all five strategies:
 /// random exploration keeps its plurality (it is the only unbiased
-/// estimator), noise-aware gets the next share on calibrated targets, and
-/// VF2 a token lane (it is deterministic, so one trial extracts all its
-/// value).
-pub const BALANCED_STRATEGY_MIX: [f64; 4] = [0.4, 0.2, 0.3, 0.1];
+/// estimator), the calibration-aware lanes (noise-aware and the
+/// degree+noise hybrid) split the next share, pure degree-matching keeps a
+/// small diversity lane, and VF2 a token one (it is deterministic, so one
+/// trial extracts all its value).
+pub const BALANCED_STRATEGY_MIX: [f64; N_STRATEGIES] = [0.35, 0.1, 0.25, 0.2, 0.1];
 
 impl StrategyKind {
     /// Every strategy, in mix-lane order.
-    pub const ALL: [StrategyKind; 4] = [
+    pub const ALL: [StrategyKind; N_STRATEGIES] = [
         StrategyKind::Random,
         StrategyKind::DegreeMatched,
         StrategyKind::NoiseAware,
+        StrategyKind::DegreeNoise,
         StrategyKind::Vf2Embed,
     ];
 
@@ -353,6 +435,7 @@ impl StrategyKind {
             StrategyKind::Random => &Random,
             StrategyKind::DegreeMatched => &DegreeMatched,
             StrategyKind::NoiseAware => &NoiseAware,
+            StrategyKind::DegreeNoise => &DegreeNoise,
             StrategyKind::Vf2Embed => &Vf2Embed,
         }
     }
@@ -363,8 +446,8 @@ impl StrategyKind {
     }
 
     /// A mix giving this strategy the whole layout budget.
-    pub fn one_hot(self) -> [f64; 4] {
-        let mut mix = [0.0; 4];
+    pub fn one_hot(self) -> [f64; N_STRATEGIES] {
+        let mut mix = [0.0; N_STRATEGIES];
         mix[self as usize] = 1.0;
         mix
     }
@@ -372,7 +455,7 @@ impl StrategyKind {
     /// The strategy seeding layout trial `t` of `total` under `mix`
     /// (mirrors [`aggression_for_trial`](crate::trials::aggression_for_trial):
     /// every strategy with a nonzero share gets at least one trial).
-    pub fn for_trial(t: usize, total: usize, mix: &[f64; 4]) -> StrategyKind {
+    pub fn for_trial(t: usize, total: usize, mix: &[f64; N_STRATEGIES]) -> StrategyKind {
         let counts = mix_counts(total.max(1), mix);
         let mut upto = 0usize;
         for (lane, &n) in counts.iter().enumerate() {
@@ -393,6 +476,7 @@ impl std::str::FromStr for StrategyKind {
             "random" => Ok(StrategyKind::Random),
             "degree" | "degree-matched" => Ok(StrategyKind::DegreeMatched),
             "noise" | "noise-aware" => Ok(StrategyKind::NoiseAware),
+            "degree-noise" | "hybrid" => Ok(StrategyKind::DegreeNoise),
             "vf2" => Ok(StrategyKind::Vf2Embed),
             other => Err(format!("unknown layout strategy '{other}'")),
         }
@@ -637,7 +721,89 @@ mod tests {
         let hit: std::collections::BTreeSet<&str> = (0..20)
             .map(|t| StrategyKind::for_trial(t, 20, &BALANCED_STRATEGY_MIX).name())
             .collect();
-        assert_eq!(hit.len(), 4, "{hit:?}");
+        assert_eq!(hit.len(), N_STRATEGIES, "{hit:?}");
+    }
+
+    #[test]
+    fn degree_noise_degrades_to_degree_matched_on_uniform() {
+        let target = Target::sqrt_iswap(CouplingMap::grid(3, 3));
+        let circ = two_local_full(5, 1, 7);
+        let ctx = PlacementContext::new(&circ, &target);
+        for seed in 0..5 {
+            let hybrid = DegreeNoise.propose(&ctx, &mut Rng::new(seed)).unwrap();
+            let degree = DegreeMatched.propose(&ctx, &mut Rng::new(seed)).unwrap();
+            assert_eq!(hybrid, degree, "uniform targets degrade to DegreeMatched");
+        }
+    }
+
+    #[test]
+    fn degree_noise_keeps_the_hub_on_a_well_connected_quiet_seat() {
+        // Left half of a 2x4 grid is clean, right half noisy (same device
+        // as the NoiseAware test). A 4-qubit star circuit: the hybrid must
+        // stay inside the clean block AND put the hub on one of its two
+        // degree-3 seats — DegreeMatched alone would chase the global
+        // degree-3 seats regardless of noise.
+        let topo = CouplingMap::grid(2, 4);
+        let mut cal = Calibration::uniform(&topo);
+        for q in [2, 3, 6, 7] {
+            cal.set_qubit(
+                q,
+                QubitCalibration {
+                    duration_1q: 0.0,
+                    error_1q: 5e-3,
+                    readout_error: 0.08,
+                },
+            )
+            .unwrap();
+        }
+        for &(a, b) in topo.edges() {
+            if a.max(b) % 4 >= 2 {
+                cal.set_edge(
+                    a,
+                    b,
+                    EdgeCalibration {
+                        duration_factor: 1.0,
+                        error_2q: 0.04,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        let target = Target::sqrt_iswap(topo.clone())
+            .with_calibration(cal)
+            .unwrap();
+        let mut circ = Circuit::new(4);
+        for leaf in 1..4 {
+            circ.cx(0, leaf);
+        }
+        let ctx = PlacementContext::new(&circ, &target);
+        // Region size: 4 logical + ceil(4 * 0.5) slack = 6 seats.
+        assert_eq!(DegreeNoise::region_size(4, 8), 6);
+        for seed in 0..6 {
+            let layout = DegreeNoise
+                .propose(&ctx, &mut Rng::new(seed))
+                .expect("always places");
+            let hub = layout.phys(0);
+            // The clean columns are 0-1 ({0, 1, 4, 5}); with slack the
+            // region can reach into column 2, but never the far noisy
+            // column {3, 7} — and the hub must sit on a degree-3 seat of
+            // the quiet side.
+            assert!(
+                [1usize, 5].contains(&hub),
+                "seed {seed}: hub on {hub}, expected a quiet degree-3 seat"
+            );
+            let adjacent = (1..4)
+                .filter(|&leaf| target.topology().are_adjacent(layout.phys(leaf), hub))
+                .count();
+            assert!(adjacent >= 2, "seed {seed}: only {adjacent} leaves by hub");
+            for leaf in 0..4 {
+                let p = layout.phys(leaf);
+                assert!(
+                    ![3usize, 7].contains(&p),
+                    "seed {seed}: seat {p} in the far noisy column"
+                );
+            }
+        }
     }
 
     #[test]

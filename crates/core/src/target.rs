@@ -12,19 +12,35 @@
 //! * the per-depth [`CoverageSet`] for that basis — built **lazily** on
 //!   first cost query, since topology-only work (VF2 embedding, SWAP-only
 //!   routing baselines) never needs it,
-//! * a [`Calibration`] — per-edge 2Q durations and error rates, per-qubit
-//!   1Q durations/errors and readout errors — that drives duration weights
-//!   ([`Target::duration_weight`]) and success estimates
+//! * an [`Arc<Calibration>`] — per-edge 2Q durations and error rates,
+//!   per-qubit 1Q durations/errors and readout errors — that drives
+//!   duration weights ([`Target::duration_weight`]) and success estimates
 //!   ([`Target::estimated_success`]); stock constructors start from
 //!   [`Calibration::uniform`], which reproduces the paper's idealized
-//!   device exactly, and [`Target::with_calibration`] swaps in measured
-//!   data (see [`crate::calibration`]), and
+//!   device exactly, [`Target::with_calibration`] swaps in measured data at
+//!   construction, and [`Target::swap_calibration`] **hot-swaps** it on a
+//!   live shared target (see below), and
 //! * one process-wide-shareable sharded [`SharedCostCache`] consulted by
 //!   every routing trial, refinement pass, and metric computation.
 //!
 //! `Target` is `Send + Sync`; routing trials running on scoped threads
-//! share one instance by reference. Cached costs are pure functions of the
+//! share one instance by reference, and a serving process
+//! (`mirage_serve::TranspileService`) shares one `Arc<Target>` across its
+//! whole worker pool. Cached coordinate costs are pure functions of the
 //! coordinate class, so sharing never changes results.
+//!
+//! # Calibration hot-swap
+//!
+//! Real devices drift: a long-lived service must absorb fresh calibration
+//! data without rebuilding the target (and with it the lazily built
+//! coverage set and the warm cost cache). [`Target::swap_calibration`]
+//! does this through `&self`: it validates that the new calibration covers
+//! every coupler, publishes it, and bumps the **calibration generation**
+//! ([`Target::calibration_generation`]). Per-edge costs cached in the
+//! [`SharedCostCache`] are epoch-tagged, and the swap advances the cache
+//! epoch, so a warm cache can never serve a cost computed under a
+//! calibration that has since been replaced — while the (much more
+//! expensive, calibration-independent) coordinate-class costs stay warm.
 //!
 //! ```
 //! use mirage_core::target::Target;
@@ -33,6 +49,7 @@
 //! let target = Target::sqrt_iswap(CouplingMap::grid(6, 6));
 //! assert_eq!(target.n_qubits(), 36);
 //! assert!(!target.coverage_built(), "coverage is lazy");
+//! assert_eq!(target.calibration_generation(), 0);
 //! ```
 
 use crate::calibration::{Calibration, CalibrationError, QubitCalibration};
@@ -41,7 +58,8 @@ use mirage_coverage::cache::SharedCostCache;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_topology::CouplingMap;
 use mirage_weyl::coords::{coords_of, WeylCoord};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Uniform gate-duration model: the single-knob special case of
 /// [`Calibration`].
@@ -73,8 +91,20 @@ impl Default for DurationModel {
     }
 }
 
-/// Default capacity of a target's shared cost cache (coordinate classes).
+/// Base capacity of a target's shared cost cache (coordinate classes).
 const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Per-coupler headroom on top of [`DEFAULT_CACHE_CAPACITY`]: every
+/// coupler can hold this many edge-scoped cost entries before any LRU
+/// pressure. Without it, a wide device's `(class, edge)` entries would
+/// thrash a capacity sized for coordinate classes alone — and evict the
+/// expensive polytope-scan entries to make room for cheap multiplies.
+const EDGE_CACHE_HEADROOM: usize = 64;
+
+/// Default cost-cache capacity for a device with `n_edges` couplers.
+fn default_cache_capacity(n_edges: usize) -> usize {
+    DEFAULT_CACHE_CAPACITY + EDGE_CACHE_HEADROOM * n_edges
+}
 
 /// The paper-default coverage construction parameters for a standard
 /// (mirror-free) costing set.
@@ -140,7 +170,18 @@ pub struct Target {
     /// instead of building a private one (the stock basis constructors use
     /// this so repeated `Target`s never rebuild identical polytopes).
     shared_coverage: Option<fn() -> Arc<CoverageSet>>,
-    calibration: Calibration,
+    /// The live calibration. Behind a lock so a serving layer can swap it
+    /// on a shared target; scoring paths take one snapshot per computation
+    /// (an `Arc` clone), so snapshot-priced terms (1Q weights, all
+    /// success/log-fidelity scoring) never mix two calibrations within one
+    /// score. Per-edge 2Q costs resolve through the epoch-tagged cache
+    /// instead: each entry is internally consistent with exactly one
+    /// calibration, and a swap mid-depth-score at worst re-prices later
+    /// edges under the new data — it can never serve stale values.
+    calibration: RwLock<Arc<Calibration>>,
+    /// Bumped by every [`Target::swap_calibration`]; results can record the
+    /// generation they were computed under.
+    generation: AtomicU64,
     cache: SharedCostCache,
 }
 
@@ -148,15 +189,17 @@ impl Target {
     /// A target with an explicit basis and coverage-construction options;
     /// the coverage set is built on first cost query.
     pub fn new(topo: CouplingMap, basis: BasisGate, coverage_opts: CoverageOptions) -> Target {
-        let calibration = Calibration::uniform(&topo);
+        let calibration = Arc::new(Calibration::uniform(&topo));
+        let cache = SharedCostCache::new(default_cache_capacity(topo.edges().len()));
         Target {
             topo,
             basis,
             coverage_opts,
             coverage: OnceLock::new(),
             shared_coverage: None,
-            calibration,
-            cache: SharedCostCache::new(DEFAULT_CACHE_CAPACITY),
+            calibration: RwLock::new(calibration),
+            generation: AtomicU64::new(0),
+            cache,
         }
     }
 
@@ -166,15 +209,17 @@ impl Target {
         let basis = coverage.basis.clone();
         let cell = OnceLock::new();
         cell.set(coverage).expect("fresh cell");
-        let calibration = Calibration::uniform(&topo);
+        let calibration = Arc::new(Calibration::uniform(&topo));
+        let cache = SharedCostCache::new(default_cache_capacity(topo.edges().len()));
         Target {
             topo,
             basis,
             coverage_opts: CoverageOptions::default(),
             coverage: cell,
             shared_coverage: None,
-            calibration,
-            cache: SharedCostCache::new(DEFAULT_CACHE_CAPACITY),
+            calibration: RwLock::new(calibration),
+            generation: AtomicU64::new(0),
+            cache,
         }
     }
 
@@ -216,11 +261,12 @@ impl Target {
     /// calibration layer rejects unphysical durations).
     #[must_use]
     pub fn with_durations(mut self, durations: DurationModel) -> Target {
-        for q in 0..self.calibration.n_qubits() {
-            let mut cal = self.calibration.qubit_or_default(q);
-            cal.duration_1q = durations.one_qubit;
-            self.calibration
-                .set_qubit(q, cal)
+        let slot = self.calibration.get_mut().expect("calibration poisoned");
+        let cal = Arc::make_mut(slot);
+        for q in 0..cal.n_qubits() {
+            let mut qc = cal.qubit_or_default(q);
+            qc.duration_1q = durations.one_qubit;
+            cal.set_qubit(q, qc)
                 .expect("DurationModel::one_qubit must be finite and non-negative");
         }
         self
@@ -228,7 +274,9 @@ impl Target {
 
     /// Replace the calibration (builder style). Stock constructors start
     /// from [`Calibration::uniform`], which scores identically to the
-    /// uncalibrated paper device.
+    /// uncalibrated paper device. For replacing the calibration of a
+    /// target that is already **shared** (a live service), use
+    /// [`Target::swap_calibration`] instead.
     ///
     /// # Errors
     ///
@@ -240,8 +288,47 @@ impl Target {
         calibration: Calibration,
     ) -> Result<Target, CalibrationError> {
         calibration.validate_for(&self.topo)?;
-        self.calibration = calibration;
+        *self.calibration.get_mut().expect("calibration poisoned") = Arc::new(calibration);
+        // The builder can run on an already-warmed target (e.g. a probed
+        // `with_coverage` target): retire any per-edge costs priced under
+        // the previous calibration, exactly like a hot swap would.
+        self.cache.advance_epoch();
         Ok(self)
+    }
+
+    /// Hot-swap the calibration of a **live, shared** target: validate the
+    /// new data, publish it, advance the cost-cache epoch (so per-edge
+    /// costs computed under the old calibration are never served again),
+    /// and bump the calibration generation. Everything already built —
+    /// the coverage set, the coordinate-class cost entries, in-flight
+    /// [`TrialEngine`](crate::trials::TrialEngine)s — stays warm and keeps
+    /// working; only calibration-derived values refresh.
+    ///
+    /// Returns the new generation. Jobs scored after the swap see the new
+    /// calibration; a job mid-flight sees a consistent snapshot per scoring
+    /// computation (each takes the `Arc` once), so scores never blend two
+    /// calibrations, though different trials of one mid-swap job may land
+    /// on different sides of it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects calibrations that do not fully cover the topology, exactly
+    /// like [`Target::with_calibration`] — a failed swap leaves the current
+    /// calibration, generation, and cache untouched.
+    pub fn swap_calibration(&self, calibration: Arc<Calibration>) -> Result<u64, CalibrationError> {
+        calibration.validate_for(&self.topo)?;
+        *self.calibration.write().expect("calibration poisoned") = calibration;
+        // Publish the data before advancing the epoch: a reader observing
+        // the new epoch can only recompute against the new calibration.
+        self.cache.advance_epoch();
+        Ok(self.generation.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// The number of calibration swaps this target has absorbed (0 for a
+    /// freshly built target). Serving layers record it per job so results
+    /// can be attributed to the calibration they were computed under.
+    pub fn calibration_generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// Replace the shared cost cache with one of the given capacity
@@ -268,10 +355,16 @@ impl Target {
         &self.basis
     }
 
-    /// The device calibration (per-edge durations/errors, per-qubit
-    /// durations/errors/readout).
-    pub fn calibration(&self) -> &Calibration {
-        &self.calibration
+    /// A snapshot of the device calibration (per-edge durations/errors,
+    /// per-qubit durations/errors/readout). The returned `Arc` stays
+    /// internally consistent even if [`Target::swap_calibration`] runs
+    /// concurrently — it simply keeps describing the generation it was
+    /// taken under.
+    pub fn calibration(&self) -> Arc<Calibration> {
+        self.calibration
+            .read()
+            .expect("calibration poisoned")
+            .clone()
     }
 
     /// A short identifier, e.g. `sqrt_iswap@grid-6x6`.
@@ -316,19 +409,23 @@ impl Target {
     /// `(a, b)`: the basis-independent [`Target::gate_cost`] scaled by that
     /// edge's calibrated duration factor. Pairs without a calibration entry
     /// (a circuit scored before placement) fall back to the nominal factor.
+    ///
+    /// Answered through an epoch-tagged per-edge cache entry, so the hot
+    /// path (every mirror decision of every routing trial) skips both the
+    /// polytope scan and the calibration lookup — and a calibration swap
+    /// invalidates exactly these entries.
     pub fn gate_cost_on(&self, w: &WeylCoord, a: usize, b: usize) -> f64 {
-        self.gate_cost(w) * self.calibration.edge_or_nominal(a, b).duration_factor
+        self.cache.get_or_insert_edge_with(w, a, b, || {
+            self.gate_cost(w) * self.calibration().edge_or_nominal(a, b).duration_factor
+        })
     }
 
-    /// Instruction weight under the calibration: two-qubit gates cost their
-    /// decomposition duration scaled by their edge's duration factor,
-    /// single-qubit gates cost their qubit's calibrated 1Q duration.
-    pub fn duration_weight(&self, instr: &Instruction) -> f64 {
+    /// [`Target::duration_weight`] against an explicit calibration
+    /// snapshot: whole-circuit weighing takes the snapshot once instead of
+    /// paying a lock acquisition per single-qubit gate.
+    fn duration_weight_with(&self, cal: &Calibration, instr: &Instruction) -> f64 {
         if !instr.gate.is_two_qubit() {
-            return self
-                .calibration
-                .qubit_or_default(instr.qubits[0])
-                .duration_1q;
+            return cal.qubit_or_default(instr.qubits[0]).duration_1q;
         }
         self.gate_cost_on(
             &coords_of(&instr.gate.matrix2()),
@@ -337,15 +434,44 @@ impl Target {
         )
     }
 
-    /// Duration-weighted critical path of a circuit on this target
-    /// (MIRAGE-Depth's post-selection metric, paper §IV-B).
-    pub fn depth_estimate(&self, c: &Circuit) -> f64 {
-        c.weighted_depth(|i| self.duration_weight(i))
+    /// Instruction weight under the calibration: two-qubit gates cost their
+    /// decomposition duration scaled by their edge's duration factor,
+    /// single-qubit gates cost their qubit's calibrated 1Q duration.
+    pub fn duration_weight(&self, instr: &Instruction) -> f64 {
+        self.duration_weight_with(&self.calibration(), instr)
     }
 
-    /// Total decomposition cost (sum over all gates).
+    /// Duration-weighted critical path of a circuit on this target
+    /// (MIRAGE-Depth's post-selection metric, paper §IV-B). One calibration
+    /// snapshot weighs the whole circuit; two-qubit costs resolve through
+    /// the epoch-tagged per-edge cache.
+    pub fn depth_estimate(&self, c: &Circuit) -> f64 {
+        let cal = self.calibration();
+        c.weighted_depth(|i| self.duration_weight_with(&cal, i))
+    }
+
+    /// Total decomposition cost (sum over all gates), under one
+    /// calibration snapshot.
     pub fn total_gate_cost(&self, c: &Circuit) -> f64 {
-        c.instructions.iter().map(|i| self.duration_weight(i)).sum()
+        let cal = self.calibration();
+        c.instructions
+            .iter()
+            .map(|i| self.duration_weight_with(&cal, i))
+            .sum()
+    }
+
+    /// [`Target::instruction_log_success`] against an explicit calibration
+    /// snapshot — the shared core that keeps whole-circuit scores on one
+    /// snapshot (one lock acquisition, one consistent calibration).
+    fn instruction_log_success_with(&self, cal: &Calibration, instr: &Instruction) -> f64 {
+        if !instr.gate.is_two_qubit() {
+            let q = cal.qubit_or_default(instr.qubits[0]);
+            return ln_survival(q.error_1q);
+        }
+        let w = coords_of(&instr.gate.matrix2());
+        let applications = self.gate_cost(&w) / self.basis.duration;
+        let edge = cal.edge_or_nominal(instr.qubits[0], instr.qubits[1]);
+        applications * ln_survival(edge.error_2q)
     }
 
     /// Natural log of one instruction's estimated success probability.
@@ -355,34 +481,28 @@ impl Target {
     /// priced at 3 CNOTs or 3 √iSWAPs pays 3, a mirror only its own cost);
     /// single-qubit gates pay their qubit's 1Q error once.
     pub fn instruction_log_success(&self, instr: &Instruction) -> f64 {
-        if !instr.gate.is_two_qubit() {
-            let q = self.calibration.qubit_or_default(instr.qubits[0]);
-            return ln_survival(q.error_1q);
-        }
-        let w = coords_of(&instr.gate.matrix2());
-        let applications = self.gate_cost(&w) / self.basis.duration;
-        let edge = self
-            .calibration
-            .edge_or_nominal(instr.qubits[0], instr.qubits[1]);
-        applications * ln_survival(edge.error_2q)
+        self.instruction_log_success_with(&self.calibration(), instr)
     }
 
     /// Natural log of a circuit's estimated success probability: the sum of
     /// per-instruction log-fidelities (readout excluded; see
-    /// [`Target::readout_log_success`]).
+    /// [`Target::readout_log_success`]), all under one calibration
+    /// snapshot.
     pub fn circuit_log_success(&self, c: &Circuit) -> f64 {
+        let cal = self.calibration();
         c.instructions
             .iter()
-            .map(|i| self.instruction_log_success(i))
+            .map(|i| self.instruction_log_success_with(&cal, i))
             .sum()
     }
 
     /// Natural log of the probability that measuring the given physical
     /// qubits all succeeds, under the calibrated readout errors.
     pub fn readout_log_success(&self, measured: &[usize]) -> f64 {
+        let cal = self.calibration();
         measured
             .iter()
-            .map(|&q| ln_survival(self.calibration.qubit_or_default(q).readout_error))
+            .map(|&q| ln_survival(cal.qubit_or_default(q).readout_error))
             .sum()
     }
 
@@ -400,14 +520,22 @@ impl Target {
     /// qubit scores exactly `0`. The `NoiseAware` layout strategy ranks
     /// seats by this number.
     pub fn qubit_quality(&self, q: usize) -> f64 {
-        let qc = self.calibration.qubit_or_default(q);
+        self.qubit_quality_with(&self.calibration(), q)
+    }
+
+    /// [`Target::qubit_quality`] against an explicit calibration snapshot,
+    /// so rankings over the whole register (the noise-aware layout
+    /// strategies score every seat per proposal) take the lock once and
+    /// can never mix two calibrations within one ranking.
+    pub(crate) fn qubit_quality_with(&self, cal: &Calibration, q: usize) -> f64 {
+        let qc = cal.qubit_or_default(q);
         let neighbors = self.topo.neighbors(q);
         let edge_term = if neighbors.is_empty() {
             0.0
         } else {
             neighbors
                 .iter()
-                .map(|&nb| ln_survival(self.calibration.edge_or_nominal(q, nb).error_2q))
+                .map(|&nb| ln_survival(cal.edge_or_nominal(q, nb).error_2q))
                 .sum::<f64>()
                 / neighbors.len() as f64
         };
@@ -420,14 +548,15 @@ impl Target {
     /// `0` is a noiseless region; comparing candidate regions of equal size
     /// tells a layout strategy where a circuit should live.
     pub fn region_quality(&self, qubits: &[usize]) -> f64 {
+        let cal = self.calibration();
         let member: std::collections::HashSet<usize> = qubits.iter().copied().collect();
         let mut quality = 0.0;
         for &q in &member {
-            let qc = self.calibration.qubit_or_default(q);
+            let qc = cal.qubit_or_default(q);
             quality += ln_survival(qc.error_1q) + ln_survival(qc.readout_error);
             for &nb in self.topo.neighbors(q) {
                 if nb > q && member.contains(&nb) {
-                    quality += ln_survival(self.calibration.edge_or_nominal(q, nb).error_2q);
+                    quality += ln_survival(cal.edge_or_nominal(q, nb).error_2q);
                 }
             }
         }
@@ -671,6 +800,120 @@ mod tests {
         for q in 0..4 {
             assert_eq!(uniform.qubit_quality(q), 0.0);
         }
+    }
+
+    #[test]
+    fn swap_calibration_never_serves_stale_edge_costs() {
+        let topo = CouplingMap::line(3);
+        let t = Target::sqrt_iswap(topo.clone());
+        assert_eq!(t.calibration_generation(), 0);
+        // Warm the per-edge cache under the uniform calibration.
+        assert!((t.gate_cost_on(&WeylCoord::CNOT, 0, 1) - 1.0).abs() < 1e-12);
+        assert!((t.gate_cost_on(&WeylCoord::CNOT, 0, 1) - 1.0).abs() < 1e-12);
+
+        // Swap in a calibration that makes (0, 1) ten times slower.
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            0,
+            1,
+            crate::calibration::EdgeCalibration {
+                duration_factor: 10.0,
+                error_2q: 0.01,
+            },
+        )
+        .unwrap();
+        let generation = t.swap_calibration(Arc::new(cal)).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(t.calibration_generation(), 1);
+        // The warm cache must answer with the *new* factor immediately.
+        assert!((t.gate_cost_on(&WeylCoord::CNOT, 0, 1) - 10.0).abs() < 1e-12);
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        assert!((t.depth_estimate(&c) - 10.0).abs() < 1e-9);
+        // Success estimates reflect the swapped error rates too.
+        let ln_s = (1.0f64 - 0.01).ln();
+        assert!((t.circuit_log_success(&c) - 2.0 * ln_s).abs() < 1e-12);
+        // The coverage set was not rebuilt: coordinate-only costs stay
+        // warm (a second query after the swap is a pure hit).
+        let (hits_before, misses_before) = t.cache_stats();
+        let _ = t.gate_cost(&WeylCoord::CNOT);
+        let (hits_after, misses_after) = t.cache_stats();
+        assert_eq!(misses_after, misses_before, "coordinate entry went cold");
+        assert_eq!(hits_after, hits_before + 1);
+    }
+
+    #[test]
+    fn with_calibration_on_a_warmed_target_retires_stale_edge_costs() {
+        // The builder path must behave like a hot swap for the cache: a
+        // target probed before `with_calibration` (e.g. a shared
+        // `with_coverage` target) may already hold per-edge entries.
+        let topo = CouplingMap::line(3);
+        let warmed = Target::sqrt_iswap(topo.clone());
+        assert!((warmed.gate_cost_on(&WeylCoord::SWAP, 0, 1) - 1.5).abs() < 1e-12);
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            0,
+            1,
+            crate::calibration::EdgeCalibration {
+                duration_factor: 3.0,
+                error_2q: 0.0,
+            },
+        )
+        .unwrap();
+        let t = warmed.with_calibration(cal).unwrap();
+        assert!(
+            (t.gate_cost_on(&WeylCoord::SWAP, 0, 1) - 4.5).abs() < 1e-12,
+            "stale pre-builder cost served"
+        );
+    }
+
+    #[test]
+    fn swap_calibration_rejects_partial_coverage_and_keeps_state() {
+        let t = Target::sqrt_iswap(CouplingMap::line(4));
+        let _ = t.gate_cost_on(&WeylCoord::SWAP, 1, 2);
+        let partial =
+            Calibration::from_edges(4, &[(0, 1, crate::calibration::EdgeCalibration::default())])
+                .unwrap();
+        let err = t.swap_calibration(Arc::new(partial)).unwrap_err();
+        assert!(matches!(err, CalibrationError::MissingEdge { .. }));
+        // Failed swaps leave generation, calibration, and cache untouched.
+        assert_eq!(t.calibration_generation(), 0);
+        assert!(t.calibration().is_uniform());
+        let (hits_before, _) = t.cache_stats();
+        let _ = t.gate_cost_on(&WeylCoord::SWAP, 1, 2);
+        let (hits_after, _) = t.cache_stats();
+        assert_eq!(hits_after, hits_before + 1, "cache should still be warm");
+    }
+
+    #[test]
+    fn swap_calibration_is_visible_through_shared_references() {
+        // The serving shape: one Arc<Target> scored from several threads
+        // while the calibration swaps underneath.
+        let topo = CouplingMap::line(2);
+        let t = Arc::new(Target::sqrt_iswap(topo.clone()));
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        assert_eq!(t.estimated_success(&c, &[0, 1]), 1.0);
+        let mut noisy = Calibration::uniform(&topo);
+        noisy
+            .set_edge(
+                0,
+                1,
+                crate::calibration::EdgeCalibration {
+                    duration_factor: 1.0,
+                    error_2q: 0.25,
+                },
+            )
+            .unwrap();
+        t.swap_calibration(Arc::new(noisy)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let success = t.estimated_success(&c, &[0, 1]);
+                    assert!((success - 0.75f64.powi(2)).abs() < 1e-12);
+                });
+            }
+        });
     }
 
     #[test]

@@ -60,9 +60,9 @@ pub struct TrialOptions {
     pub aggression_mix: [f64; 4],
     /// Fraction of layout trials seeded by each [`StrategyKind`] (lane
     /// order [`StrategyKind::ALL`]: random, degree-matched, noise-aware,
-    /// vf2). Must sum to ~1.0. The default gives random seeding the whole
-    /// budget — the paper's configuration.
-    pub strategy_mix: [f64; 4],
+    /// degree-noise, vf2). Must sum to ~1.0. The default gives random
+    /// seeding the whole budget — the paper's configuration.
+    pub strategy_mix: [f64; crate::placement::N_STRATEGIES],
     /// Base RNG seed.
     pub seed: u64,
     /// Run layout trials on threads.
@@ -112,7 +112,7 @@ impl TrialOptions {
     /// Set the layout-strategy mix (builder style); see
     /// [`crate::placement::BALANCED_STRATEGY_MIX`] for a ready-made split.
     #[must_use]
-    pub fn with_strategy_mix(mut self, mix: [f64; 4]) -> TrialOptions {
+    pub fn with_strategy_mix(mut self, mix: [f64; crate::placement::N_STRATEGIES]) -> TrialOptions {
         self.strategy_mix = mix;
         self
     }
@@ -643,7 +643,7 @@ mod tests {
         assert!(err.to_string().contains("sum to 2"), "{err}");
 
         let mut opts = TrialOptions::quick(Metric::Depth, 1);
-        opts.strategy_mix = [1.5, -0.5, 0.0, 0.0];
+        opts.strategy_mix = [1.5, -0.5, 0.0, 0.0, 0.0];
         let err = opts.validate().unwrap_err();
         assert!(matches!(
             err,
@@ -654,7 +654,7 @@ mod tests {
         ));
 
         let mut opts = TrialOptions::quick(Metric::Depth, 1);
-        opts.strategy_mix = [f64::NAN, 0.5, 0.5, 0.0];
+        opts.strategy_mix = [f64::NAN, 0.5, 0.5, 0.0, 0.0];
         assert!(opts.validate().is_err());
 
         // The engine surfaces the same error instead of mis-allocating.

@@ -5,17 +5,58 @@
 //! paper adds a software lookup table in front of the polytope membership
 //! scan. This is that table: keys are quantized Weyl coordinates, values are
 //! costs; eviction is least-recently-used.
+//!
+//! Two kinds of entries live side by side:
+//!
+//! * **Coordinate entries** — the pure decomposition cost of a class in the
+//!   basis. These depend only on the coverage set and never go stale.
+//! * **Edge entries** — the class cost *scaled by one coupler's calibrated
+//!   duration factor* (`Target::gate_cost_on`). These depend on calibration
+//!   data, which a long-lived serving process refreshes in place, so every
+//!   edge entry is tagged with the **epoch** it was computed under. A
+//!   calibration swap advances the cache's epoch
+//!   ([`SharedCostCache::advance_epoch`]) and entries from older epochs are
+//!   treated as misses and recomputed — a warm cache can never serve a
+//!   stale per-edge cost.
 
 use mirage_weyl::coords::WeylCoord;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A bounded least-recently-used cache from quantized coordinates to cost.
+/// Cache key: a quantized coordinate class, optionally scoped to one
+/// undirected coupler. Coordinate-only entries use the sentinel
+/// [`NO_EDGE`].
+type Key = (u16, u16, u16, u32, u32);
+
+/// The edge slot of coordinate-only entries.
+const NO_EDGE: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// Epoch tag of entries that are valid forever (pure coordinate costs).
+const EPOCH_ANY: u64 = u64::MAX;
+
+fn key_for(w: &WeylCoord, edge: (u32, u32)) -> Key {
+    let (a, b, c) = w.quantized();
+    (a, b, c, edge.0, edge.1)
+}
+
+/// Normalize an undirected coupler into its key slot. Qubit indices above
+/// `u32::MAX − 1` would collide with [`NO_EDGE`]; no physical device gets
+/// anywhere near that, but saturate defensively.
+fn edge_key(a: usize, b: usize) -> (u32, u32) {
+    let clamp = |q: usize| u32::try_from(q).unwrap_or(u32::MAX - 1).min(u32::MAX - 1);
+    let (a, b) = (clamp(a), clamp(b));
+    (a.min(b), a.max(b))
+}
+
+/// A bounded least-recently-used cache from quantized coordinates (plain,
+/// or scoped to a coupler and epoch-tagged) to cost.
 #[derive(Debug)]
 pub struct CostCache {
     capacity: usize,
-    map: HashMap<(u16, u16, u16), (f64, u64)>,
+    /// value, LRU clock, epoch tag ([`EPOCH_ANY`] for coordinate entries).
+    map: HashMap<Key, (f64, u64, u64)>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -40,29 +81,95 @@ impl CostCache {
 
     /// Look up a coordinate, or compute-and-insert through `f`.
     pub fn get_or_insert_with<F: FnOnce() -> f64>(&mut self, w: &WeylCoord, f: F) -> f64 {
+        self.lookup(key_for(w, NO_EDGE), EPOCH_ANY, f)
+    }
+
+    /// Look up a coordinate scoped to the coupler `(a, b)` at `epoch`, or
+    /// compute-and-insert through `f`. An entry from a different epoch is a
+    /// miss: its slot is recomputed and re-tagged, so calibration-dependent
+    /// costs cached before a swap are never served after it.
+    pub fn get_or_insert_edge_with<F: FnOnce() -> f64>(
+        &mut self,
+        w: &WeylCoord,
+        a: usize,
+        b: usize,
+        epoch: u64,
+        f: F,
+    ) -> f64 {
+        self.lookup(key_for(w, edge_key(a, b)), epoch, f)
+    }
+
+    /// Hit-path probe for an edge entry: on a current-epoch hit, count the
+    /// hit, refresh the LRU clock, and return the value. A miss (absent or
+    /// stale) records nothing — the caller computes the value without
+    /// holding this cache and completes the miss via
+    /// [`CostCache::insert_edge`].
+    pub fn touch_edge(&mut self, w: &WeylCoord, a: usize, b: usize, epoch: u64) -> Option<f64> {
         self.clock += 1;
-        let key = w.quantized();
+        let entry = self.map.get_mut(&key_for(w, edge_key(a, b)))?;
+        if entry.2 != epoch {
+            return None;
+        }
+        entry.1 = self.clock;
+        self.hits += 1;
+        Some(entry.0)
+    }
+
+    /// Complete a [`CostCache::touch_edge`] miss: count it and store the
+    /// computed value under `epoch` (overwriting a stale entry in place).
+    pub fn insert_edge(&mut self, w: &WeylCoord, a: usize, b: usize, epoch: u64, v: f64) {
+        self.clock += 1;
+        self.misses += 1;
+        let key = key_for(w, edge_key(a, b));
         if let Some(entry) = self.map.get_mut(&key) {
-            entry.1 = self.clock;
-            self.hits += 1;
-            return entry.0;
+            *entry = (v, self.clock, epoch);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_oldest();
+        }
+        self.map.insert(key, (v, self.clock, epoch));
+    }
+
+    fn lookup<F: FnOnce() -> f64>(&mut self, key: Key, epoch: u64, f: F) -> f64 {
+        self.clock += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            if entry.2 == epoch {
+                entry.1 = self.clock;
+                self.hits += 1;
+                return entry.0;
+            }
+            // Stale epoch: recompute in place (no eviction needed).
+            self.misses += 1;
+            let v = f();
+            *entry = (v, self.clock, epoch);
+            return v;
         }
         self.misses += 1;
         let v = f();
         if self.map.len() >= self.capacity {
             self.evict_oldest();
         }
-        self.map.insert(key, (v, self.clock));
+        self.map.insert(key, (v, self.clock, epoch));
         v
     }
 
     /// Look up without inserting.
     pub fn peek(&self, w: &WeylCoord) -> Option<f64> {
-        self.map.get(&w.quantized()).map(|e| e.0)
+        self.map.get(&key_for(w, NO_EDGE)).map(|e| e.0)
+    }
+
+    /// Look up an edge-scoped entry without inserting; stale epochs report
+    /// `None` exactly as [`CostCache::get_or_insert_edge_with`] would miss.
+    pub fn peek_edge(&self, w: &WeylCoord, a: usize, b: usize, epoch: u64) -> Option<f64> {
+        self.map
+            .get(&key_for(w, edge_key(a, b)))
+            .filter(|e| e.2 == epoch)
+            .map(|e| e.0)
     }
 
     fn evict_oldest(&mut self) {
-        if let Some((&key, _)) = self.map.iter().min_by_key(|(_, (_, t))| *t) {
+        if let Some((&key, _)) = self.map.iter().min_by_key(|(_, (_, t, _))| *t) {
             self.map.remove(&key);
         }
     }
@@ -100,11 +207,17 @@ impl CostCache {
 /// caller reuses its `Target`), replacing the per-call caches the seed
 /// constructed in each pipeline branch. Keys are spread over independently
 /// locked shards so parallel layout trials don't serialize on one mutex;
-/// cached values are pure functions of the coordinate class, so sharing
-/// never changes results.
+/// cached coordinate costs are pure functions of the coordinate class, so
+/// sharing never changes results. Edge-scoped entries additionally depend
+/// on calibration data and are epoch-tagged: a calibration swap calls
+/// [`SharedCostCache::advance_epoch`] and every entry computed before it
+/// becomes a miss (see the [module docs](self)).
 #[derive(Debug)]
 pub struct SharedCostCache {
     shards: Vec<Mutex<CostCache>>,
+    /// Current calibration epoch; edge-scoped entries from older epochs
+    /// are never served.
+    epoch: AtomicU64,
 }
 
 impl SharedCostCache {
@@ -150,7 +263,23 @@ impl SharedCostCache {
             shards: (0..n_shards)
                 .map(|_| Mutex::new(CostCache::new(per_shard)))
                 .collect(),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current calibration epoch. Edge-scoped entries are only served
+    /// when their tag matches this value.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advance the calibration epoch, invalidating every edge-scoped entry
+    /// in place (coordinate-only entries are calibration-independent and
+    /// survive). Returns the new epoch. Callers must publish the new
+    /// calibration data *before* advancing, so a reader that observes the
+    /// new epoch can only recompute against the new data.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Number of independently locked shards.
@@ -158,9 +287,9 @@ impl SharedCostCache {
         self.shards.len()
     }
 
-    fn shard(&self, w: &WeylCoord) -> &Mutex<CostCache> {
+    fn shard_for(&self, key: Key) -> &Mutex<CostCache> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        w.quantized().hash(&mut hasher);
+        key.hash(&mut hasher);
         &self.shards[hasher.finish() as usize % self.shards.len()]
     }
 
@@ -169,15 +298,63 @@ impl SharedCostCache {
     /// `f` runs while the shard lock is held, so concurrent queries of one
     /// class compute at most once per shard residence.
     pub fn get_or_insert_with<F: FnOnce() -> f64>(&self, w: &WeylCoord, f: F) -> f64 {
-        self.shard(w)
+        self.shard_for(key_for(w, NO_EDGE))
             .lock()
             .expect("cache shard poisoned")
             .get_or_insert_with(w, f)
     }
 
+    /// Look up a coordinate scoped to the coupler `(a, b)` at the current
+    /// epoch, or compute-and-insert through `f`. Entries tagged with an
+    /// older epoch (a calibration that has since been swapped out) are
+    /// recomputed, never served.
+    ///
+    /// Unlike [`SharedCostCache::get_or_insert_with`], `f` runs **without**
+    /// the shard lock held — it is allowed to query this same cache (the
+    /// coordinate-class entry its value derives from may share a shard with
+    /// the edge entry). Concurrent misses of one key may compute `f` more
+    /// than once; values are pure, so the duplicates agree.
+    pub fn get_or_insert_edge_with<F: FnOnce() -> f64>(
+        &self,
+        w: &WeylCoord,
+        a: usize,
+        b: usize,
+        f: F,
+    ) -> f64 {
+        // Epoch first: if a swap lands between this load and `f`, the entry
+        // is tagged with the pre-swap epoch and discarded on next lookup.
+        let epoch = self.epoch();
+        let shard = self.shard_for(key_for(w, edge_key(a, b)));
+        if let Some(v) = shard
+            .lock()
+            .expect("cache shard poisoned")
+            .touch_edge(w, a, b, epoch)
+        {
+            return v;
+        }
+        let v = f();
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .insert_edge(w, a, b, epoch, v);
+        v
+    }
+
     /// Look up without inserting.
     pub fn peek(&self, w: &WeylCoord) -> Option<f64> {
-        self.shard(w).lock().expect("cache shard poisoned").peek(w)
+        self.shard_for(key_for(w, NO_EDGE))
+            .lock()
+            .expect("cache shard poisoned")
+            .peek(w)
+    }
+
+    /// Look up an edge-scoped entry at the current epoch without inserting.
+    pub fn peek_edge(&self, w: &WeylCoord, a: usize, b: usize) -> Option<f64> {
+        let epoch = self.epoch();
+        self.shard_for(key_for(w, edge_key(a, b)))
+            .lock()
+            .expect("cache shard poisoned")
+            .peek_edge(w, a, b, epoch)
     }
 
     /// Total cached classes across shards.
@@ -366,5 +543,70 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn shared_zero_capacity_panics() {
         SharedCostCache::new(0);
+    }
+
+    #[test]
+    fn edge_entries_are_keyed_per_coupler() {
+        let cache = SharedCostCache::new(64);
+        let w = WeylCoord::CNOT;
+        // Same class, different couplers: independent entries.
+        assert_eq!(cache.get_or_insert_edge_with(&w, 0, 1, || 1.0), 1.0);
+        assert_eq!(cache.get_or_insert_edge_with(&w, 1, 2, || 10.0), 10.0);
+        assert_eq!(cache.get_or_insert_edge_with(&w, 0, 1, || 99.0), 1.0);
+        // Endpoint order is irrelevant.
+        assert_eq!(cache.get_or_insert_edge_with(&w, 1, 0, || 99.0), 1.0);
+        // Edge entries never alias the coordinate-only entry.
+        assert!(cache.peek(&w).is_none());
+        assert_eq!(cache.peek_edge(&w, 0, 1), Some(1.0));
+        assert_eq!(cache.peek_edge(&w, 2, 1), Some(10.0));
+    }
+
+    #[test]
+    fn advancing_the_epoch_invalidates_edge_entries_only() {
+        let cache = SharedCostCache::new(64);
+        let w = WeylCoord::SWAP;
+        cache.get_or_insert_with(&w, || 1.5);
+        cache.get_or_insert_edge_with(&w, 0, 1, || 3.0);
+        assert_eq!(cache.epoch(), 0);
+        assert_eq!(cache.advance_epoch(), 1);
+        // The stale edge entry is a miss and recomputes with the new value;
+        // the coordinate entry is calibration-independent and survives.
+        assert!(cache.peek_edge(&w, 0, 1).is_none(), "stale epoch served");
+        assert_eq!(cache.get_or_insert_edge_with(&w, 0, 1, || 30.0), 30.0);
+        assert_eq!(cache.get_or_insert_with(&w, || 99.0), 1.5);
+        // And the recomputed entry is a hit at the new epoch.
+        assert_eq!(cache.get_or_insert_edge_with(&w, 0, 1, || 99.0), 30.0);
+    }
+
+    #[test]
+    fn edge_miss_may_query_the_same_shard_reentrantly() {
+        // The edge-entry closure derives its value from the coordinate
+        // entry, which can live on the very same shard (guaranteed here by
+        // using one shard). The miss path must not hold the shard lock
+        // while computing.
+        let cache = SharedCostCache::with_shards(64, 1);
+        let w = WeylCoord::CNOT;
+        let v =
+            cache.get_or_insert_edge_with(&w, 0, 1, || 2.0 * cache.get_or_insert_with(&w, || 1.0));
+        assert_eq!(v, 2.0);
+        assert_eq!(cache.peek(&w), Some(1.0));
+        assert_eq!(cache.peek_edge(&w, 0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn stale_edge_entry_recomputes_in_place_without_eviction() {
+        let mut cache = CostCache::new(2);
+        let w = WeylCoord::CNOT;
+        let v = WeylCoord::ISWAP;
+        cache.get_or_insert_edge_with(&w, 0, 1, 0, || 1.0);
+        cache.get_or_insert_with(&v, || 2.0);
+        assert_eq!(cache.len(), 2);
+        // Epoch moves on: the stale slot is overwritten, not grown past
+        // capacity, and the unrelated coordinate entry stays resident.
+        assert_eq!(cache.get_or_insert_edge_with(&w, 0, 1, 1, || 5.0), 5.0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.peek(&v), Some(2.0));
+        assert_eq!(cache.peek_edge(&w, 0, 1, 1), Some(5.0));
+        assert!(cache.peek_edge(&w, 0, 1, 0).is_none());
     }
 }

@@ -1,0 +1,150 @@
+//! The job queue: a bounded-by-nothing MPSC queue with close/drain
+//! semantics, built on `Mutex` + `Condvar` (no external dependencies).
+//!
+//! Producers ([`TranspileService::submit`](crate::TranspileService::submit))
+//! push from any thread; each worker pops under the lock, so every job is
+//! delivered to exactly one worker. Closing the queue wakes every blocked
+//! worker; pops drain the remaining jobs first and only then report the
+//! end of the stream — the graceful-shutdown contract: **every job
+//! accepted before close is processed**.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A close-aware MPSC queue. `T` is the queued work item.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one item. Returns the item back when the queue has been
+    /// closed (the caller decides how to surface the rejection).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(item);
+        }
+        state.jobs.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue one item, blocking while the queue is open and empty.
+    /// Returns `None` only when the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.jobs.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: no further pushes are accepted, every blocked
+    /// popper wakes, and remaining items drain normally.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of jobs waiting (not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// True when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_consumer() {
+        let q = JobQueue::new();
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_pops() {
+        let q = JobQueue::new();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays terminated");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close_and_on_push() {
+        let q = Arc::new(JobQueue::<u32>::new());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        while let Some(v) = q.pop() {
+                            seen.push(v);
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            for i in 0..10 {
+                q.push(i).unwrap();
+            }
+            q.close();
+            let mut all: Vec<u32> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("consumer panicked"))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..10).collect::<Vec<_>>(), "each job exactly once");
+        });
+    }
+}

@@ -1,14 +1,22 @@
-//! Basis translation: rewrite a circuit into `{iSWAP^α, 1Q}` form.
+//! Basis translation: rewrite a circuit into `{basis gate, 1Q}` form.
 //!
 //! The paper adds √iSWAP decomposition rules to Qiskit's equivalence
 //! library for final circuit output (§V); here every two-qubit block is
 //! numerically decomposed into the basis (depth chosen by the coverage
 //! set), with a cache keyed on the (quantized) block matrix so repeated
 //! gates — every CX in a circuit, every mirror block — are fitted once.
+//!
+//! The emitted two-qubit pulse is **exactly the coverage set's basis
+//! unitary** — the matrix the local gates were fitted around. `iSWAP^α`
+//! bases emit [`Gate::ISwapPow`], CNOT/CZ bases emit [`Gate::Cx`] /
+//! [`Gate::Cz`], and anything else is carried verbatim as
+//! [`Gate::Unitary2`] (see [`basis_emission`]); an earlier revision emitted
+//! `ISwapPow` unconditionally, which silently mistranslated every
+//! non-iSWAP-family target.
 
 use crate::decompose::{decompose, DecompOptions};
 use mirage_circuit::{Circuit, Gate};
-use mirage_coverage::set::CoverageSet;
+use mirage_coverage::set::{BasisGate, CoverageSet};
 use mirage_math::{Mat2, Mat4};
 use mirage_weyl::coords::coords_of;
 use std::collections::HashMap;
@@ -51,7 +59,7 @@ pub fn translate_circuit(
     opts: &DecompOptions,
 ) -> (Circuit, TranslationStats) {
     let basis = &set.basis;
-    let alpha = basis.duration; // iSWAP^α duration = α by construction
+    let pulse = basis_emission(basis);
     let mut out = Circuit::new(c.n_qubits);
     let mut stats = TranslationStats::default();
     let mut cache: HashMap<[i64; 32], crate::decompose::Decomposition> = HashMap::new();
@@ -92,19 +100,33 @@ pub fn translate_circuit(
             push_1q(&mut out, lh, hi);
             push_1q(&mut out, ll, lo);
             if g > 0 {
-                out.push(Gate::ISwapPow(alpha_of(basis)), &[hi, lo]);
+                out.push(pulse.clone(), &[hi, lo]);
                 stats.pulses += 1;
             }
         }
-        let _ = alpha;
     }
 
     (merge_1q_runs(&out), stats)
 }
 
-fn alpha_of(basis: &mirage_coverage::set::BasisGate) -> f64 {
-    // iSWAP^α has duration α in the paper's normalization.
-    basis.duration
+/// The circuit-IR gate whose matrix is exactly `basis.unitary` — what the
+/// fitted local gates interleave with, so what translation must emit.
+/// Recognizes the iSWAP family (by the paper's `duration = α` convention)
+/// and the CNOT/CZ bases; any other basis is emitted as an opaque
+/// [`Gate::Unitary2`], which stays exact rather than guessing a named
+/// gate.
+pub fn basis_emission(basis: &BasisGate) -> Gate {
+    const TOL: f64 = 1e-12;
+    let iswap = Gate::ISwapPow(basis.duration);
+    if basis.unitary.approx_eq(&iswap.matrix2(), TOL) {
+        return iswap;
+    }
+    for named in [Gate::Cx, Gate::Cz] {
+        if basis.unitary.approx_eq(&named.matrix2(), TOL) {
+            return named;
+        }
+    }
+    Gate::Unitary2(basis.unitary)
 }
 
 fn push_1q(c: &mut Circuit, m: Mat2, q: usize) {
@@ -157,15 +179,19 @@ mod tests {
     use mirage_circuit::sim::equivalent_on_zero;
     use mirage_coverage::set::{BasisGate, CoverageOptions};
 
-    fn sqrt_iswap_set() -> CoverageSet {
+    fn build_set(basis: BasisGate, seed: u64) -> CoverageSet {
         let opts = CoverageOptions {
             max_k: 3,
             samples_per_k: 700,
             inflation: 0.012,
             mirrors: false,
-            seed: 71,
+            seed,
         };
-        CoverageSet::build(BasisGate::iswap_root(2), &opts)
+        CoverageSet::build(basis, &opts)
+    }
+
+    fn sqrt_iswap_set() -> CoverageSet {
+        build_set(BasisGate::iswap_root(2), 71)
     }
 
     fn opts(seed: u64) -> DecompOptions {
@@ -237,6 +263,77 @@ mod tests {
         let m2 = merge_1q_runs(&c2);
         assert_eq!(m2.instructions.len(), 2); // merged 1Q + cx
         assert!(equivalent_on_zero(&c2, &m2, None));
+    }
+
+    #[test]
+    fn basis_emission_matches_every_stock_basis_exactly() {
+        // The emitted gate's matrix must equal the basis unitary the local
+        // fits interleave with — exactly, not up to phase.
+        for (basis, expected) in [
+            (BasisGate::iswap_root(1), Gate::ISwapPow(1.0)),
+            (BasisGate::iswap_root(2), Gate::ISwapPow(0.5)),
+            (BasisGate::iswap_root(3), Gate::ISwapPow(1.0 / 3.0)),
+            (BasisGate::cnot(), Gate::Cx),
+            (BasisGate::cz(), Gate::Cz),
+        ] {
+            let gate = basis_emission(&basis);
+            assert_eq!(gate, expected, "basis {}", basis.name);
+            assert!(
+                gate.matrix2().approx_eq(&basis.unitary, 1e-12),
+                "basis {}: emission must be the exact basis unitary",
+                basis.name
+            );
+        }
+        // An exotic basis stays exact through the opaque fallback.
+        let exotic = BasisGate {
+            name: "cns".into(),
+            unitary: mirage_gates::cns(),
+            duration: 1.0,
+            coord: mirage_weyl::coords::coords_of(&mirage_gates::cns()),
+        };
+        let gate = basis_emission(&exotic);
+        assert!(matches!(gate, Gate::Unitary2(_)));
+        assert!(gate.matrix2().approx_eq(&exotic.unitary, 1e-12));
+    }
+
+    #[test]
+    fn cnot_basis_translation_is_correct_and_pulse_counted() {
+        // Regression: translation used to emit ISwapPow for *every* basis,
+        // so a CNOT-target translation produced a circuit that was not
+        // equivalent to its input.
+        let set = build_set(BasisGate::cnot(), 72);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.3, 1).swap(1, 2).cx(0, 2);
+        let (t, stats) = translate_circuit(&c, &set, &opts(6));
+        // CNOT = 1 application in its own basis, SWAP = 3.
+        assert_eq!(stats.pulses, 1 + 3 + 1, "{stats:?}");
+        assert!(stats.worst_infidelity < 1e-5, "{stats:?}");
+        assert!(equivalent_on_zero(&c, &t, None));
+        for i in &t.instructions {
+            assert!(
+                matches!(i.gate, Gate::Cx | Gate::Unitary1(_)),
+                "unexpected gate {:?} for a CNOT target",
+                i.gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cz_basis_translation_is_correct_and_pulse_counted() {
+        let set = build_set(BasisGate::cz(), 73);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).swap(1, 2);
+        let (t, stats) = translate_circuit(&c, &set, &opts(7));
+        assert_eq!(stats.pulses, 1 + 3, "{stats:?}");
+        assert!(stats.worst_infidelity < 1e-5, "{stats:?}");
+        assert!(equivalent_on_zero(&c, &t, None));
+        for i in &t.instructions {
+            assert!(
+                matches!(i.gate, Gate::Cz | Gate::Unitary1(_)),
+                "unexpected gate {:?} for a CZ target",
+                i.gate.name()
+            );
+        }
     }
 
     #[test]

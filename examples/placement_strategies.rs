@@ -27,7 +27,7 @@ fn main() {
     let circuit = consolidate(&qft(6, false));
     let engine = TrialEngine::new(&circuit, &target);
 
-    let mut lanes: Vec<(&str, [f64; 4])> = StrategyKind::ALL
+    let mut lanes: Vec<(&str, [f64; 5])> = StrategyKind::ALL
         .iter()
         .map(|&kind| (kind.name(), kind.one_hot()))
         .collect();

@@ -4,8 +4,11 @@
 //! mirage-cli transpile <input.qasm> --topo grid:6x6 [--basis sqrt-iswap|cnot|cz]
 //!                      [--router mirage|sabre|mirage-swaps]
 //!                      [--calibration cal.txt] [--metric depth|swaps|success]
-//!                      [--layout random|degree|noise|vf2|mixed]
+//!                      [--layout random|degree|noise|degree-noise|vf2|mixed]
 //!                      [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
+//! mirage-cli batch <input>... --topo grid:6x6 [--workers N] [--router ...]
+//!                  [--calibration cal.txt] [--metric ...] [--layout ...]
+//!                  [--seed N] [--trials N]  # inputs: qasm files or gen specs
 //! mirage-cli stats <input.qasm>
 //! mirage-cli draw <input.qasm>
 //! mirage-cli gen <name> [--out file.qasm]     # qft:18, ghz:8, twolocal:4, ...
@@ -18,10 +21,12 @@ use mirage::core::{
     transpile, Calibration, Metric, RouterKind, Target, TranspileOptions, BALANCED_STRATEGY_MIX,
 };
 use mirage::math::Rng;
+use mirage::serve::{TranspileJob, TranspileService};
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::translate::translate_circuit;
 use mirage::topology::CouplingMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,8 +45,13 @@ const USAGE: &str = "usage:
   mirage-cli transpile <input.qasm> --topo <spec> [--basis sqrt-iswap|cnot|cz]
                        [--router mirage|sabre|mirage-swaps]
                        [--calibration cal.txt] [--metric depth|swaps|success]
-                       [--layout random|degree|noise|vf2|mixed]
+                       [--layout random|degree|noise|degree-noise|vf2|mixed]
                        [--seed N] [--trials N] [--out out.qasm] [--translate] [--draw]
+  mirage-cli batch <input>... --topo <spec> [--basis ...] [--workers N]
+                   [--router ...] [--calibration cal.txt] [--metric ...]
+                   [--layout ...] [--seed N] [--trials N]
+                   # inputs are qasm files or generator specs (qft:6, ghz:8, ...);
+                   # jobs run on a worker pool, results are seed-deterministic
   mirage-cli stats <input.qasm>
   mirage-cli draw <input.qasm>
   mirage-cli gen <name> [--out file.qasm]
@@ -54,13 +64,15 @@ metrics        : depth (default for mirage)  swaps  success (needs --calibration
                  or a zero-error device; selects on predicted success probability)
 layouts        : how layout trials are seeded — random (default), degree
                  (interaction/degree matching), noise (low-error regions of the
-                 calibration), vf2 (exact embeddings), or mixed (a balanced
-                 split of the trial budget across all four)";
+                 calibration), degree-noise (degree matching inside a low-error
+                 region), vf2 (exact embeddings), or mixed (a balanced split of
+                 the trial budget across all five)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "transpile" => cmd_transpile(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "draw" => cmd_draw(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
@@ -166,42 +178,51 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
     qasm::from_qasm(&src).map_err(|e| e.to_string())
 }
 
-fn cmd_transpile(args: &[String]) -> Result<(), String> {
-    let (pos, flags) = split_flags(args)?;
-    let input = pos.first().ok_or("transpile needs an input file")?;
-    let circuit = load_circuit(input)?;
+/// Everything `transpile` and `batch` share: the target, the options, and
+/// the labels worth echoing back.
+struct CommonSetup {
+    target: Target,
+    opts: TranspileOptions,
+    router: RouterKind,
+    layout: String,
+    seed: u64,
+}
+
+/// Parse the flags shared by `transpile` and `batch` into a ready target
+/// and options.
+fn parse_common(flags: &Flags) -> Result<CommonSetup, String> {
     let mut target = parse_target(
-        flag(&flags, "topo").ok_or("--topo is required")?,
-        flag(&flags, "basis").unwrap_or("sqrt-iswap"),
+        flag(flags, "topo").ok_or("--topo is required")?,
+        flag(flags, "basis").unwrap_or("sqrt-iswap"),
     )?;
-    if let Some(path) = flag(&flags, "calibration") {
+    if let Some(path) = flag(flags, "calibration") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let cal = Calibration::from_text(&text).map_err(|e| e.to_string())?;
         target = target.with_calibration(cal).map_err(|e| e.to_string())?;
     }
-    let router = match flag(&flags, "router").unwrap_or("mirage") {
+    let router = match flag(flags, "router").unwrap_or("mirage") {
         "mirage" => RouterKind::Mirage,
         "mirage-swaps" => RouterKind::MirageSwaps,
         "sabre" => RouterKind::Sabre,
         other => return Err(format!("unknown router '{other}'")),
     };
-    let metric = match flag(&flags, "metric") {
+    let metric = match flag(flags, "metric") {
         None => None,
         Some("depth") => Some(Metric::Depth),
         Some("swaps") => Some(Metric::SwapCount),
         Some("success") => Some(Metric::EstimatedSuccess),
         Some(other) => return Err(format!("unknown metric '{other}'")),
     };
-    let seed: u64 = flag(&flags, "seed")
+    let seed: u64 = flag(flags, "seed")
         .unwrap_or("7")
         .parse()
         .map_err(|_| "bad --seed")?;
-    let trials: usize = flag(&flags, "trials")
+    let trials: usize = flag(flags, "trials")
         .unwrap_or("8")
         .parse()
         .map_err(|_| "bad --trials")?;
 
-    let layout = flag(&flags, "layout").unwrap_or("random");
+    let layout = flag(flags, "layout").unwrap_or("random").to_string();
     let strategy_mix = if layout == "mixed" {
         BALANCED_STRATEGY_MIX
     } else {
@@ -216,6 +237,36 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     if let Some(metric) = metric {
         opts = opts.with_metric(metric);
     }
+    Ok(CommonSetup {
+        target,
+        opts,
+        router,
+        layout,
+        seed,
+    })
+}
+
+/// A batch input: an existing qasm file, or a generator spec like `qft:6`.
+fn load_batch_input(spec: &str) -> Result<Circuit, String> {
+    if std::path::Path::new(spec).exists() {
+        load_circuit(spec)
+    } else {
+        parse_generator(spec)
+            .map_err(|e| format!("'{spec}' is neither a readable file nor a generator spec ({e})"))
+    }
+}
+
+fn cmd_transpile(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    let input = pos.first().ok_or("transpile needs an input file")?;
+    let circuit = load_circuit(input)?;
+    let CommonSetup {
+        target,
+        opts,
+        router,
+        layout,
+        ..
+    } = parse_common(&flags)?;
     let out = transpile(&circuit, &target, &opts).map_err(|e| e.to_string())?;
 
     eprintln!(
@@ -271,6 +322,94 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
                 print!("{}", qasm::to_qasm(&result));
             }
         }
+    }
+    Ok(())
+}
+
+/// Transpile many inputs on a `TranspileService` worker pool and print a
+/// per-job metrics table. Jobs are seeded `--seed + index`, so the whole
+/// batch is reproducible and independent of worker count.
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if pos.is_empty() {
+        return Err("batch needs at least one input (qasm file or generator spec)".into());
+    }
+    let setup = parse_common(&flags)?;
+    let workers: usize = match flag(&flags, "workers") {
+        Some(w) => w.parse().map_err(|_| "bad --workers")?,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+
+    // Input widths, indexed by job id: the routed circuit is widened to
+    // the device register, so the table must remember the input's width.
+    let mut input_widths = Vec::with_capacity(pos.len());
+    let jobs: Vec<TranspileJob> = pos
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let circuit = load_batch_input(spec)?;
+            input_widths.push(circuit.n_qubits);
+            Ok(TranspileJob::new(spec.clone(), circuit, setup.opts.clone())
+                .with_seed(setup.seed + i as u64))
+        })
+        .collect::<Result<_, String>>()?;
+
+    eprintln!(
+        "target  : {} ({} qubits), router {:?}, {} layout seeding",
+        setup.target.name(),
+        setup.target.n_qubits(),
+        setup.router,
+        setup.layout
+    );
+    eprintln!("batch   : {} jobs on {} workers", jobs.len(), workers);
+
+    let service = TranspileService::new(Arc::new(setup.target), workers);
+    let started = std::time::Instant::now();
+    let results = service.run_batch(jobs).map_err(|e| e.to_string())?;
+    let wall = started.elapsed();
+    let stats = service.shutdown();
+
+    println!(
+        "{:>3}  {:<24} {:>6} {:>8} {:>7} {:>8} {:>8} {:>7} {:>6}",
+        "job", "input", "qubits", "depth", "swaps", "mirrors", "success", "ms", "worker"
+    );
+    let mut failures = 0usize;
+    for r in &results {
+        match &r.outcome {
+            Ok(out) => println!(
+                "{:>3}  {:<24} {:>6} {:>8.2} {:>7} {:>8} {:>8.4} {:>7.1} {:>6}",
+                r.job_id,
+                r.label,
+                input_widths[r.job_id as usize],
+                out.metrics.depth_estimate,
+                out.metrics.swaps_inserted,
+                out.metrics.mirrors_accepted,
+                out.metrics.estimated_success,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.worker
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("{:>3}  {:<24} error: {e}", r.job_id, r.label);
+            }
+        }
+    }
+    let throughput = results.len() as f64 / wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "done    : {} jobs ({} failed) in {:.2}s — {:.2} jobs/s across {} workers",
+        stats.jobs,
+        failures,
+        wall.as_secs_f64(),
+        throughput,
+        stats.per_worker.len()
+    );
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
     }
     Ok(())
 }

@@ -25,6 +25,9 @@
 //!   routing metric), the SABRE baseline router, the MIRAGE router with
 //!   aggression levels (paper Algorithm 2), and the end-to-end transpile
 //!   pipeline.
+//! * [`serve`] — the batch transpilation service: a
+//!   [`serve::TranspileService`] worker pool over one shared target, with
+//!   deterministic batched jobs and hot-swappable calibration.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use mirage_core as core;
 pub use mirage_coverage as coverage;
 pub use mirage_gates as gates;
 pub use mirage_math as math;
+pub use mirage_serve as serve;
 pub use mirage_synth as synth;
 pub use mirage_topology as topology;
 pub use mirage_weyl as weyl;

@@ -67,7 +67,7 @@ fn noise_aware_beats_random_on_skewed_grid() {
     let circuit = consolidate(&qft(6, false));
     let engine = TrialEngine::new(&circuit, &target);
 
-    let run = |mix: [f64; 4]| {
+    let run = |mix: [f64; 5]| {
         let mut opts = TrialOptions::quick(Metric::EstimatedSuccess, 0xBEE);
         opts.layout_trials = 6;
         opts.strategy_mix = mix;
@@ -118,7 +118,7 @@ fn invalid_mixes_error_through_transpile() {
     assert!(err.to_string().contains("aggression_mix"), "{err}");
 
     let mut opts = TranspileOptions::quick(RouterKind::Mirage, 1);
-    opts.trials.strategy_mix = [0.5, 0.5, 0.5, -0.5];
+    opts.trials.strategy_mix = [0.5, 0.5, 0.5, 0.0, -0.5];
     let err = transpile(&circuit, &target, &opts).unwrap_err();
     assert!(matches!(
         err,

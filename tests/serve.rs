@@ -1,0 +1,152 @@
+//! End-to-end serving tests: the batch service over calibrated targets,
+//! and calibration hot-swap observed through the public `mirage` API.
+
+use mirage::circuit::consolidate::consolidate;
+use mirage::circuit::generators::{ghz, portfolio_qaoa, qft, two_local_full};
+use mirage::core::calibration::EdgeCalibration;
+use mirage::core::trials::Metric;
+use mirage::core::verify::verify_routed;
+use mirage::core::{transpile, Calibration, RouterKind, Target, TranspileOptions};
+use mirage::math::Rng;
+use mirage::serve::{TranspileJob, TranspileService};
+use mirage::topology::CouplingMap;
+use mirage::weyl::coords::WeylCoord;
+use std::sync::Arc;
+
+fn quick_opts(seed: u64) -> TranspileOptions {
+    let mut opts = TranspileOptions::quick(RouterKind::Mirage, seed);
+    opts.trials.layout_trials = 2;
+    opts.trials.routing_trials = 2;
+    opts
+}
+
+#[test]
+fn service_round_trips_a_mixed_batch_on_a_calibrated_device() {
+    let topo = CouplingMap::grid(3, 3);
+    let cal = Calibration::synthetic(&topo, &mut Rng::new(0x5EED5));
+    let target = Arc::new(Target::sqrt_iswap(topo).with_calibration(cal).unwrap());
+    let service = TranspileService::new(Arc::clone(&target), 3);
+    let circuits = vec![
+        ("qft-5", qft(5, false)),
+        ("ghz-7", ghz(7)),
+        ("twolocal-5", two_local_full(5, 1, 7)),
+        ("qaoa-6", portfolio_qaoa(6, 1, 7)),
+    ];
+    let jobs: Vec<TranspileJob> = circuits
+        .iter()
+        .enumerate()
+        .map(|(i, (name, c))| {
+            TranspileJob::new(*name, c.clone(), quick_opts(3)).with_seed(100 + i as u64)
+        })
+        .collect();
+    let results = service.run_batch(jobs).unwrap();
+    assert_eq!(results.len(), circuits.len());
+    for (result, (name, circuit)) in results.iter().zip(&circuits) {
+        let out = result.outcome.as_ref().expect("job succeeds");
+        assert!(
+            verify_routed(&consolidate(circuit), &out.as_routed(), &target),
+            "{name} failed verification"
+        );
+        assert!(out.metrics.estimated_success > 0.0 && out.metrics.estimated_success <= 1.0);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs, circuits.len() as u64);
+}
+
+#[test]
+fn hot_swap_changes_routing_metrics_without_rebuilding_the_target() {
+    // The acceptance scenario: a warm, shared Target absorbs a calibration
+    // swap; the next job's metrics reflect the new device, bit-identically
+    // to a target built with that calibration from scratch.
+    let topo = CouplingMap::line(5);
+    let target = Arc::new(Target::sqrt_iswap(topo.clone()));
+    let circuit = two_local_full(5, 1, 9);
+    let opts = quick_opts(7).with_metric(Metric::EstimatedSuccess);
+
+    // Warm everything: coverage set, coordinate costs, per-edge costs.
+    let before = transpile(&circuit, &target, &opts).unwrap();
+    assert_eq!(before.metrics.estimated_success, 1.0, "uniform device");
+    assert!(target.coverage_built());
+    let (_, misses_warm) = target.cache_stats();
+
+    let cal = Calibration::synthetic(&topo, &mut Rng::new(0xACDC));
+    target.swap_calibration(Arc::new(cal.clone())).unwrap();
+    assert_eq!(target.calibration_generation(), 1);
+
+    let after = transpile(&circuit, &target, &opts).unwrap();
+    assert!(
+        after.metrics.estimated_success > 0.0 && after.metrics.estimated_success < 1.0,
+        "post-swap routing must be scored under the noisy calibration"
+    );
+
+    // Identical to a cold target carrying the same calibration...
+    let fresh = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
+    let expected = transpile(&circuit, &fresh, &opts).unwrap();
+    assert_eq!(after.circuit, expected.circuit);
+    assert_eq!(
+        after.metrics.estimated_success,
+        expected.metrics.estimated_success
+    );
+
+    // ...but the swapped target never rebuilt its coverage set: its
+    // coordinate-class entries stayed warm across the swap (only per-edge
+    // entries re-priced), while the fresh target had to miss everything.
+    let (_, misses_after) = target.cache_stats();
+    let (_, misses_fresh) = fresh.cache_stats();
+    assert!(
+        misses_after - misses_warm < misses_fresh,
+        "swap re-priced {} entries, a rebuild would pay {}",
+        misses_after - misses_warm,
+        misses_fresh
+    );
+}
+
+#[test]
+fn warm_cache_serves_new_edge_costs_immediately_after_swap() {
+    let topo = CouplingMap::line(3);
+    let target = Target::sqrt_iswap(topo.clone());
+    // Warm the per-edge entry under the nominal calibration.
+    assert!((target.gate_cost_on(&WeylCoord::SWAP, 0, 1) - 1.5).abs() < 1e-12);
+    let mut cal = Calibration::uniform(&topo);
+    cal.set_edge(
+        0,
+        1,
+        EdgeCalibration {
+            duration_factor: 3.0,
+            error_2q: 0.0,
+        },
+    )
+    .unwrap();
+    target.swap_calibration(Arc::new(cal)).unwrap();
+    assert!(
+        (target.gate_cost_on(&WeylCoord::SWAP, 0, 1) - 4.5).abs() < 1e-12,
+        "stale cached cost served after swap"
+    );
+}
+
+#[test]
+fn service_batches_are_deterministic_through_the_public_api() {
+    let run = |workers: usize| {
+        let topo = CouplingMap::grid(2, 4);
+        let cal = Calibration::skewed(&topo, &mut Rng::new(0xF00), 5e-3, 0.25, 6.0).unwrap();
+        let target = Arc::new(Target::sqrt_iswap(topo).with_calibration(cal).unwrap());
+        let service = TranspileService::new(target, workers);
+        let jobs: Vec<TranspileJob> = (0..6)
+            .map(|i| {
+                TranspileJob::new(
+                    format!("job-{i}"),
+                    two_local_full(5, 1, 7 + i as u64),
+                    quick_opts(0).with_metric(Metric::EstimatedSuccess),
+                )
+                .with_seed(500 + i as u64)
+            })
+            .collect();
+        service
+            .run_batch(jobs)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.outcome.unwrap().circuit)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(3), "1 vs 3 workers must be bit-identical");
+}
