@@ -281,6 +281,84 @@ impl Circuit {
             })
             .collect()
     }
+
+    /// A stable 64-bit structural fingerprint: FNV-1a over the qubit count
+    /// and every instruction (gate name, exact parameter bits — including
+    /// the full matrices of opaque `Unitary1`/`Unitary2` blocks — and
+    /// operand order). Two circuits fingerprint equally iff they are equal
+    /// as instruction sequences, up to 64-bit collision odds.
+    ///
+    /// The routing golden tests and the `routing_runtime` perf gate pin
+    /// these values to prove optimizations are bit-identical; the hash is
+    /// independent of pointer addresses, platform, and process, so pinned
+    /// constants stay valid across runs and machines.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.n_qubits as u64);
+        for instr in &self.instructions {
+            h.write_bytes(instr.gate.name().as_bytes());
+            match &instr.gate {
+                Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => h.write_f64(*t),
+                Gate::U3(t, p, l) => {
+                    h.write_f64(*t);
+                    h.write_f64(*p);
+                    h.write_f64(*l);
+                }
+                Gate::Cphase(t) | Gate::Cry(t) | Gate::ISwapPow(t) => h.write_f64(*t),
+                Gate::Rxx(t) | Gate::Ryy(t) | Gate::Rzz(t) => h.write_f64(*t),
+                Gate::Unitary1(m) => {
+                    for row in &m.e {
+                        for z in row {
+                            h.write_f64(z.re);
+                            h.write_f64(z.im);
+                        }
+                    }
+                }
+                Gate::Unitary2(m) => {
+                    for row in &m.e {
+                        for z in row {
+                            h.write_f64(z.re);
+                            h.write_f64(z.im);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for &q in &instr.qubits {
+                h.write_u64(q as u64);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a (64-bit) for [`Circuit::fingerprint`] — deterministic
+/// across processes, unlike `DefaultHasher` whose keys are unspecified.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -399,5 +477,44 @@ mod tests {
         let r = c.reversed();
         assert_eq!(r.instructions[0].gate, Gate::Cx);
         assert_eq!(r.instructions[1].gate, Gate::T);
+    }
+
+    #[test]
+    fn fingerprint_separates_structure() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).rz(0.25, 2);
+        let mut b = Circuit::new(3);
+        b.h(0).cx(0, 1).rz(0.25, 2);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal circuits agree");
+
+        // Operand order, parameters, qubit count, and gate identity all
+        // perturb the hash.
+        let mut flipped = Circuit::new(3);
+        flipped.h(0).cx(1, 0).rz(0.25, 2);
+        assert_ne!(a.fingerprint(), flipped.fingerprint());
+        let mut param = Circuit::new(3);
+        param.h(0).cx(0, 1).rz(0.26, 2);
+        assert_ne!(a.fingerprint(), param.fingerprint());
+        let mut wider = Circuit::new(4);
+        wider.h(0).cx(0, 1).rz(0.25, 2);
+        assert_ne!(a.fingerprint(), wider.fingerprint());
+
+        // Opaque blocks hash their full matrix.
+        let mut u = Circuit::new(2);
+        u.push(Gate::Unitary2(crate::gate::Gate::Swap.matrix2()), &[0, 1]);
+        let mut v = Circuit::new(2);
+        v.push(Gate::Unitary2(crate::gate::Gate::Cx.matrix2()), &[0, 1]);
+        assert_ne!(u.fingerprint(), v.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_pinned() {
+        // The value is part of the golden-test contract: it must never
+        // change across runs, platforms, or refactors of the hasher.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert_eq!(c.fingerprint(), c.fingerprint());
+        let empty = Circuit::new(0);
+        assert_eq!(empty.fingerprint(), 0xA8C7_F832_281A_39C5);
     }
 }

@@ -1,0 +1,221 @@
+//! Golden bit-identity tests for the routing hot path.
+//!
+//! Every case routes a fixed circuit with a fixed seed and compares the
+//! routed circuit's structural fingerprint ([`Circuit::fingerprint`]),
+//! SWAP count, and mirror count against values pinned at the commit
+//! *before* the allocation-free router rewrite landed. Any hot-path
+//! optimization that changes a single output bit — a reordered candidate,
+//! a perturbed float, a different tie-break — fails here.
+//!
+//! The matrix covers {line, grid, heavy-hex} × {SABRE, A1, A2, A3} ×
+//! {uniform, skewed calibration} for direct `route` calls, plus one
+//! full `TrialEngine` run per topology (which also exercises
+//! `absorb_adjacent_swaps` and post-selection).
+//!
+//! To re-pin after an *intentional* behavior change:
+//!
+//! ```text
+//! MIRAGE_REGEN_GOLDEN=1 cargo test --test golden_routing -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use mirage::circuit::consolidate::consolidate;
+use mirage::circuit::generators::{qft, two_local_full};
+use mirage::circuit::{Circuit, Dag};
+use mirage::core::calibration::Calibration;
+use mirage::core::layout::Layout;
+use mirage::core::router::{node_coords, route, Aggression, RouterConfig};
+use mirage::core::trials::{Metric, TrialEngine, TrialOptions};
+use mirage::core::verify::verify_routed;
+use mirage::core::Target;
+use mirage::math::Rng;
+use mirage::topology::CouplingMap;
+
+/// label, routed-circuit fingerprint, swaps inserted, mirrors accepted.
+type Golden = (&'static str, u64, usize, usize);
+
+/// Pinned at the pre-rewrite router (PR 4 head). Do not edit by hand.
+const GOLDEN: &[Golden] = &[
+    ("line-8/sabre/uniform", 0x9A5D110826D99A4D, 36, 0),
+    ("line-8/sabre/skewed", 0x9A5D110826D99A4D, 36, 0),
+    ("line-8/a1/uniform", 0xB009471C4D0FA0CB, 35, 10),
+    ("line-8/a1/skewed", 0xFE05B8148927CF16, 36, 9),
+    ("line-8/a2/uniform", 0xB009471C4D0FA0CB, 35, 10),
+    ("line-8/a2/skewed", 0xFE05B8148927CF16, 36, 9),
+    ("line-8/a3/uniform", 0x872775A64DF15156, 29, 28),
+    ("line-8/a3/skewed", 0x872775A64DF15156, 29, 28),
+    ("grid-3x3/sabre/uniform", 0x57EA49A2DC5AD9F6, 20, 0),
+    ("grid-3x3/sabre/skewed", 0x57EA49A2DC5AD9F6, 20, 0),
+    ("grid-3x3/a1/uniform", 0x15441373A02EDF74, 15, 11),
+    ("grid-3x3/a1/skewed", 0x02AD18A7F8BAE72E, 16, 10),
+    ("grid-3x3/a2/uniform", 0x15441373A02EDF74, 15, 11),
+    ("grid-3x3/a2/skewed", 0x02AD18A7F8BAE72E, 16, 10),
+    ("grid-3x3/a3/uniform", 0xF7DC8CCD78D891B6, 17, 32),
+    ("grid-3x3/a3/skewed", 0xF7DC8CCD78D891B6, 17, 32),
+    ("heavy-hex-3/sabre/uniform", 0x203C7DE95E10E290, 88, 0),
+    ("heavy-hex-3/sabre/skewed", 0x203C7DE95E10E290, 88, 0),
+    ("heavy-hex-3/a1/uniform", 0x7B807F7A1733BE7E, 81, 12),
+    ("heavy-hex-3/a1/skewed", 0x7B807F7A1733BE7E, 81, 12),
+    ("heavy-hex-3/a2/uniform", 0x969108E950B493B8, 63, 34),
+    ("heavy-hex-3/a2/skewed", 0x969108E950B493B8, 63, 34),
+    ("heavy-hex-3/a3/uniform", 0x71A5D446674E59D2, 72, 45),
+    ("heavy-hex-3/a3/skewed", 0x71A5D446674E59D2, 72, 45),
+    ("line-8/trials", 0x59F208C844814F20, 3, 30),
+    ("grid-3x3/trials", 0xF2C2A7709095FF21, 15, 10),
+    ("heavy-hex-3/trials", 0xFB5B655AA1A22B9D, 5, 40),
+];
+
+struct Topo {
+    name: &'static str,
+    map: CouplingMap,
+    circuit: Circuit,
+    cal_seed: u64,
+}
+
+fn topologies() -> Vec<Topo> {
+    vec![
+        // QFT circuits keep their controlled-phase coordinate classes
+        // through consolidation (Weyl coords are invariant under the
+        // absorbed 1Q gates), and a cphase class and its mirror decompose
+        // at *different* costs — so the skewed-calibration cases really
+        // price edges into the mirror decision. two_local_full circuits
+        // consolidate into generic SU(4) blocks whose class and mirror
+        // both cost three applications, and the edge factor cancels.
+        Topo {
+            name: "line-8",
+            map: CouplingMap::line(8),
+            circuit: qft(8, false),
+            cal_seed: 0xCA11,
+        },
+        Topo {
+            name: "grid-3x3",
+            map: CouplingMap::grid(3, 3),
+            circuit: qft(8, true),
+            cal_seed: 0xCA12,
+        },
+        Topo {
+            name: "heavy-hex-3",
+            map: CouplingMap::heavy_hex(3),
+            circuit: two_local_full(10, 1, 0xC7),
+            cal_seed: 0xCA13,
+        },
+    ]
+}
+
+fn target_for(topo: &Topo, calibrated: bool) -> Target {
+    let t = Target::sqrt_iswap(topo.map.clone());
+    if calibrated {
+        // Strong 10x outliers (the calibration_skew setting): mild synthetic
+        // factors never flip a mirror decision on these small circuits, so a
+        // skewed device is what actually exercises edge-priced routing.
+        let cal = Calibration::skewed(&topo.map, &mut Rng::new(topo.cal_seed), 3e-3, 0.25, 10.0)
+            .expect("skewed covers the map");
+        t.with_calibration(cal).expect("calibration covers the map")
+    } else {
+        t
+    }
+}
+
+/// One deterministic direct `route` call from a seeded random layout.
+fn route_case(topo: &Topo, target: &Target, aggression: Option<Aggression>, seed: u64) -> Case {
+    let cc = consolidate(&topo.circuit);
+    let dag = Dag::from_circuit(&cc);
+    let coords = node_coords(&dag);
+    let config = RouterConfig {
+        aggression,
+        ..RouterConfig::default()
+    };
+    let mut rng = Rng::new(seed);
+    let layout = Layout::random(cc.n_qubits, target.n_qubits(), &mut rng);
+    let routed = route(&dag, &coords, target, layout, &config, &mut rng);
+    assert!(
+        verify_routed(&topo.circuit, &routed, target),
+        "golden case must stay semantically valid"
+    );
+    Case {
+        fingerprint: routed.circuit.fingerprint(),
+        swaps: routed.swaps_inserted,
+        mirrors: routed.mirrors_accepted,
+    }
+}
+
+/// One full serial trial-engine run (layout strategies, refinement,
+/// routing trials, SWAP absorption, post-selection).
+fn trials_case(topo: &Topo) -> Case {
+    let target = target_for(topo, true);
+    let cc = consolidate(&topo.circuit);
+    let engine = TrialEngine::new(&cc, &target);
+    let opts = TrialOptions::quick(Metric::EstimatedSuccess, 0x901D + topo.cal_seed);
+    let outcome = engine.run_detailed(true, &opts).expect("valid mix");
+    assert!(
+        verify_routed(&topo.circuit, &outcome.best, &target),
+        "golden trials case must stay semantically valid"
+    );
+    Case {
+        fingerprint: outcome.best.circuit.fingerprint(),
+        swaps: outcome.best.swaps_inserted,
+        mirrors: outcome.best.mirrors_accepted,
+    }
+}
+
+struct Case {
+    fingerprint: u64,
+    swaps: usize,
+    mirrors: usize,
+}
+
+fn run_all() -> Vec<(String, Case)> {
+    let modes: [(&str, Option<Aggression>); 4] = [
+        ("sabre", None),
+        ("a1", Some(Aggression::A1)),
+        ("a2", Some(Aggression::A2)),
+        ("a3", Some(Aggression::A3)),
+    ];
+    let mut out = Vec::new();
+    for topo in &topologies() {
+        for (mode_name, aggression) in modes {
+            for (cal_name, calibrated) in [("uniform", false), ("skewed", true)] {
+                let target = target_for(topo, calibrated);
+                let seed = 0x5EED ^ topo.cal_seed ^ (mode_name.len() as u64) << 8;
+                let case = route_case(topo, &target, aggression, seed);
+                out.push((format!("{}/{}/{}", topo.name, mode_name, cal_name), case));
+            }
+        }
+    }
+    for topo in &topologies() {
+        out.push((format!("{}/trials", topo.name), trials_case(topo)));
+    }
+    out
+}
+
+#[test]
+fn routed_circuits_match_pinned_fingerprints() {
+    let actual = run_all();
+    if std::env::var("MIRAGE_REGEN_GOLDEN").is_ok() {
+        println!("const GOLDEN: &[Golden] = &[");
+        for (label, case) in &actual {
+            println!(
+                "    (\"{label}\", 0x{fp:016X}, {swaps}, {mirrors}),",
+                fp = case.fingerprint,
+                swaps = case.swaps,
+                mirrors = case.mirrors
+            );
+        }
+        println!("];");
+        panic!("MIRAGE_REGEN_GOLDEN set: paste the table above over GOLDEN");
+    }
+    assert_eq!(actual.len(), GOLDEN.len(), "case matrix changed shape");
+    for ((label, case), &(g_label, g_fp, g_swaps, g_mirrors)) in actual.iter().zip(GOLDEN) {
+        assert_eq!(label, g_label, "case order changed");
+        assert_eq!(
+            (case.fingerprint, case.swaps, case.mirrors),
+            (g_fp, g_swaps, g_mirrors),
+            "{label}: routed output drifted from the pinned pre-rewrite behavior \
+             (got fingerprint 0x{:016X}, {} swaps, {} mirrors)",
+            case.fingerprint,
+            case.swaps,
+            case.mirrors
+        );
+    }
+}
