@@ -1,5 +1,8 @@
 //! Micro-benchmark for routing throughput: SABRE vs MIRAGE single trials
-//! on representative circuits (supports the Fig. 13b runtime discussion).
+//! on representative circuits (supports the Fig. 13b runtime discussion),
+//! plus the scratch-reuse and legacy-path comparisons behind the
+//! allocation-free hot-path rewrite (`routing_runtime` is the end-to-end
+//! gate; this is the per-call view).
 //!
 //! Run with `cargo bench --bench routing`.
 
@@ -8,7 +11,9 @@ use mirage_circuit::consolidate::consolidate;
 use mirage_circuit::generators::{qft, two_local_full};
 use mirage_circuit::Dag;
 use mirage_core::layout::Layout;
-use mirage_core::router::{node_coords, route, Aggression, RouterConfig};
+use mirage_core::router::{
+    legacy, node_coords, route, route_with_scratch, Aggression, RouterConfig, RouterScratch,
+};
 use mirage_core::Target;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_math::Rng;
@@ -64,5 +69,37 @@ fn main() {
                 )
             });
         }
+        // The hot-path ladder on the MIRAGE configuration: legacy
+        // (per-candidate clones + full re-scoring), optimized with a fresh
+        // scratch per call, and optimized with one reused scratch (the
+        // TrialEngine / serve steady state).
+        let config = RouterConfig {
+            aggression: Some(Aggression::A2),
+            ..RouterConfig::default()
+        };
+        bench(&format!("route/{name}/mirage-legacy"), || {
+            let mut rng = Rng::new(7);
+            legacy::route(
+                black_box(&dag),
+                &coords,
+                &target,
+                Layout::trivial(circ.n_qubits, target.n_qubits()),
+                &config,
+                &mut rng,
+            )
+        });
+        let mut scratch = RouterScratch::new();
+        bench(&format!("route/{name}/mirage-scratch-reuse"), || {
+            let mut rng = Rng::new(7);
+            route_with_scratch(
+                black_box(&dag),
+                &coords,
+                &target,
+                Layout::trivial(circ.n_qubits, target.n_qubits()),
+                &config,
+                &mut rng,
+                &mut scratch,
+            )
+        });
     }
 }

@@ -1,0 +1,366 @@
+//! The routing-runtime perf gate: the first point of the persistent
+//! routing-throughput trajectory.
+//!
+//! Times the optimized, scratch-reusing router
+//! ([`mirage_core::router::route_with_scratch`]) against the pre-rewrite
+//! reference ([`mirage_core::router::legacy::route`]) on the QFT family
+//! (n = 16 … 64, line topology — the paper's Fig. 13 runtime axis) plus a
+//! two_local suite, best-of-3 wall times, and emits the machine-readable
+//! `BENCH_routing.json` that future PRs are held against.
+//!
+//! Two hard gates (nonzero exit on failure):
+//!
+//! * **Bit identity** — every case routes through both implementations and
+//!   the outputs must be equal, with fingerprint/swaps/mirrors matching
+//!   the pinned sanity table below (the same kind of pin as
+//!   `tests/golden_routing.rs`). A silent behavior change cannot pass off
+//!   as a speedup.
+//! * **Speedup** (`--quick`, the CI smoke run) — the optimized path must
+//!   be ≥ 1.5× faster than `--legacy-scoring` on the QFT-32 case.
+//!
+//! Usage: `routing_runtime [--quick] [--legacy-scoring] [--out PATH]
+//! [--print-fingerprints]`
+//!
+//! `--legacy-scoring` reports the legacy path's time as the headline
+//! column (for bisecting regressions); the JSON always carries both.
+
+use mirage_bench::print_table;
+use mirage_circuit::consolidate::consolidate;
+use mirage_circuit::generators::{qft, two_local_full, two_local_linear};
+use mirage_circuit::{Circuit, Dag};
+use mirage_core::layout::Layout;
+use mirage_core::router::{
+    legacy, node_coords, route_with_scratch, Aggression, RoutedCircuit, RouterConfig, RouterScratch,
+};
+use mirage_core::Target;
+use mirage_math::Rng;
+use mirage_topology::CouplingMap;
+use std::time::Instant;
+
+const ROUTE_SEED: u64 = 0x1313;
+const BEST_OF: usize = 3;
+
+/// name, fingerprint, swaps, mirrors — pinned to the pre-rewrite router's
+/// output (bit-identical by construction; regenerate with
+/// `--print-fingerprints` after an intentional behavior change).
+const SANITY: &[(&str, u64, usize, usize)] = &[
+    ("qft-16", 0xC4736293D5E6AFA8, 27, 91),
+    ("qft-24", 0xEDCA2F0A70B12FE9, 33, 241),
+    ("qft-32", 0x831BAE8487AD27B8, 39, 455),
+    ("qft-48", 0xDF9CFA2B7FE470CB, 51, 1075),
+    ("qft-64", 0x3FFF2B7904DD1A08, 63, 1951),
+    ("twolocal-full-12", 0xF1F44696F4BB94A2, 7, 127),
+    ("twolocal-full-16", 0xCE22E0695E2D8363, 3, 237),
+    ("twolocal-linear-24", 0x551A34CDC86E5D27, 0, 1),
+];
+
+struct Case {
+    name: &'static str,
+    n_qubits: usize,
+    circuit: Circuit,
+}
+
+fn cases(quick: bool) -> Vec<Case> {
+    if quick {
+        return vec![Case {
+            name: "qft-32",
+            n_qubits: 32,
+            circuit: qft(32, false),
+        }];
+    }
+    vec![
+        Case {
+            name: "qft-16",
+            n_qubits: 16,
+            circuit: qft(16, false),
+        },
+        Case {
+            name: "qft-24",
+            n_qubits: 24,
+            circuit: qft(24, false),
+        },
+        Case {
+            name: "qft-32",
+            n_qubits: 32,
+            circuit: qft(32, false),
+        },
+        Case {
+            name: "qft-48",
+            n_qubits: 48,
+            circuit: qft(48, false),
+        },
+        Case {
+            name: "qft-64",
+            n_qubits: 64,
+            circuit: qft(64, false),
+        },
+        Case {
+            name: "twolocal-full-12",
+            n_qubits: 12,
+            circuit: two_local_full(12, 2, 0xB12),
+        },
+        Case {
+            name: "twolocal-full-16",
+            n_qubits: 16,
+            circuit: two_local_full(16, 2, 0xB16),
+        },
+        Case {
+            name: "twolocal-linear-24",
+            n_qubits: 24,
+            circuit: two_local_linear(24, 4, 0xB24),
+        },
+    ]
+}
+
+struct Measured {
+    name: &'static str,
+    n_qubits: usize,
+    twoq_gates: usize,
+    optimized_ms: f64,
+    legacy_ms: f64,
+    swaps: usize,
+    mirrors: usize,
+    fingerprint: u64,
+}
+
+impl Measured {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ms <= 0.0 {
+            0.0
+        } else {
+            self.legacy_ms / self.optimized_ms
+        }
+    }
+}
+
+fn route_optimized(
+    dag: &Dag,
+    coords: &[Option<mirage_weyl::coords::WeylCoord>],
+    target: &Target,
+    config: &RouterConfig,
+    scratch: &mut RouterScratch,
+) -> RoutedCircuit {
+    let mut rng = Rng::new(ROUTE_SEED);
+    let layout = Layout::trivial(dag.n_qubits, target.n_qubits());
+    route_with_scratch(dag, coords, target, layout, config, &mut rng, scratch)
+}
+
+fn route_legacy(
+    dag: &Dag,
+    coords: &[Option<mirage_weyl::coords::WeylCoord>],
+    target: &Target,
+    config: &RouterConfig,
+) -> RoutedCircuit {
+    let mut rng = Rng::new(ROUTE_SEED);
+    let layout = Layout::trivial(dag.n_qubits, target.n_qubits());
+    legacy::route(dag, coords, target, layout, config, &mut rng)
+}
+
+fn measure(case: &Case) -> Measured {
+    let cc = consolidate(&case.circuit);
+    let dag = Dag::from_circuit(&cc);
+    let coords = node_coords(&dag);
+    let target = Target::sqrt_iswap(CouplingMap::line(case.n_qubits));
+    let config = RouterConfig {
+        aggression: Some(Aggression::A2),
+        ..RouterConfig::default()
+    };
+    let mut scratch = RouterScratch::new();
+
+    // Bit-identity gate (also warms the target's cost cache and the
+    // scratch, so both timed paths run steady-state).
+    let optimized = route_optimized(&dag, &coords, &target, &config, &mut scratch);
+    let reference = route_legacy(&dag, &coords, &target, &config);
+    assert_eq!(
+        optimized.circuit, reference.circuit,
+        "{}: optimized and legacy routers diverged",
+        case.name
+    );
+    assert_eq!(optimized.swaps_inserted, reference.swaps_inserted);
+    assert_eq!(optimized.mirrors_accepted, reference.mirrors_accepted);
+
+    let time_best_of = |f: &mut dyn FnMut() -> RoutedCircuit| -> f64 {
+        (0..BEST_OF)
+            .map(|_| {
+                let t0 = Instant::now();
+                let r = f();
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                std::hint::black_box(r.swaps_inserted);
+                dt
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let optimized_ms =
+        time_best_of(&mut || route_optimized(&dag, &coords, &target, &config, &mut scratch));
+    let legacy_ms = time_best_of(&mut || route_legacy(&dag, &coords, &target, &config));
+
+    Measured {
+        name: case.name,
+        n_qubits: case.n_qubits,
+        twoq_gates: cc.two_qubit_gate_count(),
+        optimized_ms,
+        legacy_ms,
+        swaps: optimized.swaps_inserted,
+        mirrors: optimized.mirrors_accepted,
+        fingerprint: optimized.circuit.fingerprint(),
+    }
+}
+
+fn check_sanity(rows: &[Measured]) -> bool {
+    let mut ok = true;
+    for row in rows {
+        match SANITY.iter().find(|(name, ..)| *name == row.name) {
+            Some(&(_, fp, swaps, mirrors)) => {
+                if (row.fingerprint, row.swaps, row.mirrors) != (fp, swaps, mirrors) {
+                    eprintln!(
+                        "SANITY DRIFT {}: got fingerprint 0x{:016X} / {} swaps / {} mirrors, \
+                         pinned 0x{fp:016X} / {swaps} / {mirrors}",
+                        row.name, row.fingerprint, row.swaps, row.mirrors
+                    );
+                    ok = false;
+                }
+            }
+            None => {
+                eprintln!("SANITY: no pinned entry for {}", row.name);
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Case names are static identifiers; keep the emitter honest anyway.
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+        "case name needs JSON escaping: {name}"
+    );
+    name
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Measured]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"routing_runtime\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"topology\": \"line\", \"aggression\": \"A2\", \"seed\": {ROUTE_SEED}, \"best_of\": {BEST_OF}}},\n"
+    ));
+    s.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n_qubits\": {}, \"twoq_gates\": {}, \
+             \"optimized_ms\": {:.3}, \"legacy_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"swaps\": {}, \"mirrors\": {}, \"fingerprint\": \"0x{:016X}\"}}{}",
+            json_escape_free(r.name),
+            r.n_qubits,
+            r.twoq_gates,
+            r.optimized_ms,
+            r.legacy_ms,
+            r.speedup(),
+            r.swaps,
+            r.mirrors,
+            r.fingerprint,
+            if i + 1 == rows.len() { "\n" } else { ",\n" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let legacy_headline = args.iter().any(|a| a == "--legacy-scoring");
+    let print_fingerprints = args.iter().any(|a| a == "--print-fingerprints");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_routing.json".to_owned());
+
+    let mode = if quick { "quick" } else { "full" };
+    println!(
+        "routing_runtime — line topology, A2, best-of-{BEST_OF} ({mode}{})\n",
+        if legacy_headline {
+            ", legacy headline"
+        } else {
+            ""
+        }
+    );
+
+    let rows: Vec<Measured> = cases(quick).iter().map(measure).collect();
+
+    if print_fingerprints {
+        println!("const SANITY: &[(&str, u64, usize, usize)] = &[");
+        for r in &rows {
+            println!(
+                "    (\"{}\", 0x{:016X}, {}, {}),",
+                r.name, r.fingerprint, r.swaps, r.mirrors
+            );
+        }
+        println!("];");
+        return;
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let headline = if legacy_headline {
+                r.legacy_ms
+            } else {
+                r.optimized_ms
+            };
+            vec![
+                r.name.to_owned(),
+                r.n_qubits.to_string(),
+                r.twoq_gates.to_string(),
+                format!("{headline:.2}"),
+                format!("{:.2}", r.legacy_ms),
+                format!("{:.2}x", r.speedup()),
+                r.swaps.to_string(),
+                r.mirrors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "case",
+            "qubits",
+            "2q",
+            "ms",
+            "legacy-ms",
+            "speedup",
+            "swaps",
+            "mirrors",
+        ],
+        &table,
+    );
+
+    let sanity_ok = check_sanity(&rows);
+    match write_json(&out_path, mode, &rows) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !sanity_ok {
+        eprintln!("routing_runtime: sanity columns drifted from the pinned fingerprints");
+        std::process::exit(1);
+    }
+    if quick && !legacy_headline {
+        let qft32 = rows
+            .iter()
+            .find(|r| r.name == "qft-32")
+            .expect("quick mode runs qft-32");
+        let speedup = qft32.speedup();
+        println!("\nCI gate: optimized vs legacy at qft-32 = {speedup:.2}x (needs >= 1.5x)");
+        if speedup < 1.5 {
+            eprintln!("routing_runtime: optimized router is not >= 1.5x faster than legacy");
+            std::process::exit(1);
+        }
+    }
+}

@@ -102,9 +102,18 @@ impl Layout {
         self.log_to_phys[l2] = p1;
     }
 
-    /// The logical→physical assignment restricted to real qubits.
+    /// The logical→physical assignment restricted to real qubits, as a
+    /// borrowed view. Scoring paths that run once per routed candidate
+    /// (`RoutedCircuit::log_success`, the VF2 tie-break) read this instead
+    /// of paying [`Layout::assignment`]'s allocation.
+    pub fn real_assignment(&self) -> &[usize] {
+        &self.log_to_phys[..self.n_logical]
+    }
+
+    /// The logical→physical assignment restricted to real qubits (owned;
+    /// see [`Layout::real_assignment`] for the zero-copy view).
     pub fn assignment(&self) -> Vec<usize> {
-        self.log_to_phys[..self.n_logical].to_vec()
+        self.real_assignment().to_vec()
     }
 
     /// True when the two internal maps are mutually inverse bijections

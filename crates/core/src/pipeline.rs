@@ -238,7 +238,8 @@ pub fn transpile(
                 mirror_rate: 0.0,
                 // Same convention as RoutedCircuit::log_success: readout at
                 // the logical qubits' final homes.
-                estimated_success: target.estimated_success(&placed, &final_layout.assignment()),
+                estimated_success: target
+                    .estimated_success(&placed, final_layout.real_assignment()),
             };
             return Ok(TranspiledCircuit {
                 circuit: placed,

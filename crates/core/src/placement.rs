@@ -379,7 +379,7 @@ impl LayoutStrategy for Vf2Embed {
             let placed = apply_layout(ctx.circuit(), &layout);
             let success = ctx
                 .target()
-                .estimated_success(&placed, &layout.assignment());
+                .estimated_success(&placed, layout.real_assignment());
             // Strict improvement only: ties keep the earliest embedding,
             // so uniform targets reproduce the single-result VF2 pass.
             if best.as_ref().map_or(true, |(s, _)| success > *s) {

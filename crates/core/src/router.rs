@@ -8,14 +8,45 @@
 //! (paper Fig. 7): the engine compares the cost of the gate against its
 //! mirror `SWAP·U` — decomposition cost from the coverage set plus the
 //! lookahead distance heuristic — and accepts the mirror per Algorithm 2.
+//!
+//! # The hot path
+//!
+//! [`route`] is the hottest loop in the workspace: it runs once per SWAP
+//! step × per routing trial × per serve job. The steady-state path is
+//! **allocation-free** and **incrementally scored**:
+//!
+//! * All working storage lives in a reusable [`RouterScratch`]
+//!   (epoch-stamped mark arrays, front/extended-set/candidate buffers,
+//!   decay table). [`route_with_scratch`] threads one through repeated
+//!   calls — [`crate::trials::TrialEngine`] pools scratches so refinement
+//!   passes, routing trials, and serve jobs stop paying per-call
+//!   allocation. [`route`] is the convenience wrapper that brings its own.
+//! * Candidate SWAPs are ranked by **delta scoring**: the per-node
+//!   residual distances of the front and extended sets are computed once
+//!   per SWAP step, and each candidate re-prices only the nodes whose
+//!   operands sit on the two swapped physical qubits (an inverted
+//!   phys→node index built per step). The mirror decision's two lookahead
+//!   sums collapse into one pass the same way — no `Layout` clone, no
+//!   front clone, no second walk.
+//! * The 2Q-only front view is maintained incrementally as gates execute
+//!   instead of being re-filtered per candidate.
+//!
+//! Outputs are **bit-identical** to the pre-optimization router (kept
+//! verbatim as [`legacy`]): residual distances are small integers, so
+//! front/extended sums are exact in `f64` regardless of summation order,
+//! and the final score expressions reproduce the original floating-point
+//! operations operation-for-operation. The golden tests
+//! (`tests/golden_routing.rs`) and a randomized `route == legacy::route`
+//! sweep pin this.
 
 use crate::layout::Layout;
 use crate::target::Target;
-use mirage_circuit::{Circuit, Dag, Gate};
+use mirage_circuit::{Circuit, Dag, Gate, Instruction};
 use mirage_math::{Mat4, Rng};
 use mirage_topology::CouplingMap;
 use mirage_weyl::coords::{coords_of, WeylCoord};
 use mirage_weyl::mirror::mirror_coord;
+use std::collections::VecDeque;
 
 /// Mirror-acceptance aggression levels (paper Algorithm 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +148,7 @@ impl RoutedCircuit {
     /// is better).
     pub fn log_success(&self, target: &Target) -> f64 {
         target.circuit_log_success(&self.circuit)
-            + target.readout_log_success(&self.final_layout.assignment())
+            + target.readout_log_success(self.final_layout.real_assignment())
     }
 
     /// `exp` of [`RoutedCircuit::log_success`]: the estimated probability
@@ -142,11 +173,190 @@ pub fn node_coords(dag: &Dag) -> Vec<Option<WeylCoord>> {
         .collect()
 }
 
+/// One scored node of the current SWAP step: its operands' physical homes
+/// and residual distance under the current layout, tagged front/extended.
+#[derive(Debug, Clone, Copy)]
+struct ScoreEntry {
+    pa: usize,
+    pb: usize,
+    dist: i64,
+    in_front: bool,
+}
+
+/// Reusable working storage for [`route_with_scratch`].
+///
+/// A scratch grows to the high-water mark of the DAGs and devices it has
+/// routed and never shrinks; reusing one across calls makes the router's
+/// steady state allocation-free. Scratches carry **no routing state**
+/// between calls — only capacity — so reuse can never change results (the
+/// mark arrays are epoch-stamped: bumping a generation counter invalidates
+/// them in O(1) instead of clearing).
+///
+/// [`crate::trials::TrialEngine`] keeps a pool of these, one checked out
+/// per layout trial; standalone callers can hold one per thread. A scratch
+/// is cheap to create (`Default`), so the convenience wrapper [`route`]
+/// simply brings a fresh one.
+#[derive(Debug, Default)]
+pub struct RouterScratch {
+    // Per-route bookkeeping (cleared and refilled each call).
+    indeg: Vec<usize>,
+    done: Vec<bool>,
+    front: Vec<usize>,
+    front_2q: Vec<usize>,
+    // Decay table: `val[p]` is live only when `mark[p] == gen`, so the
+    // per-gate "reset all decay" is a single counter bump.
+    decay_val: Vec<f64>,
+    decay_mark: Vec<u64>,
+    decay_gen: u64,
+    // Mirror-decision probe front and the shared extended-set BFS.
+    probe: Vec<usize>,
+    ext: Vec<usize>,
+    queue: VecDeque<usize>,
+    node_mark: Vec<u64>,
+    node_epoch: u64,
+    // Candidate-SWAP generation.
+    homes: Vec<usize>,
+    candidates: Vec<(usize, usize)>,
+    // Incremental scoring: per-step entries plus a phys→entry inverted
+    // index, both epoch-stamped.
+    entries: Vec<ScoreEntry>,
+    touch: Vec<Vec<u32>>,
+    touch_mark: Vec<u64>,
+    touch_gen: u64,
+    entry_mark: Vec<u64>,
+    entry_gen: u64,
+    // Score-tie buffer fed to the RNG.
+    best: Vec<(usize, usize)>,
+}
+
+impl RouterScratch {
+    /// A fresh scratch (no capacity reserved yet; buffers grow on first
+    /// use and are retained across calls).
+    pub fn new() -> RouterScratch {
+        RouterScratch::default()
+    }
+
+    /// Grow the per-node and per-qubit arrays to fit a routing problem.
+    fn prepare(&mut self, n_nodes: usize, n_phys: usize) {
+        if self.node_mark.len() < n_nodes {
+            self.node_mark.resize(n_nodes, 0);
+        }
+        if self.decay_val.len() < n_phys {
+            self.decay_val.resize(n_phys, 1.0);
+            self.decay_mark.resize(n_phys, 0);
+        }
+        if self.touch.len() < n_phys {
+            self.touch.resize_with(n_phys, Vec::new);
+            self.touch_mark.resize(n_phys, 0);
+        }
+    }
+}
+
+/// The lookahead window: up to `limit` unexecuted two-qubit descendants of
+/// `seeds`, breadth-first, into the reusable `out` buffer. Identical
+/// traversal (and therefore output order) to the seed implementation's
+/// `HashSet`/`VecDeque` version; the seen-set is an epoch-stamped array.
+#[allow(clippy::too_many_arguments)]
+fn extended_set_into(
+    dag: &Dag,
+    seeds: &[usize],
+    done: &[bool],
+    limit: usize,
+    node_mark: &mut [u64],
+    node_epoch: &mut u64,
+    queue: &mut VecDeque<usize>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    queue.clear();
+    *node_epoch += 1;
+    let ep = *node_epoch;
+    for &id in seeds {
+        node_mark[id] = ep;
+        queue.push_back(id);
+    }
+    while let Some(id) = queue.pop_front() {
+        if out.len() >= limit {
+            break;
+        }
+        for &s in &dag.nodes[id].succs {
+            if node_mark[s] != ep {
+                node_mark[s] = ep;
+                if !done[s] {
+                    if dag.nodes[s].qubits.len() == 2 {
+                        out.push(s);
+                        if out.len() >= limit {
+                            break;
+                        }
+                    }
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+/// Where physical qubit `x` ends up if the occupants of `p1` and `p2`
+/// trade places. The single remap every delta computation goes through —
+/// the convention must stay identical everywhere or the bit-identity
+/// contract breaks.
+#[inline]
+fn swapped_home(x: usize, p1: usize, p2: usize) -> usize {
+    if x == p1 {
+        p2
+    } else if x == p2 {
+        p1
+    } else {
+        x
+    }
+}
+
+/// One pass over `ids`: the summed residual distances (hops beyond
+/// adjacency) of their 2Q nodes under `layout`, plus the delta that
+/// swapping the occupants of `p1`/`p2` would apply — accumulated only over
+/// the nodes whose operands sit on `p1` or `p2` (a node with *both*
+/// operands there keeps its distance; [`swapped_home`] handles that
+/// naturally). 1Q nodes contribute nothing, matching the legacy
+/// `lookahead_sum`'s zero-distance convention. Sums are exact integers,
+/// so `sum` and `sum + delta` reproduce two full walks bit-for-bit.
+fn sum_and_swap_delta(
+    dag: &Dag,
+    ids: &[usize],
+    layout: &Layout,
+    topo: &CouplingMap,
+    p1: usize,
+    p2: usize,
+) -> (i64, i64) {
+    let mut sum = 0i64;
+    let mut delta = 0i64;
+    for &nid in ids {
+        let n = &dag.nodes[nid];
+        if n.qubits.len() != 2 {
+            continue;
+        }
+        let pa = layout.phys(n.qubits[0]);
+        let pb = layout.phys(n.qubits[1]);
+        let d = i64::from(topo.distance(pa, pb).saturating_sub(1));
+        sum += d;
+        if pa == p1 || pa == p2 || pb == p1 || pb == p2 {
+            let dm = i64::from(
+                topo.distance(swapped_home(pa, p1, p2), swapped_home(pb, p1, p2))
+                    .saturating_sub(1),
+            );
+            delta += dm - d;
+        }
+    }
+    (sum, delta)
+}
+
 /// Route a circuit DAG onto `target` starting from `layout`.
 ///
 /// The target prices decomposition costs for the mirror decision through
 /// its shared cost cache. `rng` only breaks score ties, so two runs with
 /// equal seeds are identical.
+///
+/// Allocates a fresh [`RouterScratch`] per call; hot loops should hold one
+/// and call [`route_with_scratch`] instead.
 pub fn route(
     dag: &Dag,
     coords: &[Option<WeylCoord>],
@@ -155,6 +365,29 @@ pub fn route(
     config: &RouterConfig,
     rng: &mut Rng,
 ) -> RoutedCircuit {
+    route_with_scratch(
+        dag,
+        coords,
+        target,
+        layout,
+        config,
+        rng,
+        &mut RouterScratch::new(),
+    )
+}
+
+/// [`route`] with caller-provided working storage: the allocation-free
+/// steady-state entry point. Results are independent of the scratch's
+/// history (see [`RouterScratch`]).
+pub fn route_with_scratch(
+    dag: &Dag,
+    coords: &[Option<WeylCoord>],
+    target: &Target,
+    layout: Layout,
+    config: &RouterConfig,
+    rng: &mut Rng,
+    scratch: &mut RouterScratch,
+) -> RoutedCircuit {
     let topo = target.topology();
     let n_phys = topo.n_qubits();
     assert!(dag.n_qubits <= n_phys, "circuit larger than device");
@@ -162,10 +395,47 @@ pub fn route(
     let mut layout = layout;
     let mut out = Circuit::new(n_phys);
 
-    let mut indeg = dag.indegrees();
-    let mut front: Vec<usize> = dag.front_layer();
-    let mut done = vec![false; dag.len()];
-    let mut decay = vec![1.0f64; n_phys];
+    scratch.prepare(dag.len(), n_phys);
+    let RouterScratch {
+        indeg,
+        done,
+        front,
+        front_2q,
+        decay_val,
+        decay_mark,
+        decay_gen,
+        probe,
+        ext,
+        queue,
+        node_mark,
+        node_epoch,
+        homes,
+        candidates,
+        entries,
+        touch,
+        touch_mark,
+        touch_gen,
+        entry_mark,
+        entry_gen,
+        best,
+    } = scratch;
+
+    indeg.clear();
+    indeg.extend(dag.nodes.iter().map(|n| n.preds.len()));
+    done.clear();
+    done.resize(dag.len(), false);
+    front.clear();
+    front_2q.clear();
+    for n in &dag.nodes {
+        if n.preds.is_empty() {
+            front.push(n.id);
+            if n.qubits.len() == 2 {
+                front_2q.push(n.id);
+            }
+        }
+    }
+    // Fresh decay epoch: every qubit implicitly reads 1.0 again.
+    *decay_gen += 1;
     let mut swaps_since_reset = 0usize;
     let mut swaps_inserted = 0usize;
     let mut mirrors_accepted = 0usize;
@@ -197,6 +467,13 @@ pub fn route(
                 continue;
             }
             front.swap_remove(i);
+            if node.qubits.len() == 2 {
+                let pos = front_2q
+                    .iter()
+                    .position(|&f| f == id)
+                    .expect("2Q front node tracked");
+                front_2q.swap_remove(pos);
+            }
             done[id] = true;
 
             match node.qubits.len() {
@@ -220,23 +497,42 @@ pub fn route(
                         let dc = target.gate_cost_on(&w, p1, p2);
                         let dcm = target.gate_cost_on(&wm, p1, p2);
 
-                        // Lookahead impact: heuristic over the *remaining*
-                        // front and extended set under both mappings.
-                        let mut probe = front.clone();
-                        release_successors(dag, id, &indeg, &mut probe, &done, node);
+                        // Lookahead impact: the *remaining* front plus the
+                        // successors this gate would release (exactly one
+                        // predecessor left — this node still counts).
+                        probe.clear();
+                        probe.extend_from_slice(front);
+                        for &s in &dag.nodes[id].succs {
+                            if !done[s] && indeg[s] == 1 {
+                                probe.push(s);
+                            }
+                        }
                         // The mirror decision looks deeper than the swap
                         // ranker: mirrors are rarer, higher-stakes moves.
-                        let ext = extended_set(dag, &probe, &indeg, &done, config.mirror_lookahead);
+                        extended_set_into(
+                            dag,
+                            probe,
+                            done,
+                            config.mirror_lookahead,
+                            node_mark,
+                            node_epoch,
+                            queue,
+                            ext,
+                        );
                         // The mirror decision uses *summed* distances, not
                         // the swap-ranking average: the decomposition-cost
                         // delta is an absolute duration, so the routing term
-                        // must be absolute too (an averaged term would be
-                        // diluted by the front size and mirrors would almost
-                        // never out-bid the ±half-pulse cost delta).
-                        let h_plain = lookahead_sum(&probe, &ext, dag, &layout, topo, config);
-                        let mut mirrored = layout.clone();
-                        mirrored.swap_physical(p1, p2);
-                        let h_mirror = lookahead_sum(&probe, &ext, dag, &mirrored, topo, config);
+                        // must be absolute too. Both sums are computed in
+                        // one pass: residual distances are integers (exact
+                        // in f64), so "current sum" plus "delta over the
+                        // nodes touching p1/p2 under the mirrored mapping"
+                        // reproduces the two-walk result bit-for-bit.
+                        let (f_sum, f_delta) =
+                            sum_and_swap_delta(dag, probe, &layout, topo, p1, p2);
+                        let (e_sum, e_delta) = sum_and_swap_delta(dag, ext, &layout, topo, p1, p2);
+                        let we = config.extended_set_weight;
+                        let h_plain = f_sum as f64 + we * e_sum as f64;
+                        let h_mirror = (f_sum + f_delta) as f64 + we * ((e_sum + e_delta) as f64);
 
                         let lambda = config.mirror_heuristic_weight;
                         let cost_current = dc + lambda * h_plain;
@@ -261,11 +557,14 @@ pub fn route(
                 indeg[s] -= 1;
                 if indeg[s] == 0 {
                     front.push(s);
+                    if dag.nodes[s].qubits.len() == 2 {
+                        front_2q.push(s);
+                    }
                 }
             }
             executed_any = true;
             // "Reset after every five steps or gate mapping."
-            decay.iter_mut().for_each(|d| *d = 1.0);
+            *decay_gen += 1;
             swaps_since_reset = 0;
             stall_swaps = 0;
             i = 0; // restart scan: new nodes may be executable
@@ -283,20 +582,136 @@ pub fn route(
             "routing exceeded its swap budget — probable non-termination"
         );
 
-        let ext = extended_set(dag, &front, &indeg, &done, config.extended_set_size);
-        let candidates = candidate_swaps(dag, &front, &layout, topo);
+        extended_set_into(
+            dag,
+            front,
+            done,
+            config.extended_set_size,
+            node_mark,
+            node_epoch,
+            queue,
+            ext,
+        );
+
+        // Candidate SWAPs: coupling edges incident to the physical home of
+        // any front-layer two-qubit operand, deduplicated through a sorted
+        // scratch Vec (same sorted order the seed's `BTreeSet` produced).
+        homes.clear();
+        for &id in front_2q.iter() {
+            let n = &dag.nodes[id];
+            homes.push(layout.phys(n.qubits[0]));
+            homes.push(layout.phys(n.qubits[1]));
+        }
+        homes.sort_unstable();
+        homes.dedup();
+        candidates.clear();
+        for &p in homes.iter() {
+            for &q in topo.neighbors(p) {
+                candidates.push((p.min(q), p.max(q)));
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
         debug_assert!(
             !candidates.is_empty(),
             "connected topology yields candidates"
         );
 
-        let mut best: Vec<(usize, usize)> = Vec::new();
+        // Base scores for this step, computed once: per-node residual
+        // distances over the 2Q front view and the extended set, plus a
+        // phys→entry inverted index so each candidate re-prices only the
+        // nodes whose operands sit on its two qubits. Distances are
+        // integers, so base-plus-delta sums are exact — each candidate's
+        // score is bit-identical to a full re-walk under the trial layout.
+        *touch_gen += 1;
+        entries.clear();
+        let mut f_base = 0i64;
+        let mut e_base = 0i64;
+        for (in_front, id) in front_2q
+            .iter()
+            .map(|&id| (true, id))
+            .chain(ext.iter().map(|&id| (false, id)))
+        {
+            let n = &dag.nodes[id];
+            let pa = layout.phys(n.qubits[0]);
+            let pb = layout.phys(n.qubits[1]);
+            let d = i64::from(topo.distance(pa, pb).saturating_sub(1));
+            if in_front {
+                f_base += d;
+            } else {
+                e_base += d;
+            }
+            let ei = entries.len() as u32;
+            entries.push(ScoreEntry {
+                pa,
+                pb,
+                dist: d,
+                in_front,
+            });
+            for p in [pa, pb] {
+                if touch_mark[p] != *touch_gen {
+                    touch[p].clear();
+                    touch_mark[p] = *touch_gen;
+                }
+                touch[p].push(ei);
+            }
+        }
+        if entry_mark.len() < entries.len() {
+            entry_mark.resize(entries.len(), 0);
+        }
+        let n_f = front_2q.len();
+        let n_e = ext.len();
+
+        best.clear();
         let mut best_score = f64::INFINITY;
-        for &(p1, p2) in &candidates {
-            let mut trial = layout.clone();
-            trial.swap_physical(p1, p2);
-            let h = heuristic(&front, &ext, dag, &trial, topo, config);
-            let score = h * decay[p1].max(decay[p2]);
+        for &(p1, p2) in candidates.iter() {
+            *entry_gen += 1;
+            let gen = *entry_gen;
+            let mut df = 0i64;
+            let mut de = 0i64;
+            for p in [p1, p2] {
+                if touch_mark[p] != *touch_gen {
+                    continue;
+                }
+                for &ei in &touch[p] {
+                    let ei = ei as usize;
+                    if entry_mark[ei] == gen {
+                        continue;
+                    }
+                    entry_mark[ei] = gen;
+                    let e = entries[ei];
+                    let pa = swapped_home(e.pa, p1, p2);
+                    let pb = swapped_home(e.pb, p1, p2);
+                    let delta = i64::from(topo.distance(pa, pb).saturating_sub(1)) - e.dist;
+                    if e.in_front {
+                        df += delta;
+                    } else {
+                        de += delta;
+                    }
+                }
+            }
+            let f_term = if n_f == 0 {
+                0.0
+            } else {
+                (f_base + df) as f64 / n_f as f64
+            };
+            let e_term = if n_e == 0 {
+                0.0
+            } else {
+                (e_base + de) as f64 / n_e as f64
+            };
+            let h = f_term + config.extended_set_weight * e_term;
+            let d1 = if decay_mark[p1] == *decay_gen {
+                decay_val[p1]
+            } else {
+                1.0
+            };
+            let d2 = if decay_mark[p2] == *decay_gen {
+                decay_val[p2]
+            } else {
+                1.0
+            };
+            let score = h * d1.max(d2);
             if score < best_score - 1e-12 {
                 best_score = score;
                 best.clear();
@@ -305,13 +720,13 @@ pub fn route(
                 best.push((p1, p2));
             }
         }
-        let &(p1, p2) = rng.choose(&best);
+        let &(p1, p2) = rng.choose(best);
 
         // Anti-livelock: after long swap droughts, force progress along the
         // shortest path of the first front gate.
         stall_swaps += 1;
         let (p1, p2) = if stall_swaps > 8 * n_phys + 32 {
-            force_step(dag, &front, &layout, topo)
+            force_step(dag, front, &layout, topo)
         } else {
             (p1, p2)
         };
@@ -319,11 +734,18 @@ pub fn route(
         out.push(Gate::Swap, &[p1, p2]);
         layout.swap_physical(p1, p2);
         swaps_inserted += 1;
-        decay[p1] += config.decay_rate;
-        decay[p2] += config.decay_rate;
+        for p in [p1, p2] {
+            let current = if decay_mark[p] == *decay_gen {
+                decay_val[p]
+            } else {
+                1.0
+            };
+            decay_val[p] = current + config.decay_rate;
+            decay_mark[p] = *decay_gen;
+        }
         swaps_since_reset += 1;
         if swaps_since_reset >= config.decay_reset {
-            decay.iter_mut().for_each(|d| *d = 1.0);
+            *decay_gen += 1;
             swaps_since_reset = 0;
         }
     }
@@ -340,208 +762,60 @@ pub fn route(
 
 /// Peephole "mirage SWAP" absorption (paper §I: a SWAP absorbed into an
 /// adjacent computational gate during decomposition). Whenever an explicit
-/// SWAP on `(p,q)` immediately precedes or follows a two-qubit gate on the
-/// same pair (no intervening gate touching `p` or `q`), the pair fuses into
-/// one mirror block `SWAP·U` (resp. `U·SWAP`). In the √iSWAP basis this is
-/// always a win: any fused block costs at most 3 applications while the
-/// separate pair costs at least 1 + 3.
+/// SWAP on `(p,q)` immediately follows a two-qubit gate on the same pair
+/// (no intervening gate touching `p` or `q`), the pair fuses into one
+/// mirror block `SWAP·U`; chains fuse too, since the fused block remains
+/// the latest gate on the pair. In the √iSWAP basis this is always a win:
+/// any fused block costs at most 3 applications while the separate pair
+/// costs at least 1 + 3.
 ///
-/// Returns the rewritten circuit and the number of SWAPs absorbed. The
-/// rewrite is local — wire semantics are unchanged, so layouts need no
-/// adjustment.
+/// One forward pass over the instruction list (the seed re-scanned the
+/// whole list inside a fixpoint loop with per-instruction clones — O(n²)
+/// on large routed circuits — yet a single pass already reaches the
+/// fixpoint: fusing only removes a SWAP and rewrites the preceding gate in
+/// place, which can never create a new adjacency for an earlier
+/// instruction; `legacy::absorb_adjacent_swaps` is kept to prove the
+/// equivalence). Returns the rewritten circuit and the number of SWAPs
+/// absorbed. The rewrite is local — wire semantics are unchanged, so
+/// layouts need no adjustment.
 pub fn absorb_adjacent_swaps(c: &Circuit) -> (Circuit, usize) {
-    let mut instrs: Vec<Option<mirage_circuit::Instruction>> =
-        c.instructions.iter().cloned().map(Some).collect();
+    let mut out: Vec<Instruction> = Vec::with_capacity(c.instructions.len());
+    // last_touch[q] = index (into `out`) of the latest instruction on q.
+    let mut last_touch: Vec<Option<usize>> = vec![None; c.n_qubits];
     let mut fused = 0usize;
-    loop {
-        let mut changed = false;
-        // last_touch[q] = index of the latest live instruction on q.
-        let mut last_touch: Vec<Option<usize>> = vec![None; c.n_qubits];
-        for i in 0..instrs.len() {
-            let Some(instr) = instrs[i].clone() else {
-                continue;
-            };
-            if matches!(instr.gate, Gate::Swap) {
-                let (p, q) = (instr.qubits[0], instr.qubits[1]);
-                if let (Some(a), Some(b)) = (last_touch[p], last_touch[q]) {
-                    if a == b {
-                        if let Some(prev) = instrs[a].clone() {
-                            if prev.gate.is_two_qubit() {
-                                let same_pair = (prev.qubits[0] == p && prev.qubits[1] == q)
-                                    || (prev.qubits[0] == q && prev.qubits[1] == p);
-                                if same_pair {
-                                    // Fuse: U then SWAP = SWAP·U as a matrix
-                                    // on prev's operand order (SWAP is
-                                    // order-symmetric).
-                                    let u = prev.gate.matrix2();
-                                    instrs[a] = Some(mirage_circuit::Instruction {
-                                        gate: Gate::Unitary2(Mat4::swap().mul(&u)),
-                                        qubits: prev.qubits.clone(),
-                                    });
-                                    instrs[i] = None;
-                                    fused += 1;
-                                    changed = true;
-                                    // a stays the last touch of p and q.
-                                    continue;
-                                }
-                            }
-                        }
+    for instr in &c.instructions {
+        if matches!(instr.gate, Gate::Swap) {
+            let (p, q) = (instr.qubits[0], instr.qubits[1]);
+            if let (Some(a), Some(b)) = (last_touch[p], last_touch[q]) {
+                if a == b && out[a].gate.is_two_qubit() {
+                    let same_pair = (out[a].qubits[0] == p && out[a].qubits[1] == q)
+                        || (out[a].qubits[0] == q && out[a].qubits[1] == p);
+                    if same_pair {
+                        // Fuse: U then SWAP = SWAP·U as a matrix on the
+                        // previous gate's operand order (SWAP is
+                        // order-symmetric).
+                        let u = out[a].gate.matrix2();
+                        out[a].gate = Gate::Unitary2(Mat4::swap().mul(&u));
+                        fused += 1;
+                        // `a` stays the last touch of p and q.
+                        continue;
                     }
                 }
             }
-            for &qb in &instr.qubits {
-                last_touch[qb] = Some(i);
-            }
         }
-        if !changed {
-            break;
+        let idx = out.len();
+        for &qb in &instr.qubits {
+            last_touch[qb] = Some(idx);
         }
+        out.push(instr.clone());
     }
-    let out = Circuit {
-        n_qubits: c.n_qubits,
-        instructions: instrs.into_iter().flatten().collect(),
-    };
-    (out, fused)
-}
-
-/// Pretend `id` completed: extend `probe` with its newly released 2Q
-/// successors (used to score the post-execution front during the mirror
-/// decision).
-fn release_successors(
-    dag: &Dag,
-    id: usize,
-    indeg: &[usize],
-    probe: &mut Vec<usize>,
-    done: &[bool],
-    node: &mirage_circuit::dag::DagNode,
-) {
-    let _ = node;
-    for &s in &dag.nodes[id].succs {
-        // `id` still counts toward the successor's in-degree at this point,
-        // so "released by id" means exactly one remaining predecessor.
-        if !done[s] && indeg[s] == 1 {
-            probe.push(s);
-        }
-    }
-}
-
-/// The lookahead window: up to `limit` unexecuted two-qubit descendants of
-/// the front layer, breadth-first.
-fn extended_set(
-    dag: &Dag,
-    front: &[usize],
-    indeg: &[usize],
-    done: &[bool],
-    limit: usize,
-) -> Vec<usize> {
-    let _ = indeg;
-    let mut out = Vec::with_capacity(limit);
-    let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
-    let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
-    while let Some(id) = queue.pop_front() {
-        if out.len() >= limit {
-            break;
-        }
-        for &s in &dag.nodes[id].succs {
-            if seen.insert(s) && !done[s] {
-                if dag.nodes[s].qubits.len() == 2 {
-                    out.push(s);
-                    if out.len() >= limit {
-                        break;
-                    }
-                }
-                queue.push_back(s);
-            }
-        }
-    }
-    out
-}
-
-/// The SABRE distance heuristic over front and extended sets.
-fn heuristic(
-    front: &[usize],
-    ext: &[usize],
-    dag: &Dag,
-    layout: &Layout,
-    topo: &CouplingMap,
-    config: &RouterConfig,
-) -> f64 {
-    let dist = |id: usize| -> f64 {
-        let n = &dag.nodes[id];
-        if n.qubits.len() != 2 {
-            return 0.0;
-        }
-        let p1 = layout.phys(n.qubits[0]);
-        let p2 = layout.phys(n.qubits[1]);
-        f64::from(topo.distance(p1, p2).saturating_sub(1))
-    };
-    let front_2q: Vec<usize> = front
-        .iter()
-        .copied()
-        .filter(|&id| dag.nodes[id].qubits.len() == 2)
-        .collect();
-    let f_term = if front_2q.is_empty() {
-        0.0
-    } else {
-        front_2q.iter().map(|&id| dist(id)).sum::<f64>() / front_2q.len() as f64
-    };
-    let e_term = if ext.is_empty() {
-        0.0
-    } else {
-        ext.iter().map(|&id| dist(id)).sum::<f64>() / ext.len() as f64
-    };
-    f_term + config.extended_set_weight * e_term
-}
-
-/// Absolute lookahead score for the mirror decision: *summed* residual
-/// distances (hops beyond adjacency) over the front layer plus the weighted
-/// extended set. Unlike [`heuristic`] this is not normalized, so its delta
-/// under a mirror is commensurable with decomposition-cost deltas.
-fn lookahead_sum(
-    front: &[usize],
-    ext: &[usize],
-    dag: &Dag,
-    layout: &Layout,
-    topo: &CouplingMap,
-    config: &RouterConfig,
-) -> f64 {
-    let dist = |id: usize| -> f64 {
-        let n = &dag.nodes[id];
-        if n.qubits.len() != 2 {
-            return 0.0;
-        }
-        let p1 = layout.phys(n.qubits[0]);
-        let p2 = layout.phys(n.qubits[1]);
-        f64::from(topo.distance(p1, p2).saturating_sub(1))
-    };
-    let f_term: f64 = front.iter().map(|&id| dist(id)).sum();
-    let e_term: f64 = ext.iter().map(|&id| dist(id)).sum();
-    f_term + config.extended_set_weight * e_term
-}
-
-/// Candidate SWAPs: coupling edges incident to the physical home of any
-/// front-layer two-qubit operand.
-fn candidate_swaps(
-    dag: &Dag,
-    front: &[usize],
-    layout: &Layout,
-    topo: &CouplingMap,
-) -> Vec<(usize, usize)> {
-    let mut homes: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
-    for &id in front {
-        let n = &dag.nodes[id];
-        if n.qubits.len() == 2 {
-            homes.insert(layout.phys(n.qubits[0]));
-            homes.insert(layout.phys(n.qubits[1]));
-        }
-    }
-    let mut out: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
-    for &p in &homes {
-        for &q in topo.neighbors(p) {
-            out.insert((p.min(q), p.max(q)));
-        }
-    }
-    out.into_iter().collect()
+    (
+        Circuit {
+            n_qubits: c.n_qubits,
+            instructions: out,
+        },
+        fused,
+    )
 }
 
 /// Deterministic progress step: the first SWAP along the shortest path
@@ -565,12 +839,380 @@ fn force_step(dag: &Dag, front: &[usize], layout: &Layout, topo: &CouplingMap) -
     (src.min(next), src.max(next))
 }
 
+/// The pre-optimization router, kept verbatim as the reference
+/// implementation.
+///
+/// [`legacy::route`] clones the full [`Layout`] and re-scores the entire
+/// front and extended set for every candidate SWAP, rebuilds
+/// `HashSet`/`VecDeque`/`BTreeSet` scratch on every step, and walks the
+/// mirror decision's lookahead twice; [`legacy::absorb_adjacent_swaps`]
+/// re-scans the instruction list inside a fixpoint loop. They exist so the
+/// optimized hot path can be (a) property-tested bit-identical against
+/// them (`route_matches_legacy_*` below) and (b) timed against them — the
+/// `routing_runtime` bench bin's `--legacy-scoring` path and its CI speedup
+/// gate. Not for production use.
+pub mod legacy {
+    use super::*;
+
+    /// The pre-optimization [`super::route`]: per-candidate layout clones,
+    /// full re-scoring, per-step scratch allocation. Bit-identical output,
+    /// several times slower; see the [module docs](self).
+    pub fn route(
+        dag: &Dag,
+        coords: &[Option<WeylCoord>],
+        target: &Target,
+        layout: Layout,
+        config: &RouterConfig,
+        rng: &mut Rng,
+    ) -> RoutedCircuit {
+        let topo = target.topology();
+        let n_phys = topo.n_qubits();
+        assert!(dag.n_qubits <= n_phys, "circuit larger than device");
+        let initial_layout = layout.clone();
+        let mut layout = layout;
+        let mut out = Circuit::new(n_phys);
+
+        let mut indeg = dag.indegrees();
+        let mut front: Vec<usize> = dag.front_layer();
+        let mut done = vec![false; dag.len()];
+        let mut decay = vec![1.0f64; n_phys];
+        let mut swaps_since_reset = 0usize;
+        let mut swaps_inserted = 0usize;
+        let mut mirrors_accepted = 0usize;
+        let mut mirror_candidates = 0usize;
+        let mut stall_swaps = 0usize;
+
+        let swap_budget = 64 + 16 * n_phys * dag.len().max(1);
+
+        while !front.is_empty() {
+            // --- Execute layer: run everything executable. ---
+            let mut executed_any = false;
+            let mut i = 0;
+            while i < front.len() {
+                let id = front[i];
+                let node = &dag.nodes[id];
+                let executable = match node.qubits.len() {
+                    1 => true,
+                    2 => {
+                        let p1 = layout.phys(node.qubits[0]);
+                        let p2 = layout.phys(node.qubits[1]);
+                        topo.are_adjacent(p1, p2)
+                    }
+                    _ => unreachable!(),
+                };
+                if !executable {
+                    i += 1;
+                    continue;
+                }
+                front.swap_remove(i);
+                done[id] = true;
+
+                match node.qubits.len() {
+                    1 => {
+                        out.push(node.gate.clone(), &[layout.phys(node.qubits[0])]);
+                    }
+                    2 => {
+                        let (l1, l2) = (node.qubits[0], node.qubits[1]);
+                        let (p1, p2) = (layout.phys(l1), layout.phys(l2));
+                        let mut accepted = false;
+                        if let Some(aggr) = config.aggression {
+                            mirror_candidates += 1;
+                            let w = coords[id].expect("2Q node has coords");
+                            let wm = mirror_coord(&w);
+                            let dc = target.gate_cost_on(&w, p1, p2);
+                            let dcm = target.gate_cost_on(&wm, p1, p2);
+
+                            let mut probe = front.clone();
+                            release_successors(dag, id, &indeg, &mut probe, &done);
+                            let ext = extended_set(dag, &probe, &done, config.mirror_lookahead);
+                            let h_plain = lookahead_sum(&probe, &ext, dag, &layout, topo, config);
+                            let mut mirrored = layout.clone();
+                            mirrored.swap_physical(p1, p2);
+                            let h_mirror =
+                                lookahead_sum(&probe, &ext, dag, &mirrored, topo, config);
+
+                            let lambda = config.mirror_heuristic_weight;
+                            let cost_current = dc + lambda * h_plain;
+                            let cost_trial = dcm + lambda * h_mirror;
+                            if aggr.accept(cost_current, cost_trial) {
+                                accepted = true;
+                                mirrors_accepted += 1;
+                                let u = node.gate.matrix2();
+                                out.push(Gate::Unitary2(Mat4::swap().mul(&u)), &[p1, p2]);
+                                layout.swap_physical(p1, p2);
+                            }
+                        }
+                        if !accepted {
+                            out.push(node.gate.clone(), &[p1, p2]);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+
+                for &s in &dag.nodes[id].succs {
+                    indeg[s] -= 1;
+                    if indeg[s] == 0 {
+                        front.push(s);
+                    }
+                }
+                executed_any = true;
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_reset = 0;
+                stall_swaps = 0;
+                i = 0;
+            }
+            if front.is_empty() {
+                break;
+            }
+            if executed_any {
+                continue;
+            }
+
+            // --- SWAP insertion: no gate is executable. ---
+            assert!(
+                swaps_inserted < swap_budget,
+                "routing exceeded its swap budget — probable non-termination"
+            );
+
+            let ext = extended_set(dag, &front, &done, config.extended_set_size);
+            let candidates = candidate_swaps(dag, &front, &layout, topo);
+            debug_assert!(
+                !candidates.is_empty(),
+                "connected topology yields candidates"
+            );
+
+            let mut best: Vec<(usize, usize)> = Vec::new();
+            let mut best_score = f64::INFINITY;
+            for &(p1, p2) in &candidates {
+                let mut trial = layout.clone();
+                trial.swap_physical(p1, p2);
+                let h = heuristic(&front, &ext, dag, &trial, topo, config);
+                let score = h * decay[p1].max(decay[p2]);
+                if score < best_score - 1e-12 {
+                    best_score = score;
+                    best.clear();
+                    best.push((p1, p2));
+                } else if (score - best_score).abs() <= 1e-12 {
+                    best.push((p1, p2));
+                }
+            }
+            let &(p1, p2) = rng.choose(&best);
+
+            stall_swaps += 1;
+            let (p1, p2) = if stall_swaps > 8 * n_phys + 32 {
+                force_step(dag, &front, &layout, topo)
+            } else {
+                (p1, p2)
+            };
+
+            out.push(Gate::Swap, &[p1, p2]);
+            layout.swap_physical(p1, p2);
+            swaps_inserted += 1;
+            decay[p1] += config.decay_rate;
+            decay[p2] += config.decay_rate;
+            swaps_since_reset += 1;
+            if swaps_since_reset >= config.decay_reset {
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_reset = 0;
+            }
+        }
+
+        RoutedCircuit {
+            circuit: out,
+            initial_layout,
+            final_layout: layout,
+            swaps_inserted,
+            mirrors_accepted,
+            mirror_candidates,
+        }
+    }
+
+    /// The pre-optimization [`super::absorb_adjacent_swaps`]: fixpoint loop
+    /// over the whole instruction list with per-instruction clones.
+    pub fn absorb_adjacent_swaps(c: &Circuit) -> (Circuit, usize) {
+        let mut instrs: Vec<Option<Instruction>> =
+            c.instructions.iter().cloned().map(Some).collect();
+        let mut fused = 0usize;
+        loop {
+            let mut changed = false;
+            let mut last_touch: Vec<Option<usize>> = vec![None; c.n_qubits];
+            for i in 0..instrs.len() {
+                let Some(instr) = instrs[i].clone() else {
+                    continue;
+                };
+                if matches!(instr.gate, Gate::Swap) {
+                    let (p, q) = (instr.qubits[0], instr.qubits[1]);
+                    if let (Some(a), Some(b)) = (last_touch[p], last_touch[q]) {
+                        if a == b {
+                            if let Some(prev) = instrs[a].clone() {
+                                if prev.gate.is_two_qubit() {
+                                    let same_pair = (prev.qubits[0] == p && prev.qubits[1] == q)
+                                        || (prev.qubits[0] == q && prev.qubits[1] == p);
+                                    if same_pair {
+                                        let u = prev.gate.matrix2();
+                                        instrs[a] = Some(Instruction {
+                                            gate: Gate::Unitary2(Mat4::swap().mul(&u)),
+                                            qubits: prev.qubits.clone(),
+                                        });
+                                        instrs[i] = None;
+                                        fused += 1;
+                                        changed = true;
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for &qb in &instr.qubits {
+                    last_touch[qb] = Some(i);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let out = Circuit {
+            n_qubits: c.n_qubits,
+            instructions: instrs.into_iter().flatten().collect(),
+        };
+        (out, fused)
+    }
+
+    /// Pretend `id` completed: extend `probe` with its newly released 2Q
+    /// successors.
+    fn release_successors(
+        dag: &Dag,
+        id: usize,
+        indeg: &[usize],
+        probe: &mut Vec<usize>,
+        done: &[bool],
+    ) {
+        for &s in &dag.nodes[id].succs {
+            // `id` still counts toward the successor's in-degree at this
+            // point, so "released by id" means exactly one remaining
+            // predecessor.
+            if !done[s] && indeg[s] == 1 {
+                probe.push(s);
+            }
+        }
+    }
+
+    /// The lookahead window, allocating fresh set/queue/output per call.
+    fn extended_set(dag: &Dag, front: &[usize], done: &[bool], limit: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(limit);
+        let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
+        let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            if out.len() >= limit {
+                break;
+            }
+            for &s in &dag.nodes[id].succs {
+                if seen.insert(s) && !done[s] {
+                    if dag.nodes[s].qubits.len() == 2 {
+                        out.push(s);
+                        if out.len() >= limit {
+                            break;
+                        }
+                    }
+                    queue.push_back(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// The SABRE distance heuristic over front and extended sets.
+    fn heuristic(
+        front: &[usize],
+        ext: &[usize],
+        dag: &Dag,
+        layout: &Layout,
+        topo: &CouplingMap,
+        config: &RouterConfig,
+    ) -> f64 {
+        let dist = |id: usize| -> f64 {
+            let n = &dag.nodes[id];
+            if n.qubits.len() != 2 {
+                return 0.0;
+            }
+            let p1 = layout.phys(n.qubits[0]);
+            let p2 = layout.phys(n.qubits[1]);
+            f64::from(topo.distance(p1, p2).saturating_sub(1))
+        };
+        let front_2q: Vec<usize> = front
+            .iter()
+            .copied()
+            .filter(|&id| dag.nodes[id].qubits.len() == 2)
+            .collect();
+        let f_term = if front_2q.is_empty() {
+            0.0
+        } else {
+            front_2q.iter().map(|&id| dist(id)).sum::<f64>() / front_2q.len() as f64
+        };
+        let e_term = if ext.is_empty() {
+            0.0
+        } else {
+            ext.iter().map(|&id| dist(id)).sum::<f64>() / ext.len() as f64
+        };
+        f_term + config.extended_set_weight * e_term
+    }
+
+    /// Absolute lookahead score for the mirror decision: *summed* residual
+    /// distances over the front layer plus the weighted extended set.
+    fn lookahead_sum(
+        front: &[usize],
+        ext: &[usize],
+        dag: &Dag,
+        layout: &Layout,
+        topo: &CouplingMap,
+        config: &RouterConfig,
+    ) -> f64 {
+        let dist = |id: usize| -> f64 {
+            let n = &dag.nodes[id];
+            if n.qubits.len() != 2 {
+                return 0.0;
+            }
+            let p1 = layout.phys(n.qubits[0]);
+            let p2 = layout.phys(n.qubits[1]);
+            f64::from(topo.distance(p1, p2).saturating_sub(1))
+        };
+        let f_term: f64 = front.iter().map(|&id| dist(id)).sum();
+        let e_term: f64 = ext.iter().map(|&id| dist(id)).sum();
+        f_term + config.extended_set_weight * e_term
+    }
+
+    /// Candidate SWAPs through `BTreeSet` collection.
+    fn candidate_swaps(
+        dag: &Dag,
+        front: &[usize],
+        layout: &Layout,
+        topo: &CouplingMap,
+    ) -> Vec<(usize, usize)> {
+        let mut homes: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for &id in front {
+            let n = &dag.nodes[id];
+            if n.qubits.len() == 2 {
+                homes.insert(layout.phys(n.qubits[0]));
+                homes.insert(layout.phys(n.qubits[1]));
+            }
+        }
+        let mut out: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+        for &p in &homes {
+            for &q in topo.neighbors(p) {
+                out.insert((p.min(q), p.max(q)));
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::verify::verify_routed;
     use mirage_circuit::consolidate::consolidate;
-    use mirage_circuit::generators::{ghz, two_local_full};
+    use mirage_circuit::generators::{ghz, qft, two_local_full};
 
     fn target(topo: CouplingMap) -> Target {
         Target::sqrt_iswap(topo)
@@ -749,5 +1391,159 @@ mod tests {
             &mut rng,
         );
         assert!(verify_routed(&c, &r, &t));
+    }
+
+    /// The bit-identity contract: the optimized hot path must reproduce
+    /// the legacy router's output exactly — same instructions, same
+    /// layouts, same counters — across circuits, topologies, aggression
+    /// levels, calibrations, and seeds.
+    #[test]
+    fn route_matches_legacy_bit_for_bit() {
+        let topos = [
+            CouplingMap::line(6),
+            CouplingMap::grid(2, 3),
+            CouplingMap::ring(6),
+            CouplingMap::heavy_hex(3),
+        ];
+        let mut case = 0u64;
+        for topo in topos {
+            let skew = crate::calibration::Calibration::skewed(
+                &topo,
+                &mut Rng::new(0xD00D ^ topo.n_qubits() as u64),
+                3e-3,
+                0.3,
+                10.0,
+            )
+            .unwrap();
+            for calibrated in [false, true] {
+                let t = if calibrated {
+                    Target::sqrt_iswap(topo.clone())
+                        .with_calibration(skew.clone())
+                        .unwrap()
+                } else {
+                    Target::sqrt_iswap(topo.clone())
+                };
+                let n = topo.n_qubits().min(6);
+                for circuit in [qft(n, false), two_local_full(n, 1, 0xF0 + case)] {
+                    let cc = consolidate(&circuit);
+                    let dag = Dag::from_circuit(&cc);
+                    let coords = node_coords(&dag);
+                    for aggression in [
+                        None,
+                        Some(Aggression::A1),
+                        Some(Aggression::A2),
+                        Some(Aggression::A3),
+                    ] {
+                        case += 1;
+                        let config = RouterConfig {
+                            aggression,
+                            ..RouterConfig::default()
+                        };
+                        let mut rng_a = Rng::new(0xBEEF + case);
+                        let layout = Layout::random(cc.n_qubits, t.n_qubits(), &mut rng_a);
+                        let mut rng_b = rng_a.clone();
+                        let new = route(&dag, &coords, &t, layout.clone(), &config, &mut rng_a);
+                        let old = legacy::route(&dag, &coords, &t, layout, &config, &mut rng_b);
+                        assert_eq!(new.circuit, old.circuit, "case {case} diverged");
+                        assert_eq!(new.final_layout, old.final_layout);
+                        assert_eq!(new.swaps_inserted, old.swaps_inserted);
+                        assert_eq!(new.mirrors_accepted, old.mirrors_accepted);
+                        assert_eq!(new.mirror_candidates, old.mirror_candidates);
+                        // And the RNGs advanced in lockstep (same number of
+                        // tie-breaks, same draws).
+                        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+                    }
+                }
+            }
+        }
+        assert!(case >= 60, "sweep shrank: {case} cases");
+    }
+
+    /// Scratch reuse across different DAGs, devices, and configs must not
+    /// leak state between calls.
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let mut scratch = RouterScratch::new();
+        let jobs = [
+            (CouplingMap::heavy_hex(3), qft(8, false), 31u64),
+            (CouplingMap::line(5), two_local_full(5, 2, 3), 32),
+            (CouplingMap::grid(3, 3), qft(6, true), 33),
+            (CouplingMap::line(4), two_local_full(4, 1, 4), 34),
+        ];
+        for (topo, circuit, seed) in jobs {
+            let t = target(topo);
+            let cc = consolidate(&circuit);
+            let dag = Dag::from_circuit(&cc);
+            let coords = node_coords(&dag);
+            let config = RouterConfig {
+                aggression: Some(Aggression::A2),
+                ..RouterConfig::default()
+            };
+            let mut rng_a = Rng::new(seed);
+            let layout = Layout::random(cc.n_qubits, t.n_qubits(), &mut rng_a);
+            let mut rng_b = rng_a.clone();
+            let reused = route_with_scratch(
+                &dag,
+                &coords,
+                &t,
+                layout.clone(),
+                &config,
+                &mut rng_a,
+                &mut scratch,
+            );
+            let fresh = route(&dag, &coords, &t, layout, &config, &mut rng_b);
+            assert_eq!(reused.circuit, fresh.circuit, "scratch history leaked");
+            assert!(verify_routed(&circuit, &reused, &t));
+        }
+    }
+
+    #[test]
+    fn absorb_matches_legacy_on_routed_circuits() {
+        for seed in 0..8u64 {
+            let t = target(CouplingMap::line(5));
+            let c = two_local_full(5, 2, 100 + seed);
+            // A0 keeps explicit SWAPs in the output, giving the absorber
+            // real work.
+            let r = route_simple(&c, &t, Some(Aggression::A0), seed);
+            let (new_c, new_fused) = absorb_adjacent_swaps(&r.circuit);
+            let (old_c, old_fused) = legacy::absorb_adjacent_swaps(&r.circuit);
+            assert_eq!(new_c, old_c, "seed {seed} diverged");
+            assert_eq!(new_fused, old_fused);
+        }
+    }
+
+    #[test]
+    fn absorb_fuses_gate_then_swap_chains() {
+        // U(0,1) · SWAP(0,1) fuses; a second SWAP fuses into the fused
+        // block again (SWAP·SWAP·U = U).
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).swap(0, 1).swap(0, 1);
+        let (fused, n) = absorb_adjacent_swaps(&c);
+        assert_eq!(n, 2);
+        assert_eq!(fused.instructions.len(), 1);
+        let m = fused.instructions[0].gate.matrix2();
+        let cx = Gate::Cx.matrix2();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((m.e[i][j].re - cx.e[i][j].re).abs() < 1e-12);
+                assert!((m.e[i][j].im - cx.e[i][j].im).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_respects_intervening_gates() {
+        // A 1Q gate on either wire between U and the SWAP blocks fusion.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(0).swap(0, 1);
+        let (fused, n) = absorb_adjacent_swaps(&c);
+        assert_eq!(n, 0);
+        assert_eq!(fused.instructions.len(), 3);
+        // Gates on other wires don't block it.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).h(2).swap(0, 1);
+        let (fused, n) = absorb_adjacent_swaps(&c);
+        assert_eq!(n, 1);
+        assert_eq!(fused.instructions.len(), 2);
     }
 }

@@ -20,7 +20,9 @@
 use crate::layout::Layout;
 use crate::pipeline::TranspileError;
 use crate::placement::{LayoutStrategy, PlacementContext, StrategyKind, Vf2Embed};
-use crate::router::{node_coords, route, Aggression, RoutedCircuit, RouterConfig};
+use crate::router::{
+    node_coords, route_with_scratch, Aggression, RoutedCircuit, RouterConfig, RouterScratch,
+};
 use crate::target::Target;
 use mirage_circuit::{Circuit, Dag};
 use mirage_math::Rng;
@@ -276,6 +278,14 @@ pub struct TrialEngine<'a> {
     /// proposal is computed once and shared by the pre-pass and every
     /// vf2-lane layout trial.
     vf2: std::sync::OnceLock<Option<Layout>>,
+    /// Reusable [`RouterScratch`]es. Each layout trial checks one out for
+    /// its whole refine-and-route sequence and returns it afterwards, so
+    /// serial runs route with a single scratch end-to-end and parallel
+    /// runs hold at most one per in-flight trial — the router's steady
+    /// state stays allocation-free across trials (and across the repeated
+    /// `run` calls of a serve worker's jobs on one engine). Scratches
+    /// carry no routing state, so pooling never changes results.
+    scratch_pool: std::sync::Mutex<Vec<RouterScratch>>,
 }
 
 impl<'a> TrialEngine<'a> {
@@ -292,6 +302,7 @@ impl<'a> TrialEngine<'a> {
             ctx: PlacementContext::new(circuit, target),
             routing: std::sync::OnceLock::new(),
             vf2: std::sync::OnceLock::new(),
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -338,33 +349,55 @@ impl<'a> TrialEngine<'a> {
         })
     }
 
+    /// Check a scratch out of the pool (or grow the pool by one). The
+    /// holder must hand it back through [`TrialEngine::return_scratch`].
+    fn checkout_scratch(&self) -> RouterScratch {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a checked-out scratch for the next trial to reuse.
+    fn return_scratch(&self, scratch: RouterScratch) {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+
     /// SABRE layout refinement: route forward, then backward over the
     /// reversed circuit, feeding each final layout into the next pass.
-    /// Cost queries go through the target's shared cache.
+    /// Cost queries go through the target's shared cache; working storage
+    /// comes from the caller's scratch.
     fn refine_layout(
         &self,
         config: &RouterConfig,
         mut layout: Layout,
         iters: usize,
         rng: &mut Rng,
+        scratch: &mut RouterScratch,
     ) -> Layout {
         let state = self.routing_state();
         for _ in 0..iters {
-            let fwd = route(
+            let fwd = route_with_scratch(
                 &state.dag_fwd,
                 &state.coords_fwd,
                 self.target,
                 layout,
                 config,
                 rng,
+                scratch,
             );
-            let bwd = route(
+            let bwd = route_with_scratch(
                 &state.dag_bwd,
                 &state.coords_bwd,
                 self.target,
                 fwd.final_layout,
                 config,
                 rng,
+                scratch,
             );
             layout = bwd.final_layout;
         }
@@ -394,6 +427,10 @@ impl<'a> TrialEngine<'a> {
             Layout::random(self.ctx.n_logical(), self.ctx.n_physical(), &mut rng)
         });
 
+        // One scratch serves this whole trial: every refinement pass and
+        // routing trial below reuses its buffers.
+        let mut scratch = self.checkout_scratch();
+
         // Two refinements per layout trial: a mirror-free one (placements
         // that suit the A0 safety net and conservative trials) and, for
         // MIRAGE, a mirror-aware one (the paper runs MIRAGE inside
@@ -406,6 +443,7 @@ impl<'a> TrialEngine<'a> {
             layout.clone(),
             opts.fwd_bwd_iters,
             &mut rng,
+            &mut scratch,
         );
         let mirrored = if mirage {
             self.refine_layout(
@@ -416,6 +454,7 @@ impl<'a> TrialEngine<'a> {
                 layout,
                 opts.fwd_bwd_iters,
                 &mut rng,
+                &mut scratch,
             )
         } else {
             plain.clone()
@@ -448,13 +487,14 @@ impl<'a> TrialEngine<'a> {
                 } else {
                     mirrored.clone()
                 };
-                let mut routed = route(
+                let mut routed = route_with_scratch(
                     &state.dag_fwd,
                     &state.coords_fwd,
                     self.target,
                     start,
                     &config,
                     &mut trial_rng,
+                    &mut scratch,
                 );
                 if mirage && aggression != Some(Aggression::A0) {
                     // Mirage-SWAP absorption: fold leftover SWAPs that sit
@@ -469,6 +509,7 @@ impl<'a> TrialEngine<'a> {
                 routed
             })
             .collect();
+        self.return_scratch(scratch);
         (kind, routed)
     }
 

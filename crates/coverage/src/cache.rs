@@ -21,7 +21,6 @@
 
 use mirage_weyl::coords::WeylCoord;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -288,9 +287,23 @@ impl SharedCostCache {
     }
 
     fn shard_for(&self, key: Key) -> &Mutex<CostCache> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[hasher.finish() as usize % self.shards.len()]
+        // An inlined SplitMix64 finalizer over the packed key fields. The
+        // router's mirror decision consults this cache twice per routed 2Q
+        // gate, and shard choice only needs a stable, well-spread index —
+        // the std `DefaultHasher` (SipHash-1-3 behind a heap of state
+        // setup) was measurable on that path. Shard assignment is
+        // distribution-only: every shard is an equivalent cache, so values
+        // and results are unaffected.
+        let (a, b, c, ea, eb) = key;
+        let mut z = (u64::from(a) | (u64::from(b) << 16) | (u64::from(c) << 32))
+            ^ u64::from(ea).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(eb)
+                .rotate_left(32)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        &self.shards[(z % self.shards.len() as u64) as usize]
     }
 
     /// Look up a coordinate, or compute-and-insert through `f`.
