@@ -121,6 +121,9 @@ struct Measured {
     swaps: usize,
     mirrors: usize,
     fingerprint: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_contention: u64,
 }
 
 impl Measured {
@@ -194,6 +197,7 @@ fn measure(case: &Case) -> Measured {
         time_best_of(&mut || route_optimized(&dag, &coords, &target, &config, &mut scratch));
     let legacy_ms = time_best_of(&mut || route_legacy(&dag, &coords, &target, &config));
 
+    let (cache_hits, cache_misses) = target.cache_stats();
     Measured {
         name: case.name,
         n_qubits: case.n_qubits,
@@ -203,6 +207,9 @@ fn measure(case: &Case) -> Measured {
         swaps: optimized.swaps_inserted,
         mirrors: optimized.mirrors_accepted,
         fingerprint: optimized.circuit.fingerprint(),
+        cache_hits,
+        cache_misses,
+        cache_contention: target.cache().contention(),
     }
 }
 
@@ -251,7 +258,8 @@ fn write_json(path: &str, mode: &str, rows: &[Measured]) -> std::io::Result<()> 
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"n_qubits\": {}, \"twoq_gates\": {}, \
              \"optimized_ms\": {:.3}, \"legacy_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"swaps\": {}, \"mirrors\": {}, \"fingerprint\": \"0x{:016X}\"}}{}",
+             \"swaps\": {}, \"mirrors\": {}, \"fingerprint\": \"0x{:016X}\", \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_contention\": {}}}{}",
             json_escape_free(r.name),
             r.n_qubits,
             r.twoq_gates,
@@ -261,6 +269,9 @@ fn write_json(path: &str, mode: &str, rows: &[Measured]) -> std::io::Result<()> 
             r.swaps,
             r.mirrors,
             r.fingerprint,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_contention,
             if i + 1 == rows.len() { "\n" } else { ",\n" }
         ));
     }
@@ -337,6 +348,15 @@ fn main() {
         ],
         &table,
     );
+
+    let (h, m, c) = rows.iter().fold((0u64, 0u64, 0u64), |acc, r| {
+        (
+            acc.0 + r.cache_hits,
+            acc.1 + r.cache_misses,
+            acc.2 + r.cache_contention,
+        )
+    });
+    println!("\ncache_stats: hits={h} misses={m} contention={c} (shared cost cache, all cases)");
 
     let sanity_ok = check_sanity(&rows);
     match write_json(&out_path, mode, &rows) {

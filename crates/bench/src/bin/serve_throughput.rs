@@ -1,12 +1,13 @@
 //! `serve_throughput` — jobs/sec scaling of the batch transpilation
-//! service, and a mid-run calibration hot-swap.
+//! service, a single big job fanned across cores, and a mid-run
+//! calibration hot-swap.
 //!
-//! Two experiments over one fixed, seed-deterministic batch:
+//! Three experiments over seed-deterministic workloads:
 //!
-//! 1. **Worker scaling** — the batch runs on a fresh
+//! 1. **Worker scaling** — the fixed batch runs on a fresh
 //!    `TranspileService` with 1, 2, then 4 workers; the table reports
-//!    jobs/sec and the speedup over the single worker. Because every job
-//!    runs single-threaded inside its worker, the speedup is pure
+//!    jobs/sec and the speedup over the single worker. Every batch job
+//!    carries `trials.parallel = false`, so the speedup is pure
 //!    pool-level parallelism. On hosts with at least 4 hardware threads
 //!    the run **exits nonzero** when the 4-worker pool fails to reach the
 //!    required speedup over the single worker — 2× in `--quick` (the CI
@@ -15,7 +16,15 @@
 //!    threads report the numbers but skip the gate — there is no
 //!    parallelism to measure. Each pool size is measured twice and the
 //!    better run kept, so one noisy-neighbor window cannot fail the gate.
-//! 2. **Calibration hot-swap** — one service stays up while the device
+//! 2. **Single big job** — the headline of the deterministic-parallel
+//!    trial engine: one device-filling QFT with a paper-scale trial
+//!    budget, the workload pool-level concurrency can do nothing for.
+//!    The job runs once with the serial trial loop and once with
+//!    `trials.parallel = true` at 4 threads; the results must be
+//!    bit-identical (the engine's pre-split seeds + fixed reduction
+//!    order), and on ≥ 4-thread hosts the parallel run must be ≥ 1.5×
+//!    faster (gate skipped below 4 threads).
+//! 3. **Calibration hot-swap** — one service stays up while the device
 //!    "drifts": the first half of the batch is scored under the boot
 //!    calibration, then a strictly noisier calibration is swapped in
 //!    (`Target::swap_calibration` — no rebuild, no restart) and the second
@@ -195,6 +204,85 @@ fn scaling_experiment(cfg: &Config) -> bool {
     }
 }
 
+/// One big job, serial in-job vs parallel in-job trials. Returns false on
+/// divergence or (on capable hosts) insufficient speedup.
+fn single_big_job_experiment(cfg: &Config) -> bool {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let topo = topology(cfg);
+    let n = topo.n_qubits();
+    println!("\n== serve_throughput — single big job (qft-{n}, in-job trial parallelism) ==\n");
+    let circuit = qft(n, false);
+    let mut opts =
+        TranspileOptions::quick(RouterKind::Mirage, SEED).with_metric(Metric::EstimatedSuccess);
+    opts.use_vf2 = false;
+    opts.trials.layout_trials = 8;
+    opts.trials.routing_trials = if cfg.quick { 4 } else { 8 };
+    opts.trials.fwd_bwd_iters = 3;
+
+    let run_once = |parallel: bool| {
+        let service = TranspileService::new(fresh_target(cfg), 1);
+        let mut o = opts.clone();
+        o.trials.parallel = parallel;
+        o.trials.threads = if parallel { 4 } else { 0 };
+        let job =
+            TranspileJob::new(format!("qft-{n}-big"), circuit.clone(), o).with_seed(SEED ^ 0xB16);
+        let start = Instant::now();
+        let results = service.run_batch(vec![job]).expect("service is live");
+        let elapsed = start.elapsed().as_secs_f64();
+        service.shutdown();
+        let out = results
+            .into_iter()
+            .next()
+            .unwrap()
+            .outcome
+            .expect("big job succeeds");
+        (elapsed, out.circuit)
+    };
+    // Best of two, like the scaling experiment: one noisy window must not
+    // fail the gate.
+    let run = |parallel: bool| {
+        let (t1, circuit) = run_once(parallel);
+        let (t2, again) = run_once(parallel);
+        assert_eq!(circuit, again, "same job, same seed, same result");
+        (t1.min(t2), circuit)
+    };
+
+    let (serial_s, serial_circuit) = run(false);
+    let (parallel_s, parallel_circuit) = run(true);
+    let identical = serial_circuit == parallel_circuit;
+    let speedup = serial_s / parallel_s.max(1e-9);
+    println!("serial in-job trials   : {:>7.2} ms", serial_s * 1e3);
+    println!(
+        "parallel in-job trials : {:>7.2} ms (4 threads)  {}",
+        parallel_s * 1e3,
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if !identical {
+        println!("FAIL: in-job parallelism changed the result");
+        return false;
+    }
+    if parallelism >= 4 {
+        let ok = speedup >= 1.5;
+        println!(
+            "single-big-job speedup {speedup:.2}x vs required 1.50x -> {}",
+            if ok { "ok" } else { "FAIL" }
+        );
+        ok
+    } else {
+        println!(
+            "single-big-job speedup {speedup:.2}x (host has {parallelism} threads; \
+             gate skipped — nothing to scale onto)"
+        );
+        true
+    }
+}
+
 fn hot_swap_experiment(cfg: &Config) -> bool {
     let workers = cfg.max_workers.min(4);
     println!("\n== serve_throughput — mid-run calibration hot-swap ({workers} workers) ==\n");
@@ -277,8 +365,9 @@ fn main() {
     let _ = fresh_target(&cfg).gate_cost(&mirage_weyl::coords::WeylCoord::CNOT);
 
     let scaling_ok = scaling_experiment(&cfg);
+    let big_job_ok = single_big_job_experiment(&cfg);
     let swap_ok = hot_swap_experiment(&cfg);
-    if !(scaling_ok && swap_ok) {
+    if !(scaling_ok && big_job_ok && swap_ok) {
         std::process::exit(1);
     }
 }

@@ -376,8 +376,11 @@ mod tests {
         // One Target = one cost cache for the whole transpile call. Routing
         // prices every mirror decision and the metric computations re-price
         // the very same coordinate classes, so by the end the cache must
-        // have served far more hits than misses — the seed's fresh
-        // per-branch `CostCache::new(...)` could never see these hits.
+        // have served more hits than misses — the seed's fresh per-branch
+        // `CostCache::new(...)` could never see these hits. (Repeat queries
+        // within one router scratch are absorbed by its `CostMemo` and never
+        // reach the shared cache, so the ratio here reflects *cross-trial*
+        // and metric-side reuse, not raw mirror-decision traffic.)
         let c = qft(5, false);
         let target = Target::sqrt_iswap(CouplingMap::line(5));
         let mut opts = TranspileOptions::quick(RouterKind::Mirage, 11);
@@ -389,7 +392,7 @@ mod tests {
             "metric computations must hit the routing-era cache"
         );
         assert!(
-            hits > misses * 10,
+            hits > misses,
             "a QFT has a handful of coordinate classes: {hits} hits vs {misses} misses"
         );
         // A second transpile on the same target starts warm: miss count

@@ -42,6 +42,7 @@
 use crate::layout::Layout;
 use crate::target::Target;
 use mirage_circuit::{Circuit, Dag, Gate, Instruction};
+use mirage_coverage::cache::CostMemo;
 use mirage_math::{Mat4, Rng};
 use mirage_topology::CouplingMap;
 use mirage_weyl::coords::{coords_of, WeylCoord};
@@ -188,9 +189,11 @@ struct ScoreEntry {
 /// A scratch grows to the high-water mark of the DAGs and devices it has
 /// routed and never shrinks; reusing one across calls makes the router's
 /// steady state allocation-free. Scratches carry **no routing state**
-/// between calls — only capacity — so reuse can never change results (the
-/// mark arrays are epoch-stamped: bumping a generation counter invalidates
-/// them in O(1) instead of clearing).
+/// between calls — only capacity, plus a [`CostMemo`] of pure
+/// `(class, edge) → cost` values (bit-identical to the shared-cache
+/// answers it fronts, epoch-invalidated on calibration swaps) — so reuse
+/// can never change results (the mark arrays are epoch-stamped: bumping a
+/// generation counter invalidates them in O(1) instead of clearing).
 ///
 /// [`crate::trials::TrialEngine`] keeps a pool of these, one checked out
 /// per layout trial; standalone callers can hold one per thread. A scratch
@@ -227,6 +230,11 @@ pub struct RouterScratch {
     entry_gen: u64,
     // Score-tie buffer fed to the RNG.
     best: Vec<(usize, usize)>,
+    // Per-worker `(class, edge) → cost` memo for the mirror decision
+    // (epoch-tagged; see `Target::gate_cost_on_memo`). Value-caching only:
+    // a hit is bit-identical to the shared-cache fall-through, so — like
+    // every other field — carrying it across calls cannot change results.
+    cost_memo: CostMemo,
 }
 
 impl RouterScratch {
@@ -418,6 +426,7 @@ pub fn route_with_scratch(
         entry_mark,
         entry_gen,
         best,
+        cost_memo,
     } = scratch;
 
     indeg.clear();
@@ -494,8 +503,10 @@ pub fn route_with_scratch(
                         // the hop-denominated routing term — on expensive
                         // edges the decomposition delta dominates, exactly
                         // the effect the calibration-skew experiment sweeps.
-                        let dc = target.gate_cost_on(&w, p1, p2);
-                        let dcm = target.gate_cost_on(&wm, p1, p2);
+                        // Priced through the scratch's per-worker memo, so
+                        // the steady state takes no shared-cache lock here.
+                        let dc = target.gate_cost_on_memo(cost_memo, &w, p1, p2);
+                        let dcm = target.gate_cost_on_memo(cost_memo, &wm, p1, p2);
 
                         // Lookahead impact: the *remaining* front plus the
                         // successors this gate would release (exactly one

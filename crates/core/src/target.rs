@@ -54,7 +54,7 @@
 
 use crate::calibration::{Calibration, CalibrationError, QubitCalibration};
 use mirage_circuit::{Circuit, Instruction};
-use mirage_coverage::cache::SharedCostCache;
+use mirage_coverage::cache::{CostMemo, SharedCostCache};
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
 use mirage_topology::CouplingMap;
 use mirage_weyl::coords::{coords_of, WeylCoord};
@@ -417,6 +417,24 @@ impl Target {
     pub fn gate_cost_on(&self, w: &WeylCoord, a: usize, b: usize) -> f64 {
         self.cache.get_or_insert_edge_with(w, a, b, || {
             self.gate_cost(w) * self.calibration().edge_or_nominal(a, b).duration_factor
+        })
+    }
+
+    /// [`Target::gate_cost_on`] through a caller-owned per-worker
+    /// [`CostMemo`]: the router's steady state, where the mirror decision
+    /// queries the same handful of `(class, edge)` pairs for thousands of
+    /// gates and must not take two sharded-mutex locks per gate. A memo
+    /// miss is seeded from one [`SharedCostCache`] read at the current
+    /// epoch; a memo hit touches no shared state at all. The memo is
+    /// epoch-tagged with the same counter the shared cache uses, so a
+    /// calibration swap invalidates both identically and the returned
+    /// value is always bit-identical to [`Target::gate_cost_on`].
+    pub fn gate_cost_on_memo(&self, memo: &mut CostMemo, w: &WeylCoord, a: usize, b: usize) -> f64 {
+        let epoch = self.cache.epoch();
+        memo.get_or_insert_edge_with(w, a, b, epoch, || {
+            self.cache.get_or_insert_edge_at(w, a, b, epoch, || {
+                self.gate_cost(w) * self.calibration().edge_or_nominal(a, b).duration_factor
+            })
         })
     }
 
@@ -914,6 +932,48 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn gate_cost_on_memo_matches_shared_path_across_swaps() {
+        let topo = CouplingMap::line(3);
+        let t = Target::sqrt_iswap(topo.clone());
+        let mut memo = CostMemo::new();
+        for w in [WeylCoord::CNOT, WeylCoord::SWAP, WeylCoord::ISWAP] {
+            assert_eq!(
+                t.gate_cost_on_memo(&mut memo, &w, 0, 1),
+                t.gate_cost_on(&w, 0, 1)
+            );
+        }
+        // Memo hits stop querying the shared cache entirely.
+        let queries = |t: &Target| {
+            let (h, m) = t.cache_stats();
+            h + m
+        };
+        let before = queries(&t);
+        for _ in 0..5 {
+            let _ = t.gate_cost_on_memo(&mut memo, &WeylCoord::CNOT, 0, 1);
+        }
+        assert_eq!(queries(&t), before, "memo hits must bypass the cache");
+
+        // A swap invalidates the memo exactly like the shared cache: the
+        // warm memo must answer with the new factor immediately.
+        let mut cal = Calibration::uniform(&topo);
+        cal.set_edge(
+            0,
+            1,
+            crate::calibration::EdgeCalibration {
+                duration_factor: 10.0,
+                error_2q: 0.0,
+            },
+        )
+        .unwrap();
+        t.swap_calibration(Arc::new(cal)).unwrap();
+        assert!((t.gate_cost_on_memo(&mut memo, &WeylCoord::CNOT, 0, 1) - 10.0).abs() < 1e-12);
+        assert_eq!(
+            t.gate_cost_on_memo(&mut memo, &WeylCoord::SWAP, 0, 1),
+            t.gate_cost_on(&WeylCoord::SWAP, 0, 1)
+        );
     }
 
     #[test]

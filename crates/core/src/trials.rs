@@ -28,6 +28,10 @@ use mirage_circuit::{Circuit, Dag};
 use mirage_math::Rng;
 use mirage_weyl::coords::WeylCoord;
 
+/// One layout trial's routed candidates, tagged by the strategy that
+/// seeded the layout.
+type TrialResult = (StrategyKind, Vec<RoutedCircuit>);
+
 /// Post-selection metric across routing trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
@@ -67,10 +71,51 @@ pub struct TrialOptions {
     pub strategy_mix: [f64; crate::placement::N_STRATEGIES],
     /// Base RNG seed.
     pub seed: u64,
-    /// Run layout trials on threads.
+    /// Run layout trials on threads. Results are bit-identical to a
+    /// serial run at any thread count: seeds come from the pre-split
+    /// [`SeedSchedule`] and the winner is reduced in trial-index order
+    /// (see [`TrialEngine::run_detailed`]).
     pub parallel: bool,
+    /// Worker threads when `parallel` is set; `0` means use the host's
+    /// available parallelism. Capped at `layout_trials` — never affects
+    /// results, only wall-clock.
+    pub threads: usize,
     /// Override for the mirror-decision weight λ (None = engine default).
     pub mirror_lambda: Option<f64>,
+}
+
+/// The pre-split per-trial seed schedule: a pure function of
+/// `(master seed, trial index)`.
+///
+/// Every layout trial draws all of its randomness — strategy proposal,
+/// refinement passes, and the `spawn()`ed routing-trial streams — from one
+/// [`Rng`] seeded by [`SeedSchedule::trial_seed`]. Because the seed
+/// depends on nothing but the master seed and the trial's own index,
+/// adding, removing, or reordering *other* trials (or running trials on
+/// any number of threads, in any completion order) can never shift a
+/// trial's stream. This is the first half of the engine's determinism
+/// contract; the second is the fixed trial-index reduction order in
+/// [`TrialEngine::run_detailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSchedule {
+    master: u64,
+}
+
+impl SeedSchedule {
+    /// The schedule rooted at `master` (normally [`TrialOptions::seed`]).
+    pub fn new(master: u64) -> SeedSchedule {
+        SeedSchedule { master }
+    }
+
+    /// The RNG seed for layout trial `trial`. The offset keeps trial 0
+    /// distinct from the master seed itself and the stride keeps
+    /// neighboring trials' seeds far apart in the SplitMix64 expansion
+    /// ([`Rng::new`] hashes the seed, so any injective map suffices —
+    /// this one is pinned by a regression test and must never change:
+    /// every golden trials fingerprint depends on it).
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        self.master ^ (0x9E37 + trial as u64 * 0x100_0000)
+    }
 }
 
 impl TrialOptions {
@@ -85,6 +130,7 @@ impl TrialOptions {
             strategy_mix: StrategyKind::Random.one_hot(),
             seed,
             parallel: true,
+            threads: 0,
             mirror_lambda: None,
         }
     }
@@ -100,7 +146,22 @@ impl TrialOptions {
             strategy_mix: StrategyKind::Random.one_hot(),
             seed,
             parallel: false,
+            threads: 0,
             mirror_lambda: None,
+        }
+    }
+
+    /// The worker count a parallel run will use: `threads`, or the host's
+    /// available parallelism when `threads == 0` (falling back to 1 if
+    /// the host won't say). The engine additionally caps the pool at
+    /// `layout_trials` — idle workers would be pure overhead.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 
@@ -278,13 +339,17 @@ pub struct TrialEngine<'a> {
     /// proposal is computed once and shared by the pre-pass and every
     /// vf2-lane layout trial.
     vf2: std::sync::OnceLock<Option<Layout>>,
-    /// Reusable [`RouterScratch`]es. Each layout trial checks one out for
-    /// its whole refine-and-route sequence and returns it afterwards, so
+    /// Reusable [`RouterScratch`]es. Each trial *worker* checks one out
+    /// for its whole run of layout trials and returns it afterwards, so
     /// serial runs route with a single scratch end-to-end and parallel
-    /// runs hold at most one per in-flight trial — the router's steady
+    /// runs hold exactly one per worker thread — the router's steady
     /// state stays allocation-free across trials (and across the repeated
     /// `run` calls of a serve worker's jobs on one engine). Scratches
-    /// carry no routing state, so pooling never changes results.
+    /// carry no routing state — only buffer capacity and a [`CostMemo`]
+    /// of pure `(class, edge) → cost` values — so pooling never changes
+    /// results.
+    ///
+    /// [`CostMemo`]: mirage_coverage::cache::CostMemo
     scratch_pool: std::sync::Mutex<Vec<RouterScratch>>,
 }
 
@@ -405,14 +470,18 @@ impl<'a> TrialEngine<'a> {
     }
 
     /// One layout trial: seed a layout via the mix-selected strategy,
-    /// refine it, and run the configured routing trials.
+    /// refine it, and run the configured routing trials. The trial's
+    /// entire stream of randomness comes from its [`SeedSchedule`] seed,
+    /// so the result is a pure function of `(trial, mirage, opts)` — the
+    /// caller-provided scratch is working storage only.
     fn one_layout_trial(
         &self,
         trial: usize,
         mirage: bool,
         opts: &TrialOptions,
-    ) -> (StrategyKind, Vec<RoutedCircuit>) {
-        let mut rng = Rng::new(opts.seed ^ (0x9E37 + trial as u64 * 0x100_0000));
+        scratch: &mut RouterScratch,
+    ) -> TrialResult {
+        let mut rng = Rng::new(SeedSchedule::new(opts.seed).trial_seed(trial));
         let kind = StrategyKind::for_trial(trial, opts.layout_trials, &opts.strategy_mix);
         // Only Vf2Embed can decline (no embedding); fall back to random
         // seeding so the trial budget is never wasted. Vf2Embed proposals
@@ -427,10 +496,6 @@ impl<'a> TrialEngine<'a> {
             Layout::random(self.ctx.n_logical(), self.ctx.n_physical(), &mut rng)
         });
 
-        // One scratch serves this whole trial: every refinement pass and
-        // routing trial below reuses its buffers.
-        let mut scratch = self.checkout_scratch();
-
         // Two refinements per layout trial: a mirror-free one (placements
         // that suit the A0 safety net and conservative trials) and, for
         // MIRAGE, a mirror-aware one (the paper runs MIRAGE inside
@@ -443,7 +508,7 @@ impl<'a> TrialEngine<'a> {
             layout.clone(),
             opts.fwd_bwd_iters,
             &mut rng,
-            &mut scratch,
+            scratch,
         );
         let mirrored = if mirage {
             self.refine_layout(
@@ -454,7 +519,7 @@ impl<'a> TrialEngine<'a> {
                 layout,
                 opts.fwd_bwd_iters,
                 &mut rng,
-                &mut scratch,
+                scratch,
             )
         } else {
             plain.clone()
@@ -494,7 +559,7 @@ impl<'a> TrialEngine<'a> {
                     start,
                     &config,
                     &mut trial_rng,
-                    &mut scratch,
+                    scratch,
                 );
                 if mirage && aggression != Some(Aggression::A0) {
                     // Mirage-SWAP absorption: fold leftover SWAPs that sit
@@ -509,13 +574,25 @@ impl<'a> TrialEngine<'a> {
                 routed
             })
             .collect();
-        self.return_scratch(scratch);
         (kind, routed)
     }
 
     /// Run the full trial loop; like [`TrialEngine::run`] but also reports
     /// which strategy seeded the winner and how many candidates were
     /// scored (the `layout_strategies` experiment consumes this).
+    ///
+    /// # Determinism
+    ///
+    /// Parallel runs are bit-identical to serial runs at every thread
+    /// count. Two invariants make that hold:
+    ///
+    /// 1. **Pre-split seeds.** Each trial's randomness is a pure function
+    ///    of `(opts.seed, trial index)` via [`SeedSchedule`]; which worker
+    ///    runs a trial (and when) cannot influence its stream.
+    /// 2. **Fixed reduction order.** Results land in trial-indexed slots
+    ///    and are flattened in index order before the `min_by` below — and
+    ///    `min_by` keeps the *first* of equal minima, so ties break by
+    ///    trial index, never by completion order or pool size.
     ///
     /// # Errors
     ///
@@ -527,25 +604,64 @@ impl<'a> TrialEngine<'a> {
         opts: &TrialOptions,
     ) -> Result<TrialOutcome, TranspileError> {
         opts.validate()?;
-        let mut tagged: Vec<(StrategyKind, RoutedCircuit)> = Vec::new();
-        if opts.parallel && opts.layout_trials > 1 {
-            let results: Vec<(StrategyKind, Vec<RoutedCircuit>)> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..opts.layout_trials)
-                    .map(|t| s.spawn(move || self.one_layout_trial(t, mirage, opts)))
+        let n = opts.layout_trials;
+        let workers = if opts.parallel {
+            opts.effective_threads().min(n).max(1)
+        } else {
+            1
+        };
+        // Trial-indexed result slots: whatever order workers finish in,
+        // the reduction below reads them back in trial order.
+        let mut slots: Vec<Option<TrialResult>> = (0..n).map(|_| None).collect();
+        if workers > 1 {
+            // Warm the lazy precomputes on this thread so workers never
+            // race to build them (OnceLock would dedupe anyway; this just
+            // keeps the work off the timed region).
+            let _ = self.routing_state();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, TrialResult)>> = std::thread::scope(|s| {
+                let next = &next;
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(move || {
+                            // One pooled scratch per worker for its
+                            // whole run of trials.
+                            let mut scratch = self.checkout_scratch();
+                            let mut local = Vec::new();
+                            loop {
+                                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if t >= n {
+                                    break;
+                                }
+                                local.push((
+                                    t,
+                                    self.one_layout_trial(t, mirage, opts, &mut scratch),
+                                ));
+                            }
+                            self.return_scratch(scratch);
+                            local
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("routing thread panicked"))
                     .collect()
             });
-            for (kind, routed) in results {
-                tagged.extend(routed.into_iter().map(|r| (kind, r)));
+            for (t, result) in per_worker.into_iter().flatten() {
+                slots[t] = Some(result);
             }
         } else {
-            for t in 0..opts.layout_trials {
-                let (kind, routed) = self.one_layout_trial(t, mirage, opts);
-                tagged.extend(routed.into_iter().map(|r| (kind, r)));
+            let mut scratch = self.checkout_scratch();
+            for (t, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.one_layout_trial(t, mirage, opts, &mut scratch));
             }
+            self.return_scratch(scratch);
+        }
+        let mut tagged: Vec<(StrategyKind, RoutedCircuit)> = Vec::new();
+        for slot in slots {
+            let (kind, routed) = slot.expect("every trial index was claimed by a worker");
+            tagged.extend(routed.into_iter().map(|r| (kind, r)));
         }
         let candidates = tagged.len();
         let (strategy, best) = tagged
@@ -743,21 +859,31 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
+        // Exhaustive thread sweep: every pool size — including more
+        // workers than trials — must reproduce the serial result bit for
+        // bit.
         let target = Target::sqrt_iswap(CouplingMap::line(4));
         let c = consolidate(&two_local_full(4, 1, 9));
         let mut serial_opts = TrialOptions::quick(Metric::SwapCount, 5);
         serial_opts.parallel = false;
-        let mut parallel_opts = serial_opts.clone();
-        parallel_opts.parallel = true;
         let a = route_with_trials(&c, &target, false, &serial_opts);
-        let b = route_with_trials(&c, &target, false, &parallel_opts);
-        assert_eq!(a.circuit, b.circuit, "parallelism must not change results");
+        for threads in [1, 2, 4, 8] {
+            let mut parallel_opts = serial_opts.clone();
+            parallel_opts.parallel = true;
+            parallel_opts.threads = threads;
+            let b = route_with_trials(&c, &target, false, &parallel_opts);
+            assert_eq!(
+                a.circuit, b.circuit,
+                "{threads} threads must not change results"
+            );
+        }
     }
 
     #[test]
     fn parallel_matches_serial_with_mixed_strategies() {
         // Strategy selection is by trial index, so threading must not
-        // change which strategy seeds which trial (or the result).
+        // change which strategy seeds which trial (or the result) — at
+        // any pool size.
         let topo = CouplingMap::grid(2, 3);
         let cal = crate::calibration::Calibration::synthetic(&topo, &mut Rng::new(0xABC));
         let target = Target::sqrt_iswap(topo).with_calibration(cal).unwrap();
@@ -767,11 +893,61 @@ mod tests {
         opts.layout_trials = 5;
         let engine = TrialEngine::new(&c, &target);
         let serial = engine.run_detailed(true, &opts).unwrap();
-        opts.parallel = true;
-        let parallel = engine.run_detailed(true, &opts).unwrap();
-        assert_eq!(serial.best.circuit, parallel.best.circuit);
-        assert_eq!(serial.strategy, parallel.strategy);
         assert_eq!(serial.candidates, 5 * opts.routing_trials);
+        for threads in [1, 2, 4, 8] {
+            opts.parallel = true;
+            opts.threads = threads;
+            let parallel = engine.run_detailed(true, &opts).unwrap();
+            assert_eq!(serial.best.circuit, parallel.best.circuit);
+            assert_eq!(serial.strategy, parallel.strategy);
+            assert_eq!(serial.candidates, parallel.candidates);
+        }
+    }
+
+    #[test]
+    fn seed_schedule_is_a_pure_function_of_master_and_index() {
+        // Pure in the strongest sense: recomputing any (master, trial)
+        // pair — in any order, interleaved with other queries — always
+        // returns the same seed, and distinct trial indices never
+        // collide. Inserting or reordering trials therefore cannot shift
+        // another trial's stream.
+        let masters = [0u64, 1, 0x5EED, u64::MAX, 0xDEADBEEF];
+        for &m in &masters {
+            let schedule = SeedSchedule::new(m);
+            let forward: Vec<u64> = (0..64).map(|t| schedule.trial_seed(t)).collect();
+            let backward: Vec<u64> = (0..64).rev().map(|t| schedule.trial_seed(t)).collect();
+            for (t, (&f, &b)) in forward.iter().zip(backward.iter().rev()).enumerate() {
+                assert_eq!(f, b, "master {m:#X} trial {t}: query order leaked in");
+                assert_eq!(
+                    f,
+                    SeedSchedule::new(m).trial_seed(t),
+                    "fresh schedule instance must agree"
+                );
+            }
+            let mut sorted = forward.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), forward.len(), "seed collision under {m:#X}");
+        }
+        // Distinct masters produce distinct schedules (XOR is injective
+        // in the master for a fixed trial).
+        assert_ne!(
+            SeedSchedule::new(1).trial_seed(0),
+            SeedSchedule::new(2).trial_seed(0)
+        );
+    }
+
+    #[test]
+    fn seed_schedule_pinned_for_known_master() {
+        // Regression pin: this exact derivation feeds every golden trials
+        // fingerprint in tests/golden_routing.rs. If this test fails, the
+        // goldens are about to fail too — do not re-pin one without the
+        // other.
+        let schedule = SeedSchedule::new(0xDEADBEEF);
+        let expected: [u64; 4] = [0xDEAD20D8, 0xDFAD20D8, 0xDCAD20D8, 0xDDAD20D8];
+        for (t, &want) in expected.iter().enumerate() {
+            assert_eq!(schedule.trial_seed(t), want, "trial {t}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use mirage_weyl::coords::WeylCoord;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Cache key: a quantized coordinate class, optionally scoped to one
 /// undirected coupler. Coordinate-only entries use the sentinel
@@ -217,6 +217,11 @@ pub struct SharedCostCache {
     /// Current calibration epoch; edge-scoped entries from older epochs
     /// are never served.
     epoch: AtomicU64,
+    /// Shard-lock acquisitions that found the lock already held (a
+    /// `try_lock` failed and the caller had to block). Zero-cost when
+    /// unread: the counter is only touched on the contended path, which
+    /// already pays for a futex wait.
+    contended: AtomicU64,
 }
 
 impl SharedCostCache {
@@ -263,7 +268,30 @@ impl SharedCostCache {
                 .map(|_| Mutex::new(CostCache::new(per_shard)))
                 .collect(),
             epoch: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
         }
+    }
+
+    /// Acquire a shard lock, counting the acquisition as contended when a
+    /// `try_lock` probe finds the lock already held. The probe is free on
+    /// the uncontended fast path; the blocking fallback only runs when the
+    /// caller was going to wait anyway.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<CostCache>) -> MutexGuard<'a, CostCache> {
+        match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.lock().expect("cache shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
+    }
+
+    /// Shard-lock acquisitions since construction that had to wait for
+    /// another thread — the lock traffic the per-worker
+    /// [`CostMemo`] exists to remove.
+    pub fn contention(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
     }
 
     /// The current calibration epoch. Edge-scoped entries are only served
@@ -311,9 +339,7 @@ impl SharedCostCache {
     /// `f` runs while the shard lock is held, so concurrent queries of one
     /// class compute at most once per shard residence.
     pub fn get_or_insert_with<F: FnOnce() -> f64>(&self, w: &WeylCoord, f: F) -> f64 {
-        self.shard_for(key_for(w, NO_EDGE))
-            .lock()
-            .expect("cache shard poisoned")
+        self.lock_shard(self.shard_for(key_for(w, NO_EDGE)))
             .get_or_insert_with(w, f)
     }
 
@@ -337,45 +363,48 @@ impl SharedCostCache {
         // Epoch first: if a swap lands between this load and `f`, the entry
         // is tagged with the pre-swap epoch and discarded on next lookup.
         let epoch = self.epoch();
+        self.get_or_insert_edge_at(w, a, b, epoch, f)
+    }
+
+    /// [`SharedCostCache::get_or_insert_edge_with`] against a
+    /// caller-supplied epoch — the seeding read of a per-worker
+    /// [`CostMemo`], which loads the epoch once and tags its own entry and
+    /// the shared entry coherently. `epoch` must come from
+    /// [`SharedCostCache::epoch`] on this same cache; a stale value is
+    /// harmless (the entry is discarded on the next current-epoch lookup)
+    /// but wastes the slot.
+    pub fn get_or_insert_edge_at<F: FnOnce() -> f64>(
+        &self,
+        w: &WeylCoord,
+        a: usize,
+        b: usize,
+        epoch: u64,
+        f: F,
+    ) -> f64 {
         let shard = self.shard_for(key_for(w, edge_key(a, b)));
-        if let Some(v) = shard
-            .lock()
-            .expect("cache shard poisoned")
-            .touch_edge(w, a, b, epoch)
-        {
+        if let Some(v) = self.lock_shard(shard).touch_edge(w, a, b, epoch) {
             return v;
         }
         let v = f();
-        shard
-            .lock()
-            .expect("cache shard poisoned")
-            .insert_edge(w, a, b, epoch, v);
+        self.lock_shard(shard).insert_edge(w, a, b, epoch, v);
         v
     }
 
     /// Look up without inserting.
     pub fn peek(&self, w: &WeylCoord) -> Option<f64> {
-        self.shard_for(key_for(w, NO_EDGE))
-            .lock()
-            .expect("cache shard poisoned")
-            .peek(w)
+        self.lock_shard(self.shard_for(key_for(w, NO_EDGE))).peek(w)
     }
 
     /// Look up an edge-scoped entry at the current epoch without inserting.
     pub fn peek_edge(&self, w: &WeylCoord, a: usize, b: usize) -> Option<f64> {
         let epoch = self.epoch();
-        self.shard_for(key_for(w, edge_key(a, b)))
-            .lock()
-            .expect("cache shard poisoned")
+        self.lock_shard(self.shard_for(key_for(w, edge_key(a, b))))
             .peek_edge(w, a, b, epoch)
     }
 
     /// Total cached classes across shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| self.lock_shard(s).len()).sum()
     }
 
     /// True when nothing is cached yet.
@@ -387,7 +416,7 @@ impl SharedCostCache {
     pub fn stats(&self) -> (u64, u64) {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").stats())
+            .map(|s| self.lock_shard(s).stats())
             .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
     }
 
@@ -400,6 +429,83 @@ impl SharedCostCache {
         } else {
             hits as f64 / total as f64
         }
+    }
+}
+
+/// An unsynchronized `(coordinate class, edge) → cost` memo in front of a
+/// [`SharedCostCache`] — one per routing worker, so the router's mirror
+/// decision stops taking two sharded-mutex locks per routed 2Q gate.
+///
+/// Every entry is a value the shared cache answered (or would answer) at
+/// one calibration epoch: the memo records that epoch and clears itself
+/// whenever a query arrives under a newer one, so a calibration swap
+/// invalidates it exactly like the epoch-tagged shared cache — a memo that
+/// outlives the swap (pooled inside a `RouterScratch`) can never serve a
+/// cost priced under a replaced calibration. Values are pure functions of
+/// `(class, edge, calibration)`, so memoization never changes results:
+/// hits return bit-identical numbers to the fall-through path.
+///
+/// Unlike [`CostCache`] the memo is unbounded and un-LRU'd: a worker only
+/// ever sees the coordinate classes of the circuits it routes (a handful
+/// per circuit), and clearing on epoch change bounds its lifetime.
+#[derive(Debug, Default)]
+pub struct CostMemo {
+    map: HashMap<Key, f64>,
+    /// The epoch every resident entry was computed under.
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CostMemo {
+    /// An empty memo (equivalent to `Default`).
+    pub fn new() -> CostMemo {
+        CostMemo::default()
+    }
+
+    /// Look up the cost of class `w` on coupler `(a, b)` at `epoch`, or
+    /// compute-and-insert through `f` (which should read the shared
+    /// cache). A query under a different epoch first drops every resident
+    /// entry — they were priced under a calibration that is no longer
+    /// current from this worker's point of view.
+    pub fn get_or_insert_edge_with<F: FnOnce() -> f64>(
+        &mut self,
+        w: &WeylCoord,
+        a: usize,
+        b: usize,
+        epoch: u64,
+        f: F,
+    ) -> f64 {
+        if self.epoch != epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+        match self.map.entry(key_for(w, edge_key(a, b))) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                *e.insert(f())
+            }
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized (fresh, or just invalidated).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters since construction (epoch invalidation
+    /// does not reset them).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -604,6 +710,88 @@ mod tests {
         assert_eq!(v, 2.0);
         assert_eq!(cache.peek(&w), Some(1.0));
         assert_eq!(cache.peek_edge(&w, 0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn memo_hits_without_touching_the_shared_cache() {
+        let shared = SharedCostCache::new(64);
+        let mut memo = CostMemo::new();
+        let w = WeylCoord::CNOT;
+        let epoch = shared.epoch();
+        let through = |memo: &mut CostMemo| {
+            memo.get_or_insert_edge_with(&w, 0, 1, epoch, || {
+                shared.get_or_insert_edge_at(&w, 0, 1, epoch, || 2.5)
+            })
+        };
+        assert_eq!(through(&mut memo), 2.5);
+        let shared_queries_after_seed = {
+            let (h, m) = shared.stats();
+            h + m
+        };
+        for _ in 0..10 {
+            assert_eq!(through(&mut memo), 2.5);
+        }
+        let (h, m) = shared.stats();
+        assert_eq!(
+            h + m,
+            shared_queries_after_seed,
+            "memo hits must not query the shared cache"
+        );
+        assert_eq!(memo.stats(), (10, 1));
+        assert_eq!(memo.len(), 1);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn memo_endpoint_order_and_classes_match_shared_keying() {
+        let mut memo = CostMemo::new();
+        let w = WeylCoord::CNOT;
+        let v = WeylCoord::ISWAP;
+        assert_eq!(memo.get_or_insert_edge_with(&w, 0, 1, 0, || 1.0), 1.0);
+        // Endpoint order is irrelevant; distinct classes and couplers are
+        // distinct entries — same normalization as the shared cache.
+        assert_eq!(memo.get_or_insert_edge_with(&w, 1, 0, 0, || 99.0), 1.0);
+        assert_eq!(memo.get_or_insert_edge_with(&v, 0, 1, 0, || 2.0), 2.0);
+        assert_eq!(memo.get_or_insert_edge_with(&w, 1, 2, 0, || 3.0), 3.0);
+        assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn memo_epoch_change_drops_every_entry() {
+        let mut memo = CostMemo::new();
+        let w = WeylCoord::SWAP;
+        assert_eq!(memo.get_or_insert_edge_with(&w, 0, 1, 0, || 1.5), 1.5);
+        assert_eq!(memo.get_or_insert_edge_with(&w, 1, 2, 0, || 2.5), 2.5);
+        assert_eq!(memo.len(), 2);
+        // New epoch: both entries are stale and must recompute.
+        assert_eq!(memo.get_or_insert_edge_with(&w, 0, 1, 1, || 15.0), 15.0);
+        assert_eq!(memo.len(), 1, "stale entries dropped, new one resident");
+        assert_eq!(memo.get_or_insert_edge_with(&w, 1, 2, 1, || 25.0), 25.0);
+        // And the new-epoch entries are ordinary hits afterwards.
+        assert_eq!(memo.get_or_insert_edge_with(&w, 0, 1, 1, || 99.0), 15.0);
+    }
+
+    #[test]
+    fn contention_counter_records_blocked_acquisitions() {
+        // Uncontended use never increments the counter.
+        let cache = SharedCostCache::with_shards(64, 1);
+        let w = WeylCoord::CNOT;
+        for _ in 0..10 {
+            cache.get_or_insert_with(&w, || 1.0);
+        }
+        assert_eq!(cache.contention(), 0, "uncontended path must stay free");
+        // Forced contention: hold the only shard's lock while another
+        // thread queries — its try_lock must fail and be counted.
+        let guard = cache.lock_shard(&cache.shards[0]);
+        std::thread::scope(|s| {
+            let t = s.spawn(|| cache.get_or_insert_with(&w, || 99.0));
+            while cache.contention() == 0 {
+                std::thread::yield_now();
+            }
+            drop(guard);
+            assert_eq!(t.join().expect("query thread"), 1.0);
+        });
+        assert!(cache.contention() >= 1);
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! * [`TranspileJob`]s (circuit + [`TranspileOptions`] + seed) are
 //!   submitted singly or in batches; [`TranspileService::submit_batch`]
 //!   returns one [`JobHandle`] per job, in submission order.
-//! * Results are **deterministic per job seed**: each worker runs its job
-//!   single-threaded (pool concurrency replaces trial-level threading), so
-//!   the same job produces the same routed circuit whether the pool has 1
-//!   worker or 16, and regardless of completion order.
+//! * Results are **deterministic per job seed**: the trial engine is
+//!   bit-identical at every thread count (pre-split seeds, fixed
+//!   reduction order — see [`mirage_core::trials::TrialOptions`]), so the
+//!   same job produces the same routed circuit whether the pool has 1
+//!   worker or 16, whether `trials.parallel` is on or off, and regardless
+//!   of completion order. A big job can fan its trials across cores while
+//!   small jobs ride the worker pool.
 //! * The service is **long-lived**: [`TranspileService::swap_calibration`]
 //!   hot-swaps the device calibration on the shared target between jobs —
 //!   validation, a generation bump, and cost-cache epoch invalidation are
@@ -70,8 +73,9 @@ pub struct TranspileJob {
     /// The circuit to transpile.
     pub circuit: Circuit,
     /// Full transpilation options. The trial seed inside is overridden by
-    /// [`TranspileJob::seed`], and trial-level threading is disabled by the
-    /// worker (see [`TranspileService`]).
+    /// [`TranspileJob::seed`]; `trials.parallel` is honored as-is — the
+    /// trial engine is thread-count-invariant, so in-job parallelism never
+    /// changes the result (see [`TranspileService`]).
     pub options: TranspileOptions,
     /// The seed this job runs under — the *only* nondeterminism input, so
     /// equal (circuit, options, seed, calibration) means equal output.
@@ -342,9 +346,11 @@ impl Drop for TranspileService {
     }
 }
 
-/// One worker: pop until the queue terminates, run each job
-/// single-threaded under its own seed, deliver the result. Returns the
-/// number of jobs processed.
+/// One worker: pop until the queue terminates, run each job under its own
+/// seed, deliver the result. Returns the number of jobs processed. The
+/// job's `trials.parallel` setting is honored: determinism comes from the
+/// trial engine's seed pre-split and fixed reduction order, not from
+/// forcing jobs single-threaded.
 fn worker_loop(
     worker: usize,
     target: &Arc<Target>,
@@ -356,11 +362,6 @@ fn worker_loop(
         let generation = target.calibration_generation();
         let mut options = job.options;
         options.trials.seed = job.seed;
-        // Worker-level concurrency replaces trial-level threading: an
-        // oversubscribed pool would only add scheduler noise, and the
-        // single-threaded trial loop is what makes results independent of
-        // the pool size.
-        options.trials.parallel = false;
         let start = Instant::now();
         let outcome = transpile(&job.circuit, target, &options);
         let result = JobResult {
@@ -434,18 +435,71 @@ mod tests {
 
     #[test]
     fn results_are_bit_identical_across_pool_sizes() {
-        let run = |workers: usize| {
+        // Sweep both axes of concurrency: worker-pool size AND in-job
+        // trial parallelism. Every combination must produce the same
+        // batch, bit for bit.
+        let run = |workers: usize, in_job_parallel: bool| {
             let target = Arc::new(Target::sqrt_iswap(CouplingMap::grid(2, 3)));
             let service = TranspileService::new(target, workers);
-            let results = service.run_batch(test_batch()).unwrap();
+            let jobs = test_batch()
+                .into_iter()
+                .map(|mut job| {
+                    job.options.trials.parallel = in_job_parallel;
+                    job
+                })
+                .collect();
+            let results = service.run_batch(jobs).unwrap();
             results
                 .into_iter()
                 .map(|r| r.outcome.expect("job succeeds").circuit)
                 .collect::<Vec<_>>()
         };
-        let solo = run(1);
-        let quad = run(4);
-        assert_eq!(solo, quad, "worker count must not change results");
+        let reference = run(1, false);
+        for workers in [1, 4] {
+            for in_job_parallel in [false, true] {
+                assert_eq!(
+                    reference,
+                    run(workers, in_job_parallel),
+                    "{workers} workers (in-job parallel: {in_job_parallel}) \
+                     must not change results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn big_job_parallel_trials_match_serial_fingerprint() {
+        // One big job — QFT-64 on an 8×8 grid — with in-job trial
+        // parallelism on must reproduce the serial run's fingerprint
+        // exactly. This is the case the old worker-level
+        // `trials.parallel = false` override existed to protect; the
+        // trial engine now guarantees it at any thread count.
+        let run = |parallel: bool, threads: usize| {
+            let target = Arc::new(Target::sqrt_iswap(CouplingMap::grid(8, 8)));
+            let service = TranspileService::new(target, 1);
+            let mut options = TranspileOptions::quick(RouterKind::Mirage, 0x64);
+            options.use_vf2 = false;
+            options.trials.layout_trials = 2;
+            options.trials.routing_trials = 1;
+            options.trials.fwd_bwd_iters = 1;
+            options.trials.parallel = parallel;
+            options.trials.threads = threads;
+            let job = TranspileJob::new("qft-64", qft(64, false), options);
+            let results = service.run_batch(vec![job]).unwrap();
+            let out = results
+                .into_iter()
+                .next()
+                .unwrap()
+                .outcome
+                .expect("qft-64 routes");
+            out.circuit.fingerprint()
+        };
+        let serial = run(false, 0);
+        assert_eq!(
+            serial,
+            run(true, 2),
+            "2-thread in-job parallelism must match the serial fingerprint"
+        );
     }
 
     #[test]

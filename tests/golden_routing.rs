@@ -140,13 +140,34 @@ fn route_case(topo: &Topo, target: &Target, aggression: Option<Aggression>, seed
     }
 }
 
-/// One full serial trial-engine run (layout strategies, refinement,
-/// routing trials, SWAP absorption, post-selection).
-fn trials_case(topo: &Topo) -> Case {
+/// The trial-engine options every golden trials case runs under.
+fn trials_opts(topo: &Topo) -> TrialOptions {
+    TrialOptions::quick(Metric::EstimatedSuccess, 0x901D + topo.cal_seed)
+}
+
+/// Thread count for golden trial runs: `MIRAGE_TEST_THREADS=<n>` runs the
+/// trial engine in parallel with `n` workers (CI runs the suite both ways
+/// to gate pool-size invariance); unset runs it serially.
+fn env_threads() -> Option<usize> {
+    std::env::var("MIRAGE_TEST_THREADS")
+        .ok()
+        .map(|s| s.parse().expect("MIRAGE_TEST_THREADS must be an integer"))
+}
+
+/// One full trial-engine run (layout strategies, refinement, routing
+/// trials, SWAP absorption, post-selection). `threads: None` obeys
+/// `MIRAGE_TEST_THREADS` (serial by default); `Some(n)` forces an
+/// `n`-thread parallel run. Every choice must produce the same pinned
+/// fingerprint — that is the engine's determinism contract.
+fn trials_case_threaded(topo: &Topo, threads: Option<usize>) -> Case {
     let target = target_for(topo, true);
     let cc = consolidate(&topo.circuit);
     let engine = TrialEngine::new(&cc, &target);
-    let opts = TrialOptions::quick(Metric::EstimatedSuccess, 0x901D + topo.cal_seed);
+    let mut opts = trials_opts(topo);
+    if let Some(n) = threads.or_else(env_threads) {
+        opts.parallel = true;
+        opts.threads = n;
+    }
     let outcome = engine.run_detailed(true, &opts).expect("valid mix");
     assert!(
         verify_routed(&topo.circuit, &outcome.best, &target),
@@ -157,6 +178,10 @@ fn trials_case(topo: &Topo) -> Case {
         swaps: outcome.best.swaps_inserted,
         mirrors: outcome.best.mirrors_accepted,
     }
+}
+
+fn trials_case(topo: &Topo) -> Case {
+    trials_case_threaded(topo, None)
 }
 
 struct Case {
@@ -187,6 +212,92 @@ fn run_all() -> Vec<(String, Case)> {
         out.push((format!("{}/trials", topo.name), trials_case(topo)));
     }
     out
+}
+
+/// Pool-size invariance: the golden trials fingerprints must come out of
+/// the engine unchanged at every thread count, including more workers
+/// than trials. Pre-split seeds + trial-index reduction order make the
+/// winner independent of scheduling; this is the proof.
+#[test]
+fn trials_fingerprints_invariant_across_thread_counts() {
+    for topo in &topologies() {
+        let label = format!("{}/trials", topo.name);
+        let &(_, g_fp, g_swaps, g_mirrors) = GOLDEN
+            .iter()
+            .find(|(l, ..)| *l == label)
+            .expect("every topology has a pinned trials case");
+        for threads in [1usize, 2, 4, 8] {
+            let case = trials_case_threaded(topo, Some(threads));
+            assert_eq!(
+                (case.fingerprint, case.swaps, case.mirrors),
+                (g_fp, g_swaps, g_mirrors),
+                "{label} @ {threads} threads: parallel run drifted from the \
+                 pinned serial fingerprint (got 0x{:016X}, {} swaps, {} mirrors)",
+                case.fingerprint,
+                case.swaps,
+                case.mirrors
+            );
+        }
+    }
+}
+
+/// Mid-job calibration swap under parallel trials: a warm engine (scratch
+/// memos and shared cache filled under calibration A) that hot-swaps to
+/// calibration B must produce — at every thread count — exactly what a
+/// cold engine on a fresh target built with B produces. This is the
+/// generation-tagging contract of the per-worker cost memo: the epoch
+/// bump from `swap_calibration` invalidates every memoized cost.
+#[test]
+fn calibration_swap_mid_job_matches_fresh_target_at_every_thread_count() {
+    let topos = topologies();
+    let topo = &topos[1]; // grid-3x3 / qft(8, true): mirror decisions price edges
+    let cc = consolidate(&topo.circuit);
+    let cal_b = Calibration::skewed(&topo.map, &mut Rng::new(0xB0B5EED), 3e-3, 0.25, 10.0)
+        .expect("skewed covers the map");
+
+    // Reference: a cold serial run on a fresh target carrying B from birth.
+    let fresh_target = Target::sqrt_iswap(topo.map.clone())
+        .with_calibration(cal_b.clone())
+        .expect("calibration covers the map");
+    let fresh_engine = TrialEngine::new(&cc, &fresh_target);
+    let reference = fresh_engine
+        .run_detailed(true, &trials_opts(topo))
+        .expect("valid mix")
+        .best
+        .circuit
+        .fingerprint();
+
+    let golden_label = format!("{}/trials", topo.name);
+    let &(_, warm_fp, ..) = GOLDEN
+        .iter()
+        .find(|(l, ..)| *l == golden_label)
+        .expect("pinned trials case");
+
+    for threads in [1usize, 2, 4, 8] {
+        let target = target_for(topo, true); // calibration A (skewed, cal_seed)
+        let engine = TrialEngine::new(&cc, &target);
+        let mut opts = trials_opts(topo);
+        opts.parallel = true;
+        opts.threads = threads;
+        // Warm run under A: fills the pooled scratches' cost memos and the
+        // shared cache — and must still match the pinned golden.
+        let warm = engine.run_detailed(true, &opts).expect("valid mix");
+        assert_eq!(
+            warm.best.circuit.fingerprint(),
+            warm_fp,
+            "warm run @ {threads} threads drifted from the pinned golden"
+        );
+        target
+            .swap_calibration(std::sync::Arc::new(cal_b.clone()))
+            .expect("calibration covers the map");
+        let swapped = engine.run_detailed(true, &opts).expect("valid mix");
+        assert_eq!(
+            swapped.best.circuit.fingerprint(),
+            reference,
+            "post-swap run @ {threads} threads must be bit-identical to a \
+             fresh target built with the new calibration"
+        );
+    }
 }
 
 #[test]
