@@ -1,0 +1,491 @@
+//! `serve_net` — loopback throughput and fault behaviour of the
+//! framed-TCP network front, and emits the machine-readable
+//! `BENCH_serve.json`.
+//!
+//! Two experiments over a seed-deterministic workload:
+//!
+//! 1. **Loopback scaling** — the fixed batch is pushed through a real
+//!    `NetServer` on 127.0.0.1 by concurrent client connections, with 1,
+//!    2, then 4 pool workers. Every run's results (fingerprint AND the
+//!    returned QASM text) must be bit-identical to an in-process
+//!    `TranspileService::run_batch` with the same seeds — the wire is a
+//!    transport, never a perturbation; the run **exits nonzero** on any
+//!    divergence. On hosts with at least 4 hardware threads the 4-worker
+//!    pool must also beat the single worker by 1.5× in `--quick` (the CI
+//!    smoke gate) and 2.0× in the full run; hosts with fewer threads
+//!    report the numbers but skip the speedup gate. Each pool size is
+//!    measured twice and the better run kept.
+//! 2. **Fault smoke** — the protocol-hardening claims, re-checked from
+//!    outside the test suite: garbage bytes get a typed `ProtocolError`,
+//!    an oversized frame is refused from its header alone, a full queue
+//!    answers `Busy` without blocking, and an expired deadline comes back
+//!    as a typed failure. Any silent hang or panic fails the run.
+//!
+//! Usage: `serve_net [--quick] [--workers N] [--out BENCH_serve.json]`
+
+use mirage_circuit::generators::{portfolio_qaoa, qft, two_local_full};
+use mirage_circuit::qasm::to_qasm;
+use mirage_core::{RouterKind, Target};
+use mirage_serve::net::frame;
+use mirage_serve::net::proto::{Request, Response};
+use mirage_serve::net::{
+    ClientError, FailureKind, NetClient, NetServer, ServeConfig, SubmitRequest, WireOptions,
+    DEFAULT_MAX_PAYLOAD,
+};
+use mirage_serve::{Lane, TranspileJob, TranspileService};
+use mirage_topology::CouplingMap;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 0x5EA1;
+
+struct Config {
+    quick: bool,
+    max_workers: usize,
+}
+
+fn topology(cfg: &Config) -> CouplingMap {
+    if cfg.quick {
+        CouplingMap::grid(3, 3)
+    } else {
+        CouplingMap::grid(4, 4)
+    }
+}
+
+fn fresh_target(cfg: &Config) -> Arc<Target> {
+    Arc::new(Target::sqrt_iswap(topology(cfg)))
+}
+
+fn wire_options(cfg: &Config) -> WireOptions {
+    let mut wire = WireOptions::quick(RouterKind::Mirage);
+    let trials = if cfg.quick { 3 } else { 6 };
+    wire.layout_trials = trials;
+    wire.routing_trials = trials;
+    wire.fwd_bwd_iters = 3;
+    wire.use_vf2 = false; // every job must pay for routing, not embed away
+    wire.parallel = false; // pool-level scaling only: serial in-job trials
+    wire
+}
+
+/// The fixed workload: a cycle of routing-heavy benchmark circuits, one
+/// request per (circuit, repetition) with its own seed.
+fn requests(cfg: &Config) -> Vec<SubmitRequest> {
+    let n = topology(cfg).n_qubits() - 2;
+    let reps = if cfg.quick { 4 } else { 6 };
+    let wire = wire_options(cfg);
+    let suite = vec![
+        (format!("qft-{n}"), to_qasm(&qft(n, false))),
+        (format!("twolocal-{n}"), to_qasm(&two_local_full(n, 1, 7))),
+        (format!("qaoa-{n}"), to_qasm(&portfolio_qaoa(n, 1, 7))),
+    ];
+    let mut out = Vec::new();
+    for rep in 0..reps {
+        for (name, qasm) in &suite {
+            out.push(SubmitRequest {
+                label: format!("{name}#{rep}"),
+                qasm: qasm.clone(),
+                seed: SEED + out.len() as u64,
+                lane: Lane::Batch,
+                deadline_ms: None,
+                options: wire.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// What each job must come back as, regardless of transport or pool size.
+type Results = BTreeMap<String, (u64, String)>;
+
+/// The in-process reference: the same jobs through `run_batch` directly,
+/// no sockets anywhere.
+fn reference(cfg: &Config) -> Results {
+    let service = TranspileService::new(fresh_target(cfg), 1);
+    let jobs: Vec<TranspileJob> = requests(cfg)
+        .into_iter()
+        .map(|r| {
+            let circuit = mirage_circuit::qasm::from_qasm(&r.qasm).expect("workload parses");
+            TranspileJob::new(r.label, circuit, r.options.to_options(r.seed))
+        })
+        .collect();
+    let results = service.run_batch(jobs).expect("service is live");
+    service.shutdown();
+    results
+        .into_iter()
+        .map(|r| {
+            let out = r.outcome.expect("benchmark jobs succeed");
+            (r.label, (out.circuit.fingerprint(), to_qasm(&out.circuit)))
+        })
+        .collect()
+}
+
+/// Push the workload through a loopback server once and return (jobs/sec,
+/// per-label results). `clients` concurrent connections each carry a
+/// strided share of the batch.
+fn measure_once(cfg: &Config, workers: usize, clients: usize) -> (f64, Results) {
+    let server = NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &ServeConfig::new(workers))
+        .expect("loopback bind");
+    let addr = server.local_addr();
+    let batch = requests(cfg);
+    let n = batch.len();
+    let start = Instant::now();
+    let collected: Results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let share: Vec<SubmitRequest> = batch
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % clients == c)
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("loopback connect");
+                    share
+                        .into_iter()
+                        .map(|r| {
+                            let label = r.label.clone();
+                            let done = client.submit(r).expect("benchmark jobs succeed").done;
+                            (label, (done.fingerprint, done.qasm))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    server.shutdown();
+    assert_eq!(collected.len(), n, "every job must come back exactly once");
+    (n as f64 / elapsed.as_secs_f64().max(1e-9), collected)
+}
+
+/// Best of two runs: a throughput gate on shared CI runners must not fail
+/// because a noisy neighbor landed on exactly one measurement window.
+fn measure(cfg: &Config, workers: usize, clients: usize) -> (f64, Results) {
+    let (t1, results) = measure_once(cfg, workers, clients);
+    let (t2, again) = measure_once(cfg, workers, clients);
+    assert_eq!(results, again, "same batch, same seeds, same results");
+    (t1.max(t2), results)
+}
+
+struct Case {
+    workers: usize,
+    jobs_per_sec: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+fn scaling_experiment(cfg: &Config, cases: &mut Vec<Case>) -> bool {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let batch_len = requests(cfg).len();
+    let clients = 4.min(batch_len);
+    println!(
+        "== serve_net — loopback scaling ({batch_len} jobs over {clients} connections, \
+         host parallelism {parallelism}) ==\n"
+    );
+    let expected = reference(cfg);
+    let mut pool_sizes = vec![1usize, 2, 4];
+    pool_sizes.retain(|&w| w <= cfg.max_workers);
+    let mut baseline = 0.0;
+    let mut identical = true;
+    let mut quad_speedup = None;
+    println!(
+        "{:>8} {:>10} {:>9}  vs in-process",
+        "workers", "jobs/sec", "speedup"
+    );
+    for &workers in &pool_sizes {
+        let (throughput, results) = measure(cfg, workers, clients);
+        if workers == 1 {
+            baseline = throughput;
+        }
+        let same = results == expected;
+        identical &= same;
+        let speedup = throughput / baseline;
+        if workers == 4 {
+            quad_speedup = Some(speedup);
+        }
+        println!(
+            "{workers:>8} {throughput:>10.2} {speedup:>8.2}x  {}",
+            if same { "bit-identical" } else { "DIVERGED" }
+        );
+        cases.push(Case {
+            workers,
+            jobs_per_sec: throughput,
+            speedup,
+            bit_identical: same,
+        });
+    }
+    println!();
+    if !identical {
+        println!("FAIL: loopback results diverged from the in-process service");
+        return false;
+    }
+    match quad_speedup {
+        Some(speedup) if parallelism >= 4 => {
+            let required = if cfg.quick { 1.5 } else { 2.0 };
+            let ok = speedup >= required;
+            println!(
+                "4-worker loopback speedup {speedup:.2}x vs required {required:.2}x -> {}",
+                if ok { "ok" } else { "FAIL" }
+            );
+            ok
+        }
+        Some(speedup) => {
+            println!(
+                "4-worker loopback speedup {speedup:.2}x (host has {parallelism} threads; \
+                 scaling gate skipped — nothing to scale onto)"
+            );
+            true
+        }
+        None => true,
+    }
+}
+
+/// A request slow enough (full-device QFT, elevated trial budget) to keep
+/// a single worker busy while faults are staged behind it.
+fn slow_request(cfg: &Config) -> SubmitRequest {
+    let n = topology(cfg).n_qubits();
+    let mut wire = wire_options(cfg);
+    wire.layout_trials = 6;
+    wire.routing_trials = 8;
+    SubmitRequest {
+        label: format!("slow-qft-{n}"),
+        qasm: to_qasm(&qft(n, false)),
+        seed: SEED ^ 0x51_0e,
+        lane: Lane::Batch,
+        deadline_ms: None,
+        options: wire,
+    }
+}
+
+/// Raw-socket submit: send and return the stream for manual response
+/// reads (staging faults needs sub-conversation control the blocking
+/// client deliberately doesn't expose).
+fn raw_submit(addr: SocketAddr, submit: SubmitRequest) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    frame::write_frame(&mut stream, &Request::Submit(submit).encode()).expect("send");
+    stream
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let payload = frame::read_frame(stream, DEFAULT_MAX_PAYLOAD).expect("read frame");
+    Response::decode(&payload).expect("decode response")
+}
+
+/// Occupy the single worker: submit the slow job and consume its Queued
+/// and Running edges so the caller knows the pool is busy.
+fn occupy_worker(addr: SocketAddr, cfg: &Config) -> TcpStream {
+    let mut stream = raw_submit(addr, slow_request(cfg));
+    match read_response(&mut stream) {
+        Response::Queued { .. } => {}
+        other => panic!("expected Queued, got {other:?}"),
+    }
+    match read_response(&mut stream) {
+        Response::Running { .. } => {}
+        other => panic!("expected Running, got {other:?}"),
+    }
+    stream
+}
+
+struct FaultVerdicts {
+    garbage: bool,
+    oversized: bool,
+    busy: bool,
+    deadline: bool,
+}
+
+fn fault_smoke(cfg: &Config) -> FaultVerdicts {
+    use std::io::Write;
+    println!("\n== serve_net — fault smoke (1 worker, 1 job/lane) ==\n");
+
+    // Garbage bytes: a typed ProtocolError, not a hang or a crash.
+    let garbage = {
+        let server =
+            NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &ServeConfig::new(1)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let verdict = matches!(read_response(&mut stream), Response::ProtocolError { .. });
+        server.shutdown();
+        verdict
+    };
+    println!(
+        "garbage bytes     -> typed ProtocolError : {}",
+        if garbage { "ok" } else { "FAIL" }
+    );
+
+    // Oversized frame: refused from the 14-byte header alone.
+    let oversized = {
+        let config = ServeConfig::new(1).with_max_payload(1024);
+        let server = NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let frame = frame::encode_frame(&vec![0u8; 4096]);
+        stream.write_all(&frame).unwrap();
+        let verdict = matches!(read_response(&mut stream), Response::ProtocolError { .. });
+        server.shutdown();
+        verdict
+    };
+    println!(
+        "oversized frame   -> refused from header : {}",
+        if oversized { "ok" } else { "FAIL" }
+    );
+
+    // Full queue: a typed Busy answer, immediately, without blocking.
+    let busy = {
+        let config = ServeConfig::new(1).with_queue_capacity(1);
+        let server = NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &config).unwrap();
+        let addr = server.local_addr();
+        let _slow = occupy_worker(addr, cfg);
+        let mut filler = raw_submit(addr, slow_request(cfg));
+        let filler_queued = matches!(read_response(&mut filler), Response::Queued { .. });
+        let mut probe = NetClient::connect(addr).unwrap();
+        let mut submit = slow_request(cfg);
+        submit.label = "busy-probe".to_owned();
+        let verdict = filler_queued
+            && matches!(
+                probe.submit(submit),
+                Err(ClientError::Busy {
+                    lane: Lane::Batch,
+                    capacity: 1
+                })
+            );
+        server.shutdown();
+        verdict
+    };
+    println!(
+        "full queue        -> typed Busy          : {}",
+        if busy { "ok" } else { "FAIL" }
+    );
+
+    // Expired deadline: enforced at dequeue, reported as a typed failure.
+    let deadline = {
+        let server =
+            NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &ServeConfig::new(1)).unwrap();
+        let addr = server.local_addr();
+        let _slow = occupy_worker(addr, cfg);
+        let mut client = NetClient::connect(addr).unwrap();
+        let mut submit = slow_request(cfg);
+        submit.label = "doomed".to_owned();
+        submit.deadline_ms = Some(1);
+        let verdict = matches!(
+            client.submit(submit),
+            Err(ClientError::Failed {
+                kind: FailureKind::DeadlineExceeded,
+                ..
+            })
+        );
+        server.shutdown();
+        verdict
+    };
+    println!(
+        "expired deadline  -> typed failure       : {}",
+        if deadline { "ok" } else { "FAIL" }
+    );
+
+    FaultVerdicts {
+        garbage,
+        oversized,
+        busy,
+        deadline,
+    }
+}
+
+fn verdict_str(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "FAIL"
+    }
+}
+
+fn write_json(
+    path: &str,
+    cfg: &Config,
+    cases: &[Case],
+    faults: &FaultVerdicts,
+) -> std::io::Result<()> {
+    let topo = topology(cfg);
+    let mode = if cfg.quick { "quick" } else { "full" };
+    let jobs = requests(cfg).len();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"serve_net\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"n_qubits\": {}, \"router\": \"mirage\", \"seed\": {SEED}, \
+         \"jobs\": {jobs}, \"clients\": {}}},\n",
+        topo.n_qubits(),
+        4.min(jobs)
+    ));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"jobs_per_sec\": {:.2}, \"speedup\": {:.2}, \
+             \"bit_identical\": {}}}{}",
+            c.workers,
+            c.jobs_per_sec,
+            c.speedup,
+            c.bit_identical,
+            if i + 1 == cases.len() { "\n" } else { ",\n" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"faults\": {{\"garbage\": \"{}\", \"oversized\": \"{}\", \"busy\": \"{}\", \
+         \"deadline\": \"{}\"}}\n",
+        verdict_str(faults.garbage),
+        verdict_str(faults.oversized),
+        verdict_str(faults.busy),
+        verdict_str(faults.deadline)
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let mut cfg = Config {
+        quick: false,
+        max_workers: 4,
+    };
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--workers" => {
+                cfg.max_workers = args
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .expect("--workers needs an integer >= 1");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    // Build the shared coverage set once, outside every timed region.
+    let _ = fresh_target(&cfg).gate_cost(&mirage_weyl::coords::WeylCoord::CNOT);
+
+    let mut cases = Vec::new();
+    let scaling_ok = scaling_experiment(&cfg, &mut cases);
+    let faults = fault_smoke(&cfg);
+    let faults_ok = faults.garbage && faults.oversized && faults.busy && faults.deadline;
+
+    match write_json(&out_path, &cfg, &cases, &faults) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            println!("\nFAIL: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !(scaling_ok && faults_ok) {
+        std::process::exit(1);
+    }
+}

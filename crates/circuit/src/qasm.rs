@@ -6,7 +6,11 @@
 //! and `Rxx/Ryy/Rzz` through custom `gate` definitions emitted on demand,
 //! and opaque `Unitary1`/`Unitary2` blocks analytically via ZYZ / KAK (the
 //! canonical part becomes commuting `rxx·ryy·rzz` rotations), so round
-//! trips preserve semantics up to global phase.
+//! trips preserve semantics up to global phase. Angles are printed with
+//! Rust's shortest-round-trip float formatting, so a circuit built from
+//! standard gates re-imports with *bit-identical* parameters — the
+//! property the network serving layer leans on to make wire submissions
+//! reproduce in-process results exactly.
 //!
 //! Import handles `qreg` (multiple registers are flattened in declaration
 //! order), the standard gate set, `pi`-expressions with `+ - * /` and
@@ -35,23 +39,23 @@ pub fn to_qasm(c: &Circuit) -> String {
             Gate::Sdg => body.push_str(&format!("sdg {};\n", q(0))),
             Gate::T => body.push_str(&format!("t {};\n", q(0))),
             Gate::Tdg => body.push_str(&format!("tdg {};\n", q(0))),
-            Gate::Rx(t) => body.push_str(&format!("rx({t:.12}) {};\n", q(0))),
-            Gate::Ry(t) => body.push_str(&format!("ry({t:.12}) {};\n", q(0))),
-            Gate::Rz(t) => body.push_str(&format!("rz({t:.12}) {};\n", q(0))),
-            Gate::Phase(t) => body.push_str(&format!("u1({t:.12}) {};\n", q(0))),
-            Gate::U3(t, p, l) => body.push_str(&format!("u3({t:.12},{p:.12},{l:.12}) {};\n", q(0))),
+            Gate::Rx(t) => body.push_str(&format!("rx({t}) {};\n", q(0))),
+            Gate::Ry(t) => body.push_str(&format!("ry({t}) {};\n", q(0))),
+            Gate::Rz(t) => body.push_str(&format!("rz({t}) {};\n", q(0))),
+            Gate::Phase(t) => body.push_str(&format!("u1({t}) {};\n", q(0))),
+            Gate::U3(t, p, l) => body.push_str(&format!("u3({t},{p},{l}) {};\n", q(0))),
             Gate::Unitary1(m) => {
                 let (theta, phi, lam, _alpha) = mirage_gates::euler_zyz(m);
-                body.push_str(&format!("u3({theta:.12},{phi:.12},{lam:.12}) {};\n", q(0)));
+                body.push_str(&format!("u3({theta},{phi},{lam}) {};\n", q(0)));
             }
             Gate::Cx => body.push_str(&format!("cx {},{};\n", q(0), q(1))),
             Gate::Cz => body.push_str(&format!("cz {},{};\n", q(0), q(1))),
-            Gate::Cphase(t) => body.push_str(&format!("cu1({t:.12}) {},{};\n", q(0), q(1))),
+            Gate::Cphase(t) => body.push_str(&format!("cu1({t}) {},{};\n", q(0), q(1))),
             Gate::Cry(t) => {
                 // Standard 2-CX decomposition of a controlled RY.
-                body.push_str(&format!("ry({:.12}) {};\n", t / 2.0, q(1)));
+                body.push_str(&format!("ry({}) {};\n", t / 2.0, q(1)));
                 body.push_str(&format!("cx {},{};\n", q(0), q(1)));
-                body.push_str(&format!("ry({:.12}) {};\n", -t / 2.0, q(1)));
+                body.push_str(&format!("ry({}) {};\n", -t / 2.0, q(1)));
                 body.push_str(&format!("cx {},{};\n", q(0), q(1)));
             }
             Gate::Swap => body.push_str(&format!("swap {},{};\n", q(0), q(1))),
@@ -64,20 +68,20 @@ pub fn to_qasm(c: &Circuit) -> String {
                 needs_ryy = true;
                 // iSWAP^α = rxx(−απ/2) · ryy(−απ/2) (commuting factors).
                 let theta = -a * std::f64::consts::FRAC_PI_2;
-                body.push_str(&format!("rxx({theta:.12}) {},{};\n", q(0), q(1)));
-                body.push_str(&format!("ryy({theta:.12}) {},{};\n", q(0), q(1)));
+                body.push_str(&format!("rxx({theta}) {},{};\n", q(0), q(1)));
+                body.push_str(&format!("ryy({theta}) {},{};\n", q(0), q(1)));
             }
             Gate::Rxx(t) => {
                 needs_rxx = true;
-                body.push_str(&format!("rxx({t:.12}) {},{};\n", q(0), q(1)));
+                body.push_str(&format!("rxx({t}) {},{};\n", q(0), q(1)));
             }
             Gate::Ryy(t) => {
                 needs_ryy = true;
-                body.push_str(&format!("ryy({t:.12}) {},{};\n", q(0), q(1)));
+                body.push_str(&format!("ryy({t}) {},{};\n", q(0), q(1)));
             }
             Gate::Rzz(t) => {
                 needs_rzz = true;
-                body.push_str(&format!("rzz({t:.12}) {},{};\n", q(0), q(1)));
+                body.push_str(&format!("rzz({t}) {},{};\n", q(0), q(1)));
             }
             Gate::Unitary2(m) => {
                 // KAK: U = e^{iφ}(K1l⊗K1r)·CAN(a,b,c)·(K2l⊗K2r), and
@@ -88,13 +92,13 @@ pub fn to_qasm(c: &Circuit) -> String {
                 needs_rzz = true;
                 let emit_1q = |body: &mut String, u: &mirage_math::Mat2, wire: &str| {
                     let (theta, phi, lam, _alpha) = mirage_gates::euler_zyz(u);
-                    body.push_str(&format!("u3({theta:.12},{phi:.12},{lam:.12}) {wire};\n"));
+                    body.push_str(&format!("u3({theta},{phi},{lam}) {wire};\n"));
                 };
                 emit_1q(&mut body, &kak.k2l, &q(0));
                 emit_1q(&mut body, &kak.k2r, &q(1));
-                body.push_str(&format!("rxx({:.12}) {},{};\n", -2.0 * kak.a, q(0), q(1)));
-                body.push_str(&format!("ryy({:.12}) {},{};\n", -2.0 * kak.b, q(0), q(1)));
-                body.push_str(&format!("rzz({:.12}) {},{};\n", -2.0 * kak.c, q(0), q(1)));
+                body.push_str(&format!("rxx({}) {},{};\n", -2.0 * kak.a, q(0), q(1)));
+                body.push_str(&format!("ryy({}) {},{};\n", -2.0 * kak.b, q(0), q(1)));
+                body.push_str(&format!("rzz({}) {},{};\n", -2.0 * kak.c, q(0), q(1)));
                 emit_1q(&mut body, &kak.k1l, &q(0));
                 emit_1q(&mut body, &kak.k1r, &q(1));
             }

@@ -1,31 +1,45 @@
-//! `mirage_serve` — an in-process batch transpilation service.
+//! `mirage_serve` — the batch transpilation service and its network front.
 //!
 //! The transpiler below this crate is a pure function: one circuit, one
 //! [`Target`], one result. Serving-scale workloads do not arrive that way —
-//! they arrive as *batches* of independent jobs against one shared device,
+//! they arrive as *streams* of independent jobs against one shared device,
 //! on a process that stays up while the device drifts. This crate is that
 //! serving shape, with zero external dependencies:
 //!
 //! * [`TranspileService`] owns one shared [`Arc<Target>`] and a pool of
-//!   `std::thread` workers consuming an MPSC [`queue::JobQueue`].
-//! * [`TranspileJob`]s (circuit + [`TranspileOptions`] + seed) are
-//!   submitted singly or in batches; [`TranspileService::submit_batch`]
-//!   returns one [`JobHandle`] per job, in submission order.
+//!   `std::thread` workers consuming a two-lane priority
+//!   [`queue::JobQueue`]: [`Lane::Interactive`] jobs always dequeue before
+//!   [`Lane::Batch`] jobs, and a service built with a
+//!   [`ServiceConfig::queue_capacity`] bound rejects overload with a typed
+//!   [`ServeError::Busy`] instead of queueing without limit.
+//! * [`TranspileJob`]s (circuit + [`TranspileOptions`] + seed, plus a lane
+//!   and an optional deadline) are submitted singly or in batches;
+//!   [`TranspileService::submit_batch`] returns one [`JobHandle`] per job,
+//!   in submission order. A job whose deadline has already passed when a
+//!   worker dequeues it is rejected with [`JobError::DeadlineExceeded`]
+//!   without being run — stale interactive requests don't burn pool time.
+//! * Each handle streams [`JobEvent`]s — `Started` when a worker picks the
+//!   job up, then `Finished` with the [`JobResult`] — which is what the
+//!   [`net`] front forwards over the wire as queued → running → done.
 //! * Results are **deterministic per job seed**: the trial engine is
 //!   bit-identical at every thread count (pre-split seeds, fixed
 //!   reduction order — see [`mirage_core::trials::TrialOptions`]), so the
 //!   same job produces the same routed circuit whether the pool has 1
 //!   worker or 16, whether `trials.parallel` is on or off, and regardless
-//!   of completion order. A big job can fan its trials across cores while
-//!   small jobs ride the worker pool.
+//!   of completion order or which lane it rode.
 //! * The service is **long-lived**: [`TranspileService::swap_calibration`]
 //!   hot-swaps the device calibration on the shared target between jobs —
 //!   validation, a generation bump, and cost-cache epoch invalidation are
 //!   handled by [`Target::swap_calibration`]; nothing is rebuilt, and each
-//!   [`JobResult`] records the generation it was computed under.
+//!   [`JobResult`] records the generation it was computed under. The
+//!   [`net::CalibrationRefresher`] drives this from a watched file.
 //! * Shutdown is graceful: [`TranspileService::shutdown`] (and `Drop`)
 //!   closes the queue, lets the workers drain every accepted job, and
 //!   joins them.
+//!
+//! The [`net`] module wraps all of this in a framed-TCP wire protocol:
+//! a length-prefixed checksummed frame codec, versioned request/response
+//! envelopes, a [`net::NetServer`] daemon and [`net::NetClient`].
 //!
 //! ```
 //! use mirage_circuit::generators::ghz;
@@ -53,18 +67,21 @@
 //! assert_eq!(stats.jobs, 4);
 //! ```
 
+pub mod net;
 pub mod queue;
 
 use mirage_circuit::Circuit;
 use mirage_core::calibration::{Calibration, CalibrationError};
 use mirage_core::{transpile, Target, TranspileError, TranspileOptions, TranspiledCircuit};
-use queue::JobQueue;
+use queue::{JobQueue, PushError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-/// One unit of service work: a circuit, how to transpile it, and the seed
-/// that makes the result reproducible.
+pub use queue::Lane;
+
+/// One unit of service work: a circuit, how to transpile it, the seed
+/// that makes the result reproducible, and how it should be scheduled.
 #[derive(Debug, Clone)]
 pub struct TranspileJob {
     /// Caller-chosen label, carried through to the [`JobResult`] (a file
@@ -80,10 +97,18 @@ pub struct TranspileJob {
     /// The seed this job runs under — the *only* nondeterminism input, so
     /// equal (circuit, options, seed, calibration) means equal output.
     pub seed: u64,
+    /// Which queue lane the job rides ([`Lane::Batch`] by default;
+    /// [`Lane::Interactive`] jobs dequeue first). Scheduling only — the
+    /// lane never affects the result.
+    pub lane: Lane,
+    /// Drop-dead time: a job still queued past this instant is rejected at
+    /// dequeue with [`JobError::DeadlineExceeded`] instead of being run.
+    pub deadline: Option<Instant>,
 }
 
 impl TranspileJob {
-    /// A job seeded by whatever `options` already carries.
+    /// A job seeded by whatever `options` already carries, riding the
+    /// batch lane with no deadline.
     pub fn new(label: impl Into<String>, circuit: Circuit, options: TranspileOptions) -> Self {
         let seed = options.trials.seed;
         TranspileJob {
@@ -91,6 +116,8 @@ impl TranspileJob {
             circuit,
             options,
             seed,
+            lane: Lane::Batch,
+            deadline: None,
         }
     }
 
@@ -99,6 +126,57 @@ impl TranspileJob {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Choose the queue lane (builder style).
+    #[must_use]
+    pub fn with_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Set an absolute deadline (builder style). Enforced when a worker
+    /// *dequeues* the job: an expired job is never run.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a dispatched job did not produce a circuit. Per-job data, not a
+/// service failure: one failed job never poisons the batch.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// The transpiler rejected the job (bad circuit, invalid options, …).
+    Transpile(TranspileError),
+    /// The job's deadline had already passed when a worker dequeued it;
+    /// the job was not run. `late_by` is how far past the deadline the
+    /// dequeue happened.
+    DeadlineExceeded {
+        /// How long after the deadline the job reached the front of its
+        /// lane.
+        late_by: Duration,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Transpile(e) => write!(f, "{e}"),
+            JobError::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded ({late_by:?} before dequeue)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Transpile(e) => Some(e),
+            JobError::DeadlineExceeded { .. } => None,
+        }
     }
 }
 
@@ -111,14 +189,39 @@ pub struct JobResult {
     pub label: String,
     /// The transpilation outcome (errors are per-job data, not service
     /// failures: one malformed job never poisons the batch).
-    pub outcome: Result<TranspiledCircuit, TranspileError>,
+    pub outcome: Result<TranspiledCircuit, JobError>,
     /// [`Target::calibration_generation`] observed when the job started —
     /// which calibration this result was computed under.
     pub generation: u64,
     /// Index of the worker that ran the job.
     pub worker: usize,
+    /// Pool-wide dequeue order (0 = first job any worker picked up).
+    /// Observability for lane scheduling: every interactive job's sequence
+    /// is lower than any batch job queued behind it at the time.
+    pub sequence: u64,
     /// Wall-clock time the job spent executing (queue wait excluded).
     pub elapsed: Duration,
+}
+
+/// What a running job reports back through its [`JobHandle`], in order.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // moved exactly once through an mpsc channel; boxing would cost an allocation per job
+pub enum JobEvent {
+    /// A worker dequeued the job and is about to run it (or reject it on
+    /// an expired deadline). This is the "running" edge the network front
+    /// streams to clients.
+    Started {
+        /// The id the final result will carry.
+        job_id: u64,
+        /// Worker that claimed the job.
+        worker: usize,
+        /// Calibration generation the job will run under.
+        generation: u64,
+        /// Pool-wide dequeue sequence number.
+        sequence: u64,
+    },
+    /// The job finished; terminal.
+    Finished(JobResult),
 }
 
 /// A claim on one submitted job's future [`JobResult`].
@@ -126,25 +229,48 @@ pub struct JobResult {
 pub struct JobHandle {
     /// The id the result will carry.
     pub job_id: u64,
-    rx: mpsc::Receiver<JobResult>,
+    rx: mpsc::Receiver<JobEvent>,
 }
 
 impl JobHandle {
-    /// Block until the job completes. Jobs accepted by the service always
-    /// complete — graceful shutdown drains the queue first.
+    /// Block until the job completes, discarding intermediate
+    /// [`JobEvent::Started`] notifications. Jobs accepted by the service
+    /// always complete — graceful shutdown drains the queue first.
     ///
     /// # Panics
     ///
     /// Panics if the owning worker died without delivering a result (a
     /// worker panic — indicates a transpiler bug, not a service state).
     pub fn wait(self) -> JobResult {
+        loop {
+            match self
+                .rx
+                .recv()
+                .expect("worker dropped a job without a result")
+            {
+                JobEvent::Started { .. } => continue,
+                JobEvent::Finished(result) => return result,
+            }
+        }
+    }
+
+    /// Block until the next [`JobEvent`] — `Started` when a worker claims
+    /// the job, then `Finished`. The network front uses this to stream
+    /// status updates; callers that only want the result use
+    /// [`JobHandle::wait`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning worker died without delivering a result.
+    pub fn recv_event(&self) -> JobEvent {
         self.rx
             .recv()
             .expect("worker dropped a job without a result")
     }
 
     /// Non-blocking poll: the result if the job has finished, `None` while
-    /// it is still pending.
+    /// it is still pending. Intermediate `Started` events are consumed
+    /// silently.
     ///
     /// # Panics
     ///
@@ -152,11 +278,14 @@ impl JobHandle {
     /// without delivering a result; a poll loop must surface that rather
     /// than spin on `None` forever.
     pub fn try_wait(&self) -> Option<JobResult> {
-        match self.rx.try_recv() {
-            Ok(result) => Some(result),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
-                panic!("worker dropped a job without a result")
+        loop {
+            match self.rx.try_recv() {
+                Ok(JobEvent::Started { .. }) => continue,
+                Ok(JobEvent::Finished(result)) => return Some(result),
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("worker dropped a job without a result")
+                }
             }
         }
     }
@@ -167,17 +296,58 @@ impl JobHandle {
 pub enum ServeError {
     /// The service has been shut down; no further jobs are accepted.
     ShutDown,
+    /// Admission control: the job's lane is at its configured capacity
+    /// (see [`ServiceConfig::queue_capacity`]). The submission was
+    /// rejected immediately — nothing blocked, nothing was queued.
+    Busy {
+        /// The lane that was full.
+        lane: Lane,
+        /// Its configured per-lane capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::ShutDown => write!(f, "transpile service is shut down"),
+            ServeError::Busy { lane, capacity } => {
+                write!(f, "{lane} lane is full ({capacity} jobs queued)")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// How to build a [`TranspileService`] beyond the worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (must be ≥ 1).
+    pub workers: usize,
+    /// Per-lane admission bound: `Some(n)` rejects submissions to a lane
+    /// already holding `n` queued jobs with [`ServeError::Busy`]; `None`
+    /// queues without limit (the in-process default — callers that own
+    /// their batch can't overload themselves).
+    pub queue_capacity: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// An unbounded-queue config with `workers` threads.
+    pub fn new(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            queue_capacity: None,
+        }
+    }
+
+    /// Bound each lane to `capacity` queued jobs (builder style).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+}
 
 /// Aggregate counters reported by [`TranspileService::shutdown`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,11 +362,12 @@ pub struct ServiceStats {
 struct QueuedJob {
     id: u64,
     job: TranspileJob,
-    tx: mpsc::Sender<JobResult>,
+    tx: mpsc::Sender<JobEvent>,
 }
 
 /// The batch transpilation service. See the [crate docs](self) for the
-/// design; construct with [`TranspileService::new`].
+/// design; construct with [`TranspileService::new`] or — for bounded
+/// admission control — [`TranspileService::with_config`].
 pub struct TranspileService {
     target: Arc<Target>,
     queue: Arc<JobQueue<QueuedJob>>,
@@ -217,23 +388,39 @@ impl std::fmt::Debug for TranspileService {
 }
 
 impl TranspileService {
-    /// Start a service with `workers` threads over one shared target.
+    /// Start a service with `workers` threads over one shared target and
+    /// an unbounded queue.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn new(target: Arc<Target>, workers: usize) -> TranspileService {
-        assert!(workers > 0, "a service needs at least one worker");
-        let queue = Arc::new(JobQueue::new());
+        TranspileService::with_config(target, &ServiceConfig::new(workers))
+    }
+
+    /// Start a service from a full [`ServiceConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.queue_capacity` is
+    /// `Some(0)`.
+    pub fn with_config(target: Arc<Target>, config: &ServiceConfig) -> TranspileService {
+        assert!(config.workers > 0, "a service needs at least one worker");
+        let queue = Arc::new(match config.queue_capacity {
+            Some(capacity) => JobQueue::bounded(capacity),
+            None => JobQueue::new(),
+        });
         let completed = Arc::new(AtomicU64::new(0));
-        let handles = (0..workers)
+        let sequence = Arc::new(AtomicU64::new(0));
+        let handles = (0..config.workers)
             .map(|worker| {
                 let target = Arc::clone(&target);
                 let queue = Arc::clone(&queue);
                 let completed = Arc::clone(&completed);
+                let sequence = Arc::clone(&sequence);
                 std::thread::Builder::new()
                     .name(format!("mirage-serve-{worker}"))
-                    .spawn(move || worker_loop(worker, &target, &queue, &completed))
+                    .spawn(move || worker_loop(worker, &target, &queue, &completed, &sequence))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -256,9 +443,19 @@ impl TranspileService {
         self.workers.len()
     }
 
-    /// Jobs accepted but not yet claimed by a worker.
+    /// Jobs accepted but not yet claimed by a worker (both lanes).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Jobs waiting in one lane.
+    pub fn pending_in(&self, lane: Lane) -> usize {
+        self.queue.lane_len(lane)
+    }
+
+    /// The per-lane admission bound, if the service was built with one.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue.capacity()
     }
 
     /// Jobs completed since the service started.
@@ -284,13 +481,21 @@ impl TranspileService {
     /// # Errors
     ///
     /// [`ServeError::ShutDown`] once [`TranspileService::shutdown`] has
-    /// begun.
+    /// begun, [`ServeError::Busy`] when the job's lane is at its
+    /// configured capacity (never blocks).
     pub fn submit(&self, job: TranspileJob) -> Result<JobHandle, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = mpsc::channel();
+        let lane = job.lane;
         self.queue
-            .push(QueuedJob { id, job, tx })
-            .map_err(|_| ServeError::ShutDown)?;
+            .push(QueuedJob { id, job, tx }, lane)
+            .map_err(|e| match e {
+                PushError::Closed(_) => ServeError::ShutDown,
+                PushError::Full(_) => ServeError::Busy {
+                    lane,
+                    capacity: self.queue.capacity().expect("Full implies bounded"),
+                },
+            })?;
         Ok(JobHandle { job_id: id, rx })
     }
 
@@ -299,8 +504,8 @@ impl TranspileService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::ShutDown`] — jobs already accepted from this batch
-    /// still run to completion.
+    /// [`ServeError::ShutDown`] / [`ServeError::Busy`] — jobs already
+    /// accepted from this batch still run to completion.
     pub fn submit_batch(&self, jobs: Vec<TranspileJob>) -> Result<Vec<JobHandle>, ServeError> {
         jobs.into_iter().map(|job| self.submit(job)).collect()
     }
@@ -310,8 +515,8 @@ impl TranspileService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::ShutDown`] if the service stopped accepting before the
-    /// whole batch was queued.
+    /// [`ServeError::ShutDown`] / [`ServeError::Busy`] if the service
+    /// stopped accepting before the whole batch was queued.
     pub fn run_batch(&self, jobs: Vec<TranspileJob>) -> Result<Vec<JobResult>, ServeError> {
         let handles = self.submit_batch(jobs)?;
         Ok(handles.into_iter().map(JobHandle::wait).collect())
@@ -346,38 +551,58 @@ impl Drop for TranspileService {
     }
 }
 
-/// One worker: pop until the queue terminates, run each job under its own
-/// seed, deliver the result. Returns the number of jobs processed. The
-/// job's `trials.parallel` setting is honored: determinism comes from the
-/// trial engine's seed pre-split and fixed reduction order, not from
-/// forcing jobs single-threaded.
+/// One worker: pop until the queue terminates, announce each dequeue,
+/// enforce the job's deadline, run it under its own seed, deliver the
+/// result. Returns the number of jobs processed. The job's
+/// `trials.parallel` setting is honored: determinism comes from the trial
+/// engine's seed pre-split and fixed reduction order, not from forcing
+/// jobs single-threaded.
 fn worker_loop(
     worker: usize,
     target: &Arc<Target>,
     queue: &JobQueue<QueuedJob>,
     completed: &AtomicU64,
+    sequence: &AtomicU64,
 ) -> u64 {
     let mut processed = 0u64;
     while let Some(QueuedJob { id, job, tx }) = queue.pop() {
+        let seq = sequence.fetch_add(1, Ordering::SeqCst);
         let generation = target.calibration_generation();
-        let mut options = job.options;
-        options.trials.seed = job.seed;
+        // A dropped handle (caller gave up) is not a worker error, here or
+        // for the final result below.
+        let _ = tx.send(JobEvent::Started {
+            job_id: id,
+            worker,
+            generation,
+            sequence: seq,
+        });
         let start = Instant::now();
-        let outcome = transpile(&job.circuit, target, &options);
+        // Deadline enforcement happens at dequeue: a job that sat in its
+        // lane past its drop-dead time is rejected without burning pool
+        // time on an answer nobody is waiting for.
+        let expired = job.deadline.and_then(|d| start.checked_duration_since(d));
+        let outcome = match expired {
+            Some(late_by) => Err(JobError::DeadlineExceeded { late_by }),
+            None => {
+                let mut options = job.options;
+                options.trials.seed = job.seed;
+                transpile(&job.circuit, target, &options).map_err(JobError::Transpile)
+            }
+        };
         let result = JobResult {
             job_id: id,
             label: job.label,
             outcome,
             generation,
             worker,
+            sequence: seq,
             elapsed: start.elapsed(),
         };
         processed += 1;
         // Count before delivering, so a caller that has already observed
         // the result never reads a counter that excludes it.
         completed.fetch_add(1, Ordering::SeqCst);
-        // A dropped handle (caller gave up) is not a worker error.
-        let _ = tx.send(result);
+        let _ = tx.send(JobEvent::Finished(result));
     }
     processed
 }
@@ -532,10 +757,113 @@ mod tests {
         let results = service.run_batch(jobs).unwrap();
         assert!(matches!(
             results[0].outcome,
-            Err(TranspileError::CircuitTooLarge { .. })
+            Err(JobError::Transpile(TranspileError::CircuitTooLarge { .. }))
         ));
         assert!(results[1].outcome.is_ok());
         assert_eq!(service.completed(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_dequeue_without_running() {
+        let target = Arc::new(Target::sqrt_iswap(CouplingMap::line(3)));
+        let service = TranspileService::new(target, 1);
+        // A deadline already in the past: the worker must reject the job
+        // the moment it dequeues it, near-instantly (ghz(3) itself would
+        // succeed — the outcome proves it never ran).
+        let job =
+            quick_job("stale", ghz(3), 1).with_deadline(Instant::now() - Duration::from_millis(10));
+        let result = service.submit(job).unwrap().wait();
+        match &result.outcome {
+            Err(JobError::DeadlineExceeded { late_by }) => {
+                assert!(*late_by >= Duration::from_millis(10));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // A future deadline leaves the job untouched.
+        let job =
+            quick_job("fresh", ghz(3), 1).with_deadline(Instant::now() + Duration::from_secs(60));
+        assert!(service.submit(job).unwrap().wait().outcome.is_ok());
+    }
+
+    #[test]
+    fn bounded_service_rejects_with_busy_not_blocking() {
+        let target = Arc::new(Target::sqrt_iswap(CouplingMap::grid(2, 3)));
+        let service =
+            TranspileService::with_config(target, &ServiceConfig::new(1).with_queue_capacity(1));
+        assert_eq!(service.queue_capacity(), Some(1));
+        // Occupy the worker long enough to observe the queue: the first
+        // job is dequeued (freeing its lane slot), the second fills the
+        // lane, the third must bounce.
+        let blocker = service
+            .submit(quick_job("blocker", qft(6, false), 1))
+            .unwrap();
+        // Wait until the worker has *dequeued* the blocker, so the lane
+        // slot count is deterministic.
+        match blocker.recv_event() {
+            JobEvent::Started { job_id, .. } => assert_eq!(job_id, 0),
+            JobEvent::Finished(_) => panic!("blocker finished before Started was observed"),
+        }
+        let queued = service.submit(quick_job("queued", ghz(3), 2)).unwrap();
+        let err = service.submit(quick_job("bounced", ghz(3), 3)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Busy {
+                lane: Lane::Batch,
+                capacity: 1
+            }
+        );
+        assert!(err.to_string().contains("batch lane is full"));
+        // The interactive lane has its own budget — not affected by the
+        // batch lane being full.
+        let express = service
+            .submit(quick_job("express", ghz(3), 4).with_lane(Lane::Interactive))
+            .unwrap();
+        assert!(blocker.wait().outcome.is_ok());
+        assert!(queued.wait().outcome.is_ok());
+        assert!(express.wait().outcome.is_ok());
+    }
+
+    #[test]
+    fn interactive_lane_dequeues_before_batch() {
+        let target = Arc::new(Target::sqrt_iswap(CouplingMap::line(3)));
+        let service = TranspileService::new(target, 1);
+        // Occupy the single worker, then queue batch jobs *before*
+        // interactive ones; the dequeue sequence must still run every
+        // interactive job first.
+        let blocker = service
+            .submit(quick_job("blocker", qft(6, false), 1))
+            .unwrap();
+        match blocker.recv_event() {
+            JobEvent::Started { .. } => {}
+            JobEvent::Finished(_) => panic!("blocker finished before Started was observed"),
+        }
+        let batch: Vec<_> = (0..3)
+            .map(|i| {
+                service
+                    .submit(quick_job(&format!("batch-{i}"), ghz(3), 10 + i))
+                    .unwrap()
+            })
+            .collect();
+        let interactive: Vec<_> = (0..3)
+            .map(|i| {
+                service
+                    .submit(
+                        quick_job(&format!("inter-{i}"), ghz(3), 20 + i)
+                            .with_lane(Lane::Interactive),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        blocker.wait();
+        let batch_seqs: Vec<u64> = batch.into_iter().map(|h| h.wait().sequence).collect();
+        let inter_seqs: Vec<u64> = interactive.into_iter().map(|h| h.wait().sequence).collect();
+        let max_inter = *inter_seqs.iter().max().unwrap();
+        let min_batch = *batch_seqs.iter().min().unwrap();
+        assert!(
+            max_inter < min_batch,
+            "every interactive job (sequences {inter_seqs:?}) must dequeue before \
+             any batch job (sequences {batch_seqs:?})"
+        );
     }
 
     #[test]
@@ -633,5 +961,29 @@ mod tests {
             result = handle.try_wait();
         }
         assert!(result.unwrap().outcome.is_ok());
+    }
+
+    #[test]
+    fn handles_stream_started_then_finished() {
+        let target = Arc::new(Target::sqrt_iswap(CouplingMap::line(3)));
+        let service = TranspileService::new(target, 1);
+        let handle = service.submit(quick_job("events", ghz(3), 6)).unwrap();
+        match handle.recv_event() {
+            JobEvent::Started {
+                job_id,
+                worker,
+                generation,
+                ..
+            } => {
+                assert_eq!(job_id, 0);
+                assert_eq!(worker, 0);
+                assert_eq!(generation, 0);
+            }
+            JobEvent::Finished(_) => panic!("Finished must come after Started"),
+        }
+        match handle.recv_event() {
+            JobEvent::Finished(result) => assert!(result.outcome.is_ok()),
+            JobEvent::Started { .. } => panic!("only one Started per job"),
+        }
     }
 }

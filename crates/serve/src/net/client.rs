@@ -1,0 +1,243 @@
+//! A blocking client for the mirage-serve wire protocol.
+//!
+//! [`NetClient`] owns one TCP connection and drives the
+//! request/response conversation defined in [`proto`](super::proto):
+//! ping for liveness, submit-and-follow for jobs. It is deliberately
+//! synchronous — one in-flight job per connection — because the server
+//! handles connections concurrently; callers that want parallelism open
+//! more connections (see the loopback throughput bench).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use super::frame::{self, FrameError, DEFAULT_MAX_PAYLOAD};
+use super::proto::{FailureKind, JobDone, ProtoError, Request, Response, SubmitRequest};
+use crate::queue::Lane;
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport-level I/O failure (connect, write).
+    Io(std::io::ErrorKind),
+    /// The byte stream failed frame decoding.
+    Frame(FrameError),
+    /// A frame arrived but its envelope could not be decoded.
+    Proto(ProtoError),
+    /// The server refused admission: the lane is at capacity.
+    Busy {
+        /// The full lane.
+        lane: Lane,
+        /// Its configured per-lane capacity.
+        capacity: u32,
+    },
+    /// The server rejected the request before queueing it.
+    Rejected {
+        /// Server-supplied reason.
+        message: String,
+    },
+    /// The job ran (or was dispatched) and failed.
+    Failed {
+        /// Server-assigned job id.
+        job_id: u64,
+        /// Typed failure class.
+        kind: FailureKind,
+        /// Server-supplied detail.
+        message: String,
+    },
+    /// The server reported our envelope as malformed, or answered with a
+    /// message that does not fit the conversation at this point.
+    Unexpected {
+        /// What arrived, or what the server complained about.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { lane, capacity } => {
+                write!(f, "server busy: {lane} lane full ({capacity} jobs queued)")
+            }
+            ClientError::Rejected { message } => write!(f, "request rejected: {message}"),
+            ClientError::Failed {
+                job_id,
+                kind,
+                message,
+            } => {
+                let kind = match kind {
+                    FailureKind::Transpile => "transpile error",
+                    FailureKind::DeadlineExceeded => "deadline exceeded",
+                };
+                write!(f, "job {job_id} failed ({kind}): {message}")
+            }
+            ClientError::Unexpected { what } => write!(f, "unexpected server message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e.kind())
+    }
+}
+
+/// What the server reported about itself in a pong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Protocol version the server speaks.
+    pub version: u8,
+    /// Worker threads in its pool.
+    pub workers: u32,
+    /// Its current calibration generation.
+    pub generation: u64,
+}
+
+/// The full observed lifecycle of one successfully served job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// Whether a `Running` status was observed before the terminal
+    /// response (false only if the job finished faster than the status
+    /// could be streamed — the protocol does not guarantee the edge).
+    pub saw_running: bool,
+    /// Jobs ahead of this one at accept time.
+    pub queued_behind: u32,
+    /// The terminal payload.
+    pub done: JobDone,
+}
+
+/// One blocking connection to a mirage-serve [`NetServer`](super::NetServer).
+#[derive(Debug)]
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_payload: u32,
+}
+
+impl NetClient {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connect/configure failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<NetClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(NetClient {
+            reader,
+            writer,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        frame::write_frame(&mut self.writer, &request.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = frame::read_frame(&mut self.reader, self.max_payload)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Liveness/identity probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors, or [`ClientError::Unexpected`] if the
+    /// server answers with anything but a pong.
+    pub fn ping(&mut self) -> Result<ServerInfo, ClientError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong {
+                version,
+                workers,
+                generation,
+            } => Ok(ServerInfo {
+                version,
+                workers,
+                generation,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submit one job and block until its terminal response, collecting
+    /// the streamed statuses along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] / [`ClientError::Rejected`] when the server
+    /// refuses the job, [`ClientError::Failed`] when it runs and fails,
+    /// plus the transport/protocol variants.
+    pub fn submit(&mut self, request: SubmitRequest) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Submit(request))?;
+        // First response: accepted or refused.
+        let (job_id, queued_behind) = match self.recv()? {
+            Response::Queued {
+                job_id, pending, ..
+            } => (job_id, pending),
+            Response::Busy { lane, capacity } => return Err(ClientError::Busy { lane, capacity }),
+            Response::Rejected { message } => return Err(ClientError::Rejected { message }),
+            Response::ProtocolError { message } => {
+                return Err(ClientError::Unexpected {
+                    what: format!("server reported a protocol error: {message}"),
+                })
+            }
+            other => return Err(unexpected(&other)),
+        };
+        // Then statuses until a terminal message.
+        let mut saw_running = false;
+        loop {
+            match self.recv()? {
+                Response::Running { .. } => saw_running = true,
+                Response::Done(done) => {
+                    return Ok(JobOutcome {
+                        job_id,
+                        saw_running,
+                        queued_behind,
+                        done,
+                    })
+                }
+                Response::Failed {
+                    job_id,
+                    kind,
+                    message,
+                } => {
+                    return Err(ClientError::Failed {
+                        job_id,
+                        kind,
+                        message,
+                    })
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    ClientError::Unexpected {
+        what: format!("{response:?}"),
+    }
+}

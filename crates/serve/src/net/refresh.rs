@@ -1,0 +1,166 @@
+//! File-watching calibration refresher.
+//!
+//! A serving daemon outlives its boot-time calibration: device error
+//! rates drift, and providers republish calibration data on the order of
+//! hours. [`CalibrationRefresher`] closes that loop with zero
+//! dependencies — a polling thread stats the watched file and, when its
+//! (mtime, length) signature changes, parses it with
+//! [`Calibration::from_text`] and hot-swaps it into the shared
+//! [`Target`] via [`Target::swap_calibration`]. Jobs already running
+//! keep their snapshot (the PR 4 epoch machinery); jobs dequeued after
+//! the swap see the new generation, and every served result reports
+//! which generation it ran under.
+//!
+//! Failure policy: a missing, unreadable, or unparseable file is
+//! **counted and skipped**, never fatal — the server keeps serving under
+//! the last good calibration, and the error counter gives operators a
+//! signal. The boot signature is recorded *without* applying the file,
+//! so a refresher pointed at the file the target was built from does not
+//! spuriously bump the generation at startup.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+use mirage_core::{Calibration, Target};
+
+/// The change-detection signature of the watched file: modification time
+/// plus length. Content hashing would be stronger but needs a full read
+/// per poll; (mtime, len) is the classic cheap tripwire and every writer
+/// that publishes calibration updates bumps at least one of the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileSignature {
+    mtime: Option<SystemTime>,
+    len: u64,
+}
+
+fn signature_of(path: &std::path::Path) -> Option<FileSignature> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some(FileSignature {
+        mtime: meta.modified().ok(),
+        len: meta.len(),
+    })
+}
+
+/// Shared refresher state, observable while the poll thread runs.
+#[derive(Debug, Default)]
+struct RefreshStats {
+    /// Successful hot-swaps applied.
+    swaps: AtomicU64,
+    /// Read/parse/validation failures skipped.
+    errors: AtomicU64,
+    /// Poll passes completed (for tests to know the thread is live).
+    polls: AtomicU64,
+}
+
+/// A background thread that polls one calibration file and hot-swaps the
+/// shared [`Target`] when the file changes. Stop explicitly with
+/// [`stop`](CalibrationRefresher::stop) or implicitly on drop.
+#[derive(Debug)]
+pub struct CalibrationRefresher {
+    stop: Arc<AtomicBool>,
+    stats: Arc<RefreshStats>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CalibrationRefresher {
+    /// Start watching `path`, polling every `interval`.
+    ///
+    /// The file's current signature is recorded as the baseline without
+    /// being applied — the target's boot calibration stands until the
+    /// file actually changes.
+    pub fn spawn(target: Arc<Target>, path: PathBuf, interval: Duration) -> CalibrationRefresher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(RefreshStats::default());
+        let thread_stop = Arc::clone(&stop);
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("mirage-cal-refresh".to_owned())
+            .spawn(move || {
+                poll_loop(&target, &path, interval, &thread_stop, &thread_stats);
+            })
+            .expect("failed to spawn calibration refresher thread");
+        CalibrationRefresher {
+            stop,
+            stats,
+            handle: Some(handle),
+        }
+    }
+
+    /// Successful hot-swaps applied so far.
+    pub fn swaps(&self) -> u64 {
+        self.stats.swaps.load(Ordering::SeqCst)
+    }
+
+    /// Read/parse failures skipped so far.
+    pub fn errors(&self) -> u64 {
+        self.stats.errors.load(Ordering::SeqCst)
+    }
+
+    /// Poll passes completed so far.
+    pub fn polls(&self) -> u64 {
+        self.stats.polls.load(Ordering::SeqCst)
+    }
+
+    /// Signal the poll thread and join it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("calibration refresher panicked");
+        }
+    }
+}
+
+impl Drop for CalibrationRefresher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn poll_loop(
+    target: &Target,
+    path: &std::path::Path,
+    interval: Duration,
+    stop: &AtomicBool,
+    stats: &RefreshStats,
+) {
+    let mut last = signature_of(path);
+    // Sleep in short slices so stop() returns promptly even with a long
+    // poll interval.
+    let slice = interval
+        .min(Duration::from_millis(20))
+        .max(Duration::from_millis(1));
+    let mut since_poll = interval; // poll immediately on the first pass
+    while !stop.load(Ordering::SeqCst) {
+        if since_poll >= interval {
+            since_poll = Duration::ZERO;
+            let current = signature_of(path);
+            if current != last && current.is_some() {
+                match apply(target, path) {
+                    Ok(()) => {
+                        stats.swaps.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(()) => {
+                        stats.errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                // Either way, don't re-attempt an unchanged (possibly
+                // bad) file every poll; wait for the next edit.
+                last = current;
+            }
+            stats.polls.fetch_add(1, Ordering::SeqCst);
+        }
+        std::thread::sleep(slice);
+        since_poll += slice;
+    }
+}
+
+fn apply(target: &Target, path: &std::path::Path) -> Result<(), ()> {
+    let text = std::fs::read_to_string(path).map_err(|_| ())?;
+    let calibration = Calibration::from_text(&text).map_err(|_| ())?;
+    target
+        .swap_calibration(Arc::new(calibration))
+        .map_err(|_| ())?;
+    Ok(())
+}

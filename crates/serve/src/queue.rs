@@ -1,61 +1,180 @@
-//! The job queue: a bounded-by-nothing MPSC queue with close/drain
-//! semantics, built on `Mutex` + `Condvar` (no external dependencies).
+//! The job queue: a two-lane priority MPSC queue with close/drain
+//! semantics and optional bounded admission control, built on `Mutex` +
+//! `Condvar` (no external dependencies).
 //!
 //! Producers ([`TranspileService::submit`](crate::TranspileService::submit))
-//! push from any thread; each worker pops under the lock, so every job is
-//! delivered to exactly one worker. Closing the queue wakes every blocked
-//! worker; pops drain the remaining jobs first and only then report the
-//! end of the stream — the graceful-shutdown contract: **every job
-//! accepted before close is processed**.
+//! push into one of two [`Lane`]s from any thread; each worker pops under
+//! the lock, so every job is delivered to exactly one worker. Pops always
+//! drain [`Lane::Interactive`] before touching [`Lane::Batch`] — the
+//! express lane a latency-sensitive request rides past a deep batch
+//! backlog. Closing the queue wakes every blocked worker; pops drain the
+//! remaining jobs (both lanes, still interactive-first) and only then
+//! report the end of the stream — the graceful-shutdown contract:
+//! **every job accepted before close is processed**.
+//!
+//! A queue built with [`JobQueue::bounded`] enforces a per-lane capacity
+//! at push time: a full lane rejects with [`PushError::Full`] *instead of
+//! blocking*, which is the admission-control mode a network front needs —
+//! overload surfaces as a typed `Busy` response at the door, not as an
+//! unbounded backlog or a stalled accept loop.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-/// A close-aware MPSC queue. `T` is the queued work item.
+/// Which priority lane a job rides.
+///
+/// The queue is strict-priority: a popper never takes a `Batch` item while
+/// an `Interactive` item is waiting. Starvation of the batch lane is
+/// bounded by the interactive arrival rate — acceptable here because the
+/// interactive lane is reserved for small latency-sensitive requests
+/// (admission control caps how many can pile up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Latency-sensitive requests: always dequeued first.
+    Interactive,
+    /// Throughput traffic: dequeued when the interactive lane is empty.
+    /// The default for [`TranspileJob`](crate::TranspileJob)s.
+    Batch,
+}
+
+impl Lane {
+    /// Both lanes, in dequeue-priority order.
+    pub const ALL: [Lane; 2] = [Lane::Interactive, Lane::Batch];
+
+    /// Stable index of the lane (0 = interactive, 1 = batch) — also its
+    /// wire encoding in `net::proto`.
+    pub fn index(self) -> usize {
+        match self {
+            Lane::Interactive => 0,
+            Lane::Batch => 1,
+        }
+    }
+
+    /// The lane for a wire index; `None` for an unknown index.
+    pub fn from_index(index: u8) -> Option<Lane> {
+        match index {
+            0 => Some(Lane::Interactive),
+            1 => Some(Lane::Batch),
+            _ => None,
+        }
+    }
+
+    /// Human-readable lane name (`interactive` / `batch`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a push was refused. The item comes back so the caller can report
+/// or retry without cloning every job up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The target lane is at capacity (bounded queues only). Admission
+    /// control: the caller should surface backpressure, not block.
+    Full(T),
+    /// The queue has been closed; no further work is accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+/// A close-aware two-lane priority MPSC queue. `T` is the queued work
+/// item.
 #[derive(Debug)]
 pub struct JobQueue<T> {
     state: Mutex<QueueState<T>>,
     ready: Condvar,
+    /// Per-lane capacity; `None` = unbounded.
+    capacity: Option<usize>,
 }
 
 #[derive(Debug)]
 struct QueueState<T> {
-    jobs: VecDeque<T>,
+    /// Indexed by [`Lane::index`]: interactive first.
+    lanes: [VecDeque<T>; 2],
     closed: bool,
 }
 
 impl<T> JobQueue<T> {
-    /// An open, empty queue.
+    /// An open, empty, unbounded queue.
     pub fn new() -> JobQueue<T> {
+        JobQueue::with_capacity(None)
+    }
+
+    /// An open, empty queue admitting at most `capacity` items *per lane*;
+    /// pushes beyond that return [`PushError::Full`]. Per-lane (rather
+    /// than total) bounds keep a flooded batch lane from locking
+    /// interactive traffic out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a queue that can never accept work.
+    pub fn bounded(capacity: usize) -> JobQueue<T> {
+        assert!(capacity > 0, "a bounded queue needs capacity >= 1");
+        JobQueue::with_capacity(Some(capacity))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> JobQueue<T> {
         JobQueue {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new()],
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity,
         }
     }
 
-    /// Enqueue one item. Returns the item back when the queue has been
-    /// closed (the caller decides how to surface the rejection).
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// The per-lane admission bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Enqueue one item into `lane`. Never blocks: a closed queue returns
+    /// [`PushError::Closed`], a full lane returns [`PushError::Full`] —
+    /// both hand the item back.
+    pub fn push(&self, item: T, lane: Lane) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
-        state.jobs.push_back(item);
+        let queue = &mut state.lanes[lane.index()];
+        if self.capacity.is_some_and(|cap| queue.len() >= cap) {
+            return Err(PushError::Full(item));
+        }
+        queue.push_back(item);
         drop(state);
         self.ready.notify_one();
         Ok(())
     }
 
     /// Dequeue one item, blocking while the queue is open and empty.
-    /// Returns `None` only when the queue is closed **and** drained.
+    /// The interactive lane always drains before the batch lane; within a
+    /// lane, FIFO. Returns `None` only when the queue is closed **and**
+    /// both lanes are drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = state.jobs.pop_front() {
-                return Some(item);
+            for lane in 0..state.lanes.len() {
+                if let Some(item) = state.lanes[lane].pop_front() {
+                    return Some(item);
+                }
             }
             if state.closed {
                 return None;
@@ -71,12 +190,18 @@ impl<T> JobQueue<T> {
         self.ready.notify_all();
     }
 
-    /// Number of jobs waiting (not yet claimed by a worker).
+    /// Total jobs waiting across both lanes (not yet claimed by a worker).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").jobs.len()
+        let state = self.state.lock().expect("queue poisoned");
+        state.lanes.iter().map(VecDeque::len).sum()
     }
 
-    /// True when no jobs are waiting.
+    /// Jobs waiting in one lane.
+    pub fn lane_len(&self, lane: Lane) -> usize {
+        self.state.lock().expect("queue poisoned").lanes[lane.index()].len()
+    }
+
+    /// True when no jobs are waiting in either lane.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -94,10 +219,10 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn fifo_within_a_single_consumer() {
+    fn fifo_within_a_single_lane() {
         let q = JobQueue::new();
         for i in 0..5 {
-            q.push(i).unwrap();
+            q.push(i, Lane::Batch).unwrap();
         }
         assert_eq!(q.len(), 5);
         for i in 0..5 {
@@ -107,16 +232,75 @@ mod tests {
     }
 
     #[test]
-    fn close_rejects_pushes_but_drains_pops() {
+    fn interactive_lane_drains_before_batch() {
         let q = JobQueue::new();
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        q.push("b0", Lane::Batch).unwrap();
+        q.push("b1", Lane::Batch).unwrap();
+        q.push("i0", Lane::Interactive).unwrap();
+        q.push("i1", Lane::Interactive).unwrap();
+        // The batch items arrived first; the interactive items jump them.
+        assert_eq!(q.pop(), Some("i0"));
+        // New interactive arrivals keep jumping even mid-drain.
+        q.push("i2", Lane::Interactive).unwrap();
+        assert_eq!(q.pop(), Some("i1"));
+        assert_eq!(q.pop(), Some("i2"));
+        assert_eq!(q.pop(), Some("b0"));
+        assert_eq!(q.pop(), Some("b1"));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_both_lanes() {
+        let q = JobQueue::new();
+        q.push(1, Lane::Batch).unwrap();
+        q.push(2, Lane::Interactive).unwrap();
         q.close();
-        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.push(3, Lane::Batch), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(2), "interactive first, even while draining");
         assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "stays terminated");
+    }
+
+    #[test]
+    fn bounded_lane_rejects_without_blocking() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), Some(2));
+        q.push(0, Lane::Batch).unwrap();
+        q.push(1, Lane::Batch).unwrap();
+        // The batch lane is full; the push fails immediately and hands the
+        // item back...
+        assert_eq!(q.push(2, Lane::Batch), Err(PushError::Full(2)));
+        // ...while the interactive lane has its own budget.
+        q.push(10, Lane::Interactive).unwrap();
+        q.push(11, Lane::Interactive).unwrap();
+        assert_eq!(q.push(12, Lane::Interactive), Err(PushError::Full(12)));
+        assert_eq!(q.lane_len(Lane::Batch), 2);
+        assert_eq!(q.lane_len(Lane::Interactive), 2);
+        // Draining frees capacity.
+        assert_eq!(q.pop(), Some(10));
+        q.push(12, Lane::Interactive).unwrap();
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn push_error_returns_the_item() {
+        let q = JobQueue::bounded(1);
+        q.push("kept", Lane::Batch).unwrap();
+        let err = q.push("bounced", Lane::Batch).unwrap_err();
+        assert_eq!(err.into_inner(), "bounced");
+        q.close();
+        let err = q.push("late", Lane::Interactive).unwrap_err();
+        assert_eq!(err.into_inner(), "late");
+    }
+
+    #[test]
+    fn lane_index_round_trips() {
+        for lane in Lane::ALL {
+            assert_eq!(Lane::from_index(lane.index() as u8), Some(lane));
+        }
+        assert_eq!(Lane::from_index(2), None);
+        assert_eq!(Lane::Interactive.to_string(), "interactive");
+        assert_eq!(Lane::Batch.to_string(), "batch");
     }
 
     #[test]
@@ -136,7 +320,12 @@ mod tests {
                 })
                 .collect();
             for i in 0..10 {
-                q.push(i).unwrap();
+                let lane = if i % 3 == 0 {
+                    Lane::Interactive
+                } else {
+                    Lane::Batch
+                };
+                q.push(i, lane).unwrap();
             }
             q.close();
             let mut all: Vec<u32> = handles

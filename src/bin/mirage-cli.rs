@@ -9,6 +9,12 @@
 //! mirage-cli batch <input>... --topo grid:6x6 [--workers N] [--router ...]
 //!                  [--calibration cal.txt] [--metric ...] [--layout ...]
 //!                  [--seed N] [--trials N]  # inputs: qasm files or gen specs
+//! mirage-cli serve --topo grid:6x6 [--listen 127.0.0.1:7878] [--workers N]
+//!                  [--capacity N] [--calibration cal.txt]
+//!                  [--watch-cal cal.txt] [--watch-ms 1000] [--conns N]
+//! mirage-cli client <input>... --connect 127.0.0.1:7878 [--seed N] [--trials N]
+//!                   [--router ...] [--metric ...] [--lane interactive|batch]
+//!                   [--deadline-ms N] [--out out.qasm]
 //! mirage-cli stats <input.qasm>
 //! mirage-cli draw <input.qasm>
 //! mirage-cli gen <name> [--out file.qasm]     # qft:18, ghz:8, twolocal:4, ...
@@ -21,7 +27,10 @@ use mirage::core::{
     transpile, Calibration, Metric, RouterKind, Target, TranspileOptions, BALANCED_STRATEGY_MIX,
 };
 use mirage::math::Rng;
-use mirage::serve::{TranspileJob, TranspileService};
+use mirage::serve::net::{
+    CalibrationRefresher, NetClient, NetServer, ServeConfig, SubmitRequest, WireOptions,
+};
+use mirage::serve::{Lane, TranspileJob, TranspileService};
 use mirage::synth::decompose::DecompOptions;
 use mirage::synth::translate::translate_circuit;
 use mirage::topology::CouplingMap;
@@ -52,6 +61,19 @@ const USAGE: &str = "usage:
                    [--layout ...] [--seed N] [--trials N]
                    # inputs are qasm files or generator specs (qft:6, ghz:8, ...);
                    # jobs run on a worker pool, results are seed-deterministic
+  mirage-cli serve --topo <spec> [--listen ADDR:PORT] [--basis ...] [--workers N]
+                   [--capacity N] [--calibration cal.txt]
+                   [--watch-cal cal.txt] [--watch-ms MS] [--conns N]
+                   # framed-TCP daemon; --capacity bounds each queue lane
+                   # (overload answers Busy); --watch-cal hot-swaps the
+                   # calibration when the file changes; --conns exits after
+                   # N connections (for scripted runs)
+  mirage-cli client <input>... --connect ADDR:PORT [--seed N] [--trials N]
+                    [--router ...] [--metric ...] [--lane interactive|batch]
+                    [--deadline-ms N] [--out out.qasm]
+                    # submits each input to a mirage-cli serve daemon;
+                    # results are bit-identical to a local run_batch with
+                    # the same seeds
   mirage-cli stats <input.qasm>
   mirage-cli draw <input.qasm>
   mirage-cli gen <name> [--out file.qasm]
@@ -73,6 +95,8 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "transpile" => cmd_transpile(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "draw" => cmd_draw(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
@@ -408,6 +432,196 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         throughput,
         stats.per_worker.len()
     );
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
+    }
+    Ok(())
+}
+
+/// Run the framed-TCP serving daemon until interrupted (or, with
+/// `--conns N`, until `N` connections have been accepted — the scripted
+/// mode CI smoke runs use).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (_, flags) = split_flags(args)?;
+    let mut target = parse_target(
+        flag(&flags, "topo").ok_or("--topo is required")?,
+        flag(&flags, "basis").unwrap_or("sqrt-iswap"),
+    )?;
+    if let Some(path) = flag(&flags, "calibration") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let cal = Calibration::from_text(&text).map_err(|e| e.to_string())?;
+        target = target.with_calibration(cal).map_err(|e| e.to_string())?;
+    }
+    let workers: usize = match flag(&flags, "workers") {
+        Some(w) => w.parse().map_err(|_| "bad --workers")?,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let mut config = ServeConfig::new(workers);
+    if let Some(cap) = flag(&flags, "capacity") {
+        config = config.with_queue_capacity(cap.parse().map_err(|_| "bad --capacity")?);
+    }
+
+    let target = Arc::new(target);
+    let listen = flag(&flags, "listen").unwrap_or("127.0.0.1:7878");
+    let server = NetServer::bind(Arc::clone(&target), listen, &config)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    eprintln!(
+        "listening: {} — {} ({} qubits), {} workers{}",
+        server.local_addr(),
+        target.name(),
+        target.n_qubits(),
+        workers,
+        match config.queue_capacity {
+            Some(cap) => format!(", {cap} jobs/lane"),
+            None => String::new(),
+        }
+    );
+
+    let mut refresher = None;
+    if let Some(path) = flag(&flags, "watch-cal") {
+        let interval: u64 = flag(&flags, "watch-ms")
+            .unwrap_or("1000")
+            .parse()
+            .map_err(|_| "bad --watch-ms")?;
+        refresher = Some(CalibrationRefresher::spawn(
+            Arc::clone(&target),
+            std::path::PathBuf::from(path),
+            std::time::Duration::from_millis(interval),
+        ));
+        eprintln!("watching : {path} (every {interval} ms)");
+    }
+
+    let limit: Option<u64> = match flag(&flags, "conns") {
+        Some(n) => Some(n.parse().map_err(|_| "bad --conns")?),
+        None => None,
+    };
+    let Some(limit) = limit else {
+        // Daemon mode: serve until the process is killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    };
+    // Wait for N *finished* conversations, not N accepts — shutting down
+    // on accept would cut a client off between its jobs.
+    while server.connections_closed() < limit {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if let Some(mut refresher) = refresher.take() {
+        refresher.stop();
+        eprintln!(
+            "watched  : {} hot swap(s), {} bad revision(s) skipped",
+            refresher.swaps(),
+            refresher.errors()
+        );
+    }
+    let stats = server.shutdown();
+    eprintln!(
+        "served   : {} connection(s), {} job(s)",
+        stats.connections, stats.service.jobs
+    );
+    Ok(())
+}
+
+/// Submit inputs to a running `mirage-cli serve` daemon and print the
+/// same per-job table as `batch`. Jobs are seeded `--seed + index`,
+/// making the remote batch bit-identical to a local one.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = split_flags(args)?;
+    if pos.is_empty() {
+        return Err("client needs at least one input (qasm file or generator spec)".into());
+    }
+    let addr = flag(&flags, "connect").unwrap_or("127.0.0.1:7878");
+    let seed: u64 = flag(&flags, "seed")
+        .unwrap_or("7")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let trials: u32 = flag(&flags, "trials")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --trials")?;
+    let router = match flag(&flags, "router").unwrap_or("mirage") {
+        "mirage" => RouterKind::Mirage,
+        "mirage-swaps" => RouterKind::MirageSwaps,
+        "sabre" => RouterKind::Sabre,
+        other => return Err(format!("unknown router '{other}'")),
+    };
+    let lane = match flag(&flags, "lane").unwrap_or("batch") {
+        "batch" => Lane::Batch,
+        "interactive" => Lane::Interactive,
+        other => return Err(format!("unknown lane '{other}'")),
+    };
+    let deadline_ms: Option<u64> = match flag(&flags, "deadline-ms") {
+        Some(ms) => Some(ms.parse().map_err(|_| "bad --deadline-ms")?),
+        None => None,
+    };
+    let mut wire = WireOptions::quick(router);
+    wire.layout_trials = trials;
+    wire.routing_trials = trials;
+    wire.parallel = true;
+    match flag(&flags, "metric") {
+        None => {}
+        Some("depth") => wire.metric = Some(Metric::Depth),
+        Some("swaps") => wire.metric = Some(Metric::SwapCount),
+        Some("success") => wire.metric = Some(Metric::EstimatedSuccess),
+        Some(other) => return Err(format!("unknown metric '{other}'")),
+    }
+    if flag(&flags, "out").is_some() && pos.len() > 1 {
+        return Err("--out needs exactly one input".into());
+    }
+
+    let mut client =
+        NetClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let info = client.ping().map_err(|e| e.to_string())?;
+    eprintln!(
+        "server  : {addr} (protocol v{}, {} workers, calibration generation {})",
+        info.version, info.workers, info.generation
+    );
+    println!(
+        "{:>3}  {:<24} {:>8} {:>7} {:>8} {:>8} {:>7} {:>4}",
+        "job", "input", "depth", "swaps", "mirrors", "success", "ms", "gen"
+    );
+    let mut failures = 0usize;
+    for (i, spec) in pos.iter().enumerate() {
+        let circuit = load_batch_input(spec)?;
+        let submit = SubmitRequest {
+            label: spec.clone(),
+            qasm: qasm::to_qasm(&circuit),
+            seed: seed + i as u64,
+            lane,
+            deadline_ms,
+            options: wire.clone(),
+        };
+        match client.submit(submit) {
+            Ok(outcome) => {
+                let m = &outcome.done.metrics;
+                println!(
+                    "{:>3}  {:<24} {:>8.2} {:>7} {:>8} {:>8.4} {:>7.1} {:>4}",
+                    outcome.job_id,
+                    spec,
+                    m.depth_estimate,
+                    m.swaps,
+                    m.mirrors,
+                    m.estimated_success,
+                    outcome.done.elapsed_us as f64 / 1e3,
+                    outcome.done.generation
+                );
+                if let Some(path) = flag(&flags, "out") {
+                    std::fs::write(path, &outcome.done.qasm)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote   : {path}");
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{:>3}  {:<24} error: {e}", i, spec);
+            }
+        }
+    }
     if failures > 0 {
         return Err(format!("{failures} job(s) failed"));
     }

@@ -8,10 +8,12 @@ use mirage::core::trials::Metric;
 use mirage::core::verify::verify_routed;
 use mirage::core::{transpile, Calibration, RouterKind, Target, TranspileOptions};
 use mirage::math::Rng;
+use mirage::serve::net::CalibrationRefresher;
 use mirage::serve::{TranspileJob, TranspileService};
 use mirage::topology::CouplingMap;
 use mirage::weyl::coords::WeylCoord;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn quick_opts(seed: u64) -> TranspileOptions {
     let mut opts = TranspileOptions::quick(RouterKind::Mirage, seed);
@@ -122,6 +124,88 @@ fn warm_cache_serves_new_edge_costs_immediately_after_swap() {
         (target.gate_cost_on(&WeylCoord::SWAP, 0, 1) - 4.5).abs() < 1e-12,
         "stale cached cost served after swap"
     );
+}
+
+/// Block until `condition` holds or a generous deadline passes (the
+/// refresher polls every few milliseconds; CI machines get 10 s of slack).
+fn wait_for(what: &str, condition: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn calibration_refresher_hot_swaps_from_a_watched_file() {
+    let topo = CouplingMap::line(5);
+    let cal_a = Calibration::synthetic(&topo, &mut Rng::new(0xA11CE));
+    let target = Arc::new(
+        Target::sqrt_iswap(topo.clone())
+            .with_calibration(cal_a.clone())
+            .unwrap(),
+    );
+    let service = TranspileService::new(Arc::clone(&target), 2);
+
+    let path = std::env::temp_dir().join(format!("mirage-refresh-{}.cal", std::process::id()));
+    std::fs::write(&path, cal_a.to_text()).unwrap();
+    let mut refresher =
+        CalibrationRefresher::spawn(Arc::clone(&target), path.clone(), Duration::from_millis(5));
+
+    let opts = quick_opts(7).with_metric(Metric::EstimatedSuccess);
+    let job = |label: &str, seed: u64| {
+        TranspileJob::new(label, two_local_full(5, 1, 9), opts.clone()).with_seed(seed)
+    };
+
+    // The boot file is the baseline: watching it must NOT count as a
+    // change, so the first job still runs under generation 0.
+    wait_for("first poll", || refresher.polls() >= 1);
+    let before = service.run_batch(vec![job("before", 41)]).unwrap();
+    assert_eq!(before[0].generation, 0);
+    assert_eq!(refresher.swaps(), 0);
+
+    // Rewrite the watched file mid-serving-session: the refresher must
+    // pick it up and later jobs must run under the bumped generation.
+    let cal_b = Calibration::synthetic(&topo, &mut Rng::new(0xB0B));
+    std::fs::write(&path, cal_b.to_text()).unwrap();
+    wait_for("hot swap of revision B", || refresher.swaps() >= 1);
+    assert_eq!(target.calibration_generation(), 1);
+    let after = service.run_batch(vec![job("after", 42)]).unwrap();
+    assert_eq!(after[0].generation, 1);
+
+    // Bit-identical to a fresh target built with revision B directly.
+    let fresh = Arc::new(
+        Target::sqrt_iswap(topo.clone())
+            .with_calibration(cal_b)
+            .unwrap(),
+    );
+    let expected = TranspileService::new(fresh, 1)
+        .run_batch(vec![job("fresh", 42)])
+        .unwrap();
+    assert_eq!(
+        after[0].outcome.as_ref().unwrap().circuit,
+        expected[0].outcome.as_ref().unwrap().circuit,
+        "a file-driven hot swap must be indistinguishable from a rebuild"
+    );
+
+    // A corrupt rewrite is counted and skipped, never fatal: the last
+    // good calibration keeps serving.
+    std::fs::write(&path, "not a calibration file").unwrap();
+    wait_for("corrupt revision to be counted", || refresher.errors() >= 1);
+    assert_eq!(target.calibration_generation(), 1, "bad file must not swap");
+    assert!(service.run_batch(vec![job("still-up", 43)]).unwrap()[0]
+        .outcome
+        .is_ok());
+
+    // And the next good revision recovers automatically.
+    let cal_c = Calibration::synthetic(&topo, &mut Rng::new(0xCAFE));
+    std::fs::write(&path, cal_c.to_text()).unwrap();
+    wait_for("hot swap of revision C", || refresher.swaps() >= 2);
+    assert_eq!(target.calibration_generation(), 2);
+
+    refresher.stop();
+    service.shutdown();
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
