@@ -1,8 +1,9 @@
 //! Micro-benchmark for routing throughput: SABRE vs MIRAGE single trials
 //! on representative circuits (supports the Fig. 13b runtime discussion),
-//! plus the scratch-reuse and legacy-path comparisons behind the
-//! allocation-free hot-path rewrite (`routing_runtime` is the end-to-end
-//! gate; this is the per-call view).
+//! plus the scratch-reuse comparison behind the allocation-free hot-path
+//! rewrite (`routing_runtime` is the end-to-end gate; this is the per-call
+//! view). The seed-era `legacy::route` rung is gone with the module — it
+//! is a test-only fixture now.
 //!
 //! Run with `cargo bench --bench routing`.
 
@@ -12,7 +13,7 @@ use mirage_circuit::generators::{qft, two_local_full};
 use mirage_circuit::Dag;
 use mirage_core::layout::Layout;
 use mirage_core::router::{
-    legacy, node_coords, route, route_with_scratch, Aggression, RouterConfig, RouterScratch,
+    node_coords, route, route_with_scratch, Aggression, RouterConfig, RouterScratch,
 };
 use mirage_core::Target;
 use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
@@ -69,25 +70,13 @@ fn main() {
                 )
             });
         }
-        // The hot-path ladder on the MIRAGE configuration: legacy
-        // (per-candidate clones + full re-scoring), optimized with a fresh
-        // scratch per call, and optimized with one reused scratch (the
-        // TrialEngine / serve steady state).
+        // The hot-path ladder on the MIRAGE configuration: optimized with
+        // a fresh scratch per call vs one reused scratch (the TrialEngine /
+        // serve steady state).
         let config = RouterConfig {
             aggression: Some(Aggression::A2),
             ..RouterConfig::default()
         };
-        bench(&format!("route/{name}/mirage-legacy"), || {
-            let mut rng = Rng::new(7);
-            legacy::route(
-                black_box(&dag),
-                &coords,
-                &target,
-                Layout::trivial(circ.n_qubits, target.n_qubits()),
-                &config,
-                &mut rng,
-            )
-        });
         let mut scratch = RouterScratch::new();
         bench(&format!("route/{name}/mirage-scratch-reuse"), || {
             let mut rng = Rng::new(7);

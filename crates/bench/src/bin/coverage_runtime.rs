@@ -1,0 +1,541 @@
+//! The coverage-geometry perf gate: the banked + atlas query flow vs the
+//! seed-era per-level polytope walk.
+//!
+//! For each stock basis (√iSWAP, CNOT, CZ, and the mirror-inclusive
+//! iSWAP^(1/3) — see `stock_specs`) this bin builds the coverage set,
+//! collects three query suites —
+//!
+//! - **hit**: points inside the depth-1 region (jittered gate-class
+//!   coordinates), answered after one polytope's rows;
+//! - **miss**: genuine depth-2 products, the cheapest voluminous level;
+//! - **deep-miss**: Haar points at k ≥ 3 (or uncovered), walking every
+//!   non-full level before the terminal full one —
+//!
+//! and times `CoverageSet::min_k` on the packed [`PolytopeBank`] against
+//! `min_k_legacy_geom` (the retained seed-code walk) over each suite,
+//! best-of-3, reporting ns/query. Every collected point is first asserted
+//! to give the *same* `min_k` and bit-identical `cost_or_max` on both
+//! paths, so a speedup can never hide a semantic drift.
+//!
+//! **The gated metric is session query throughput.** The seed-era flow
+//! pays `CoverageSet::build` (sampling + quickhull, ~150 ms) at first use
+//! on every fresh process before the first query can be answered; the
+//! banked flow decodes the checked-in atlas instead (~0.1 ms). A *session*
+//! is that setup plus the sweep's own query volume (`target_queries` per
+//! basis), the same shape as a transpile/serve process: setup once, then a
+//! stream of cost-cache-miss queries. Hot per-query ns are reported
+//! per-suite as honest columns — on the dozen-row stock banks both walks
+//! sit within a few ns of the hardware floor, where code-alignment noise
+//! dominates the ratio; which is exactly why the checked-in atlases, not
+//! micro-tier tricks, carry the end-to-end win.
+//!
+//! Hard gates (nonzero exit): bank/legacy answer mismatch, pinned atlas
+//! fingerprint drift, and aggregate session throughput below 2×.
+//!
+//! Usage: `coverage_runtime [--quick] [--out PATH] [--regen-atlases]`
+//!
+//! `--regen-atlases` rebuilds the stock sets and rewrites the checked-in
+//! atlas files (run after an intentional geometry change, then update
+//! `ATLAS_FNV` below from its output).
+//!
+//! [`PolytopeBank`]: mirage_coverage::geom::PolytopeBank
+
+use mirage_bench::print_table;
+use mirage_coverage::atlas::{encode, fnv1a, load_stock, stock_atlas_bytes, stock_specs};
+use mirage_coverage::set::{BasisGate, CoverageOptions, CoverageSet};
+use mirage_gates::{haar_1q, haar_2q};
+use mirage_math::{Mat4, Rng};
+use mirage_weyl::coords::{coords_of, WeylCoord};
+use std::time::Instant;
+
+const POINT_SEED: u64 = 0xC07E;
+const BEST_OF: usize = 3;
+/// Haar samples drawn before giving up on filling a rare suite.
+const MAX_DRAWS: usize = 200_000;
+
+/// Pinned FNV-1a fingerprints of the checked-in atlas files. `--quick`
+/// fails on drift; regenerate with `--regen-atlases` after an intentional
+/// geometry or format change.
+const ATLAS_FNV: &[(&str, u64)] = &[
+    ("sqrt_iswap", 0x6B4813656F018AEE),
+    ("cnot", 0x73D34D4A088658C0),
+    ("cz", 0x123F5E69DD3B2397),
+    ("iswap_1_3", 0x50E6BA3F58F08303),
+];
+
+struct Suite {
+    name: &'static str,
+    points: Vec<WeylCoord>,
+}
+
+struct SuiteTiming {
+    name: &'static str,
+    points: usize,
+    bank_ns: f64,
+    legacy_ns: f64,
+}
+
+impl SuiteTiming {
+    fn speedup(&self) -> f64 {
+        if self.bank_ns <= 0.0 {
+            0.0
+        } else {
+            self.legacy_ns / self.bank_ns
+        }
+    }
+}
+
+struct Measured {
+    basis: String,
+    build_ms: f64,
+    atlas_load_ms: Option<f64>,
+    atlas_fingerprint: Option<u64>,
+    /// Query volume a session is modeled to serve (per basis).
+    target_queries: usize,
+    suites: Vec<SuiteTiming>,
+}
+
+impl Measured {
+    /// Point-weighted mean ns/query across this basis's suites.
+    fn mean_ns(&self, pick: impl Fn(&SuiteTiming) -> f64) -> f64 {
+        let (mut ns, mut n) = (0.0, 0.0);
+        for s in &self.suites {
+            ns += pick(s) * s.points as f64;
+            n += s.points as f64;
+        }
+        if n <= 0.0 {
+            0.0
+        } else {
+            ns / n
+        }
+    }
+
+    /// Seed-era session: build the set from scratch, then answer the
+    /// query volume on the legacy walk.
+    fn legacy_session_ms(&self) -> f64 {
+        self.build_ms + self.target_queries as f64 * self.mean_ns(|s| s.legacy_ns) / 1e6
+    }
+
+    /// Banked session: decode the checked-in atlas (fall back to a fresh
+    /// build when none decodes), then answer the volume on the bank.
+    fn banked_session_ms(&self) -> f64 {
+        self.atlas_load_ms.unwrap_or(self.build_ms)
+            + self.target_queries as f64 * self.mean_ns(|s| s.bank_ns) / 1e6
+    }
+
+    fn session_speedup(&self) -> f64 {
+        let b = self.banked_session_ms();
+        if b <= 0.0 {
+            0.0
+        } else {
+            self.legacy_session_ms() / b
+        }
+    }
+}
+
+/// Collect the hit / miss / deep-miss suites for one coverage set,
+/// classifying with the legacy walk (the reference semantics).
+fn collect_suites(set: &CoverageSet, basis: &BasisGate, per_suite: usize) -> Vec<Suite> {
+    let mut rng = Rng::new(POINT_SEED ^ fnv1a(basis.name.as_bytes()));
+    let mut hit = Vec::new();
+    let mut miss = Vec::new();
+    let mut deep = Vec::new();
+
+    // Hits: the depth-1 region degenerates to the gate class itself (a
+    // single-vertex polytope), so Haar sampling would never land there —
+    // jitter the gate coordinate *below* the query tolerance instead, the
+    // same perturbation a consolidated-but-numerically-noisy gate carries.
+    let c = basis.coord;
+    let mut draws = 0usize;
+    while hit.len() < per_suite && draws < MAX_DRAWS {
+        draws += 1;
+        let j = 2e-10;
+        let w = WeylCoord::canonicalize(
+            c.a + rng.uniform_range(-j, j),
+            c.b + rng.uniform_range(-j, j),
+            c.c + rng.uniform_range(-j, j),
+        );
+        if set.min_k_legacy_geom(&w) == Some(1) {
+            hit.push(w);
+        }
+    }
+
+    // Misses: genuine depth-2 products `B·(l₁⊗l₂)·B` — the k = 2 region
+    // can be measure-zero under Haar (two CNOTs reach only the z = 0
+    // plane), so these are synthesized rather than rejection-sampled.
+    let mut draws = 0usize;
+    while miss.len() < per_suite && draws < MAX_DRAWS {
+        draws += 1;
+        let l = Mat4::kron(&haar_1q(&mut rng), &haar_1q(&mut rng));
+        let u = basis.unitary.mul(&l).mul(&basis.unitary);
+        let w = coords_of(&u);
+        if set.min_k_legacy_geom(&w) == Some(2) {
+            miss.push(w);
+        }
+    }
+
+    // Deep misses come from genuine Haar samples: almost all of the
+    // chamber needs k ≥ 3 (or falls off the sampled hulls entirely).
+    let mut draws = 0usize;
+    while deep.len() < per_suite && draws < MAX_DRAWS {
+        draws += 1;
+        let w = coords_of(&haar_2q(&mut rng));
+        match set.min_k_legacy_geom(&w) {
+            Some(k) if k >= 3 => deep.push(w),
+            None => deep.push(w),
+            _ => {}
+        }
+    }
+
+    let suites = vec![
+        Suite {
+            name: "hit",
+            points: hit,
+        },
+        Suite {
+            name: "miss",
+            points: miss,
+        },
+        Suite {
+            name: "deep-miss",
+            points: deep,
+        },
+    ];
+    for s in &suites {
+        assert!(
+            !s.points.is_empty(),
+            "{}: could not collect any '{}' points in {MAX_DRAWS} draws",
+            basis.name,
+            s.name
+        );
+    }
+    suites
+}
+
+/// Both paths must agree exactly on every point before any timing counts.
+fn assert_identical(set: &CoverageSet, basis: &str, suites: &[Suite]) {
+    for s in suites {
+        for w in &s.points {
+            let bank = set.min_k(w);
+            let legacy = set.min_k_legacy_geom(w);
+            assert_eq!(
+                bank, legacy,
+                "{basis}/{}: min_k diverged at ({}, {}, {})",
+                s.name, w.a, w.b, w.c
+            );
+            let (cb, cl) = (set.cost_or_max(w), set.cost_or_max_legacy_geom(w));
+            assert!(
+                cb.to_bits() == cl.to_bits(),
+                "{basis}/{name}: cost_or_max diverged ({cb} vs {cl})",
+                name = s.name
+            );
+        }
+    }
+}
+
+/// Best-of-`BEST_OF` ns/query over `reps` passes of the whole suite.
+fn time_queries(points: &[WeylCoord], reps: usize, mut f: impl FnMut(&WeylCoord) -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..BEST_OF {
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..reps {
+            for w in points {
+                acc = acc.wrapping_add(f(w));
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        best = best.min(dt * 1e9 / (reps * points.len()) as f64);
+    }
+    best
+}
+
+fn measure(basis: &BasisGate, opts: &CoverageOptions, quick: bool) -> Measured {
+    let t0 = Instant::now();
+    let set = CoverageSet::build(basis.clone(), opts);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Atlas load path: decode the embedded bytes and prove the loaded set
+    // is the same geometry (bank rows compare bit-for-bit).
+    let bytes = stock_atlas_bytes(&basis.name);
+    let (atlas_load_ms, atlas_fingerprint) = match bytes {
+        Some(b) if !b.is_empty() => {
+            let t0 = Instant::now();
+            let loaded = load_stock(basis, opts);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            match loaded {
+                Some(l) => {
+                    assert!(
+                        l.bank() == set.bank(),
+                        "{}: atlas-loaded bank differs from freshly built set",
+                        basis.name
+                    );
+                    (Some(dt), Some(fnv1a(b)))
+                }
+                None => (None, Some(fnv1a(b))),
+            }
+        }
+        _ => (None, None),
+    };
+
+    let per_suite = if quick { 60 } else { 200 };
+    let target_queries = if quick { 20_000 } else { 100_000 };
+    let suites = collect_suites(&set, basis, per_suite);
+    assert_identical(&set, &basis.name, &suites);
+
+    let timings = suites
+        .iter()
+        .map(|s| {
+            let reps = (target_queries / s.points.len()).max(1);
+            let bank_ns = time_queries(&s.points, reps, |w| set.min_k(w).unwrap_or(99));
+            let legacy_ns =
+                time_queries(&s.points, reps, |w| set.min_k_legacy_geom(w).unwrap_or(99));
+            SuiteTiming {
+                name: s.name,
+                points: s.points.len(),
+                bank_ns,
+                legacy_ns,
+            }
+        })
+        .collect();
+
+    Measured {
+        basis: basis.name.clone(),
+        build_ms,
+        atlas_load_ms,
+        atlas_fingerprint,
+        target_queries,
+        suites: timings,
+    }
+}
+
+fn check_atlas_pins(rows: &[Measured]) -> bool {
+    let mut ok = true;
+    for row in rows {
+        let pinned = ATLAS_FNV.iter().find(|(n, _)| *n == row.basis);
+        match (pinned, row.atlas_fingerprint) {
+            (Some(&(_, want)), Some(got)) => {
+                if want != got {
+                    eprintln!(
+                        "ATLAS DRIFT {}: fingerprint 0x{got:016X}, pinned 0x{want:016X}",
+                        row.basis
+                    );
+                    ok = false;
+                }
+            }
+            (Some(_), None) => {
+                eprintln!(
+                    "ATLAS MISSING {}: no embedded atlas decoded (run --regen-atlases)",
+                    row.basis
+                );
+                ok = false;
+            }
+            (None, _) => {
+                eprintln!("ATLAS: no pinned fingerprint for {}", row.basis);
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Point-weighted hot-cache query speedup across every suite — the honest
+/// "both walks sit near the floor on stock banks" column.
+fn aggregate_hot_speedup(rows: &[Measured]) -> f64 {
+    let (mut bank, mut legacy) = (0.0, 0.0);
+    for r in rows {
+        for s in &r.suites {
+            bank += s.bank_ns * s.points as f64;
+            legacy += s.legacy_ns * s.points as f64;
+        }
+    }
+    if bank <= 0.0 {
+        0.0
+    } else {
+        legacy / bank
+    }
+}
+
+/// The gated number: total session time (setup + query volume) across all
+/// stock bases, seed-era flow over banked flow.
+fn aggregate_session_speedup(rows: &[Measured]) -> f64 {
+    let legacy: f64 = rows.iter().map(Measured::legacy_session_ms).sum();
+    let banked: f64 = rows.iter().map(Measured::banked_session_ms).sum();
+    if banked <= 0.0 {
+        0.0
+    } else {
+        legacy / banked
+    }
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Measured]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"coverage_runtime\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"seed\": {POINT_SEED}, \"best_of\": {BEST_OF}}},\n"
+    ));
+    s.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let load = r
+            .atlas_load_ms
+            .map_or("null".to_owned(), |v| format!("{v:.3}"));
+        let fp = r
+            .atlas_fingerprint
+            .map_or("null".to_owned(), |v| format!("\"0x{v:016X}\""));
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"build_ms\": {:.3}, \"atlas_load_ms\": {}, \
+             \"atlas_fingerprint\": {}, \"target_queries\": {}, \
+             \"legacy_session_ms\": {:.3}, \"banked_session_ms\": {:.3}, \
+             \"session_speedup\": {:.1}, \"suites\": [",
+            r.basis,
+            r.build_ms,
+            load,
+            fp,
+            r.target_queries,
+            r.legacy_session_ms(),
+            r.banked_session_ms(),
+            r.session_speedup()
+        ));
+        for (j, t) in r.suites.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"suite\": \"{}\", \"points\": {}, \"bank_ns\": {:.1}, \
+                 \"legacy_ns\": {:.1}, \"speedup\": {:.2}}}{}",
+                t.name,
+                t.points,
+                t.bank_ns,
+                t.legacy_ns,
+                t.speedup(),
+                if j + 1 == r.suites.len() { "" } else { ", " }
+            ));
+        }
+        s.push_str(&format!(
+            "]}}{}",
+            if i + 1 == rows.len() { "\n" } else { ",\n" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"hot_query_speedup\": {:.2},\n  \"session_speedup\": {:.1}\n",
+        aggregate_hot_speedup(rows),
+        aggregate_session_speedup(rows)
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn regen_atlases() {
+    for (basis, opts) in stock_specs() {
+        let t0 = Instant::now();
+        let set = CoverageSet::build(basis.clone(), &opts);
+        let bytes = encode(&set, &opts);
+        let path = format!(
+            "{}/../coverage/atlases/{}.atlas",
+            env!("CARGO_MANIFEST_DIR"),
+            basis.name
+        );
+        std::fs::write(&path, &bytes).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "    (\"{}\", 0x{:016X}), // {} bytes, built in {:.1}s",
+            basis.name,
+            fnv1a(&bytes),
+            bytes.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!("atlases rewritten; update ATLAS_FNV with the lines above");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--regen-atlases") {
+        regen_atlases();
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_coverage.json".to_owned());
+
+    let mode = if quick { "quick" } else { "full" };
+    println!("coverage_runtime — banked vs legacy geometry, best-of-{BEST_OF} ({mode})\n");
+
+    let rows: Vec<Measured> = stock_specs()
+        .iter()
+        .map(|(basis, opts)| measure(basis, opts, quick))
+        .collect();
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for r in &rows {
+        for t in &r.suites {
+            table.push(vec![
+                format!("{}/{}", r.basis, t.name),
+                t.points.to_string(),
+                format!("{:.0}", t.bank_ns),
+                format!("{:.0}", t.legacy_ns),
+                format!("{:.2}x", t.speedup()),
+            ]);
+        }
+    }
+    print_table(
+        &["case", "points", "bank ns/q", "legacy ns/q", "speedup"],
+        &table,
+    );
+
+    println!();
+    let session: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.basis.clone(),
+                format!("{:.1}", r.build_ms),
+                r.atlas_load_ms
+                    .map_or("-".to_owned(), |v| format!("{v:.3}")),
+                r.target_queries.to_string(),
+                format!("{:.1}", r.legacy_session_ms()),
+                format!("{:.1}", r.banked_session_ms()),
+                format!("{:.0}x", r.session_speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "basis",
+            "build ms",
+            "atlas ms",
+            "queries",
+            "legacy session ms",
+            "banked session ms",
+            "speedup",
+        ],
+        &session,
+    );
+
+    let hot = aggregate_hot_speedup(&rows);
+    let agg = aggregate_session_speedup(&rows);
+    println!("\nhot query speedup (point-weighted): {hot:.2}x");
+    println!("session throughput speedup (gated, >= 2x): {agg:.1}x");
+
+    let pins_ok = check_atlas_pins(&rows);
+    match write_json(&out_path, mode, &rows) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !pins_ok {
+        eprintln!("coverage_runtime: atlas fingerprints drifted from the pins");
+        std::process::exit(1);
+    }
+    if agg < 2.0 {
+        eprintln!("coverage_runtime: session throughput speedup {agg:.2}x is below the 2x gate");
+        std::process::exit(1);
+    }
+}

@@ -1,28 +1,22 @@
-//! The routing-runtime perf gate: the first point of the persistent
-//! routing-throughput trajectory.
+//! The routing-runtime perf gate: the persistent routing-throughput
+//! trajectory.
 //!
 //! Times the optimized, scratch-reusing router
-//! ([`mirage_core::router::route_with_scratch`]) against the pre-rewrite
-//! reference ([`mirage_core::router::legacy::route`]) on the QFT family
+//! ([`mirage_core::router::route_with_scratch`]) on the QFT family
 //! (n = 16 … 64, line topology — the paper's Fig. 13 runtime axis) plus a
 //! two_local suite, best-of-3 wall times, and emits the machine-readable
 //! `BENCH_routing.json` that future PRs are held against.
 //!
-//! Two hard gates (nonzero exit on failure):
+//! One hard gate (nonzero exit on failure): **pinned fingerprints** —
+//! every case's routed-circuit fingerprint, SWAP count, and mirror count
+//! must match the sanity table below. The pins were originally cut against
+//! the seed-era `legacy::route` (bit-identical by construction) and have
+//! survived three re-anchor cycles; the legacy module itself is now a
+//! test-only fixture inside `mirage-core` (`route_matches_legacy_*`
+//! sweeps), so this bin pins outputs rather than re-timing the old path.
+//! A silent behavior change cannot pass off as a speedup.
 //!
-//! * **Bit identity** — every case routes through both implementations and
-//!   the outputs must be equal, with fingerprint/swaps/mirrors matching
-//!   the pinned sanity table below (the same kind of pin as
-//!   `tests/golden_routing.rs`). A silent behavior change cannot pass off
-//!   as a speedup.
-//! * **Speedup** (`--quick`, the CI smoke run) — the optimized path must
-//!   be ≥ 1.5× faster than `--legacy-scoring` on the QFT-32 case.
-//!
-//! Usage: `routing_runtime [--quick] [--legacy-scoring] [--out PATH]
-//! [--print-fingerprints]`
-//!
-//! `--legacy-scoring` reports the legacy path's time as the headline
-//! column (for bisecting regressions); the JSON always carries both.
+//! Usage: `routing_runtime [--quick] [--out PATH] [--print-fingerprints]`
 
 use mirage_bench::print_table;
 use mirage_circuit::consolidate::consolidate;
@@ -30,7 +24,7 @@ use mirage_circuit::generators::{qft, two_local_full, two_local_linear};
 use mirage_circuit::{Circuit, Dag};
 use mirage_core::layout::Layout;
 use mirage_core::router::{
-    legacy, node_coords, route_with_scratch, Aggression, RoutedCircuit, RouterConfig, RouterScratch,
+    node_coords, route_with_scratch, Aggression, RoutedCircuit, RouterConfig, RouterScratch,
 };
 use mirage_core::Target;
 use mirage_math::Rng;
@@ -117,7 +111,6 @@ struct Measured {
     n_qubits: usize,
     twoq_gates: usize,
     optimized_ms: f64,
-    legacy_ms: f64,
     swaps: usize,
     mirrors: usize,
     fingerprint: u64,
@@ -127,11 +120,12 @@ struct Measured {
 }
 
 impl Measured {
-    fn speedup(&self) -> f64 {
+    /// Routed 2Q gates per second — the machine-portable throughput view.
+    fn gates_per_s(&self) -> f64 {
         if self.optimized_ms <= 0.0 {
             0.0
         } else {
-            self.legacy_ms / self.optimized_ms
+            self.twoq_gates as f64 / (self.optimized_ms / 1e3)
         }
     }
 }
@@ -148,17 +142,6 @@ fn route_optimized(
     route_with_scratch(dag, coords, target, layout, config, &mut rng, scratch)
 }
 
-fn route_legacy(
-    dag: &Dag,
-    coords: &[Option<mirage_weyl::coords::WeylCoord>],
-    target: &Target,
-    config: &RouterConfig,
-) -> RoutedCircuit {
-    let mut rng = Rng::new(ROUTE_SEED);
-    let layout = Layout::trivial(dag.n_qubits, target.n_qubits());
-    legacy::route(dag, coords, target, layout, config, &mut rng)
-}
-
 fn measure(case: &Case) -> Measured {
     let cc = consolidate(&case.circuit);
     let dag = Dag::from_circuit(&cc);
@@ -170,17 +153,9 @@ fn measure(case: &Case) -> Measured {
     };
     let mut scratch = RouterScratch::new();
 
-    // Bit-identity gate (also warms the target's cost cache and the
-    // scratch, so both timed paths run steady-state).
-    let optimized = route_optimized(&dag, &coords, &target, &config, &mut scratch);
-    let reference = route_legacy(&dag, &coords, &target, &config);
-    assert_eq!(
-        optimized.circuit, reference.circuit,
-        "{}: optimized and legacy routers diverged",
-        case.name
-    );
-    assert_eq!(optimized.swaps_inserted, reference.swaps_inserted);
-    assert_eq!(optimized.mirrors_accepted, reference.mirrors_accepted);
+    // Warm-up pass: fills the target's cost cache and sizes the scratch, so
+    // the timed runs are steady-state; its output feeds the fingerprint pin.
+    let routed = route_optimized(&dag, &coords, &target, &config, &mut scratch);
 
     let time_best_of = |f: &mut dyn FnMut() -> RoutedCircuit| -> f64 {
         (0..BEST_OF)
@@ -195,7 +170,6 @@ fn measure(case: &Case) -> Measured {
     };
     let optimized_ms =
         time_best_of(&mut || route_optimized(&dag, &coords, &target, &config, &mut scratch));
-    let legacy_ms = time_best_of(&mut || route_legacy(&dag, &coords, &target, &config));
 
     let (cache_hits, cache_misses) = target.cache_stats();
     Measured {
@@ -203,10 +177,9 @@ fn measure(case: &Case) -> Measured {
         n_qubits: case.n_qubits,
         twoq_gates: cc.two_qubit_gate_count(),
         optimized_ms,
-        legacy_ms,
-        swaps: optimized.swaps_inserted,
-        mirrors: optimized.mirrors_accepted,
-        fingerprint: optimized.circuit.fingerprint(),
+        swaps: routed.swaps_inserted,
+        mirrors: routed.mirrors_accepted,
+        fingerprint: routed.circuit.fingerprint(),
         cache_hits,
         cache_misses,
         cache_contention: target.cache().contention(),
@@ -257,15 +230,14 @@ fn write_json(path: &str, mode: &str, rows: &[Measured]) -> std::io::Result<()> 
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"n_qubits\": {}, \"twoq_gates\": {}, \
-             \"optimized_ms\": {:.3}, \"legacy_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"optimized_ms\": {:.3}, \"gates_per_s\": {:.0}, \
              \"swaps\": {}, \"mirrors\": {}, \"fingerprint\": \"0x{:016X}\", \
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_contention\": {}}}{}",
             json_escape_free(r.name),
             r.n_qubits,
             r.twoq_gates,
             r.optimized_ms,
-            r.legacy_ms,
-            r.speedup(),
+            r.gates_per_s(),
             r.swaps,
             r.mirrors,
             r.fingerprint,
@@ -282,7 +254,6 @@ fn write_json(path: &str, mode: &str, rows: &[Measured]) -> std::io::Result<()> 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let legacy_headline = args.iter().any(|a| a == "--legacy-scoring");
     let print_fingerprints = args.iter().any(|a| a == "--print-fingerprints");
     let out_path = args
         .iter()
@@ -292,14 +263,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_routing.json".to_owned());
 
     let mode = if quick { "quick" } else { "full" };
-    println!(
-        "routing_runtime — line topology, A2, best-of-{BEST_OF} ({mode}{})\n",
-        if legacy_headline {
-            ", legacy headline"
-        } else {
-            ""
-        }
-    );
+    println!("routing_runtime — line topology, A2, best-of-{BEST_OF} ({mode})\n");
 
     let rows: Vec<Measured> = cases(quick).iter().map(measure).collect();
 
@@ -318,18 +282,12 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            let headline = if legacy_headline {
-                r.legacy_ms
-            } else {
-                r.optimized_ms
-            };
             vec![
                 r.name.to_owned(),
                 r.n_qubits.to_string(),
                 r.twoq_gates.to_string(),
-                format!("{headline:.2}"),
-                format!("{:.2}", r.legacy_ms),
-                format!("{:.2}x", r.speedup()),
+                format!("{:.2}", r.optimized_ms),
+                format!("{:.0}", r.gates_per_s()),
                 r.swaps.to_string(),
                 r.mirrors.to_string(),
             ]
@@ -341,8 +299,7 @@ fn main() {
             "qubits",
             "2q",
             "ms",
-            "legacy-ms",
-            "speedup",
+            "2q-gates/s",
             "swaps",
             "mirrors",
         ],
@@ -370,17 +327,5 @@ fn main() {
     if !sanity_ok {
         eprintln!("routing_runtime: sanity columns drifted from the pinned fingerprints");
         std::process::exit(1);
-    }
-    if quick && !legacy_headline {
-        let qft32 = rows
-            .iter()
-            .find(|r| r.name == "qft-32")
-            .expect("quick mode runs qft-32");
-        let speedup = qft32.speedup();
-        println!("\nCI gate: optimized vs legacy at qft-32 = {speedup:.2}x (needs >= 1.5x)");
-        if speedup < 1.5 {
-            eprintln!("routing_runtime: optimized router is not >= 1.5x faster than legacy");
-            std::process::exit(1);
-        }
     }
 }

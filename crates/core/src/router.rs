@@ -32,10 +32,10 @@
 //!   instead of being re-filtered per candidate.
 //!
 //! Outputs are **bit-identical** to the pre-optimization router (kept
-//! verbatim as [`legacy`]): residual distances are small integers, so
-//! front/extended sums are exact in `f64` regardless of summation order,
-//! and the final score expressions reproduce the original floating-point
-//! operations operation-for-operation. The golden tests
+//! verbatim as a test-only `legacy` fixture): residual distances are small
+//! integers, so front/extended sums are exact in `f64` regardless of
+//! summation order, and the final score expressions reproduce the original
+//! floating-point operations operation-for-operation. The golden tests
 //! (`tests/golden_routing.rs`) and a randomized `route == legacy::route`
 //! sweep pin this.
 
@@ -850,18 +850,20 @@ fn force_step(dag: &Dag, front: &[usize], layout: &Layout, topo: &CouplingMap) -
     (src.min(next), src.max(next))
 }
 
-/// The pre-optimization router, kept verbatim as the reference
-/// implementation.
+/// The pre-optimization router, kept verbatim as a **test-only** reference
+/// fixture.
 ///
-/// [`legacy::route`] clones the full [`Layout`] and re-scores the entire
+/// `legacy::route` clones the full [`Layout`] and re-scores the entire
 /// front and extended set for every candidate SWAP, rebuilds
 /// `HashSet`/`VecDeque`/`BTreeSet` scratch on every step, and walks the
-/// mirror decision's lookahead twice; [`legacy::absorb_adjacent_swaps`]
-/// re-scans the instruction list inside a fixpoint loop. They exist so the
-/// optimized hot path can be (a) property-tested bit-identical against
-/// them (`route_matches_legacy_*` below) and (b) timed against them — the
-/// `routing_runtime` bench bin's `--legacy-scoring` path and its CI speedup
-/// gate. Not for production use.
+/// mirror decision's lookahead twice; `legacy::absorb_adjacent_swaps`
+/// re-scans the instruction list inside a fixpoint loop. After three
+/// re-anchor cycles of golden fingerprints carried the equivalence proof,
+/// the module was compiled out of production builds; the randomized
+/// `route_matches_legacy_*` sweeps below keep the bit-identity property
+/// under test, and `tests/golden_routing.rs` pins the outputs across
+/// releases.
+#[cfg(test)]
 pub mod legacy {
     use super::*;
 

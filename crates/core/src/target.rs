@@ -9,9 +9,12 @@
 //!
 //! * the [`CouplingMap`] connectivity graph,
 //! * the basis gate ([`BasisGate`]) the device natively executes,
-//! * the per-depth [`CoverageSet`] for that basis — built **lazily** on
+//! * the per-depth [`CoverageSet`] for that basis — resolved **lazily** on
 //!   first cost query, since topology-only work (VF2 embedding, SWAP-only
-//!   routing baselines) never needs it,
+//!   routing baselines) never needs it; the stock bases (√iSWAP, CNOT, CZ)
+//!   load a checked-in coverage atlas (`mirage_coverage::atlas`) instead
+//!   of re-running sampling + quickhull, falling back to a fresh build
+//!   when the atlas is missing or stale,
 //! * an [`Arc<Calibration>`] — per-edge 2Q durations and error rates,
 //!   per-qubit 1Q durations/errors and readout errors — that drives
 //!   duration weights ([`Target::duration_weight`]) and success estimates
@@ -120,40 +123,29 @@ fn default_coverage_options(seed: u64) -> CoverageOptions {
 
 /// The shared default coverage set: √iSWAP, three levels, standard
 /// (mirror-free) regions — the costing basis of every paper experiment.
-/// Built once per process and shared by every [`Target::sqrt_iswap`].
+/// Resolved once per process from the checked-in coverage atlas (falling
+/// back to a fresh build when the atlas is absent or stale) and shared by
+/// every [`Target::sqrt_iswap`].
 fn default_coverage() -> Arc<CoverageSet> {
     static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
-    SET.get_or_init(|| {
-        Arc::new(CoverageSet::build(
-            BasisGate::iswap_root(2),
-            &default_coverage_options(0xC0FFEE),
-        ))
-    })
-    .clone()
+    SET.get_or_init(|| Arc::new(mirage_coverage::atlas::stock_set("sqrt_iswap")))
+        .clone()
 }
 
-/// Process-wide CNOT-basis coverage set shared by [`Target::cnot`].
+/// Process-wide CNOT-basis coverage set shared by [`Target::cnot`]
+/// (atlas-loaded, like [`default_coverage`]).
 fn cnot_coverage() -> Arc<CoverageSet> {
     static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
-    SET.get_or_init(|| {
-        Arc::new(CoverageSet::build(
-            BasisGate::cnot(),
-            &default_coverage_options(0xC407),
-        ))
-    })
-    .clone()
+    SET.get_or_init(|| Arc::new(mirage_coverage::atlas::stock_set("cnot")))
+        .clone()
 }
 
-/// Process-wide CZ-basis coverage set shared by [`Target::cz`].
+/// Process-wide CZ-basis coverage set shared by [`Target::cz`]
+/// (atlas-loaded, like [`default_coverage`]).
 fn cz_coverage() -> Arc<CoverageSet> {
     static SET: OnceLock<Arc<CoverageSet>> = OnceLock::new();
-    SET.get_or_init(|| {
-        Arc::new(CoverageSet::build(
-            BasisGate::cz(),
-            &default_coverage_options(0xC2),
-        ))
-    })
-    .clone()
+    SET.get_or_init(|| Arc::new(mirage_coverage::atlas::stock_set("cz")))
+        .clone()
 }
 
 /// A transpilation target: coupling topology, basis gate, lazily-built
@@ -599,6 +591,40 @@ mod tests {
         assert!(!t.coverage_built());
         let _ = t.gate_cost(&WeylCoord::CNOT);
         assert!(t.coverage_built());
+    }
+
+    #[test]
+    fn stock_coverage_options_match_atlas_specs() {
+        // The shared statics resolve through `atlas::stock_set`; the
+        // per-target fallback options built here must describe the same
+        // sets, or a custom `Target::new` with these options would diverge
+        // from the atlas-backed stock targets. Only the three bases behind
+        // `Target`'s constructors must match — the dense mirror-inclusive
+        // iswap_1_3 atlas exists to exercise the grid-classifier query
+        // path and deliberately uses deeper, mirror-inclusive options.
+        let specs = mirage_coverage::atlas::stock_specs();
+        let mut target_backed = 0;
+        for (basis, opts) in &specs {
+            match basis.name.as_str() {
+                "sqrt_iswap" | "cnot" | "cz" => {
+                    target_backed += 1;
+                    assert_eq!(
+                        &default_coverage_options(opts.seed),
+                        opts,
+                        "stock spec drifted for {}",
+                        basis.name
+                    );
+                }
+                "iswap_1_3" => assert!(
+                    opts.mirrors && opts.max_k > default_coverage_options(opts.seed).max_k,
+                    "iswap_1_3 exists to cover the dense/grid path"
+                ),
+                other => panic!("unexpected stock spec {other}"),
+            }
+        }
+        assert_eq!(target_backed, 3, "a Target-backed stock basis vanished");
+        let seeds: Vec<u64> = specs.iter().map(|(_, o)| o.seed).collect();
+        assert_eq!(seeds, [0xC0FFEE, 0xC407, 0xC2, 0xC133]);
     }
 
     #[test]

@@ -12,10 +12,17 @@
 //! Modules:
 //!
 //! * [`geom`] — low-level 3D geometry: convex hulls (quickhull with
-//!   degenerate-rank fallbacks) and halfspace polytopes with membership and
-//!   nearest-point queries.
+//!   degenerate-rank fallbacks), halfspace polytopes with membership and
+//!   nearest-point queries, and the [`geom::PolytopeBank`] — the packed
+//!   two-tier (loose box + strict H-rep) structure-of-arrays layout that
+//!   query paths run on, allocation-free.
 //! * [`set`] — [`set::CoverageSet`]: per-depth regions for a basis gate,
-//!   standard or mirror-inclusive, plus minimum-cost queries.
+//!   standard or mirror-inclusive, plus minimum-cost queries (banked fast
+//!   path with `*_legacy_geom` reference twins).
+//! * [`atlas`] — serialized coverage atlases: checked-in binaries of the
+//!   stock-basis sets (√iSWAP, CNOT, CZ, mirror-inclusive iSWAP^(1/3))
+//!   loaded at `Target` construction instead of re-running quickhull,
+//!   checksummed and fingerprint-pinned.
 //! * [`haar`] — Haar scores and average fidelities (paper Tables I/II
 //!   inputs) and the decoherence fidelity model shared with `mirage-synth`.
 //! * [`approx`] — the paper's Algorithm 1: Monte Carlo Haar scores with
@@ -24,18 +31,20 @@
 //! * [`cache`] — the LRU coordinate→cost cache of paper Fig. 13a.
 //!
 //! ---
-//! **Owns:** [`set::CoverageSet`]/[`set::BasisGate`], [`geom`] polytopes,
+//! **Owns:** [`set::CoverageSet`]/[`set::BasisGate`], [`geom`] polytopes
+//! and [`geom::PolytopeBank`], [`atlas`] serialization,
 //! [`haar::HaarScore`]/[`haar::FidelityModel`], [`cache::CostCache`].
 //! **Paper:** §III (monodromy coverage, Algorithm 1), Tables I/II,
 //! Figs. 3–6 and 13a.
 
 pub mod approx;
+pub mod atlas;
 pub mod cache;
 pub mod geom;
 pub mod haar;
 pub mod set;
 
 pub use cache::CostCache;
-pub use geom::{ConvexPolytope, Halfspace};
+pub use geom::{ConvexPolytope, Halfspace, PolytopeBank};
 pub use haar::{FidelityModel, HaarScore};
 pub use set::{BasisGate, CoverageLevel, CoverageSet};

@@ -1,0 +1,313 @@
+//! Property suite for the banked coverage geometry: the packed
+//! [`PolytopeBank`] / grid-classifier query path must be indistinguishable
+//! from the seed-era per-level polytope walk on every observable — `min_k`,
+//! `cost_or_max` (bit-identical), membership and distance at any tolerance —
+//! and the checked-in atlases must reproduce a fresh build exactly.
+//!
+//! Points come from three adversarial families: Haar-random coordinates
+//! (volume coverage), sub-tolerance jitter around the basis gate class (the
+//! degenerate depth-1 point regions), and jitter straddling region facets at
+//! scales from well inside to well outside the tolerance (where a
+//! misrounded fast path would first diverge).
+//!
+//! `concurrent_queries_consistent` honors `MIRAGE_TEST_THREADS` (default 4)
+//! like the golden-routing suite: shared-set queries from `n` threads must
+//! equal the serial answers.
+
+use mirage_coverage::atlas::{decode, encode, fnv1a, load_stock, stock_atlas_bytes, stock_specs};
+use mirage_coverage::geom::PolytopeBank;
+use mirage_coverage::set::{alcove_rep, BasisGate, CoverageOptions, CoverageSet};
+use mirage_gates::haar_2q;
+use mirage_math::Rng;
+use mirage_weyl::coords::{coords_of, WeylCoord};
+
+const SEED: u64 = 0x6E0;
+
+/// Pinned FNV-1a fingerprints of the checked-in atlas files — must match
+/// the `ATLAS_FNV` table in `coverage_runtime`. A drift here means the
+/// atlases were regenerated without updating the pins (or vice versa).
+const ATLAS_FNV: &[(&str, u64)] = &[
+    ("sqrt_iswap", 0x6B4813656F018AEE),
+    ("cnot", 0x73D34D4A088658C0),
+    ("cz", 0x123F5E69DD3B2397),
+    ("iswap_1_3", 0x50E6BA3F58F08303),
+];
+
+fn haar_points(rng: &mut Rng, n: usize) -> Vec<WeylCoord> {
+    (0..n).map(|_| coords_of(&haar_2q(rng))).collect()
+}
+
+/// Jittered copies of `w` at the given per-axis scale (canonicalized back
+/// into the chamber, so both query paths see identical coordinates).
+fn jitter(rng: &mut Rng, w: [f64; 3], scale: f64, n: usize) -> Vec<WeylCoord> {
+    (0..n)
+        .map(|_| {
+            WeylCoord::canonicalize(
+                w[0] + rng.uniform_range(-scale, scale),
+                w[1] + rng.uniform_range(-scale, scale),
+                w[2] + rng.uniform_range(-scale, scale),
+            )
+        })
+        .collect()
+}
+
+/// The adversarial point families for one coverage set: Haar volume
+/// samples, sub-tolerance gate-class jitter, and facet-straddling jitter at
+/// scales bracketing the membership tolerance.
+fn adversarial_points(set: &CoverageSet, rng: &mut Rng, haar_n: usize) -> Vec<WeylCoord> {
+    let mut pts = haar_points(rng, haar_n);
+    let c = set.basis.coord;
+    for scale in [1e-13, 1e-10, 1e-8, 1e-5] {
+        pts.extend(jitter(rng, [c.a, c.b, c.c], scale, 12));
+    }
+    // Facet straddlers: project a Haar point onto each region, then jitter
+    // around the projection at scales from far inside the tolerance (1e-13)
+    // to far outside it (1e-5). The projection sits exactly on the nearest
+    // facet, so these probe the contains/excess rounding on both sides.
+    let anchors = haar_points(rng, 4);
+    for level in &set.levels {
+        for region in &level.regions {
+            for w in &anchors {
+                let q = region.nearest_point(alcove_rep(w));
+                for scale in [1e-13, 1e-10, 1e-8, 1e-5] {
+                    pts.extend(jitter(rng, q, scale, 3));
+                }
+            }
+        }
+    }
+    pts
+}
+
+fn assert_queries_identical(set: &CoverageSet, pts: &[WeylCoord], what: &str) {
+    for w in pts {
+        assert_eq!(
+            set.min_k(w),
+            set.min_k_legacy_geom(w),
+            "{what} ({}): min_k diverged at ({}, {}, {})",
+            set.basis.name,
+            w.a,
+            w.b,
+            w.c
+        );
+        let (b, l) = (set.cost_or_max(w), set.cost_or_max_legacy_geom(w));
+        assert!(
+            b.to_bits() == l.to_bits(),
+            "{what} ({}): cost_or_max diverged ({b} vs {l}) at ({}, {}, {})",
+            set.basis.name,
+            w.a,
+            w.b,
+            w.c
+        );
+    }
+}
+
+#[test]
+fn banked_queries_match_legacy_on_all_stock_bases() {
+    let mut rng = Rng::new(SEED);
+    for (basis, opts) in stock_specs() {
+        let set = CoverageSet::build(basis, &opts);
+        let pts = adversarial_points(&set, &mut rng, 2000);
+        assert_queries_identical(&set, &pts, "stock");
+    }
+}
+
+/// A dense, mirror-inclusive, non-stock configuration — more levels and
+/// more regions than any stock set, so the grid classifier (built only
+/// above the row threshold) is exercised with different geometry than the
+/// checked-in atlases.
+#[test]
+fn banked_queries_match_legacy_on_dense_custom_set() {
+    let opts = CoverageOptions {
+        max_k: 4,
+        samples_per_k: 800,
+        inflation: 0.02,
+        mirrors: true,
+        seed: 0xD05E,
+    };
+    let set = CoverageSet::build(BasisGate::iswap_root(2), &opts);
+    let mut rng = Rng::new(SEED ^ 1);
+    let pts = adversarial_points(&set, &mut rng, 3000);
+    assert_queries_identical(&set, &pts, "dense");
+}
+
+/// Bank membership and Dykstra distance agree with the per-polytope
+/// reference at every tolerance, including tolerances far looser than the
+/// loose-tier cap (where the two-tier filter must disable itself).
+#[test]
+fn bank_matches_polytopes_across_tolerances() {
+    let mut rng = Rng::new(SEED ^ 2);
+    for (basis, opts) in stock_specs() {
+        let set = CoverageSet::build(basis, &opts);
+        let mut bank = PolytopeBank::new();
+        let mut regions = Vec::new();
+        for level in &set.levels {
+            for region in &level.regions {
+                bank.push(region);
+                regions.push(region.clone());
+            }
+        }
+        let pts: Vec<[f64; 3]> = adversarial_points(&set, &mut rng, 300)
+            .iter()
+            .map(alcove_rep)
+            .collect();
+        for (id, region) in regions.iter().enumerate() {
+            let id = id as u32;
+            for p in &pts {
+                for tol in [1e-12, 1e-9, 1e-6, 1e-3, 1.0] {
+                    assert_eq!(
+                        bank.contains(id, *p, tol),
+                        region.contains(*p, tol),
+                        "{}: bank/polytope membership diverged (poly {id}, tol {tol})",
+                        set.basis.name
+                    );
+                }
+                let (db, dl) = (bank.distance(id, *p), region.distance(*p));
+                assert!(
+                    db.to_bits() == dl.to_bits(),
+                    "{}: bank/polytope distance diverged (poly {id}: {db} vs {dl})",
+                    set.basis.name
+                );
+            }
+        }
+    }
+}
+
+/// `level_distance` (banked Dykstra over packed rows) is bit-identical to
+/// the per-level reference distance.
+#[test]
+fn level_distance_matches_reference() {
+    let mut rng = Rng::new(SEED ^ 3);
+    for (basis, opts) in stock_specs() {
+        let set = CoverageSet::build(basis, &opts);
+        let pts = haar_points(&mut rng, 200);
+        for level in &set.levels {
+            for w in &pts {
+                let banked = set
+                    .level_distance(level.k, w)
+                    .expect("built level must have a distance");
+                let reference = level.distance(w);
+                assert!(
+                    banked.to_bits() == reference.to_bits(),
+                    "{} k={}: level_distance diverged ({banked} vs {reference})",
+                    set.basis.name,
+                    level.k
+                );
+            }
+        }
+    }
+}
+
+/// Encode → decode reproduces the exact set: same levels, same packed bank.
+#[test]
+fn atlas_round_trip_is_exact() {
+    for (basis, opts) in stock_specs() {
+        let set = CoverageSet::build(basis.clone(), &opts);
+        let bytes = encode(&set, &opts);
+        let decoded = decode(&bytes, &basis, &opts)
+            .unwrap_or_else(|| panic!("{}: round-trip decode failed", basis.name));
+        assert_eq!(decoded.levels, set.levels, "{}: levels drifted", basis.name);
+        assert!(
+            decoded.bank() == set.bank(),
+            "{}: packed bank drifted through the atlas",
+            basis.name
+        );
+        assert_eq!(decoded.tol, set.tol);
+        assert_eq!(decoded.mirrors, set.mirrors);
+    }
+}
+
+/// The checked-in atlas files decode, match their pinned fingerprints, and
+/// reproduce a fresh build exactly — `Target`'s stock sets load, never
+/// rebuild, and lose nothing by it.
+#[test]
+fn stock_atlases_match_pins_and_fresh_build() {
+    for (basis, opts) in stock_specs() {
+        let bytes = stock_atlas_bytes(&basis.name)
+            .unwrap_or_else(|| panic!("{}: no embedded atlas", basis.name));
+        let &(_, pin) = ATLAS_FNV
+            .iter()
+            .find(|(n, _)| *n == basis.name)
+            .unwrap_or_else(|| panic!("{}: no pinned fingerprint", basis.name));
+        assert_eq!(
+            fnv1a(bytes),
+            pin,
+            "{}: atlas fingerprint drifted from the pin (regen + update pins)",
+            basis.name
+        );
+        let loaded = load_stock(&basis, &opts)
+            .unwrap_or_else(|| panic!("{}: embedded atlas failed to decode", basis.name));
+        let fresh = CoverageSet::build(basis.clone(), &opts);
+        assert_eq!(loaded.levels, fresh.levels, "{}: levels", basis.name);
+        assert!(
+            loaded.bank() == fresh.bank(),
+            "{}: atlas-loaded bank differs from fresh build",
+            basis.name
+        );
+    }
+}
+
+/// Atlas loading is fail-safe: any identity or integrity mismatch falls
+/// back to `None` (callers rebuild) rather than loading wrong geometry.
+#[test]
+fn atlas_decode_rejects_corruption_and_mismatch() {
+    let (basis, opts) = &stock_specs()[0];
+    let set = CoverageSet::build(basis.clone(), opts);
+    let bytes = encode(&set, opts);
+
+    let mut other_opts = opts.clone();
+    other_opts.inflation += 1e-3;
+    assert!(
+        decode(&bytes, basis, &other_opts).is_none(),
+        "decode must reject mismatched build options"
+    );
+
+    let other_basis = BasisGate::cnot();
+    assert!(
+        decode(&bytes, &other_basis, opts).is_none(),
+        "decode must reject a different basis identity"
+    );
+
+    assert!(
+        decode(&bytes[..bytes.len() - 1], basis, opts).is_none(),
+        "decode must reject truncation"
+    );
+
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    assert!(
+        decode(&flipped, basis, opts).is_none(),
+        "decode must reject a flipped payload byte (checksum)"
+    );
+}
+
+/// Shared-set queries from `MIRAGE_TEST_THREADS` threads (default 4) give
+/// exactly the serial answers — the query path is read-only and `Sync`.
+#[test]
+fn concurrent_queries_consistent() {
+    let threads: usize = std::env::var("MIRAGE_TEST_THREADS")
+        .ok()
+        .map(|s| s.parse().expect("MIRAGE_TEST_THREADS must be an integer"))
+        .unwrap_or(4);
+    for (basis, opts) in [&stock_specs()[0], &stock_specs()[3]] {
+        let set = CoverageSet::build(basis.clone(), opts);
+        let mut rng = Rng::new(SEED ^ 4);
+        let pts = haar_points(&mut rng, 2000);
+        let serial: Vec<Option<usize>> = pts.iter().map(|w| set.min_k(w)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (set, pts, serial) = (&set, &pts, &serial);
+                scope.spawn(move || {
+                    for (i, w) in pts.iter().enumerate().skip(t).step_by(threads) {
+                        assert_eq!(
+                            set.min_k(w),
+                            serial[i],
+                            "{}: thread {t} diverged from serial at point {i}",
+                            set.basis.name
+                        );
+                    }
+                });
+            }
+        });
+    }
+}
