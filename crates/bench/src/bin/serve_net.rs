@@ -17,11 +17,20 @@
 //!    measured twice and the better run kept.
 //! 2. **Fault smoke** — the protocol-hardening claims, re-checked from
 //!    outside the test suite: garbage bytes get a typed `ProtocolError`,
-//!    an oversized frame is refused from its header alone, a full queue
-//!    answers `Busy` without blocking, and an expired deadline comes back
-//!    as a typed failure. Any silent hang or panic fails the run.
+//!    an oversized frame is refused from its header alone, a client that
+//!    overfills its per-client admission budget gets `Busy` while another
+//!    client is still admitted, an expired deadline comes back
+//!    as a typed failure, and an injected worker panic fails exactly its
+//!    own job while the connection keeps serving. Any silent hang or
+//!    panic fails the run.
+//! 3. **Chaos smoke** (`--chaos`) — a slice of the workload is pushed
+//!    through a `ChaosTransport` under several fault-plan seeds, with
+//!    the retrying client reconnecting through drops, truncations, and
+//!    corruptions. Every job must reach a terminal state and come back
+//!    bit-identical to the fault-free reference; verdicts land in the
+//!    JSON next to the fault smoke.
 //!
-//! Usage: `serve_net [--quick] [--workers N] [--out BENCH_serve.json]`
+//! Usage: `serve_net [--quick] [--workers N] [--chaos] [--out BENCH_serve.json]`
 
 use mirage_circuit::generators::{portfolio_qaoa, qft, two_local_full};
 use mirage_circuit::qasm::to_qasm;
@@ -29,10 +38,10 @@ use mirage_core::{RouterKind, Target};
 use mirage_serve::net::frame;
 use mirage_serve::net::proto::{Request, Response};
 use mirage_serve::net::{
-    ClientError, FailureKind, NetClient, NetServer, ServeConfig, SubmitRequest, WireOptions,
-    DEFAULT_MAX_PAYLOAD,
+    ChaosConfig, ChaosConnector, ChaosPlan, ClientError, FailureKind, NetClient, NetServer,
+    RetryPolicy, ServeConfig, SubmitRequest, TcpConnector, WireOptions, DEFAULT_MAX_PAYLOAD,
 };
-use mirage_serve::{Lane, TranspileJob, TranspileService};
+use mirage_serve::{InjectedFault, Lane, TranspileJob, TranspileService};
 use mirage_topology::CouplingMap;
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
@@ -90,6 +99,7 @@ fn requests(cfg: &Config) -> Vec<SubmitRequest> {
                 lane: Lane::Batch,
                 deadline_ms: None,
                 options: wire.clone(),
+                fault: None,
             });
         }
     }
@@ -262,6 +272,7 @@ fn slow_request(cfg: &Config) -> SubmitRequest {
         lane: Lane::Batch,
         deadline_ms: None,
         options: wire,
+        fault: None,
     }
 }
 
@@ -300,6 +311,7 @@ struct FaultVerdicts {
     oversized: bool,
     busy: bool,
     deadline: bool,
+    panic: bool,
 }
 
 fn fault_smoke(cfg: &Config) -> FaultVerdicts {
@@ -337,7 +349,9 @@ fn fault_smoke(cfg: &Config) -> FaultVerdicts {
         if oversized { "ok" } else { "FAIL" }
     );
 
-    // Full queue: a typed Busy answer, immediately, without blocking.
+    // Full per-client budget: a typed Busy answer for the flooder,
+    // immediately and without blocking — while a different client's
+    // budget is untouched and its submit is still admitted.
     let busy = {
         let config = ServeConfig::new(1).with_queue_capacity(1);
         let server = NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &config).unwrap();
@@ -345,22 +359,32 @@ fn fault_smoke(cfg: &Config) -> FaultVerdicts {
         let _slow = occupy_worker(addr, cfg);
         let mut filler = raw_submit(addr, slow_request(cfg));
         let filler_queued = matches!(read_response(&mut filler), Response::Queued { .. });
-        let mut probe = NetClient::connect(addr).unwrap();
-        let mut submit = slow_request(cfg);
-        submit.label = "busy-probe".to_owned();
-        let verdict = filler_queued
-            && matches!(
-                probe.submit(submit),
-                Err(ClientError::Busy {
+        // Admission is bounded per client: the same connection's next
+        // submit overflows its budget (pipelined on the same socket).
+        let mut probe = slow_request(cfg);
+        probe.label = "busy-probe".to_owned();
+        frame::write_frame(&mut filler, &Request::Submit(probe).encode()).expect("send");
+        let bounced = loop {
+            match read_response(&mut filler) {
+                Response::Busy {
                     lane: Lane::Batch,
-                    capacity: 1
-                })
-            );
+                    capacity: 1,
+                } => break true,
+                Response::Running { .. } => continue,
+                other => {
+                    println!("  expected Busy on the flooding connection, got {other:?}");
+                    break false;
+                }
+            }
+        };
+        let mut other = raw_submit(addr, slow_request(cfg));
+        let other_admitted = matches!(read_response(&mut other), Response::Queued { .. });
+        let verdict = filler_queued && bounced && other_admitted;
         server.shutdown();
         verdict
     };
     println!(
-        "full queue        -> typed Busy          : {}",
+        "full client budget -> typed Busy, fair   : {}",
         if busy { "ok" } else { "FAIL" }
     );
 
@@ -389,12 +413,136 @@ fn fault_smoke(cfg: &Config) -> FaultVerdicts {
         if deadline { "ok" } else { "FAIL" }
     );
 
+    // Injected worker panic: exactly its own job fails, typed; the same
+    // connection (and the respawned pool) keeps serving.
+    let panic = {
+        let config = ServeConfig::new(1).with_chaos();
+        let server = NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &config).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let mut boom = requests(cfg).remove(0);
+        boom.label = "boom".to_owned();
+        boom.fault = Some(InjectedFault::Panic);
+        let failed_typed = matches!(
+            client.submit(boom),
+            Err(ClientError::Failed {
+                kind: FailureKind::WorkerPanicked,
+                ..
+            })
+        );
+        let mut survivor = requests(cfg).remove(1);
+        survivor.label = "after-boom".to_owned();
+        let survived = client.submit(survivor).is_ok();
+        server.shutdown();
+        failed_typed && survived
+    };
+    println!(
+        "worker panic      -> typed, job-isolated : {}",
+        if panic { "ok" } else { "FAIL" }
+    );
+
     FaultVerdicts {
         garbage,
         oversized,
         busy,
         deadline,
+        panic,
     }
+}
+
+/// One chaos-seed verdict for the JSON report.
+struct ChaosCase {
+    seed: u64,
+    frames: u64,
+    faults: u64,
+    retries: u64,
+    terminal: bool,
+    bit_identical: bool,
+}
+
+/// Push a slice of the workload through a fault-injecting transport under
+/// several plan seeds. The gate: every job reaches a terminal state (no
+/// hangs, no unanswered submissions) and every result is bit-identical to
+/// the fault-free reference.
+fn chaos_experiment(cfg: &Config) -> (Vec<ChaosCase>, bool) {
+    println!("\n== serve_net — chaos transport smoke (2 workers, retrying client) ==\n");
+    let server = NetServer::bind(fresh_target(cfg), "127.0.0.1:0", &ServeConfig::new(2))
+        .expect("loopback bind");
+    let addr = server.local_addr();
+    let batch: Vec<SubmitRequest> = requests(cfg).into_iter().take(6).collect();
+
+    // Fault-free reference over the same slice, in-process.
+    let service = TranspileService::new(fresh_target(cfg), 1);
+    let jobs: Vec<TranspileJob> = batch
+        .iter()
+        .map(|r| {
+            let circuit = mirage_circuit::qasm::from_qasm(&r.qasm).expect("workload parses");
+            TranspileJob::new(r.label.clone(), circuit, r.options.to_options(r.seed))
+        })
+        .collect();
+    let expected: Results = service
+        .run_batch(jobs)
+        .expect("service is live")
+        .into_iter()
+        .map(|r| {
+            let out = r.outcome.expect("benchmark jobs succeed");
+            (r.label, (out.circuit.fingerprint(), to_qasm(&out.circuit)))
+        })
+        .collect();
+    service.shutdown();
+
+    println!(
+        "{:>12} {:>7} {:>7} {:>8}  verdict",
+        "seed", "frames", "faults", "retries"
+    );
+    let mut cases = Vec::new();
+    let mut all_ok = true;
+    for seed in [0xC4A0_5EEDu64, 7, 1234] {
+        let plan = ChaosPlan::new(ChaosConfig::new(seed));
+        let connector =
+            ChaosConnector::new(TcpConnector::new(addr).expect("resolve"), plan.clone());
+        let policy = RetryPolicy::new(12).with_seed(seed);
+        let mut client =
+            NetClient::with_connector(Box::new(connector), policy).expect("chaos connect");
+        let mut terminal = true;
+        let mut identical = true;
+        for request in &batch {
+            let label = request.label.clone();
+            match client.submit(request.clone()) {
+                Ok(outcome) => {
+                    let (fingerprint, qasm) = &expected[&label];
+                    identical &=
+                        outcome.done.fingerprint == *fingerprint && outcome.done.qasm == *qasm;
+                }
+                Err(e) => {
+                    // A typed error is still terminal, but the retrying
+                    // client is expected to push through a bounded plan.
+                    terminal = false;
+                    println!("  job {label} did not complete under seed {seed}: {e}");
+                }
+            }
+        }
+        let stats = plan.stats();
+        let ok = terminal && identical;
+        all_ok &= ok;
+        println!(
+            "{:>12} {:>7} {:>7} {:>8}  {}",
+            seed,
+            stats.frames,
+            stats.faults(),
+            client.retries(),
+            if ok { "bit-identical" } else { "FAIL" }
+        );
+        cases.push(ChaosCase {
+            seed,
+            frames: stats.frames,
+            faults: stats.faults(),
+            retries: client.retries(),
+            terminal,
+            bit_identical: identical,
+        });
+    }
+    server.shutdown();
+    (cases, all_ok)
 }
 
 fn verdict_str(ok: bool) -> &'static str {
@@ -410,6 +558,7 @@ fn write_json(
     cfg: &Config,
     cases: &[Case],
     faults: &FaultVerdicts,
+    chaos: Option<&[ChaosCase]>,
 ) -> std::io::Result<()> {
     let topo = topology(cfg);
     let mode = if cfg.quick { "quick" } else { "full" };
@@ -439,12 +588,33 @@ fn write_json(
     s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"faults\": {{\"garbage\": \"{}\", \"oversized\": \"{}\", \"busy\": \"{}\", \
-         \"deadline\": \"{}\"}}\n",
+         \"deadline\": \"{}\", \"panic\": \"{}\"}},\n",
         verdict_str(faults.garbage),
         verdict_str(faults.oversized),
         verdict_str(faults.busy),
-        verdict_str(faults.deadline)
+        verdict_str(faults.deadline),
+        verdict_str(faults.panic)
     ));
+    match chaos {
+        None => s.push_str("  \"chaos\": \"skipped\"\n"),
+        Some(cases) => {
+            s.push_str("  \"chaos\": [\n");
+            for (i, c) in cases.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"seed\": {}, \"frames\": {}, \"faults\": {}, \"retries\": {}, \
+                     \"terminal\": {}, \"bit_identical\": {}}}{}",
+                    c.seed,
+                    c.frames,
+                    c.faults,
+                    c.retries,
+                    c.terminal,
+                    c.bit_identical,
+                    if i + 1 == cases.len() { "\n" } else { ",\n" }
+                ));
+            }
+            s.push_str("  ]\n");
+        }
+    }
     s.push_str("}\n");
     std::fs::write(path, s)
 }
@@ -455,10 +625,12 @@ fn main() {
         max_workers: 4,
     };
     let mut out_path = "BENCH_serve.json".to_owned();
+    let mut run_chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg.quick = true,
+            "--chaos" => run_chaos = true,
             "--workers" => {
                 cfg.max_workers = args
                     .next()
@@ -476,16 +648,23 @@ fn main() {
     let mut cases = Vec::new();
     let scaling_ok = scaling_experiment(&cfg, &mut cases);
     let faults = fault_smoke(&cfg);
-    let faults_ok = faults.garbage && faults.oversized && faults.busy && faults.deadline;
+    let faults_ok =
+        faults.garbage && faults.oversized && faults.busy && faults.deadline && faults.panic;
+    let (chaos_cases, chaos_ok) = if run_chaos {
+        let (cases, ok) = chaos_experiment(&cfg);
+        (Some(cases), ok)
+    } else {
+        (None, true)
+    };
 
-    match write_json(&out_path, &cfg, &cases, &faults) {
+    match write_json(&out_path, &cfg, &cases, &faults, chaos_cases.as_deref()) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
             println!("\nFAIL: cannot write {out_path}: {e}");
             std::process::exit(1);
         }
     }
-    if !(scaling_ok && faults_ok) {
+    if !(scaling_ok && faults_ok && chaos_ok) {
         std::process::exit(1);
     }
 }

@@ -6,11 +6,12 @@
 //! on a process that stays up while the device drifts. This crate is that
 //! serving shape, with zero external dependencies:
 //!
-//! * [`TranspileService`] owns one shared [`Arc<Target>`] and a pool of
-//!   `std::thread` workers consuming a two-lane priority
+//! * [`TranspileService`] owns one shared [`Arc<Target>`] and a supervised
+//!   pool of `std::thread` workers consuming a two-lane priority
 //!   [`queue::JobQueue`]: [`Lane::Interactive`] jobs always dequeue before
-//!   [`Lane::Batch`] jobs, and a service built with a
-//!   [`ServiceConfig::queue_capacity`] bound rejects overload with a typed
+//!   [`Lane::Batch`] jobs, clients share each lane weighted round-robin,
+//!   and a service built with a [`ServiceConfig::queue_capacity`] bound
+//!   rejects a client over its per-lane budget with a typed
 //!   [`ServeError::Busy`] instead of queueing without limit.
 //! * [`TranspileJob`]s (circuit + [`TranspileOptions`] + seed, plus a lane
 //!   and an optional deadline) are submitted singly or in batches;
@@ -21,12 +22,20 @@
 //! * Each handle streams [`JobEvent`]s — `Started` when a worker picks the
 //!   job up, then `Finished` with the [`JobResult`] — which is what the
 //!   [`net`] front forwards over the wire as queued → running → done.
+//! * **Workers are supervised.** Per-job execution runs under
+//!   `catch_unwind`: a panicking transpile delivers a terminal
+//!   [`JobError::WorkerPanicked`] for *that job only* and the worker keeps
+//!   serving. If a worker thread dies outright, a delivery guard still
+//!   hands the in-flight job a `WorkerPanicked` result (a [`JobHandle`]
+//!   can never hang) and the pool respawns the worker in the same slot
+//!   with fresh scratch — [`ServiceStats::respawns`] counts these.
 //! * Results are **deterministic per job seed**: the trial engine is
 //!   bit-identical at every thread count (pre-split seeds, fixed
 //!   reduction order — see [`mirage_core::trials::TrialOptions`]), so the
 //!   same job produces the same routed circuit whether the pool has 1
 //!   worker or 16, whether `trials.parallel` is on or off, and regardless
-//!   of completion order or which lane it rode.
+//!   of completion order, which lane it rode, or how many other jobs
+//!   panicked around it.
 //! * The service is **long-lived**: [`TranspileService::swap_calibration`]
 //!   hot-swaps the device calibration on the shared target between jobs —
 //!   validation, a generation bump, and cost-cache epoch invalidation are
@@ -39,7 +48,9 @@
 //!
 //! The [`net`] module wraps all of this in a framed-TCP wire protocol:
 //! a length-prefixed checksummed frame codec, versioned request/response
-//! envelopes, a [`net::NetServer`] daemon and [`net::NetClient`].
+//! envelopes, a [`net::NetServer`] daemon and a retrying
+//! [`net::NetClient`], plus a deterministic [`net::ChaosTransport`] fault
+//! injector for testing the whole stack under fire.
 //!
 //! ```
 //! use mirage_circuit::generators::ghz;
@@ -74,11 +85,39 @@ use mirage_circuit::Circuit;
 use mirage_core::calibration::{Calibration, CalibrationError};
 use mirage_core::{transpile, Target, TranspileError, TranspileOptions, TranspiledCircuit};
 use queue::{JobQueue, PushError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub use queue::Lane;
+
+/// A deterministic fault a job can carry to exercise the service's
+/// supervision machinery. Test/chaos tooling only — a production server
+/// rejects faulted submissions unless chaos mode is enabled (see
+/// [`net::ServeConfig::with_chaos`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic *inside* the supervised per-job region: the panic is caught,
+    /// the job fails with [`JobError::WorkerPanicked`], and the worker
+    /// thread survives to serve the next job.
+    Panic,
+    /// Panic *outside* the supervised region, killing the worker thread:
+    /// the delivery guard still fails the job with
+    /// [`JobError::WorkerPanicked`], and the pool respawns the worker
+    /// (observable via [`ServiceStats::respawns`]).
+    PanicKill,
+}
+
+impl InjectedFault {
+    /// Stable wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectedFault::Panic => "panic",
+            InjectedFault::PanicKill => "panic-kill",
+        }
+    }
+}
 
 /// One unit of service work: a circuit, how to transpile it, the seed
 /// that makes the result reproducible, and how it should be scheduled.
@@ -104,6 +143,9 @@ pub struct TranspileJob {
     /// Drop-dead time: a job still queued past this instant is rejected at
     /// dequeue with [`JobError::DeadlineExceeded`] instead of being run.
     pub deadline: Option<Instant>,
+    /// Chaos hook: make the worker panic while running this job instead of
+    /// transpiling it. `None` (the default) for every real job.
+    pub fault: Option<InjectedFault>,
 }
 
 impl TranspileJob {
@@ -118,6 +160,7 @@ impl TranspileJob {
             seed,
             lane: Lane::Batch,
             deadline: None,
+            fault: None,
         }
     }
 
@@ -142,6 +185,13 @@ impl TranspileJob {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Arm a deterministic fault (builder style; chaos testing only).
+    #[must_use]
+    pub fn with_fault(mut self, fault: InjectedFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
 }
 
 /// Why a dispatched job did not produce a circuit. Per-job data, not a
@@ -158,6 +208,14 @@ pub enum JobError {
         /// lane.
         late_by: Duration,
     },
+    /// The worker panicked while running this job. Terminal and **not
+    /// retryable**: rerunning the same (circuit, options, seed) would
+    /// deterministically panic again. Other jobs are unaffected — the
+    /// panic was either caught in place or the worker was respawned.
+    WorkerPanicked {
+        /// The panic payload (or a placeholder for non-string payloads).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -167,6 +225,9 @@ impl std::fmt::Display for JobError {
             JobError::DeadlineExceeded { late_by } => {
                 write!(f, "deadline exceeded ({late_by:?} before dequeue)")
             }
+            JobError::WorkerPanicked { message } => {
+                write!(f, "worker panicked: {message}")
+            }
         }
     }
 }
@@ -175,7 +236,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Transpile(e) => Some(e),
-            JobError::DeadlineExceeded { .. } => None,
+            JobError::DeadlineExceeded { .. } | JobError::WorkerPanicked { .. } => None,
         }
     }
 }
@@ -225,31 +286,51 @@ pub enum JobEvent {
 }
 
 /// A claim on one submitted job's future [`JobResult`].
+///
+/// Handles can never hang: a worker that dies mid-job still delivers a
+/// [`JobError::WorkerPanicked`] result through its delivery guard, and —
+/// as a last-resort backstop — a handle whose channel disconnects without
+/// a result synthesizes the same terminal error instead of panicking.
 #[derive(Debug)]
 pub struct JobHandle {
     /// The id the result will carry.
     pub job_id: u64,
+    /// The label the job was submitted with (echoed in the backstop
+    /// result if the worker vanishes).
+    pub label: String,
     rx: mpsc::Receiver<JobEvent>,
 }
 
 impl JobHandle {
+    /// The terminal result synthesized when the delivery channel
+    /// disconnects without a [`JobEvent::Finished`] — a severed worker.
+    /// Scheduling metadata (worker, sequence, generation) is unknowable at
+    /// that point and reported as zero.
+    fn orphaned(&self) -> JobResult {
+        JobResult {
+            job_id: self.job_id,
+            label: self.label.clone(),
+            outcome: Err(JobError::WorkerPanicked {
+                message: "worker disconnected without delivering a result".to_string(),
+            }),
+            generation: 0,
+            worker: 0,
+            sequence: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
     /// Block until the job completes, discarding intermediate
     /// [`JobEvent::Started`] notifications. Jobs accepted by the service
-    /// always complete — graceful shutdown drains the queue first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the owning worker died without delivering a result (a
-    /// worker panic — indicates a transpiler bug, not a service state).
+    /// always complete — graceful shutdown drains the queue first, and a
+    /// worker lost mid-job yields a [`JobError::WorkerPanicked`] result
+    /// rather than a hang or a panic.
     pub fn wait(self) -> JobResult {
         loop {
-            match self
-                .rx
-                .recv()
-                .expect("worker dropped a job without a result")
-            {
-                JobEvent::Started { .. } => continue,
-                JobEvent::Finished(result) => return result,
+            match self.rx.recv() {
+                Ok(JobEvent::Started { .. }) => continue,
+                Ok(JobEvent::Finished(result)) => return result,
+                Err(mpsc::RecvError) => return self.orphaned(),
             }
         }
     }
@@ -257,35 +338,27 @@ impl JobHandle {
     /// Block until the next [`JobEvent`] — `Started` when a worker claims
     /// the job, then `Finished`. The network front uses this to stream
     /// status updates; callers that only want the result use
-    /// [`JobHandle::wait`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the owning worker died without delivering a result.
+    /// [`JobHandle::wait`]. A severed delivery channel yields a terminal
+    /// `Finished` carrying [`JobError::WorkerPanicked`].
     pub fn recv_event(&self) -> JobEvent {
-        self.rx
-            .recv()
-            .expect("worker dropped a job without a result")
+        match self.rx.recv() {
+            Ok(event) => event,
+            Err(mpsc::RecvError) => JobEvent::Finished(self.orphaned()),
+        }
     }
 
     /// Non-blocking poll: the result if the job has finished, `None` while
     /// it is still pending. Intermediate `Started` events are consumed
-    /// silently.
-    ///
-    /// # Panics
-    ///
-    /// Panics — like [`JobHandle::wait`] — if the owning worker died
-    /// without delivering a result; a poll loop must surface that rather
-    /// than spin on `None` forever.
+    /// silently; a severed delivery channel yields a terminal
+    /// [`JobError::WorkerPanicked`] result — a poll loop never spins on
+    /// `None` forever.
     pub fn try_wait(&self) -> Option<JobResult> {
         loop {
             match self.rx.try_recv() {
                 Ok(JobEvent::Started { .. }) => continue,
                 Ok(JobEvent::Finished(result)) => return Some(result),
                 Err(mpsc::TryRecvError::Empty) => return None,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    panic!("worker dropped a job without a result")
-                }
+                Err(mpsc::TryRecvError::Disconnected) => return Some(self.orphaned()),
             }
         }
     }
@@ -296,13 +369,14 @@ impl JobHandle {
 pub enum ServeError {
     /// The service has been shut down; no further jobs are accepted.
     ShutDown,
-    /// Admission control: the job's lane is at its configured capacity
-    /// (see [`ServiceConfig::queue_capacity`]). The submission was
-    /// rejected immediately — nothing blocked, nothing was queued.
+    /// Admission control: the submitting client already has `capacity`
+    /// jobs queued in this lane (see [`ServiceConfig::queue_capacity`]).
+    /// The submission was rejected immediately — nothing blocked, nothing
+    /// was queued, and other clients' budgets are unaffected.
     Busy {
-        /// The lane that was full.
+        /// The lane that was full for this client.
         lane: Lane,
-        /// Its configured per-lane capacity.
+        /// The configured per-client, per-lane capacity.
         capacity: usize,
     },
 }
@@ -325,10 +399,12 @@ impl std::error::Error for ServeError {}
 pub struct ServiceConfig {
     /// Worker threads in the pool (must be ≥ 1).
     pub workers: usize,
-    /// Per-lane admission bound: `Some(n)` rejects submissions to a lane
-    /// already holding `n` queued jobs with [`ServeError::Busy`]; `None`
-    /// queues without limit (the in-process default — callers that own
-    /// their batch can't overload themselves).
+    /// Per-client, per-lane admission bound: `Some(n)` rejects a client's
+    /// submission to a lane where it already holds `n` queued jobs with
+    /// [`ServeError::Busy`]; `None` queues without limit (the in-process
+    /// default — callers that own their batch can't overload themselves).
+    /// One flooding client bounces off its own budget while everyone else
+    /// keeps draining.
     pub queue_capacity: Option<usize>,
 }
 
@@ -341,7 +417,8 @@ impl ServiceConfig {
         }
     }
 
-    /// Bound each lane to `capacity` queued jobs (builder style).
+    /// Bound each client's per-lane backlog to `capacity` queued jobs
+    /// (builder style).
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
         self.queue_capacity = Some(capacity);
@@ -352,10 +429,15 @@ impl ServiceConfig {
 /// Aggregate counters reported by [`TranspileService::shutdown`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Total jobs processed over the service lifetime.
+    /// Total jobs processed over the service lifetime (including jobs
+    /// terminated by a worker panic — every accepted job is counted
+    /// exactly once).
     pub jobs: u64,
-    /// Jobs processed by each worker (index = worker id). Sums to `jobs`.
+    /// Jobs processed by each worker slot (index = worker id; a respawned
+    /// worker keeps accumulating in its slot). Sums to `jobs`.
     pub per_worker: Vec<u64>,
+    /// How many times the supervisor replaced a dead worker thread.
+    pub respawns: u64,
 }
 
 /// What travels through the queue: the job plus its delivery channel.
@@ -365,24 +447,39 @@ struct QueuedJob {
     tx: mpsc::Sender<JobEvent>,
 }
 
+/// Everything a worker thread (and its supervisor respawn path) needs,
+/// bundled so a dying worker can hand the whole context to its successor.
+#[derive(Clone)]
+struct WorkerContext {
+    target: Arc<Target>,
+    queue: Arc<JobQueue<QueuedJob>>,
+    completed: Arc<AtomicU64>,
+    sequence: Arc<AtomicU64>,
+    per_worker: Arc<Vec<AtomicU64>>,
+    respawns: Arc<AtomicU64>,
+    /// One slot per worker index; holds the JoinHandle of the thread
+    /// currently serving that slot (replaced on respawn).
+    slots: Arc<Mutex<Vec<Option<std::thread::JoinHandle<()>>>>>,
+}
+
 /// The batch transpilation service. See the [crate docs](self) for the
 /// design; construct with [`TranspileService::new`] or — for bounded
 /// admission control — [`TranspileService::with_config`].
 pub struct TranspileService {
     target: Arc<Target>,
     queue: Arc<JobQueue<QueuedJob>>,
-    workers: Vec<std::thread::JoinHandle<u64>>,
+    ctx: WorkerContext,
     next_id: AtomicU64,
-    completed: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for TranspileService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TranspileService")
             .field("target", &self.target.name())
-            .field("workers", &self.workers.len())
+            .field("workers", &self.workers())
             .field("pending", &self.queue.len())
             .field("completed", &self.completed())
+            .field("respawns", &self.respawns())
             .finish()
     }
 }
@@ -410,26 +507,23 @@ impl TranspileService {
             Some(capacity) => JobQueue::bounded(capacity),
             None => JobQueue::new(),
         });
-        let completed = Arc::new(AtomicU64::new(0));
-        let sequence = Arc::new(AtomicU64::new(0));
-        let handles = (0..config.workers)
-            .map(|worker| {
-                let target = Arc::clone(&target);
-                let queue = Arc::clone(&queue);
-                let completed = Arc::clone(&completed);
-                let sequence = Arc::clone(&sequence);
-                std::thread::Builder::new()
-                    .name(format!("mirage-serve-{worker}"))
-                    .spawn(move || worker_loop(worker, &target, &queue, &completed, &sequence))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let ctx = WorkerContext {
+            target: Arc::clone(&target),
+            queue: Arc::clone(&queue),
+            completed: Arc::new(AtomicU64::new(0)),
+            sequence: Arc::new(AtomicU64::new(0)),
+            per_worker: Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect()),
+            respawns: Arc::new(AtomicU64::new(0)),
+            slots: Arc::new(Mutex::new((0..config.workers).map(|_| None).collect())),
+        };
+        for worker in 0..config.workers {
+            spawn_worker(worker, ctx.clone());
+        }
         TranspileService {
             target,
             queue,
-            workers: handles,
+            ctx,
             next_id: AtomicU64::new(0),
-            completed,
         }
     }
 
@@ -438,9 +532,9 @@ impl TranspileService {
         &self.target
     }
 
-    /// Number of worker threads.
+    /// Number of worker slots (each kept filled by the supervisor).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.ctx.per_worker.len()
     }
 
     /// Jobs accepted but not yet claimed by a worker (both lanes).
@@ -453,14 +547,26 @@ impl TranspileService {
         self.queue.lane_len(lane)
     }
 
-    /// The per-lane admission bound, if the service was built with one.
+    /// The per-client, per-lane admission bound, if the service was built
+    /// with one.
     pub fn queue_capacity(&self) -> Option<usize> {
         self.queue.capacity()
     }
 
     /// Jobs completed since the service started.
     pub fn completed(&self) -> u64 {
-        self.completed.load(Ordering::SeqCst)
+        self.ctx.completed.load(Ordering::SeqCst)
+    }
+
+    /// How many dead workers the supervisor has replaced so far.
+    pub fn respawns(&self) -> u64 {
+        self.ctx.respawns.load(Ordering::SeqCst)
+    }
+
+    /// Set a client's weighted-round-robin share of each lane (see
+    /// [`queue::JobQueue::set_weight`]); the default weight is 1.
+    pub fn set_client_weight(&self, client: u64, weight: usize) {
+        self.queue.set_weight(client, weight);
     }
 
     /// Hot-swap the calibration of the shared target (see
@@ -476,19 +582,33 @@ impl TranspileService {
         self.target.swap_calibration(calibration)
     }
 
-    /// Submit one job; returns a handle to its future result.
+    /// Submit one job on behalf of the in-process caller (client 0);
+    /// returns a handle to its future result.
     ///
     /// # Errors
     ///
     /// [`ServeError::ShutDown`] once [`TranspileService::shutdown`] has
-    /// begun, [`ServeError::Busy`] when the job's lane is at its
-    /// configured capacity (never blocks).
+    /// begun, [`ServeError::Busy`] when this client's lane budget is at
+    /// its configured capacity (never blocks).
     pub fn submit(&self, job: TranspileJob) -> Result<JobHandle, ServeError> {
+        self.submit_from(0, job)
+    }
+
+    /// Submit one job on behalf of a specific client. The client id is a
+    /// scheduling identity only (the network front uses one per
+    /// connection): it selects which fair-share sub-queue the job joins
+    /// and whose admission budget it spends — it never affects results.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TranspileService::submit`].
+    pub fn submit_from(&self, client: u64, job: TranspileJob) -> Result<JobHandle, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = mpsc::channel();
         let lane = job.lane;
+        let label = job.label.clone();
         self.queue
-            .push(QueuedJob { id, job, tx }, lane)
+            .push(QueuedJob { id, job, tx }, lane, client)
             .map_err(|e| match e {
                 PushError::Closed(_) => ServeError::ShutDown,
                 PushError::Full(_) => ServeError::Busy {
@@ -496,7 +616,11 @@ impl TranspileService {
                     capacity: self.queue.capacity().expect("Full implies bounded"),
                 },
             })?;
-        Ok(JobHandle { job_id: id, rx })
+        Ok(JobHandle {
+            job_id: id,
+            label,
+            rx,
+        })
     }
 
     /// Submit a batch; handles come back in submission order, so waiting on
@@ -524,17 +648,21 @@ impl TranspileService {
 
     /// Graceful shutdown: stop accepting jobs, let the workers drain
     /// everything already accepted, join them, and report per-worker
-    /// counters.
-    pub fn shutdown(mut self) -> ServiceStats {
+    /// counters. A worker that died (and was respawned) along the way is
+    /// reflected in [`ServiceStats::respawns`], never a panic here.
+    pub fn shutdown(self) -> ServiceStats {
         self.queue.close();
+        join_workers(&self.ctx.slots);
         let per_worker: Vec<u64> = self
-            .workers
-            .drain(..)
-            .map(|h| h.join().expect("worker panicked"))
+            .ctx
+            .per_worker
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
             .collect();
         ServiceStats {
             jobs: per_worker.iter().sum(),
             per_worker,
+            respawns: self.ctx.respawns.load(Ordering::SeqCst),
         }
     }
 }
@@ -545,29 +673,141 @@ impl Drop for TranspileService {
     /// receivers).
     fn drop(&mut self) {
         self.queue.close();
-        for handle in self.workers.drain(..) {
+        join_workers(&self.ctx.slots);
+    }
+}
+
+/// Join every live worker thread. Loops because a dying worker may store
+/// its successor's handle *after* a round of joins began: joining the dead
+/// thread guarantees its successor (if any) is already in the slot table,
+/// so one more sweep sees it. Terminates because the queue is closed —
+/// successors drain and exit instead of spawning further generations.
+fn join_workers(slots: &Arc<Mutex<Vec<Option<std::thread::JoinHandle<()>>>>>) {
+    loop {
+        let taken: Vec<_> = {
+            let mut guard = slots.lock().expect("worker slot table poisoned");
+            guard.iter_mut().filter_map(Option::take).collect()
+        };
+        if taken.is_empty() {
+            return;
+        }
+        for handle in taken {
+            // The thread body is wrapped in catch_unwind; join errors are
+            // impossible in practice, and never worth dying over here.
             let _ = handle.join();
         }
     }
 }
 
-/// One worker: pop until the queue terminates, announce each dequeue,
-/// enforce the job's deadline, run it under its own seed, deliver the
-/// result. Returns the number of jobs processed. The job's
-/// `trials.parallel` setting is honored: determinism comes from the trial
-/// engine's seed pre-split and fixed reduction order, not from forcing
-/// jobs single-threaded.
-fn worker_loop(
+/// Spawn (or respawn) the thread serving worker slot `worker`. The thread
+/// runs [`worker_loop`] under `catch_unwind`; if the loop dies — a panic
+/// escaping the per-job supervision, e.g. an injected
+/// [`InjectedFault::PanicKill`] — the dying thread spawns its own
+/// successor into the same slot with fresh (empty) scratch state, and the
+/// in-flight job's delivery guard has already reported
+/// [`JobError::WorkerPanicked`] to its handle.
+fn spawn_worker(worker: usize, ctx: WorkerContext) {
+    let slots = Arc::clone(&ctx.slots);
+    let handle = std::thread::Builder::new()
+        .name(format!("mirage-serve-{worker}"))
+        .spawn(move || {
+            let respawn_ctx = ctx.clone();
+            let died = catch_unwind(AssertUnwindSafe(|| worker_loop(worker, &ctx))).is_err();
+            if died {
+                respawn_ctx.respawns.fetch_add(1, Ordering::SeqCst);
+                spawn_worker(worker, respawn_ctx);
+            }
+        })
+        .expect("spawn transpile worker thread");
+    let mut guard = slots.lock().expect("worker slot table poisoned");
+    // On respawn this replaces the dying thread's own handle; that thread
+    // is past its last observable effect, so dropping (detaching) it is
+    // sound and join_workers still joins the successor stored here.
+    guard[worker] = Some(handle);
+}
+
+/// Delivery guard for one claimed job: exactly one terminal
+/// [`JobEvent::Finished`] reaches the handle, even if the worker dies
+/// between dequeue and delivery. Normal completion calls
+/// [`Delivery::deliver`]; an unwind drops the guard, which reports
+/// [`JobError::WorkerPanicked`] instead. Both paths count the job.
+struct Delivery<'a> {
+    tx: mpsc::Sender<JobEvent>,
+    job_id: u64,
+    label: String,
+    generation: u64,
     worker: usize,
-    target: &Arc<Target>,
-    queue: &JobQueue<QueuedJob>,
-    completed: &AtomicU64,
-    sequence: &AtomicU64,
-) -> u64 {
-    let mut processed = 0u64;
-    while let Some(QueuedJob { id, job, tx }) = queue.pop() {
-        let seq = sequence.fetch_add(1, Ordering::SeqCst);
-        let generation = target.calibration_generation();
+    sequence: u64,
+    start: Instant,
+    completed: &'a AtomicU64,
+    processed: &'a AtomicU64,
+    delivered: bool,
+}
+
+impl Delivery<'_> {
+    fn deliver(mut self, outcome: Result<TranspiledCircuit, JobError>) {
+        self.delivered = true;
+        let label = std::mem::take(&mut self.label);
+        self.send(label, outcome);
+    }
+
+    fn send(&self, label: String, outcome: Result<TranspiledCircuit, JobError>) {
+        let result = JobResult {
+            job_id: self.job_id,
+            label,
+            outcome,
+            generation: self.generation,
+            worker: self.worker,
+            sequence: self.sequence,
+            elapsed: self.start.elapsed(),
+        };
+        self.processed.fetch_add(1, Ordering::SeqCst);
+        // Count before delivering, so a caller that has already observed
+        // the result never reads a counter that excludes it. A dropped
+        // handle (caller gave up) is not a worker error.
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        let _ = self.tx.send(JobEvent::Finished(result));
+    }
+}
+
+impl Drop for Delivery<'_> {
+    fn drop(&mut self) {
+        if self.delivered {
+            return;
+        }
+        let label = std::mem::take(&mut self.label);
+        let worker = self.worker;
+        self.send(
+            label,
+            Err(JobError::WorkerPanicked {
+                message: format!("worker {worker} died while running this job"),
+            }),
+        );
+    }
+}
+
+/// Render a caught panic payload for [`JobError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker: pop until the queue terminates, announce each dequeue,
+/// enforce the job's deadline, run it under its own seed (inside
+/// `catch_unwind`, so a panicking transpile fails only its own job), and
+/// deliver exactly one terminal result per job via [`Delivery`]. The
+/// job's `trials.parallel` setting is honored: determinism comes from the
+/// trial engine's seed pre-split and fixed reduction order, not from
+/// forcing jobs single-threaded.
+fn worker_loop(worker: usize, ctx: &WorkerContext) {
+    while let Some(QueuedJob { id, job, tx }) = ctx.queue.pop() {
+        let seq = ctx.sequence.fetch_add(1, Ordering::SeqCst);
+        let generation = ctx.target.calibration_generation();
         // A dropped handle (caller gave up) is not a worker error, here or
         // for the final result below.
         let _ = tx.send(JobEvent::Started {
@@ -577,6 +817,25 @@ fn worker_loop(
             sequence: seq,
         });
         let start = Instant::now();
+        let delivery = Delivery {
+            tx,
+            job_id: id,
+            label: job.label.clone(),
+            generation,
+            worker,
+            sequence: seq,
+            start,
+            completed: &ctx.completed,
+            processed: &ctx.per_worker[worker],
+            delivered: false,
+        };
+        // An injected worker-kill panics *outside* the per-job
+        // catch_unwind: the unwind drops `delivery` (which reports
+        // WorkerPanicked to the handle) and escapes worker_loop, so the
+        // supervisor in spawn_worker exercises the real respawn path.
+        if job.fault == Some(InjectedFault::PanicKill) {
+            panic!("injected fault: killing worker {worker} during job {id}");
+        }
         // Deadline enforcement happens at dequeue: a job that sat in its
         // lane past its drop-dead time is rejected without burning pool
         // time on an answer nobody is waiting for.
@@ -584,27 +843,24 @@ fn worker_loop(
         let outcome = match expired {
             Some(late_by) => Err(JobError::DeadlineExceeded { late_by }),
             None => {
-                let mut options = job.options;
-                options.trials.seed = job.seed;
-                transpile(&job.circuit, target, &options).map_err(JobError::Transpile)
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if job.fault == Some(InjectedFault::Panic) {
+                        panic!("injected fault: panic during job {id}");
+                    }
+                    let mut options = job.options.clone();
+                    options.trials.seed = job.seed;
+                    transpile(&job.circuit, &ctx.target, &options)
+                }));
+                match run {
+                    Ok(transpiled) => transpiled.map_err(JobError::Transpile),
+                    Err(payload) => Err(JobError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
             }
         };
-        let result = JobResult {
-            job_id: id,
-            label: job.label,
-            outcome,
-            generation,
-            worker,
-            sequence: seq,
-            elapsed: start.elapsed(),
-        };
-        processed += 1;
-        // Count before delivering, so a caller that has already observed
-        // the result never reads a counter that excludes it.
-        completed.fetch_add(1, Ordering::SeqCst);
-        let _ = tx.send(JobEvent::Finished(result));
+        delivery.deliver(outcome);
     }
-    processed
 }
 
 #[cfg(test)]
@@ -656,6 +912,7 @@ mod tests {
         assert_eq!(stats.jobs, 4);
         assert_eq!(stats.per_worker.len(), 2);
         assert_eq!(stats.per_worker.iter().sum::<u64>(), 4);
+        assert_eq!(stats.respawns, 0);
     }
 
     #[test]
@@ -764,6 +1021,50 @@ mod tests {
     }
 
     #[test]
+    fn injected_panic_fails_only_its_own_job() {
+        let target = Arc::new(Target::sqrt_iswap(CouplingMap::line(3)));
+        let service = TranspileService::new(target, 1);
+        let jobs = vec![
+            quick_job("before", ghz(3), 1),
+            quick_job("boom", ghz(3), 2).with_fault(InjectedFault::Panic),
+            quick_job("after", ghz(3), 3),
+        ];
+        let results = service.run_batch(jobs).unwrap();
+        assert!(results[0].outcome.is_ok());
+        match &results[1].outcome {
+            Err(JobError::WorkerPanicked { message }) => {
+                assert!(message.contains("injected fault"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(results[2].outcome.is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.jobs, 3, "the panicked job still counts");
+        assert_eq!(stats.respawns, 0, "a caught panic keeps the worker alive");
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_handle_never_hangs() {
+        let target = Arc::new(Target::sqrt_iswap(CouplingMap::line(3)));
+        let service = TranspileService::new(target, 1);
+        let kill = service
+            .submit(quick_job("kill", ghz(3), 1).with_fault(InjectedFault::PanicKill))
+            .unwrap();
+        match kill.wait().outcome {
+            Err(JobError::WorkerPanicked { message }) => {
+                assert!(message.contains("died"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The pool must keep serving from the same (sole) worker slot.
+        let after = service.submit(quick_job("after", ghz(3), 2)).unwrap();
+        assert!(after.wait().outcome.is_ok());
+        let stats = service.shutdown();
+        assert!(stats.respawns >= 1, "the dead worker must be respawned");
+        assert_eq!(stats.jobs, 2);
+    }
+
+    #[test]
     fn expired_deadline_is_rejected_at_dequeue_without_running() {
         let target = Arc::new(Target::sqrt_iswap(CouplingMap::line(3)));
         let service = TranspileService::new(target, 1);
@@ -793,7 +1094,7 @@ mod tests {
         assert_eq!(service.queue_capacity(), Some(1));
         // Occupy the worker long enough to observe the queue: the first
         // job is dequeued (freeing its lane slot), the second fills the
-        // lane, the third must bounce.
+        // submitting client's lane budget, the third must bounce.
         let blocker = service
             .submit(quick_job("blocker", qft(6, false), 1))
             .unwrap();
@@ -813,6 +1114,10 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("batch lane is full"));
+        // The budget is per client: another client still gets in.
+        let other = service
+            .submit_from(7, quick_job("other-client", ghz(3), 5))
+            .unwrap();
         // The interactive lane has its own budget — not affected by the
         // batch lane being full.
         let express = service
@@ -820,6 +1125,7 @@ mod tests {
             .unwrap();
         assert!(blocker.wait().outcome.is_ok());
         assert!(queued.wait().outcome.is_ok());
+        assert!(other.wait().outcome.is_ok());
         assert!(express.wait().outcome.is_ok());
     }
 

@@ -8,17 +8,24 @@
 //! * [`NetServer`] — a `std::net::TcpListener` accept loop spawning one
 //!   handler thread per connection, each driving the shared worker pool
 //!   through [`TranspileService`];
-//! * [`NetClient`] — the matching blocking client;
+//! * [`NetClient`] — the matching blocking client, with a [`RetryPolicy`]
+//!   for reconnect-and-resubmit recovery;
+//! * [`chaos`] — a deterministic fault-injection proxy
+//!   ([`ChaosTransport`]) the tests and bench wrap around any transport;
 //! * [`CalibrationRefresher`] — a file-watching poller hot-swapping the
 //!   served [`Target`]'s calibration.
 //!
-//! A connection carries one conversation at a time: the client sends a
-//! [`Request`], the server answers with one or more [`Response`]s
-//! (`Submit` streams `Queued` → `Running` → `Done`/`Failed`; refusals
-//! are a single terminal message). Concurrency comes from opening more
-//! connections — every connection feeds the same two-lane queue, so the
+//! A connection carries **pipelined** conversations: the handler thread
+//! keeps reading [`Request`]s while a per-job forwarder thread streams
+//! each accepted job's `Queued` → `Running` → `Done`/`Failed` responses
+//! back through a shared, frame-atomic writer. A client may therefore
+//! have many jobs in flight on one socket; protocol v2 echoes the
+//! submission label on every job-specific response so the client can
+//! correlate them. Every connection feeds the same two-lane queue — the
 //! pool, the lanes, the deadlines, and admission control are shared
-//! process-wide.
+//! process-wide — and each connection is a distinct *client* to the
+//! queue's weighted fair-share scheduler, so one flooding connection
+//! cannot starve another's jobs.
 //!
 //! Fault policy (what `tests/serve_net.rs` injects):
 //!
@@ -30,15 +37,23 @@
 //!   connection — the listener and every other connection are unaffected;
 //! * a client that disconnects mid-job kills nothing: the job was already
 //!   queued, the pool finishes it, the undeliverable result is discarded;
-//! * server shutdown is graceful: accepted jobs drain and their statuses
-//!   are delivered before connection handlers exit.
+//! * a job that panics its worker fails alone
+//!   ([`FailureKind::WorkerPanicked`] on the wire); the pool respawns the
+//!   worker and every other job is untouched;
+//! * server shutdown is graceful: accepted jobs drain and their terminal
+//!   responses are delivered before connection handlers exit.
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod proto;
 pub mod refresh;
 
-pub use client::{ClientError, JobOutcome, NetClient, ServerInfo};
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosStats, ChaosTransport};
+pub use client::{
+    ChaosConnector, ClientError, Connector, JobOutcome, NetClient, RetryPolicy, ServerInfo,
+    TcpConnector, Transport,
+};
 pub use frame::{FrameError, DEFAULT_MAX_PAYLOAD};
 pub use proto::{
     FailureKind, JobDone, ProtoError, Request, Response, SubmitRequest, WireMetrics, WireOptions,
@@ -54,7 +69,7 @@ use mirage_core::Target;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How to run a [`NetServer`].
@@ -62,20 +77,26 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Worker threads in the transpile pool.
     pub workers: usize,
-    /// Per-lane admission bound; `None` = unbounded (see
+    /// Per-client, per-lane admission bound; `None` = unbounded (see
     /// [`ServiceConfig::queue_capacity`]).
     pub queue_capacity: Option<usize>,
     /// Largest frame payload a connection will accept.
     pub max_payload: u32,
+    /// Accept submissions carrying an injected fault
+    /// ([`SubmitRequest::fault`]). Off by default: a production server
+    /// rejects faulted submissions before queueing them.
+    pub chaos: bool,
 }
 
 impl ServeConfig {
-    /// Defaults: `workers` threads, unbounded queue, 16 MiB frames.
+    /// Defaults: `workers` threads, unbounded queue, 16 MiB frames,
+    /// fault injection disabled.
     pub fn new(workers: usize) -> ServeConfig {
         ServeConfig {
             workers,
             queue_capacity: None,
             max_payload: DEFAULT_MAX_PAYLOAD,
+            chaos: false,
         }
     }
 
@@ -91,6 +112,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_max_payload(mut self, max_payload: u32) -> ServeConfig {
         self.max_payload = max_payload;
+        self
+    }
+
+    /// Allow submissions with injected faults (builder style) — the knob
+    /// the chaos suite turns; leave off in production.
+    #[must_use]
+    pub fn with_chaos(mut self) -> ServeConfig {
+        self.chaos = true;
         self
     }
 }
@@ -111,6 +140,7 @@ struct Shared {
     connections: AtomicU64,
     closed: AtomicU64,
     max_payload: u32,
+    chaos: bool,
 }
 
 /// A framed-TCP transpilation daemon. Bind with [`NetServer::bind`],
@@ -158,6 +188,7 @@ impl NetServer {
             connections: AtomicU64::new(0),
             closed: AtomicU64::new(0),
             max_payload: config.max_payload,
+            chaos: config.chaos,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -259,7 +290,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let handle = std::thread::Builder::new()
                     .name(format!("mirage-net-conn-{n}"))
                     .spawn(move || {
-                        handle_connection(stream, &conn_shared);
+                        // Client id 0 is reserved for in-process callers
+                        // (`TranspileService::submit`); connections are
+                        // distinct fair-share clients starting at 1.
+                        handle_connection(stream, &conn_shared, n + 1);
                         conn_shared.closed.fetch_add(1, Ordering::SeqCst);
                     })
                     .expect("failed to spawn connection handler");
@@ -365,30 +399,47 @@ impl Read for Resumable<'_> {
     }
 }
 
-fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    frame::write_frame(stream, &response.encode())
+/// Write one response frame through the connection's shared writer. The
+/// lock is held across the whole frame, so forwarder threads and the
+/// handler interleave at frame granularity — never mid-frame.
+fn send(writer: &Mutex<TcpStream>, response: &Response) -> std::io::Result<()> {
+    let mut stream = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    frame::write_frame(&mut *stream, &response.encode())
 }
 
-/// One connection's conversation loop.
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+/// One connection's conversation loop. Requests are **pipelined**: this
+/// loop keeps reading while per-job forwarder threads stream each
+/// accepted job's statuses back through the shared writer — so a client
+/// can have many jobs in flight on one socket, and one connection's
+/// flood of submissions never has to finish before later requests are
+/// even read.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>, client: u64) {
     // Low-latency small writes (status updates), sliced reads for
     // shutdown responsiveness.
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_SLICE));
+    let writer = match stream.try_clone() {
+        Ok(write_half) => Arc::new(Mutex::new(write_half)),
+        Err(_) => return,
+    };
+    let mut forwarders: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         let payload = match next_frame(&mut stream, shared) {
             NextFrame::Payload(payload) => payload,
-            NextFrame::Stop => return,
+            NextFrame::Stop => break,
             NextFrame::Broken(e) => {
                 // The byte stream lost sync; report if the socket still
-                // works, then drop the connection.
+                // works, then stop reading (accepted jobs still deliver
+                // below — outbound frames remain intact).
                 let _ = send(
-                    &mut stream,
+                    &writer,
                     &Response::ProtocolError {
                         message: format!("frame error: {e}"),
                     },
                 );
-                return;
+                break;
             }
         };
         let request = match Request::decode(&payload) {
@@ -397,21 +448,21 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 // The frame was intact, so the stream is still in sync:
                 // answer the error and keep the connection.
                 if send(
-                    &mut stream,
+                    &writer,
                     &Response::ProtocolError {
                         message: e.to_string(),
                     },
                 )
                 .is_err()
                 {
-                    return;
+                    break;
                 }
                 continue;
             }
         };
         let keep_going = match request {
             Request::Ping => send(
-                &mut stream,
+                &writer,
                 &Response::Pong {
                     version: PROTO_VERSION,
                     workers: shared.service.workers() as u32,
@@ -419,23 +470,59 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 },
             )
             .is_ok(),
-            Request::Submit(submit) => handle_submit(&mut stream, shared, submit),
+            Request::Submit(submit) => {
+                handle_submit(&writer, shared, client, submit, &mut forwarders)
+            }
         };
-        if !keep_going {
-            return;
+        // Reap finished forwarders as we go so a long-lived connection
+        // does not accumulate dead join handles.
+        let mut live = Vec::with_capacity(forwarders.len());
+        for handle in forwarders.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
         }
+        forwarders = live;
+        if !keep_going {
+            break;
+        }
+    }
+    // Every accepted job still delivers its terminal response (or
+    // discovers the peer is gone) before the conversation closes — this
+    // is what makes server shutdown graceful from the client's side.
+    for handle in forwarders {
+        let _ = handle.join();
     }
 }
 
-/// Run one submit conversation; returns false when the connection should
-/// close (write failure — the job itself keeps running in the pool).
-fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest) -> bool {
+/// Admit one submission; returns false when the connection should close
+/// (write failure — any accepted job keeps running in the pool). On
+/// acceptance, spawns a forwarder thread that streams the job's statuses
+/// so the caller can immediately read the next request.
+fn handle_submit(
+    writer: &Arc<Mutex<TcpStream>>,
+    shared: &Shared,
+    client: u64,
+    submit: SubmitRequest,
+    forwarders: &mut Vec<std::thread::JoinHandle<()>>,
+) -> bool {
     let received = Instant::now();
+    if submit.fault.is_some() && !shared.chaos {
+        return send(
+            writer,
+            &Response::Rejected {
+                message: "fault injection is disabled on this server".to_owned(),
+            },
+        )
+        .is_ok();
+    }
     let circuit = match from_qasm(&submit.qasm) {
         Ok(circuit) => circuit,
         Err(e) => {
             return send(
-                stream,
+                writer,
                 &Response::Rejected {
                     message: format!("qasm parse error: {e}"),
                 },
@@ -444,18 +531,22 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
         }
     };
     let options = submit.options.to_options(submit.seed);
+    let label = submit.label.clone();
     let mut job = TranspileJob::new(submit.label, circuit, options)
         .with_seed(submit.seed)
         .with_lane(submit.lane);
+    if let Some(fault) = submit.fault {
+        job = job.with_fault(fault);
+    }
     if let Some(ms) = submit.deadline_ms {
         job = job.with_deadline(received + Duration::from_millis(ms));
     }
     let pending = shared.service.pending();
-    let handle = match shared.service.submit(job) {
+    let handle = match shared.service.submit_from(client, job) {
         Ok(handle) => handle,
         Err(ServeError::Busy { lane, capacity }) => {
             return send(
-                stream,
+                writer,
                 &Response::Busy {
                     lane,
                     capacity: capacity as u32,
@@ -465,7 +556,7 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
         }
         Err(ServeError::ShutDown) => {
             return send(
-                stream,
+                writer,
                 &Response::Rejected {
                     message: "server is shutting down".to_owned(),
                 },
@@ -474,9 +565,10 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
         }
     };
     if send(
-        stream,
+        writer,
         &Response::Queued {
             job_id: handle.job_id,
+            label,
             lane: submit.lane,
             pending: pending as u32,
         },
@@ -487,6 +579,19 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
         // discards the undeliverable result.
         return false;
     }
+    let forward_writer = Arc::clone(writer);
+    let thread = std::thread::Builder::new()
+        .name(format!("mirage-net-fwd-{client}-{}", handle.job_id))
+        .spawn(move || forward_events(&handle, &forward_writer))
+        .expect("failed to spawn forwarder thread");
+    forwarders.push(thread);
+    true
+}
+
+/// Stream one job's events to the connection's shared writer; stops
+/// early (discarding the rest) only if the peer is unwritable.
+fn forward_events(handle: &crate::JobHandle, writer: &Mutex<TcpStream>) {
+    let label = handle.label.clone();
     loop {
         match handle.recv_event() {
             JobEvent::Started {
@@ -496,7 +601,7 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
                 ..
             } => {
                 if send(
-                    stream,
+                    writer,
                     &Response::Running {
                         job_id,
                         worker: worker as u32,
@@ -505,13 +610,14 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
                 )
                 .is_err()
                 {
-                    return false;
+                    return;
                 }
             }
             JobEvent::Finished(result) => {
                 let response = match result.outcome {
                     Ok(out) => Response::Done(JobDone {
                         job_id: result.job_id,
+                        label,
                         qasm: to_qasm(&out.circuit),
                         fingerprint: out.circuit.fingerprint(),
                         generation: result.generation,
@@ -520,14 +626,17 @@ fn handle_submit(stream: &mut TcpStream, shared: &Shared, submit: SubmitRequest)
                     }),
                     Err(error) => Response::Failed {
                         job_id: result.job_id,
+                        label,
                         kind: match error {
                             JobError::Transpile(_) => FailureKind::Transpile,
                             JobError::DeadlineExceeded { .. } => FailureKind::DeadlineExceeded,
+                            JobError::WorkerPanicked { .. } => FailureKind::WorkerPanicked,
                         },
                         message: error.to_string(),
                     },
                 };
-                return send(stream, &response).is_ok();
+                let _ = send(writer, &response);
+                return;
             }
         }
     }

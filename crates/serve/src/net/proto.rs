@@ -23,6 +23,7 @@
 
 use super::frame;
 use crate::queue::Lane;
+use crate::InjectedFault;
 use mirage_core::pipeline::Metrics;
 use mirage_core::trials::Metric;
 use mirage_core::{RouterKind, TranspileOptions};
@@ -31,7 +32,13 @@ use mirage_core::{RouterKind, TranspileOptions};
 /// refuses with [`ProtoError::UnsupportedVersion`] — fields may be
 /// reordered or re-typed between versions, so guessing is worse than
 /// failing.
-pub const PROTO_VERSION: u8 = 1;
+///
+/// v2 (retries + chaos): submissions may carry an [`InjectedFault`], job
+/// responses (`Queued` / `Done` / `Failed`) echo the submission label so a
+/// retrying client can verify it is reading answers for *its* job even
+/// after duplicated or replayed request frames, and `Failed` can report
+/// [`FailureKind::WorkerPanicked`].
+pub const PROTO_VERSION: u8 = 2;
 
 /// Why a message could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -372,6 +379,26 @@ pub struct SubmitRequest {
     pub deadline_ms: Option<u64>,
     /// Transpilation options.
     pub options: WireOptions,
+    /// Chaos hook: ask the worker to panic instead of transpiling.
+    /// Servers not started in chaos mode reject faulted submissions.
+    pub fault: Option<InjectedFault>,
+}
+
+fn fault_to_wire(fault: Option<InjectedFault>) -> u8 {
+    match fault {
+        None => 0,
+        Some(InjectedFault::Panic) => 1,
+        Some(InjectedFault::PanicKill) => 2,
+    }
+}
+
+fn fault_from_wire(r: &mut Reader<'_>) -> Result<Option<InjectedFault>, ProtoError> {
+    match r.u8("fault")? {
+        0 => Ok(None),
+        1 => Ok(Some(InjectedFault::Panic)),
+        2 => Ok(Some(InjectedFault::PanicKill)),
+        tag => Err(ProtoError::UnknownTag { what: "fault", tag }),
+    }
 }
 
 /// What a client can ask of a server.
@@ -400,6 +427,7 @@ impl Request {
                 w.u8(lane_to_wire(req.lane));
                 w.opt_u64(req.deadline_ms);
                 req.options.encode(&mut w);
+                w.u8(fault_to_wire(req.fault));
             }
         }
         w.buf
@@ -422,6 +450,7 @@ impl Request {
                 lane: lane_from_wire(&mut r)?,
                 deadline_ms: r.opt_u64("deadline_ms")?,
                 options: WireOptions::decode(&mut r)?,
+                fault: fault_from_wire(&mut r)?,
             }),
             tag => {
                 return Err(ProtoError::UnknownTag {
@@ -495,6 +524,9 @@ impl WireMetrics {
 pub struct JobDone {
     /// Server-assigned job id.
     pub job_id: u64,
+    /// The submission label, echoed back so a retrying client can verify
+    /// this terminal answer belongs to the job it is waiting on.
+    pub label: String,
     /// The routed circuit, as OpenQASM 2 text.
     pub qasm: String,
     /// [`Circuit::fingerprint`](mirage_circuit::Circuit::fingerprint) of
@@ -517,6 +549,10 @@ pub enum FailureKind {
     Transpile,
     /// The deadline passed while the job was still queued.
     DeadlineExceeded,
+    /// The worker panicked while running the job. Terminal and **not
+    /// retryable**: the same submission would deterministically panic
+    /// again.
+    WorkerPanicked,
 }
 
 /// What a server sends back.
@@ -535,6 +571,9 @@ pub enum Response {
     Queued {
         /// Server-assigned job id (unique per server lifetime).
         job_id: u64,
+        /// The submission label, echoed so a retrying client can match
+        /// this acceptance to the request it actually sent.
+        label: String,
         /// The lane it was queued into.
         lane: Lane,
         /// Jobs ahead of it across both lanes at accept time.
@@ -555,6 +594,8 @@ pub enum Response {
     Failed {
         /// The job.
         job_id: u64,
+        /// The submission label, echoed for client-side correlation.
+        label: String,
         /// Typed failure class.
         kind: FailureKind,
         /// Human-readable detail.
@@ -608,11 +649,13 @@ impl Response {
             }
             Response::Queued {
                 job_id,
+                label,
                 lane,
                 pending,
             } => {
                 w.u8(RESP_QUEUED);
                 w.u64(*job_id);
+                w.str(label);
                 w.u8(lane_to_wire(*lane));
                 w.u32(*pending);
             }
@@ -629,6 +672,7 @@ impl Response {
             Response::Done(done) => {
                 w.u8(RESP_DONE);
                 w.u64(done.job_id);
+                w.str(&done.label);
                 w.str(&done.qasm);
                 w.u64(done.fingerprint);
                 w.u64(done.generation);
@@ -637,14 +681,17 @@ impl Response {
             }
             Response::Failed {
                 job_id,
+                label,
                 kind,
                 message,
             } => {
                 w.u8(RESP_FAILED);
                 w.u64(*job_id);
+                w.str(label);
                 w.u8(match kind {
                     FailureKind::Transpile => 0,
                     FailureKind::DeadlineExceeded => 1,
+                    FailureKind::WorkerPanicked => 2,
                 });
                 w.str(message);
             }
@@ -681,6 +728,7 @@ impl Response {
             },
             RESP_QUEUED => Response::Queued {
                 job_id: r.u64("job_id")?,
+                label: r.str("label")?,
                 lane: lane_from_wire(&mut r)?,
                 pending: r.u32("pending")?,
             },
@@ -691,6 +739,7 @@ impl Response {
             },
             RESP_DONE => Response::Done(JobDone {
                 job_id: r.u64("job_id")?,
+                label: r.str("label")?,
                 qasm: r.str("qasm")?,
                 fingerprint: r.u64("fingerprint")?,
                 generation: r.u64("generation")?,
@@ -699,9 +748,11 @@ impl Response {
             }),
             RESP_FAILED => Response::Failed {
                 job_id: r.u64("job_id")?,
+                label: r.str("label")?,
                 kind: match r.u8("failure kind")? {
                     0 => FailureKind::Transpile,
                     1 => FailureKind::DeadlineExceeded,
+                    2 => FailureKind::WorkerPanicked,
                     tag => {
                         return Err(ProtoError::UnknownTag {
                             what: "failure kind",
@@ -755,16 +806,46 @@ mod tests {
             lane: Lane::Interactive,
             deadline_ms: Some(1500),
             options: WireOptions::quick(RouterKind::Mirage),
+            fault: None,
         })
+    }
+
+    fn faulted_submit(fault: InjectedFault) -> Request {
+        match sample_submit() {
+            Request::Submit(mut req) => {
+                req.fault = Some(fault);
+                Request::Submit(req)
+            }
+            other => unreachable!("sample_submit is a Submit, got {other:?}"),
+        }
     }
 
     #[test]
     fn requests_round_trip() {
-        for request in [Request::Ping, sample_submit()] {
+        for request in [
+            Request::Ping,
+            sample_submit(),
+            faulted_submit(InjectedFault::Panic),
+            faulted_submit(InjectedFault::PanicKill),
+        ] {
             let bytes = request.encode();
             assert_eq!(bytes[0], PROTO_VERSION);
             assert_eq!(Request::decode(&bytes).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn unknown_fault_tag_is_typed() {
+        let mut bytes = sample_submit().encode();
+        // The fault byte is the last byte of a Submit envelope.
+        *bytes.last_mut().unwrap() = 9;
+        assert_eq!(
+            Request::decode(&bytes),
+            Err(ProtoError::UnknownTag {
+                what: "fault",
+                tag: 9
+            })
+        );
     }
 
     #[test]
@@ -777,6 +858,7 @@ mod tests {
             },
             Response::Queued {
                 job_id: 3,
+                label: "qft-8 №1".to_owned(),
                 lane: Lane::Batch,
                 pending: 17,
             },
@@ -787,6 +869,7 @@ mod tests {
             },
             Response::Done(JobDone {
                 job_id: 3,
+                label: "qft-8 №1".to_owned(),
                 qasm: "OPENQASM 2.0;\n".to_owned(),
                 fingerprint: 0x0123_4567_89AB_CDEF,
                 generation: 9,
@@ -802,8 +885,15 @@ mod tests {
             }),
             Response::Failed {
                 job_id: 4,
+                label: "late".to_owned(),
                 kind: FailureKind::DeadlineExceeded,
                 message: "deadline exceeded".to_owned(),
+            },
+            Response::Failed {
+                job_id: 5,
+                label: "boom".to_owned(),
+                kind: FailureKind::WorkerPanicked,
+                message: "worker panicked: injected fault".to_owned(),
             },
             Response::Busy {
                 lane: Lane::Interactive,

@@ -1,24 +1,30 @@
-//! The job queue: a two-lane priority MPSC queue with close/drain
-//! semantics and optional bounded admission control, built on `Mutex` +
-//! `Condvar` (no external dependencies).
+//! The job queue: a two-lane priority MPSC queue with per-client
+//! fair-share scheduling, close/drain semantics, and bounded per-client
+//! admission control, built on `Mutex` + `Condvar` (no external
+//! dependencies).
 //!
 //! Producers ([`TranspileService::submit`](crate::TranspileService::submit))
-//! push into one of two [`Lane`]s from any thread; each worker pops under
-//! the lock, so every job is delivered to exactly one worker. Pops always
-//! drain [`Lane::Interactive`] before touching [`Lane::Batch`] — the
-//! express lane a latency-sensitive request rides past a deep batch
-//! backlog. Closing the queue wakes every blocked worker; pops drain the
-//! remaining jobs (both lanes, still interactive-first) and only then
-//! report the end of the stream — the graceful-shutdown contract:
-//! **every job accepted before close is processed**.
+//! push into one of two [`Lane`]s from any thread, tagged with a client
+//! id; each worker pops under the lock, so every job is delivered to
+//! exactly one worker. Pops always drain [`Lane::Interactive`] before
+//! touching [`Lane::Batch`] — the express lane a latency-sensitive
+//! request rides past a deep batch backlog. *Within* a lane, clients are
+//! served weighted round-robin: each active client contributes up to its
+//! weight (default 1) of consecutive jobs per turn, so one client
+//! flooding a lane cannot starve another client's jobs queued behind it.
+//! Closing the queue wakes every blocked worker; pops drain the
+//! remaining jobs (both lanes, still interactive-first and fair-share)
+//! and only then report the end of the stream — the graceful-shutdown
+//! contract: **every job accepted before close is processed**.
 //!
-//! A queue built with [`JobQueue::bounded`] enforces a per-lane capacity
-//! at push time: a full lane rejects with [`PushError::Full`] *instead of
-//! blocking*, which is the admission-control mode a network front needs —
-//! overload surfaces as a typed `Busy` response at the door, not as an
-//! unbounded backlog or a stalled accept loop.
+//! A queue built with [`JobQueue::bounded`] enforces a **per-client,
+//! per-lane** capacity at push time: a client whose lane budget is full
+//! gets [`PushError::Full`] *instead of blocking*, while other clients'
+//! budgets are untouched — the admission-control mode a multi-tenant
+//! network front needs: a flooding client bounces off its own bound and
+//! everyone else keeps draining.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// Which priority lane a job rides.
@@ -27,7 +33,7 @@ use std::sync::{Condvar, Mutex};
 /// an `Interactive` item is waiting. Starvation of the batch lane is
 /// bounded by the interactive arrival rate — acceptable here because the
 /// interactive lane is reserved for small latency-sensitive requests
-/// (admission control caps how many can pile up).
+/// (admission control caps how many each client can pile up).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lane {
     /// Latency-sensitive requests: always dequeued first.
@@ -78,8 +84,10 @@ impl std::fmt::Display for Lane {
 /// or retry without cloning every job up front.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PushError<T> {
-    /// The target lane is at capacity (bounded queues only). Admission
-    /// control: the caller should surface backpressure, not block.
+    /// The pushing client's budget in the target lane is at capacity
+    /// (bounded queues only). Admission control: the caller should
+    /// surface backpressure, not block — and only *this* client is over
+    /// budget, other clients' pushes still succeed.
     Full(T),
     /// The queue has been closed; no further work is accepted.
     Closed(T),
@@ -94,20 +102,121 @@ impl<T> PushError<T> {
     }
 }
 
-/// A close-aware two-lane priority MPSC queue. `T` is the queued work
-/// item.
+/// A close-aware two-lane priority MPSC queue with per-client weighted
+/// round-robin within each lane. `T` is the queued work item.
 #[derive(Debug)]
 pub struct JobQueue<T> {
     state: Mutex<QueueState<T>>,
     ready: Condvar,
-    /// Per-lane capacity; `None` = unbounded.
+    /// Per-client, per-lane capacity; `None` = unbounded.
     capacity: Option<usize>,
+}
+
+/// One client's FIFO sub-queue within a lane. Entries exist only while
+/// non-empty: created on the client's first push, removed when its last
+/// item is popped, so the round-robin scan never visits dead clients.
+#[derive(Debug)]
+struct ClientQueue<T> {
+    client: u64,
+    items: VecDeque<T>,
+}
+
+/// One lane: the active clients in round-robin order plus the scheduler
+/// cursor. `cursor` indexes the client currently being served;
+/// `served_in_turn` counts how many consecutive items that client has
+/// received this turn (compared against its weight).
+#[derive(Debug)]
+struct LaneState<T> {
+    clients: Vec<ClientQueue<T>>,
+    cursor: usize,
+    served_in_turn: usize,
+    len: usize,
+}
+
+impl<T> LaneState<T> {
+    fn new() -> LaneState<T> {
+        LaneState {
+            clients: Vec::new(),
+            cursor: 0,
+            served_in_turn: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, item: T, client: u64, capacity: Option<usize>) -> Result<(), T> {
+        match self.clients.iter_mut().find(|c| c.client == client) {
+            Some(entry) => {
+                if capacity.is_some_and(|cap| entry.items.len() >= cap) {
+                    return Err(item);
+                }
+                entry.items.push_back(item);
+            }
+            None => {
+                // New clients join at the end of the round-robin order;
+                // they get served when the cursor reaches them.
+                let mut items = VecDeque::new();
+                items.push_back(item);
+                self.clients.push(ClientQueue { client, items });
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Pop the next item under weighted round-robin: serve the cursor
+    /// client until its weight is exhausted (or its queue empties), then
+    /// advance.
+    fn pop(&mut self, weights: &HashMap<u64, usize>) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.cursor >= self.clients.len() {
+            self.cursor = 0;
+            self.served_in_turn = 0;
+        }
+        let weight = weights
+            .get(&self.clients[self.cursor].client)
+            .copied()
+            .unwrap_or(1)
+            .max(1);
+        if self.served_in_turn >= weight {
+            self.cursor = (self.cursor + 1) % self.clients.len();
+            self.served_in_turn = 0;
+        }
+        let entry = &mut self.clients[self.cursor];
+        let item = entry
+            .items
+            .pop_front()
+            .expect("active clients are non-empty");
+        self.len -= 1;
+        self.served_in_turn += 1;
+        if entry.items.is_empty() {
+            // The emptied client leaves the rotation; the cursor now
+            // points at the next client, which starts a fresh turn.
+            self.clients.remove(self.cursor);
+            self.served_in_turn = 0;
+            if self.cursor >= self.clients.len() {
+                self.cursor = 0;
+            }
+        }
+        Some(item)
+    }
+
+    fn client_len(&self, client: u64) -> usize {
+        self.clients
+            .iter()
+            .find(|c| c.client == client)
+            .map_or(0, |c| c.items.len())
+    }
 }
 
 #[derive(Debug)]
 struct QueueState<T> {
     /// Indexed by [`Lane::index`]: interactive first.
-    lanes: [VecDeque<T>; 2],
+    lanes: [LaneState<T>; 2],
+    /// Per-client scheduling weight (items per round-robin turn);
+    /// unlisted clients weigh 1.
+    weights: HashMap<u64, usize>,
     closed: bool,
 }
 
@@ -117,10 +226,10 @@ impl<T> JobQueue<T> {
         JobQueue::with_capacity(None)
     }
 
-    /// An open, empty queue admitting at most `capacity` items *per lane*;
-    /// pushes beyond that return [`PushError::Full`]. Per-lane (rather
-    /// than total) bounds keep a flooded batch lane from locking
-    /// interactive traffic out.
+    /// An open, empty queue admitting at most `capacity` items *per
+    /// client, per lane*; pushes beyond that return [`PushError::Full`].
+    /// Per-client (rather than total) bounds keep one flooding client
+    /// from locking everyone else out of a lane.
     ///
     /// # Panics
     ///
@@ -133,7 +242,8 @@ impl<T> JobQueue<T> {
     fn with_capacity(capacity: Option<usize>) -> JobQueue<T> {
         JobQueue {
             state: Mutex::new(QueueState {
-                lanes: [VecDeque::new(), VecDeque::new()],
+                lanes: [LaneState::new(), LaneState::new()],
+                weights: HashMap::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -141,24 +251,31 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// The per-lane admission bound, if any.
+    /// The per-client, per-lane admission bound, if any.
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
     }
 
-    /// Enqueue one item into `lane`. Never blocks: a closed queue returns
-    /// [`PushError::Closed`], a full lane returns [`PushError::Full`] —
-    /// both hand the item back.
-    pub fn push(&self, item: T, lane: Lane) -> Result<(), PushError<T>> {
+    /// Set a client's round-robin weight: how many consecutive items it
+    /// may dequeue per scheduling turn in each lane. The default (and
+    /// minimum) is 1; a weight-2 client drains twice as fast as a
+    /// weight-1 client while both have work queued.
+    pub fn set_weight(&self, client: u64, weight: usize) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.weights.insert(client, weight.max(1));
+    }
+
+    /// Enqueue one item into `lane` on behalf of `client`. Never blocks:
+    /// a closed queue returns [`PushError::Closed`], a client over its
+    /// lane budget gets [`PushError::Full`] — both hand the item back.
+    pub fn push(&self, item: T, lane: Lane, client: u64) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.closed {
             return Err(PushError::Closed(item));
         }
-        let queue = &mut state.lanes[lane.index()];
-        if self.capacity.is_some_and(|cap| queue.len() >= cap) {
+        if let Err(item) = state.lanes[lane.index()].push(item, client, self.capacity) {
             return Err(PushError::Full(item));
         }
-        queue.push_back(item);
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -166,15 +283,23 @@ impl<T> JobQueue<T> {
 
     /// Dequeue one item, blocking while the queue is open and empty.
     /// The interactive lane always drains before the batch lane; within a
-    /// lane, FIFO. Returns `None` only when the queue is closed **and**
-    /// both lanes are drained.
+    /// lane, clients are served weighted round-robin and each client's
+    /// own items stay FIFO. Returns `None` only when the queue is closed
+    /// **and** both lanes are drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
+            let weights = std::mem::take(&mut state.weights);
+            let mut popped = None;
             for lane in 0..state.lanes.len() {
-                if let Some(item) = state.lanes[lane].pop_front() {
-                    return Some(item);
+                if let Some(item) = state.lanes[lane].pop(&weights) {
+                    popped = Some(item);
+                    break;
                 }
+            }
+            state.weights = weights;
+            if let Some(item) = popped {
+                return Some(item);
             }
             if state.closed {
                 return None;
@@ -193,12 +318,17 @@ impl<T> JobQueue<T> {
     /// Total jobs waiting across both lanes (not yet claimed by a worker).
     pub fn len(&self) -> usize {
         let state = self.state.lock().expect("queue poisoned");
-        state.lanes.iter().map(VecDeque::len).sum()
+        state.lanes.iter().map(|l| l.len).sum()
     }
 
-    /// Jobs waiting in one lane.
+    /// Jobs waiting in one lane (all clients).
     pub fn lane_len(&self, lane: Lane) -> usize {
-        self.state.lock().expect("queue poisoned").lanes[lane.index()].len()
+        self.state.lock().expect("queue poisoned").lanes[lane.index()].len
+    }
+
+    /// Jobs one client has waiting in one lane (its budget usage).
+    pub fn client_len(&self, lane: Lane, client: u64) -> usize {
+        self.state.lock().expect("queue poisoned").lanes[lane.index()].client_len(client)
     }
 
     /// True when no jobs are waiting in either lane.
@@ -219,10 +349,10 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn fifo_within_a_single_lane() {
+    fn fifo_within_a_single_client() {
         let q = JobQueue::new();
         for i in 0..5 {
-            q.push(i, Lane::Batch).unwrap();
+            q.push(i, Lane::Batch, 0).unwrap();
         }
         assert_eq!(q.len(), 5);
         for i in 0..5 {
@@ -234,14 +364,14 @@ mod tests {
     #[test]
     fn interactive_lane_drains_before_batch() {
         let q = JobQueue::new();
-        q.push("b0", Lane::Batch).unwrap();
-        q.push("b1", Lane::Batch).unwrap();
-        q.push("i0", Lane::Interactive).unwrap();
-        q.push("i1", Lane::Interactive).unwrap();
+        q.push("b0", Lane::Batch, 0).unwrap();
+        q.push("b1", Lane::Batch, 0).unwrap();
+        q.push("i0", Lane::Interactive, 0).unwrap();
+        q.push("i1", Lane::Interactive, 0).unwrap();
         // The batch items arrived first; the interactive items jump them.
         assert_eq!(q.pop(), Some("i0"));
         // New interactive arrivals keep jumping even mid-drain.
-        q.push("i2", Lane::Interactive).unwrap();
+        q.push("i2", Lane::Interactive, 0).unwrap();
         assert_eq!(q.pop(), Some("i1"));
         assert_eq!(q.pop(), Some("i2"));
         assert_eq!(q.pop(), Some("b0"));
@@ -249,12 +379,63 @@ mod tests {
     }
 
     #[test]
+    fn clients_share_a_lane_round_robin() {
+        let q = JobQueue::new();
+        // Client 1 floods the batch lane, then client 2 queues two jobs
+        // behind the flood. Round-robin must interleave them rather than
+        // make client 2 wait for the whole flood.
+        for i in 0..4 {
+            q.push(("flood", i), Lane::Batch, 1).unwrap();
+        }
+        q.push(("polite", 0), Lane::Batch, 2).unwrap();
+        q.push(("polite", 1), Lane::Batch, 2).unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).take(6).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("flood", 0),
+                ("polite", 0),
+                ("flood", 1),
+                ("polite", 1),
+                ("flood", 2),
+                ("flood", 3),
+            ],
+            "lane service must alternate between active clients"
+        );
+    }
+
+    #[test]
+    fn weighted_clients_get_proportional_turns() {
+        let q = JobQueue::new();
+        q.set_weight(1, 2);
+        for i in 0..4 {
+            q.push(("heavy", i), Lane::Batch, 1).unwrap();
+            q.push(("light", i), Lane::Batch, 2).unwrap();
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).take(8).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("heavy", 0),
+                ("heavy", 1),
+                ("light", 0),
+                ("heavy", 2),
+                ("heavy", 3),
+                ("light", 1),
+                ("light", 2),
+                ("light", 3),
+            ],
+            "a weight-2 client takes two consecutive slots per turn"
+        );
+    }
+
+    #[test]
     fn close_rejects_pushes_but_drains_both_lanes() {
         let q = JobQueue::new();
-        q.push(1, Lane::Batch).unwrap();
-        q.push(2, Lane::Interactive).unwrap();
+        q.push(1, Lane::Batch, 0).unwrap();
+        q.push(2, Lane::Interactive, 0).unwrap();
         q.close();
-        assert_eq!(q.push(3, Lane::Batch), Err(PushError::Closed(3)));
+        assert_eq!(q.push(3, Lane::Batch, 0), Err(PushError::Closed(3)));
         assert_eq!(q.pop(), Some(2), "interactive first, even while draining");
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
@@ -262,34 +443,38 @@ mod tests {
     }
 
     #[test]
-    fn bounded_lane_rejects_without_blocking() {
+    fn bounded_budget_is_per_client_and_per_lane() {
         let q = JobQueue::bounded(2);
         assert_eq!(q.capacity(), Some(2));
-        q.push(0, Lane::Batch).unwrap();
-        q.push(1, Lane::Batch).unwrap();
-        // The batch lane is full; the push fails immediately and hands the
-        // item back...
-        assert_eq!(q.push(2, Lane::Batch), Err(PushError::Full(2)));
-        // ...while the interactive lane has its own budget.
-        q.push(10, Lane::Interactive).unwrap();
-        q.push(11, Lane::Interactive).unwrap();
-        assert_eq!(q.push(12, Lane::Interactive), Err(PushError::Full(12)));
-        assert_eq!(q.lane_len(Lane::Batch), 2);
+        q.push(0, Lane::Batch, 1).unwrap();
+        q.push(1, Lane::Batch, 1).unwrap();
+        // Client 1's batch budget is full; its push fails immediately and
+        // hands the item back...
+        assert_eq!(q.push(2, Lane::Batch, 1), Err(PushError::Full(2)));
+        // ...while client 2 still has its own batch budget...
+        q.push(20, Lane::Batch, 2).unwrap();
+        assert_eq!(q.client_len(Lane::Batch, 1), 2);
+        assert_eq!(q.client_len(Lane::Batch, 2), 1);
+        // ...and client 1 still has its interactive budget.
+        q.push(10, Lane::Interactive, 1).unwrap();
+        q.push(11, Lane::Interactive, 1).unwrap();
+        assert_eq!(q.push(12, Lane::Interactive, 1), Err(PushError::Full(12)));
+        assert_eq!(q.lane_len(Lane::Batch), 3);
         assert_eq!(q.lane_len(Lane::Interactive), 2);
         // Draining frees capacity.
         assert_eq!(q.pop(), Some(10));
-        q.push(12, Lane::Interactive).unwrap();
-        assert_eq!(q.len(), 4);
+        q.push(12, Lane::Interactive, 1).unwrap();
+        assert_eq!(q.len(), 5);
     }
 
     #[test]
     fn push_error_returns_the_item() {
         let q = JobQueue::bounded(1);
-        q.push("kept", Lane::Batch).unwrap();
-        let err = q.push("bounced", Lane::Batch).unwrap_err();
+        q.push("kept", Lane::Batch, 0).unwrap();
+        let err = q.push("bounced", Lane::Batch, 0).unwrap_err();
         assert_eq!(err.into_inner(), "bounced");
         q.close();
-        let err = q.push("late", Lane::Interactive).unwrap_err();
+        let err = q.push("late", Lane::Interactive, 0).unwrap_err();
         assert_eq!(err.into_inner(), "late");
     }
 
@@ -325,7 +510,7 @@ mod tests {
                 } else {
                     Lane::Batch
                 };
-                q.push(i, lane).unwrap();
+                q.push(i, lane, u64::from(i % 2)).unwrap();
             }
             q.close();
             let mut all: Vec<u32> = handles

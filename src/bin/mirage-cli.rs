@@ -11,10 +11,10 @@
 //!                  [--seed N] [--trials N]  # inputs: qasm files or gen specs
 //! mirage-cli serve --topo grid:6x6 [--listen 127.0.0.1:7878] [--workers N]
 //!                  [--capacity N] [--calibration cal.txt]
-//!                  [--watch-cal cal.txt] [--watch-ms 1000] [--conns N]
+//!                  [--watch-cal cal.txt] [--watch-ms 1000] [--conns N] [--chaos]
 //! mirage-cli client <input>... --connect 127.0.0.1:7878 [--seed N] [--trials N]
 //!                   [--router ...] [--metric ...] [--lane interactive|batch]
-//!                   [--deadline-ms N] [--out out.qasm]
+//!                   [--deadline-ms N] [--retries N] [--retry-ms MS] [--out out.qasm]
 //! mirage-cli stats <input.qasm>
 //! mirage-cli draw <input.qasm>
 //! mirage-cli gen <name> [--out file.qasm]     # qft:18, ghz:8, twolocal:4, ...
@@ -28,7 +28,8 @@ use mirage::core::{
 };
 use mirage::math::Rng;
 use mirage::serve::net::{
-    CalibrationRefresher, NetClient, NetServer, ServeConfig, SubmitRequest, WireOptions,
+    CalibrationRefresher, NetClient, NetServer, RetryPolicy, ServeConfig, SubmitRequest,
+    WireOptions,
 };
 use mirage::serve::{Lane, TranspileJob, TranspileService};
 use mirage::synth::decompose::DecompOptions;
@@ -63,17 +64,20 @@ const USAGE: &str = "usage:
                    # jobs run on a worker pool, results are seed-deterministic
   mirage-cli serve --topo <spec> [--listen ADDR:PORT] [--basis ...] [--workers N]
                    [--capacity N] [--calibration cal.txt]
-                   [--watch-cal cal.txt] [--watch-ms MS] [--conns N]
+                   [--watch-cal cal.txt] [--watch-ms MS] [--conns N] [--chaos]
                    # framed-TCP daemon; --capacity bounds each queue lane
                    # (overload answers Busy); --watch-cal hot-swaps the
                    # calibration when the file changes; --conns exits after
-                   # N connections (for scripted runs)
+                   # N connections (for scripted runs); --chaos accepts
+                   # fault-injection test submissions (keep off in production)
   mirage-cli client <input>... --connect ADDR:PORT [--seed N] [--trials N]
                     [--router ...] [--metric ...] [--lane interactive|batch]
-                    [--deadline-ms N] [--out out.qasm]
+                    [--deadline-ms N] [--retries N] [--retry-ms MS] [--out out.qasm]
                     # submits each input to a mirage-cli serve daemon;
                     # results are bit-identical to a local run_batch with
-                    # the same seeds
+                    # the same seeds; --retries resubmits through Busy
+                    # answers and dropped connections with jittered
+                    # exponential backoff starting at --retry-ms
   mirage-cli stats <input.qasm>
   mirage-cli draw <input.qasm>
   mirage-cli gen <name> [--out file.qasm]
@@ -116,7 +120,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags have no value.
-            if matches!(name, "translate" | "draw") {
+            if matches!(name, "translate" | "draw" | "chaos") {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
             } else {
@@ -465,6 +469,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(cap) = flag(&flags, "capacity") {
         config = config.with_queue_capacity(cap.parse().map_err(|_| "bad --capacity")?);
     }
+    if flag(&flags, "chaos").is_some() {
+        config = config.with_chaos();
+        eprintln!("chaos    : fault-injection submissions accepted");
+    }
 
     let target = Arc::new(target);
     let listen = flag(&flags, "listen").unwrap_or("127.0.0.1:7878");
@@ -513,11 +521,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(mut refresher) = refresher.take() {
         refresher.stop();
-        eprintln!(
-            "watched  : {} hot swap(s), {} bad revision(s) skipped",
-            refresher.swaps(),
-            refresher.errors()
-        );
+        eprintln!("watched  : {}", refresher.status_line());
     }
     let stats = server.shutdown();
     eprintln!(
@@ -573,9 +577,24 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     if flag(&flags, "out").is_some() && pos.len() > 1 {
         return Err("--out needs exactly one input".into());
     }
+    let retries: u32 = flag(&flags, "retries")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --retries")?;
+    let policy = if retries == 0 {
+        RetryPolicy::none()
+    } else {
+        let base_ms: u64 = flag(&flags, "retry-ms")
+            .unwrap_or("5")
+            .parse()
+            .map_err(|_| "bad --retry-ms")?;
+        RetryPolicy::new(retries + 1)
+            .with_base_delay(std::time::Duration::from_millis(base_ms.max(1)))
+            .with_seed(seed)
+    };
 
-    let mut client =
-        NetClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client = NetClient::connect_with_retry(addr, policy)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let info = client.ping().map_err(|e| e.to_string())?;
     eprintln!(
         "server  : {addr} (protocol v{}, {} workers, calibration generation {})",
@@ -595,6 +614,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             lane,
             deadline_ms,
             options: wire.clone(),
+            fault: None,
         };
         match client.submit(submit) {
             Ok(outcome) => {

@@ -9,7 +9,7 @@ use mirage::core::verify::verify_routed;
 use mirage::core::{transpile, Calibration, RouterKind, Target, TranspileOptions};
 use mirage::math::Rng;
 use mirage::serve::net::CalibrationRefresher;
-use mirage::serve::{TranspileJob, TranspileService};
+use mirage::serve::{InjectedFault, JobError, TranspileJob, TranspileService};
 use mirage::topology::CouplingMap;
 use mirage::weyl::coords::WeylCoord;
 use std::sync::Arc;
@@ -189,10 +189,17 @@ fn calibration_refresher_hot_swaps_from_a_watched_file() {
     );
 
     // A corrupt rewrite is counted and skipped, never fatal: the last
-    // good calibration keeps serving.
+    // good calibration keeps serving, and the failure lands in the
+    // corrupt (not I/O) counter.
     std::fs::write(&path, "not a calibration file").unwrap();
     wait_for("corrupt revision to be counted", || refresher.errors() >= 1);
+    assert!(refresher.corrupt_skipped() >= 1, "parse failure class");
     assert_eq!(target.calibration_generation(), 1, "bad file must not swap");
+    assert!(
+        refresher.status_line().contains("corrupt skipped"),
+        "status line reports the split counters: {}",
+        refresher.status_line()
+    );
     assert!(service.run_batch(vec![job("still-up", 43)]).unwrap()[0]
         .outcome
         .is_ok());
@@ -206,6 +213,80 @@ fn calibration_refresher_hot_swaps_from_a_watched_file() {
     refresher.stop();
     service.shutdown();
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_panics_fail_alone_and_survivors_stay_bit_identical() {
+    // The supervision acceptance gate: rerun the same batch with two jobs
+    // carrying injected panics (one caught in-place, one killing its
+    // worker). The faulted jobs — and ONLY those — must fail with the
+    // typed WorkerPanicked error, the pool must respawn the killed
+    // worker, and every surviving job's circuit must be bit-identical to
+    // the fault-free run.
+    let make_service = || {
+        let topo = CouplingMap::grid(3, 3);
+        let cal = Calibration::synthetic(&topo, &mut Rng::new(0x5EED5));
+        let target = Arc::new(Target::sqrt_iswap(topo).with_calibration(cal).unwrap());
+        TranspileService::new(target, 2)
+    };
+    let jobs = |faults: &[Option<InjectedFault>]| -> Vec<TranspileJob> {
+        (0..6)
+            .map(|i| {
+                let mut job = TranspileJob::new(
+                    format!("job-{i}"),
+                    two_local_full(5, 1, 11 + i as u64),
+                    quick_opts(2),
+                )
+                .with_seed(900 + i as u64);
+                if let Some(fault) = faults[i] {
+                    job = job.with_fault(fault);
+                }
+                job
+            })
+            .collect()
+    };
+
+    let clean_service = make_service();
+    let clean = clean_service.run_batch(jobs(&[None; 6])).unwrap();
+    let clean_stats = clean_service.shutdown();
+    assert_eq!(clean_stats.respawns, 0);
+
+    let mut faults = [None; 6];
+    faults[1] = Some(InjectedFault::Panic);
+    faults[4] = Some(InjectedFault::PanicKill);
+    let service = make_service();
+    let faulted = service.run_batch(jobs(&faults)).unwrap();
+    for (i, (clean_result, result)) in clean.iter().zip(&faulted).enumerate() {
+        if faults[i].is_some() {
+            match &result.outcome {
+                Err(JobError::WorkerPanicked { message }) => {
+                    assert!(
+                        message.contains("injected fault") || message.contains("died"),
+                        "job {i}: panic surfaced with its payload, got {message:?}"
+                    );
+                }
+                other => panic!("job {i}: expected WorkerPanicked, got {other:?}"),
+            }
+        } else {
+            let clean_out = clean_result.outcome.as_ref().unwrap();
+            let out = result
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("job {i} must survive its neighbors' panics, got {e}"));
+            assert_eq!(
+                out.circuit.fingerprint(),
+                clean_out.circuit.fingerprint(),
+                "job {i}: survivor diverged from the fault-free run"
+            );
+            assert_eq!(out.circuit, clean_out.circuit);
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs, 6, "every job reached a terminal result");
+    assert!(
+        stats.respawns >= 1,
+        "the killed worker must have been respawned"
+    );
 }
 
 #[test]

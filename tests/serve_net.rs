@@ -26,8 +26,11 @@ use mirage::serve::net::frame::{
 use mirage::serve::net::proto::{
     ProtoError, Request, Response, SubmitRequest, WireOptions, PROTO_VERSION,
 };
-use mirage::serve::net::{frame, ClientError, FailureKind, NetClient, NetServer, ServeConfig};
-use mirage::serve::{Lane, TranspileJob, TranspileService};
+use mirage::serve::net::{
+    frame, ChaosConfig, ChaosConnector, ChaosPlan, ClientError, FailureKind, NetClient, NetServer,
+    RetryPolicy, ServeConfig, TcpConnector,
+};
+use mirage::serve::{InjectedFault, Lane, TranspileJob, TranspileService};
 use mirage::topology::CouplingMap;
 use std::io::{Cursor, Read, Write};
 use std::net::TcpStream;
@@ -163,6 +166,7 @@ fn sample_submit(label: &str, qasm: &str, seed: u64) -> SubmitRequest {
         lane: Lane::Batch,
         deadline_ms: None,
         options: quick_wire(),
+        fault: None,
     }
 }
 
@@ -391,7 +395,9 @@ fn garbage_bytes_get_an_error_and_only_that_connection_dies() {
     // A well-formed *frame* holding a malformed *envelope* keeps the
     // connection: framing preserved sync, so the conversation continues.
     let mut stream = TcpStream::connect(addr).unwrap();
-    frame::write_frame(&mut stream, b"\x01\x7F not a message").unwrap();
+    let mut bad_envelope = vec![PROTO_VERSION, 0x7F];
+    bad_envelope.extend_from_slice(b" not a message");
+    frame::write_frame(&mut stream, &bad_envelope).unwrap();
     match read_response(&mut stream) {
         Response::ProtocolError { message } => assert!(message.contains("tag")),
         other => panic!("expected ProtocolError, got {other:?}"),
@@ -459,7 +465,8 @@ fn full_queue_answers_typed_busy_without_blocking() {
     let server = NetServer::bind(grid_target(), "127.0.0.1:0", &config).unwrap();
     let addr = server.local_addr();
 
-    // Occupy the worker, then fill the batch lane's single slot.
+    // Occupy the worker, then fill this connection's batch-lane budget
+    // (admission is per client per lane).
     let mut blocker = raw_submit(addr, slow_submit("blocker"));
     wait_until_running(&mut blocker);
     let mut queued = raw_submit(addr, sample_submit("queued", &to_qasm(&ghz(4)), 5));
@@ -468,21 +475,38 @@ fn full_queue_answers_typed_busy_without_blocking() {
         other => panic!("expected Queued, got {other:?}"),
     }
 
-    // Third submission: lane full → typed Busy, answered immediately
-    // (bounded wait proves nobody blocked on the queue).
+    // Second submission pipelined on the SAME connection: this client's
+    // batch budget is full → typed Busy, answered immediately (bounded
+    // wait proves nobody blocked on the queue).
     let started = Instant::now();
-    let mut client = NetClient::connect(addr).unwrap();
-    match client.submit(sample_submit("bounced", &to_qasm(&ghz(4)), 6)) {
-        Err(ClientError::Busy { lane, capacity }) => {
-            assert_eq!(lane, Lane::Batch);
-            assert_eq!(capacity, 1);
+    frame::write_frame(
+        &mut queued,
+        &Request::Submit(sample_submit("bounced", &to_qasm(&ghz(4)), 6)).encode(),
+    )
+    .unwrap();
+    loop {
+        match read_response(&mut queued) {
+            Response::Busy { lane, capacity } => {
+                assert_eq!(lane, Lane::Batch);
+                assert_eq!(capacity, 1);
+                break;
+            }
+            Response::Running { .. } => continue,
+            other => panic!("expected Busy, got {other:?}"),
         }
-        other => panic!("expected Busy, got {other:?}"),
     }
     assert!(
         started.elapsed() < Duration::from_secs(5),
         "Busy must be immediate, not queued-then-failed"
     );
+
+    // A different connection is a different admission client: its own
+    // batch budget is untouched, so the same instant still accepts.
+    let mut other_client = raw_submit(addr, sample_submit("other-client", &to_qasm(&ghz(4)), 60));
+    match read_response(&mut other_client) {
+        Response::Queued { lane, .. } => assert_eq!(lane, Lane::Batch),
+        other => panic!("expected Queued, got {other:?}"),
+    }
 
     // The interactive lane has its own budget: same instant, still open.
     let mut express = sample_submit("express", &to_qasm(&ghz(4)), 7);
@@ -494,7 +518,12 @@ fn full_queue_answers_typed_busy_without_blocking() {
     }
 
     // Everything accepted completes.
-    for stream in [&mut blocker, &mut queued, &mut express_conn] {
+    for stream in [
+        &mut blocker,
+        &mut queued,
+        &mut other_client,
+        &mut express_conn,
+    ] {
         loop {
             match read_response(stream) {
                 Response::Running { .. } => continue,
@@ -621,6 +650,284 @@ fn graceful_shutdown_drains_every_accepted_job() {
         .map(|r| r.outcome.expect("routes").circuit.fingerprint())
         .collect();
     assert_eq!(fingerprints, direct);
+}
+
+#[test]
+fn injected_worker_panic_over_the_wire_fails_one_job_only() {
+    let wire = quick_wire();
+    // In-process reference bits for the two surviving jobs.
+    let reference: Vec<u64> = {
+        let service = TranspileService::new(grid_target(), 1);
+        let jobs = vec![
+            TranspileJob::new("a", qft(8, false), wire.to_options(21)),
+            TranspileJob::new("b", ghz(6), wire.to_options(22)),
+        ];
+        service
+            .run_batch(jobs)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.outcome.expect("routes").circuit.fingerprint())
+            .collect()
+    };
+
+    // A production server refuses fault-carrying submissions outright.
+    let strict = NetServer::bind(grid_target(), "127.0.0.1:0", &ServeConfig::new(1)).unwrap();
+    let mut client = NetClient::connect(strict.local_addr()).unwrap();
+    let mut refused = sample_submit("nope", &to_qasm(&ghz(4)), 1);
+    refused.fault = Some(InjectedFault::Panic);
+    match client.submit(refused) {
+        Err(ClientError::Rejected { message }) => {
+            assert!(
+                message.contains("fault injection is disabled"),
+                "got: {message}"
+            )
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    strict.shutdown();
+
+    // A chaos-enabled server runs them: the worker-killing job fails
+    // alone with a typed wire error (never a hung connection), the pool
+    // respawns the worker, and the surviving jobs' results match the
+    // in-process reference bit for bit.
+    let config = ServeConfig::new(1).with_chaos();
+    let server = NetServer::bind(grid_target(), "127.0.0.1:0", &config).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let a = client
+        .submit(sample_submit("a", &to_qasm(&qft(8, false)), 21))
+        .unwrap();
+    assert_eq!(a.done.fingerprint, reference[0]);
+    let mut boom = sample_submit("boom", &to_qasm(&ghz(4)), 5);
+    boom.fault = Some(InjectedFault::PanicKill);
+    match client.submit(boom) {
+        Err(ClientError::Failed { kind, message, .. }) => {
+            assert_eq!(kind, FailureKind::WorkerPanicked);
+            assert!(
+                message.contains("panicked") || message.contains("died"),
+                "got: {message}"
+            );
+        }
+        other => panic!("expected a WorkerPanicked failure, got {other:?}"),
+    }
+    let b = client
+        .submit(sample_submit("b", &to_qasm(&ghz(6)), 22))
+        .unwrap();
+    assert_eq!(b.done.fingerprint, reference[1]);
+    let stats = server.shutdown();
+    assert!(
+        stats.service.respawns >= 1,
+        "the killed worker must have been respawned"
+    );
+    assert_eq!(
+        stats.service.jobs, 3,
+        "all three jobs reached terminal state"
+    );
+}
+
+/// Chaos seeds the loopback convergence sweep runs under: CI pins one via
+/// `MIRAGE_CHAOS_SEED=<n>` for its extra pass; the default sweep covers
+/// three fixed seeds.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("MIRAGE_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("MIRAGE_CHAOS_SEED must be an integer")],
+        Err(_) => vec![0xC4A0_5EED, 7, 1234],
+    }
+}
+
+/// The convergence acceptance test: under a seeded fault-injection proxy
+/// that drops, truncates, corrupts, duplicates, and delays frames, a
+/// retrying client's results must be **bit-identical** to the fault-free
+/// loopback run — for every seed in the sweep.
+#[test]
+fn chaos_transport_sweep_converges_to_fault_free_results() {
+    let jobs = || {
+        vec![
+            ("chaos-a".to_owned(), to_qasm(&ghz(5)), 31u64),
+            ("chaos-b".to_owned(), to_qasm(&qft(6, false)), 32),
+            ("chaos-c".to_owned(), to_qasm(&ghz(4)), 33),
+            ("chaos-d".to_owned(), to_qasm(&qft(7, false)), 34),
+        ]
+    };
+    let reference: Vec<(u64, String)> = {
+        let server = NetServer::bind(grid_target(), "127.0.0.1:0", &ServeConfig::new(2)).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let results = jobs()
+            .into_iter()
+            .map(|(label, qasm, seed)| {
+                let outcome = client.submit(sample_submit(&label, &qasm, seed)).unwrap();
+                (outcome.done.fingerprint, outcome.done.qasm)
+            })
+            .collect();
+        server.shutdown();
+        results
+    };
+
+    for seed in chaos_seeds() {
+        let server = NetServer::bind(grid_target(), "127.0.0.1:0", &ServeConfig::new(2)).unwrap();
+        let plan = ChaosPlan::new(ChaosConfig::new(seed));
+        let connector = ChaosConnector::new(
+            TcpConnector::new(server.local_addr()).unwrap(),
+            plan.clone(),
+        );
+        // The fault budget (8) bounds failed attempts; 12 attempts leaves
+        // headroom, so a policy-exhausted error here is a real bug.
+        let policy = RetryPolicy::new(12)
+            .with_base_delay(Duration::from_millis(1))
+            .with_seed(seed);
+        let mut client = NetClient::with_connector(Box::new(connector), policy)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: connect failed: {e}"));
+        for ((label, qasm, job_seed), (fingerprint, text)) in jobs().iter().zip(&reference) {
+            let outcome = client
+                .submit(sample_submit(label, qasm, *job_seed))
+                .unwrap_or_else(|e| panic!("seed {seed:#x}, job {label}: {e}"));
+            assert_eq!(
+                outcome.done.fingerprint, *fingerprint,
+                "seed {seed:#x}, job {label}: diverged from fault-free run"
+            );
+            assert_eq!(
+                &outcome.done.qasm, text,
+                "seed {seed:#x}, job {label}: QASM text diverged"
+            );
+        }
+        let stats = plan.stats();
+        assert!(stats.frames > 0, "seed {seed:#x}: chaos proxy saw traffic");
+        server.shutdown();
+    }
+}
+
+/// The fair-share acceptance test: one connection flooding the batch lane
+/// cannot prevent a second client's jobs from completing — the queue's
+/// weighted round-robin interleaves clients, so the polite client's last
+/// job finishes while the flood is still draining.
+#[test]
+fn flooding_connection_cannot_starve_another_clients_jobs() {
+    let server = NetServer::bind(grid_target(), "127.0.0.1:0", &ServeConfig::new(1)).unwrap();
+    let addr = server.local_addr();
+
+    // Park the single worker so both clients queue fully before any
+    // batch-lane dequeue happens.
+    let mut blocker = raw_submit(addr, slow_submit("blocker"));
+    wait_until_running(&mut blocker);
+
+    // Client A floods six pipelined jobs on one connection...
+    let mut flood = TcpStream::connect(addr).unwrap();
+    flood.set_nodelay(true).unwrap();
+    for i in 0..6u64 {
+        let submit = sample_submit(&format!("flood-{i}"), &to_qasm(&qft(8, false)), 40 + i);
+        frame::write_frame(&mut flood, &Request::Submit(submit).encode()).unwrap();
+    }
+    for _ in 0..6 {
+        match read_response(&mut flood) {
+            Response::Queued { .. } => {}
+            other => panic!("expected Queued, got {other:?}"),
+        }
+    }
+    // ...then client B queues two, strictly after the flood.
+    let mut polite = TcpStream::connect(addr).unwrap();
+    polite.set_nodelay(true).unwrap();
+    for i in 0..2u64 {
+        let submit = sample_submit(&format!("polite-{i}"), &to_qasm(&qft(8, false)), 50 + i);
+        frame::write_frame(&mut polite, &Request::Submit(submit).encode()).unwrap();
+    }
+    for _ in 0..2 {
+        match read_response(&mut polite) {
+            Response::Queued { .. } => {}
+            other => panic!("expected Queued, got {other:?}"),
+        }
+    }
+
+    // Watch each stream's Done edges from its own thread: under FIFO the
+    // polite client would finish dead last; under weighted round-robin
+    // its second job completes while most of the flood is still queued.
+    let t0 = Instant::now();
+    let clock = |mut stream: TcpStream, dones: usize| {
+        std::thread::spawn(move || {
+            let mut last = Duration::ZERO;
+            let mut seen = 0;
+            while seen < dones {
+                match read_response(&mut stream) {
+                    Response::Done(_) => {
+                        seen += 1;
+                        last = t0.elapsed();
+                    }
+                    Response::Running { .. } => continue,
+                    other => panic!("expected Running/Done, got {other:?}"),
+                }
+            }
+            last
+        })
+    };
+    let flood_clock = clock(flood, 6);
+    let polite_clock = clock(polite, 2);
+    let polite_done = polite_clock.join().unwrap();
+    let flood_done = flood_clock.join().unwrap();
+    assert!(
+        polite_done < flood_done,
+        "fair-share violated: polite client finished at {polite_done:?}, \
+         after the flood drained at {flood_done:?}"
+    );
+
+    assert!(matches!(read_response(&mut blocker), Response::Done(_)));
+    let stats = server.shutdown();
+    assert_eq!(stats.service.jobs, 9, "all accepted jobs completed");
+}
+
+/// Shutdown-during-retry: when the server drains while a retrying client
+/// is mid-conversation, every *accepted* job still gets its terminal
+/// answer, and the never-accepted submission ends in a typed error after
+/// bounded retries — never a hang.
+#[test]
+fn shutdown_during_retry_gives_typed_answers_not_hangs() {
+    let server = NetServer::bind(grid_target(), "127.0.0.1:0", &ServeConfig::new(1)).unwrap();
+    let addr = server.local_addr();
+
+    // Two accepted jobs: one running, one queued behind it.
+    let mut blocker = raw_submit(addr, slow_submit("blocker"));
+    wait_until_running(&mut blocker);
+    let mut queued = raw_submit(addr, sample_submit("queued", &to_qasm(&ghz(4)), 61));
+    match read_response(&mut queued) {
+        Response::Queued { .. } => {}
+        other => panic!("expected Queued, got {other:?}"),
+    }
+
+    // A retrying client connects now (pre-shutdown) but submits only once
+    // the drain has begun, so its job is never accepted.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+    let late = std::thread::spawn(move || {
+        let policy = RetryPolicy::new(4)
+            .with_base_delay(Duration::from_millis(20))
+            .with_seed(3);
+        let mut client = NetClient::connect_with_retry(addr, policy).unwrap();
+        ready_tx.send(()).unwrap();
+        go_rx.recv().unwrap();
+        client.submit(sample_submit("late", &to_qasm(&ghz(4)), 62))
+    });
+    ready_rx.recv().unwrap();
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    // Let the shutdown flag reach the connection handlers (they poll
+    // every 20 ms), then release the late submission into the drain.
+    std::thread::sleep(Duration::from_millis(60));
+    go_tx.send(()).unwrap();
+
+    // Every accepted job still reaches Done during the drain.
+    for stream in [&mut blocker, &mut queued] {
+        loop {
+            match read_response(stream) {
+                Response::Running { .. } => continue,
+                Response::Done(_) => break,
+                other => panic!("expected Running/Done, got {other:?}"),
+            }
+        }
+    }
+    let stats = shutdown.join().unwrap();
+    assert_eq!(stats.service.jobs, 2, "both accepted jobs drained");
+
+    // The late client got a typed terminal error after bounded retries.
+    match late.join().unwrap() {
+        Err(ClientError::Io(_) | ClientError::Frame(_) | ClientError::Rejected { .. }) => {}
+        other => panic!("expected a typed transport error, got {other:?}"),
+    }
 }
 
 #[test]
